@@ -1,0 +1,127 @@
+// Command benchtab regenerates the paper's evaluation artifacts:
+//
+//	benchtab -table2              Table II (gate counts + runtimes)
+//	benchtab -table2 -type small  one class only
+//	benchtab -fig8                Figure 8 (gates/depth trade-off vs δ)
+//	benchtab -scaling             §V-B scalability study on QFT
+//
+// -quick reduces SABRE to 2 trials for a fast pass; -no-astar skips the
+// exponential baseline; -budget caps the A* node budget (the paper's
+// memory limit analogue).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		table2      = flag.Bool("table2", false, "reproduce Table II")
+		fig8        = flag.Bool("fig8", false, "reproduce Figure 8 (decay trade-off)")
+		scaling     = flag.Bool("scaling", false, "reproduce the §V-B scalability study")
+		searchspace = flag.Bool("searchspace", false, "measure the §IV-C1 search-space sizes (E6)")
+		optimality  = flag.Bool("optimality", false, "measure the optimality gap on known-optimal instances (E7)")
+		class       = flag.String("type", "", "restrict -table2 to one class: small|sim|qft|large")
+		quick       = flag.Bool("quick", false, "2 SABRE trials instead of 5")
+		noAStar     = flag.Bool("no-astar", false, "skip the A* (BKA) baseline")
+		budget      = flag.Int("budget", 0, "A* node budget (0 = default)")
+		seed        = flag.Int64("seed", 1, "PRNG seed")
+		maxGori     = flag.Int("max-gori", 0, "skip benchmarks with more than this many gates (0 = no limit)")
+	)
+	flag.Parse()
+
+	if !*table2 && !*fig8 && !*scaling && !*searchspace && !*optimality {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := exp.DefaultConfig()
+	cfg.SabreOpts.Seed = *seed
+	if *quick {
+		cfg.SabreOpts.Trials = 2
+	}
+	if *noAStar {
+		cfg.RunAStar = false
+	}
+	if *budget > 0 {
+		cfg.AStarOpts.NodeBudget = *budget
+	}
+
+	if *table2 {
+		benches := workloads.All()
+		if *class != "" {
+			benches = workloads.ByClass(workloads.Class(*class))
+			if len(benches) == 0 {
+				fmt.Fprintf(os.Stderr, "benchtab: unknown class %q\n", *class)
+				os.Exit(1)
+			}
+		}
+		if *maxGori > 0 {
+			var kept []workloads.Benchmark
+			for _, b := range benches {
+				if b.Gori <= *maxGori {
+					kept = append(kept, b)
+				}
+			}
+			benches = kept
+		}
+		rows, err := exp.RunTable2(benches, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Table II: additional gates and runtime, SABRE vs BKA (A*) and greedy ==")
+		fmt.Print(exp.FormatTable2(rows))
+	}
+
+	if *fig8 {
+		fmt.Println("== Figure 8: circuit depth vs number of gates as δ varies ==")
+		for _, name := range []string{"qft_10", "qft_13", "qft_16", "qft_20", "rd84_142", "radd_250", "cycle10_2_110"} {
+			b, ok := workloads.ByName(name)
+			if !ok {
+				continue
+			}
+			pts, err := exp.RunFig8(b, exp.DefaultFig8Deltas(), cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(exp.FormatFig8(name, pts))
+		}
+	}
+
+	if *scaling {
+		fmt.Println("== §V-B scalability: SABRE vs A* on qft_n (Q20 device, n <= 20) ==")
+		rows, err := exp.RunScalingQFT([]int{4, 6, 8, 10, 12, 14, 16, 18, 20}, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(exp.FormatScaling(rows))
+	}
+
+	if *searchspace {
+		fmt.Println("== §IV-C1 search space: SABRE candidates per step vs device size ==")
+		rows, err := exp.RunSearchSpace([]int{3, 4, 5, 6, 7}, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(exp.FormatSearchSpace(rows))
+	}
+
+	if *optimality {
+		fmt.Println("== E7 optimality gap on known-optimal (QUEKO-style) instances, Q20 ==")
+		rows, err := exp.RunOptimalityGap(400, []int64{1, 2, 3, 4, 5, 6, 7, 8}, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(exp.FormatOptimality(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command devices inspects the device catalogue: coupling summaries,
+// degree histograms, distance diagnostics and Graphviz export.
+//
+//	devices -list
+//	devices -show q20
+//	devices -show falcon27 -dot > falcon.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/arch"
+)
+
+var catalogue = map[string]func() *arch.Device{
+	"q20":      arch.IBMQ20Tokyo,
+	"qx5":      arch.IBMQX5,
+	"falcon27": arch.IBMFalcon27,
+	"aspen2":   func() *arch.Device { return arch.RigettiAspen(2) },
+	"sycamore": func() *arch.Device { return arch.Sycamore(6, 9) },
+	"grid4x5":  func() *arch.Device { return arch.Grid(4, 5) },
+	"line16":   func() *arch.Device { return arch.Line(16) },
+	"ring16":   func() *arch.Device { return arch.Ring(16) },
+	"heavyhex": func() *arch.Device { return arch.HeavyHex(3, 9) },
+}
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list catalogue devices")
+		show = flag.String("show", "", "print details for one device")
+		dot  = flag.Bool("dot", false, "emit Graphviz instead of a text summary")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		names := make([]string, 0, len(catalogue))
+		for n := range catalogue {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			d := catalogue[n]()
+			fmt.Printf("%-9s %s\n", n, d)
+		}
+	case *show != "":
+		f, ok := catalogue[*show]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "devices: unknown device %q (try -list)\n", *show)
+			os.Exit(1)
+		}
+		d := f()
+		if *dot {
+			fmt.Print(d.DOT(nil, nil))
+			return
+		}
+		fmt.Print(d.AdjacencySummary())
+		fmt.Printf("degree histogram: ")
+		for _, deg := range d.Degrees() {
+			fmt.Printf("%dx deg-%d ", d.DegreeHistogram()[deg], deg)
+		}
+		fmt.Println()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,62 @@
+// Command genbench exports the reconstructed Table II benchmark suite
+// (and optionally the auxiliary workloads) as OpenQASM 2.0 files, so
+// external mappers can be compared against this library on identical
+// inputs.
+//
+//	genbench -dir bench_qasm
+//	genbench -dir bench_qasm -extras
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/circuit"
+	"repro/internal/qasm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", "bench_qasm", "output directory")
+		extras = flag.Bool("extras", false, "also export GHZ/QAOA/Grover workloads")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	count := 0
+	emit := func(c *circuit.Circuit) {
+		path := filepath.Join(*dir, c.Name()+".qasm")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		// External tools expect the {1q, CX} basis: decompose SWAPs.
+		if err := qasm.Write(f, c.DecomposeSwaps()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		count++
+	}
+
+	for _, b := range workloads.All() {
+		emit(b.Build())
+	}
+	if *extras {
+		emit(workloads.GHZ(16))
+		emit(workloads.QAOAMaxCut(14, 2, 0.4, 1))
+		emit(workloads.Grover(5, 2))
+	}
+	fmt.Printf("wrote %d QASM files to %s\n", count, *dir)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestQverifyAcceptsValidRouting(t *testing.T) {
+	dir := t.TempDir()
+	orig := writeFile(t, dir, "orig.qasm", `OPENQASM 2.0;
+qreg q[3];
+cx q[0],q[1];
+`)
+	// Routed: q0->0, q1->2; swap wires 2,1 brings q1 next to q0.
+	routed := writeFile(t, dir, "routed.qasm", `OPENQASM 2.0;
+qreg q[3];
+swap q[2],q[1];
+cx q[0],q[1];
+`)
+	if err := run(orig, routed, "0,2,1", "0,1,2", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQverifyRejectsWrongLayout(t *testing.T) {
+	dir := t.TempDir()
+	orig := writeFile(t, dir, "orig.qasm", "OPENQASM 2.0;\nqreg q[3];\ncx q[0],q[1];\n")
+	routed := writeFile(t, dir, "routed.qasm", "OPENQASM 2.0;\nqreg q[3];\nswap q[2],q[1];\ncx q[0],q[1];\n")
+	if err := run(orig, routed, "0,2,1", "0,2,1", 2, 1); err == nil {
+		t.Fatal("wrong final layout accepted")
+	}
+}
+
+func TestQverifyNonlinearUsesSimulation(t *testing.T) {
+	dir := t.TempDir()
+	orig := writeFile(t, dir, "orig.qasm", `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+`)
+	// Identity routing: same circuit.
+	routed := writeFile(t, dir, "routed.qasm", `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+`)
+	if err := run(orig, routed, "", "", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLayout(t *testing.T) {
+	if _, err := parseLayout("0,1,2", 3); err != nil {
+		t.Fatal(err)
+	}
+	id, err := parseLayout("", 3)
+	if err != nil || id[2] != 2 {
+		t.Fatal("identity default broken")
+	}
+	for _, bad := range []string{"0,1", "0,0,1", "0,1,9", "a,b,c"} {
+		if _, err := parseLayout(bad, 3); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestQverifyMissingFiles(t *testing.T) {
+	if err := run("/no/such.qasm", "/no/such2.qasm", "", "", 1, 1); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseDevice(t *testing.T) {
+	cases := []struct {
+		in     string
+		qubits int
+	}{
+		{"q20", 20},
+		{"qx5", 16},
+		{"line:7", 7},
+		{"ring:5", 5},
+		{"grid:3x4", 12},
+		{"full:6", 6},
+	}
+	for _, tc := range cases {
+		d, err := parseDevice(tc.in)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.in, err)
+		}
+		if d.NumQubits() != tc.qubits {
+			t.Fatalf("%s: %d qubits, want %d", tc.in, d.NumQubits(), tc.qubits)
+		}
+	}
+}
+
+func TestParseDeviceErrors(t *testing.T) {
+	for _, in := range []string{"", "bogus", "line:x", "line:0", "grid:3", "grid:axb", "mesh:4"} {
+		if _, err := parseDevice(in); err == nil {
+			t.Errorf("%q accepted", in)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.qasm")
+	out := filepath.Join(dir, "out.qasm")
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+cx q[0],q[3];
+cx q[1],q[2];
+cx q[0],q[2];
+`
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, "line:4", 3, 3, 0.001, "decay", 1, false, true, false, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "OPENQASM 2.0;") {
+		t.Fatal("output missing header")
+	}
+	if strings.Contains(text, "swap") {
+		t.Fatal("-decompose did not expand SWAPs")
+	}
+}
+
+func TestRunRejectsBadHeuristic(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.qasm")
+	os.WriteFile(in, []byte("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\n"), 0o644)
+	if err := run(in, "", "line:2", 1, 1, 0.001, "wrong", 1, false, false, false, false); err == nil {
+		t.Fatal("bad heuristic accepted")
+	}
+}
+
+func TestRunRejectsMissingInput(t *testing.T) {
+	if err := run("/nonexistent/in.qasm", "", "q20", 1, 1, 0.001, "decay", 1, false, false, false, false); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestRunBridgeFlag(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.qasm")
+	src := "OPENQASM 2.0;\nqreg q[3];\ncx q[0],q[1];\ncx q[1],q[2];\ncx q[0],q[2];\n"
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.qasm")
+	if err := run(in, out, "line:3", 2, 1, 0.001, "decay", 1, true, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package sabre_test
+
+import (
+	"fmt"
+
+	sabre "repro"
+)
+
+// Compiling a GHZ ladder onto a line: the CNOT chain embeds perfectly,
+// so SABRE inserts no SWAPs.
+func ExampleCompile() {
+	dev := sabre.LineDevice(6)
+	circ := sabre.GHZ(6)
+	res, err := sabre.Compile(circ, dev, sabre.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("swaps inserted:", res.SwapCount)
+	fmt.Println("compliant:", sabre.VerifyCompliant(res.Circuit, dev) == nil)
+	// Output:
+	// swaps inserted: 0
+	// compliant: true
+}
+
+// Parsing OpenQASM 2.0 and inspecting the circuit.
+func ExampleParseQASM() {
+	circ, err := sabre.ParseQASM(`OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("qubits:", circ.NumQubits())
+	fmt.Println("gates:", circ.NumGates())
+	fmt.Println("depth:", circ.Depth())
+	// Output:
+	// qubits: 3
+	// gates: 3
+	// depth: 3
+}
+
+// Peephole optimization cancels self-inverse pairs.
+func ExampleOptimize() {
+	c := sabre.NewCircuit(2)
+	c.Append(
+		sabre.G1(sabre.KindH, 0),
+		sabre.G1(sabre.KindH, 0), // cancels with the previous H
+		sabre.CX(0, 1),
+	)
+	res := sabre.Optimize(c)
+	fmt.Println("gates:", res.GatesIn, "->", res.GatesOut)
+	// Output:
+	// gates: 3 -> 1
+}
+
+// A custom device is just an edge list.
+func ExampleNewDevice() {
+	dev, err := sabre.NewDevice("T-shape", 4, []sabre.Edge{
+		sabre.CouplingEdge(0, 1),
+		sabre.CouplingEdge(1, 2),
+		sabre.CouplingEdge(1, 3),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(dev)
+	fmt.Println("distance 0-3:", dev.Distance(0, 3))
+	// Output:
+	// T-shape(N=4, |E|=3)
+	// distance 0-3: 2
+}

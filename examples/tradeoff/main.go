@@ -1,0 +1,42 @@
+// Depth/gate-count trade-off via the decay parameter δ (paper §IV-C3,
+// Fig. 7 and Fig. 8).
+//
+// Inserting SWAPs that overlap on a qubit serializes them (fewer gates,
+// more depth); inserting disjoint SWAPs parallelizes them (more gates,
+// less depth). SABRE's decay effect penalizes recently-swapped qubits,
+// and δ tunes how strongly — this example sweeps δ on qft_13 and prints
+// the resulting (gates, depth) frontier, the Figure 8 series.
+//
+// Run: go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sabre "repro"
+)
+
+func main() {
+	dev := sabre.IBMQ20Tokyo()
+	circ := sabre.QFT(13)
+	orig := sabre.MeasureCircuit(circ)
+	fmt.Printf("workload %s: gates=%d depth=%d\n\n", circ.Name(), orig.Gates, orig.Depth)
+	fmt.Printf("%-10s %8s %12s %8s %12s\n", "delta", "gates", "g/g_ori", "depth", "d/d_ori")
+
+	for _, delta := range []float64{0.0001, 0.001, 0.003, 0.01, 0.03, 0.1} {
+		opts := sabre.DefaultOptions()
+		opts.DecayDelta = delta
+		res, err := sabre.Compile(circ, dev, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := sabre.MeasureCircuit(res.Circuit)
+		fmt.Printf("%-10g %8d %12.3f %8d %12.3f\n",
+			delta, m.Gates, float64(m.Gates)/float64(orig.Gates),
+			m.Depth, float64(m.Depth)/float64(orig.Depth))
+	}
+
+	fmt.Println("\nlarger δ favours non-overlapping (parallel) SWAPs: depth falls")
+	fmt.Println("as gate count rises, until δ is so large the search wanders (§V-C).")
+}

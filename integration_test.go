@@ -1,0 +1,109 @@
+package sabre
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestFullSuiteCompiles is the end-to-end acceptance test: every one of
+// the paper's 26 benchmarks compiles onto the Q20 Tokyo model under the
+// paper's configuration, the result is hardware-compliant, and the
+// headline shapes hold (0 added gates on the small and ising classes,
+// g_op ≤ g_la on aggregate). Gated on -short because the biggest rows
+// take ~1s each.
+func TestFullSuiteCompiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dev := IBMQ20Tokyo()
+	opts := DefaultOptions()
+
+	var sumFirst, sumFinal int
+	for _, b := range Benchmarks() {
+		circ := b.Build()
+		res, err := Compile(circ, dev, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := VerifyCompliant(res.Circuit, dev); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		rep := CompareCircuits(circ, res.Circuit)
+		if rep.AddedGates != res.AddedGates {
+			t.Fatalf("%s: metrics/result disagree (%d vs %d)", b.Name, rep.AddedGates, res.AddedGates)
+		}
+		switch b.Class {
+		case workloads.ClassSmall, workloads.ClassSim:
+			if res.AddedGates > 9 {
+				t.Errorf("%s: %d added gates; the paper's shape is ~0 for class %s",
+					b.Name, res.AddedGates, b.Class)
+			}
+		}
+		sumFirst += res.FirstTraversalAdded
+		sumFinal += res.AddedGates
+	}
+	if sumFinal > sumFirst {
+		t.Errorf("reverse traversal hurt on aggregate: g_op sum %d > g_la sum %d", sumFinal, sumFirst)
+	}
+}
+
+// TestSuiteOtherTopologies routes a representative subset onto the
+// catalogue's other devices, checking flexibility (§III-B objective 1:
+// arbitrary symmetric coupling).
+func TestSuiteOtherTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	devices := []*Device{IBMQX5(), IBMFalcon27(), RigettiAspen(2), Sycamore(4, 5), GridDevice(4, 5)}
+	names := []string{"qft_10", "ising_model_13", "rd84_142", "4gt13_92"}
+	opts := DefaultOptions()
+	opts.Trials = 2
+	for _, dev := range devices {
+		for _, name := range names {
+			b, ok := BenchmarkByName(name)
+			if !ok {
+				t.Fatalf("missing benchmark %s", name)
+			}
+			if b.N > dev.NumQubits() {
+				continue
+			}
+			res, err := Compile(b.Build(), dev, opts)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, dev.Name(), err)
+			}
+			if err := VerifyCompliant(res.Circuit, dev); err != nil {
+				t.Fatalf("%s on %s: %v", name, dev.Name(), err)
+			}
+		}
+	}
+}
+
+// TestPipelineOptimizeSchedule exercises the post-processing stages on
+// routed output end to end.
+func TestPipelineOptimizeSchedule(t *testing.T) {
+	dev := IBMQ20Tokyo()
+	res, err := Compile(QFT(10), dev, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := res.Circuit.DecomposeSwaps()
+	o := Optimize(routed)
+	if o.GatesOut > o.GatesIn {
+		t.Fatal("optimizer grew the circuit")
+	}
+	if err := VerifyCompliant(o.Circuit, dev); err != nil {
+		t.Fatal(err)
+	}
+	s := ScheduleASAP(o.Circuit)
+	if err := s.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth() != o.Circuit.Depth() {
+		t.Fatal("schedule depth mismatch")
+	}
+	l := ScheduleALAP(o.Circuit)
+	if err := l.Valid(); err != nil {
+		t.Fatal(err)
+	}
+}

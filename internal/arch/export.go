@@ -1,0 +1,73 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the coupling graph in Graphviz format. When a layout is
+// provided (logical→physical, may be nil) each node is labelled with
+// the logical qubit it hosts; when a noise model is provided, edges are
+// annotated with their error rates.
+func (d *Device) DOT(l2p []int, noise *NoiseModel) string {
+	p2l := map[int]int{}
+	for q, p := range l2p {
+		p2l[p] = q
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n", d.name)
+	sb.WriteString("  node [shape=circle];\n")
+	for p := 0; p < d.n; p++ {
+		label := fmt.Sprintf("Q%d", p)
+		if q, ok := p2l[p]; ok {
+			label = fmt.Sprintf("Q%d\\nq%d", p, q)
+		}
+		fmt.Fprintf(&sb, "  %d [label=%q];\n", p, label)
+	}
+	for _, e := range d.edges {
+		if noise != nil {
+			fmt.Fprintf(&sb, "  %d -- %d [label=%q];\n", e.A, e.B, fmt.Sprintf("%.3f", noise.Error(e)))
+		} else {
+			fmt.Fprintf(&sb, "  %d -- %d;\n", e.A, e.B)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// AdjacencySummary returns a one-line-per-qubit text description of the
+// coupling graph, for CLI display.
+func (d *Device) AdjacencySummary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d qubits, %d couplers, diameter %d\n", d.name, d.n, len(d.edges), d.Diameter())
+	for p := 0; p < d.n; p++ {
+		nbs := make([]string, 0, len(d.adj[p]))
+		for _, nb := range d.adj[p] {
+			nbs = append(nbs, fmt.Sprintf("Q%d", nb))
+		}
+		fmt.Fprintf(&sb, "  Q%-3d ~ %s\n", p, strings.Join(nbs, " "))
+	}
+	return sb.String()
+}
+
+// DegreeHistogram returns counts of qubits by coupler degree, sorted by
+// degree — a quick fingerprint of a topology.
+func (d *Device) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for p := 0; p < d.n; p++ {
+		h[len(d.adj[p])]++
+	}
+	return h
+}
+
+// Degrees returns the sorted distinct degrees present on the device.
+func (d *Device) Degrees() []int {
+	h := d.DegreeHistogram()
+	out := make([]int, 0, len(h))
+	for deg := range h {
+		out = append(out, deg)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,107 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTPlain(t *testing.T) {
+	out := Line(3).DOT(nil, nil)
+	for _, want := range []string{"graph \"line\"", "0 -- 1;", "1 -- 2;", "Q2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTWithLayoutAndNoise(t *testing.T) {
+	d := Line(3)
+	noise := UniformNoise(0.025)
+	out := d.DOT([]int{2, 0, 1}, noise)
+	if !strings.Contains(out, "q0") || !strings.Contains(out, "0.025") {
+		t.Fatalf("DOT missing layout/noise annotations:\n%s", out)
+	}
+	// Logical q0 lives on physical Q2 (label escapes through %q).
+	if !strings.Contains(out, `Q2\\nq0`) {
+		t.Fatalf("layout label wrong:\n%s", out)
+	}
+}
+
+func TestAdjacencySummary(t *testing.T) {
+	out := IBMQ20Tokyo().AdjacencySummary()
+	if !strings.Contains(out, "20 qubits, 43 couplers") {
+		t.Fatalf("summary header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "Q0   ~ Q1 Q5") {
+		t.Fatalf("Q0 adjacency wrong:\n%s", out)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := Star(5).DegreeHistogram()
+	if h[4] != 1 || h[1] != 4 {
+		t.Fatalf("star histogram %v", h)
+	}
+	degs := Star(5).Degrees()
+	if len(degs) != 2 || degs[0] != 1 || degs[1] != 4 {
+		t.Fatalf("degrees %v", degs)
+	}
+}
+
+func TestRigettiAspen(t *testing.T) {
+	one := RigettiAspen(1)
+	if one.NumQubits() != 8 || len(one.Edges()) != 8 {
+		t.Fatalf("single octagon wrong: %v", one)
+	}
+	two := RigettiAspen(2)
+	if two.NumQubits() != 16 || len(two.Edges()) != 18 {
+		t.Fatalf("double octagon wrong: %v", two)
+	}
+	// Fusion edges present.
+	if !two.Connected(1, 14) || !two.Connected(2, 13) {
+		t.Fatal("fusion edges missing")
+	}
+}
+
+func TestSycamore(t *testing.T) {
+	d := Sycamore(6, 9)
+	if d.NumQubits() != 54 {
+		t.Fatalf("sycamore size %d", d.NumQubits())
+	}
+	// Diagonal lattice: max degree 4.
+	for _, deg := range d.Degrees() {
+		if deg > 4 {
+			t.Fatalf("degree %d too high for diagonal lattice", deg)
+		}
+	}
+}
+
+func TestIBMFalcon27(t *testing.T) {
+	d := IBMFalcon27()
+	if d.NumQubits() != 27 {
+		t.Fatalf("falcon size %d", d.NumQubits())
+	}
+	// Heavy-hex property: degree at most 3.
+	for _, deg := range d.Degrees() {
+		if deg > 3 {
+			t.Fatalf("heavy-hex degree %d", deg)
+		}
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { RigettiAspen(0) },
+		func() { Sycamore(1, 5) },
+		func() { HeavyHex(0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,157 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NoiseModel captures per-edge two-qubit gate error rates — the
+// "variability-aware" hardware model the paper's §VI calls for (after
+// Tannu & Qureshi): on real chips the CNOT error differs per qubit
+// pair, so a router that counts SWAPs uniformly can pick reliably-bad
+// paths. Edges absent from EdgeError fall back to Default.
+type NoiseModel struct {
+	// EdgeError maps a coupling edge to its CNOT error rate in (0, 1).
+	EdgeError map[Edge]float64
+	// Default is the error rate assumed for unlisted edges.
+	Default float64
+}
+
+// UniformNoise returns a model where every edge has error rate e.
+func UniformNoise(e float64) *NoiseModel {
+	return &NoiseModel{Default: e}
+}
+
+// RandomNoise returns a model with per-edge error rates drawn
+// log-uniformly from [lo, hi] — the spread reported for real devices
+// (roughly 10× between best and worst pair). Deterministic per rng.
+func RandomNoise(d *Device, lo, hi float64, rng *rand.Rand) *NoiseModel {
+	if lo <= 0 || hi >= 1 || lo > hi {
+		panic(fmt.Sprintf("arch: invalid noise range [%g, %g]", lo, hi))
+	}
+	m := &NoiseModel{EdgeError: make(map[Edge]float64, len(d.Edges())), Default: hi}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	for _, e := range d.Edges() {
+		m.EdgeError[e] = math.Exp(logLo + rng.Float64()*(logHi-logLo))
+	}
+	return m
+}
+
+// Error returns the CNOT error rate of edge e under the model.
+func (m *NoiseModel) Error(e Edge) float64 {
+	if m.EdgeError != nil {
+		if v, ok := m.EdgeError[NewEdge(e.A, e.B)]; ok {
+			return v
+		}
+	}
+	return m.Default
+}
+
+// EdgeWeight returns the routing cost of traversing edge e: the
+// negative log success probability of one CNOT, -ln(1-err). Summing
+// weights along a path gives the -ln success probability of a CNOT
+// chain, so shortest weighted paths are most-reliable paths.
+func (m *NoiseModel) EdgeWeight(e Edge) float64 {
+	err := m.Error(e)
+	if err <= 0 {
+		return 0
+	}
+	if err >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log(1 - err)
+}
+
+// PruneUnreliableEdges returns a copy of the device without the
+// couplers whose error rate exceeds maxErr. If removing them would
+// disconnect the chip, the best (lowest-error) removed edges are added
+// back until connectivity is restored, so routing always remains
+// possible. The result's edge set is a subset of the original's, so
+// circuits compliant with the pruned device are compliant with the
+// real one.
+func PruneUnreliableEdges(d *Device, m *NoiseModel, maxErr float64) *Device {
+	var keep, dropped []Edge
+	for _, e := range d.Edges() {
+		if m.Error(e) <= maxErr {
+			keep = append(keep, e)
+		} else {
+			dropped = append(dropped, e)
+		}
+	}
+	if len(dropped) == 0 {
+		return d
+	}
+	// Best dropped edges first, for the reconnection loop.
+	sort.Slice(dropped, func(i, j int) bool { return m.Error(dropped[i]) < m.Error(dropped[j]) })
+	for !connected(d.NumQubits(), keep) {
+		if len(dropped) == 0 {
+			return d // cannot happen: the original device is connected
+		}
+		keep = append(keep, dropped[0])
+		dropped = dropped[1:]
+	}
+	pruned, err := New(d.Name()+"-pruned", d.NumQubits(), keep)
+	if err != nil {
+		// Unreachable: keep is a connected subset of a valid edge set.
+		panic(err)
+	}
+	return pruned
+}
+
+// connected reports whether the edge set spans all n qubits.
+func connected(n int, edges []Edge) bool {
+	if n <= 1 {
+		return true
+	}
+	dist := BFSDistances(n, edges, 0)
+	for _, v := range dist {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WeightedDistances computes all-pairs most-reliable-path costs on the
+// device under the noise model (Floyd–Warshall over -ln(1-err) edge
+// weights). D[i][j] is 0 on the diagonal and the summed weight of the
+// most reliable path otherwise. A noise-aware router substitutes this
+// matrix for hop counts in its heuristic cost function.
+func WeightedDistances(d *Device, m *NoiseModel) [][]float64 {
+	n := d.NumQubits()
+	dist := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range dist {
+		dist[i] = backing[i*n : (i+1)*n]
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for _, e := range d.Edges() {
+		w := m.EdgeWeight(e)
+		if w < dist[e.A][e.B] {
+			dist[e.A][e.B] = w
+			dist[e.B][e.A] = w
+		}
+	}
+	for k := 0; k < n; k++ {
+		dk := dist[k]
+		for i := 0; i < n; i++ {
+			dik := dist[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			di := dist[i]
+			for j := 0; j < n; j++ {
+				if v := dik + dk[j]; v < di[j] {
+					di[j] = v
+				}
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,174 @@
+package arch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUniformNoise(t *testing.T) {
+	m := UniformNoise(0.01)
+	e := NewEdge(0, 1)
+	if m.Error(e) != 0.01 {
+		t.Fatal("uniform error wrong")
+	}
+	w := m.EdgeWeight(e)
+	if math.Abs(w+math.Log(0.99)) > 1e-15 {
+		t.Fatalf("weight = %g", w)
+	}
+}
+
+func TestEdgeWeightExtremes(t *testing.T) {
+	if w := UniformNoise(0).EdgeWeight(NewEdge(0, 1)); w != 0 {
+		t.Fatalf("zero error weight = %g", w)
+	}
+	if w := UniformNoise(1).EdgeWeight(NewEdge(0, 1)); !math.IsInf(w, 1) {
+		t.Fatalf("unit error weight = %g", w)
+	}
+}
+
+func TestNoiseErrorCanonicalizesEdges(t *testing.T) {
+	m := &NoiseModel{EdgeError: map[Edge]float64{NewEdge(2, 5): 0.2}, Default: 0.01}
+	if m.Error(Edge{A: 5, B: 2}) != 0.2 {
+		t.Fatal("reversed edge lookup failed")
+	}
+	if m.Error(NewEdge(0, 1)) != 0.01 {
+		t.Fatal("default fallback failed")
+	}
+}
+
+func TestRandomNoiseRangeAndDeterminism(t *testing.T) {
+	d := IBMQ20Tokyo()
+	m1 := RandomNoise(d, 0.005, 0.05, rand.New(rand.NewSource(7)))
+	m2 := RandomNoise(d, 0.005, 0.05, rand.New(rand.NewSource(7)))
+	for _, e := range d.Edges() {
+		v := m1.Error(e)
+		if v < 0.005 || v > 0.05 {
+			t.Fatalf("edge %v error %g out of range", e, v)
+		}
+		if v != m2.Error(e) {
+			t.Fatal("RandomNoise not deterministic per seed")
+		}
+	}
+}
+
+func TestRandomNoisePanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandomNoise(Line(3), 0.5, 0.1, rand.New(rand.NewSource(1)))
+}
+
+func TestWeightedDistancesUniformMatchesHops(t *testing.T) {
+	// Under uniform noise, weighted distance = hops × per-edge weight.
+	d := Grid(3, 3)
+	m := UniformNoise(0.02)
+	wd := WeightedDistances(d, m)
+	unit := m.EdgeWeight(NewEdge(0, 1))
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			want := float64(d.Distance(i, j)) * unit
+			if math.Abs(wd[i][j]-want) > 1e-12 {
+				t.Fatalf("wd[%d][%d] = %g, want %g", i, j, wd[i][j], want)
+			}
+		}
+	}
+}
+
+func TestWeightedDistancesPrefersReliableDetour(t *testing.T) {
+	// Ring of 4: direct edge 0-1 is terrible; the 3-hop detour 0-3-2-1
+	// with good edges must win.
+	d := Ring(4)
+	m := &NoiseModel{
+		EdgeError: map[Edge]float64{
+			NewEdge(0, 1): 0.5,
+			NewEdge(1, 2): 0.001,
+			NewEdge(2, 3): 0.001,
+			NewEdge(0, 3): 0.001,
+		},
+	}
+	wd := WeightedDistances(d, m)
+	detour := 3 * m.EdgeWeight(NewEdge(1, 2))
+	if math.Abs(wd[0][1]-detour) > 1e-12 {
+		t.Fatalf("wd[0][1] = %g, want detour cost %g", wd[0][1], detour)
+	}
+}
+
+func TestPruneUnreliableEdges(t *testing.T) {
+	d := Grid(3, 3)
+	m := UniformNoise(0.01)
+	m.EdgeError = map[Edge]float64{NewEdge(0, 1): 0.3, NewEdge(4, 5): 0.3}
+	p := PruneUnreliableEdges(d, m, 0.1)
+	if p.Connected(0, 1) || p.Connected(4, 5) {
+		t.Fatal("bad edges survived pruning")
+	}
+	if len(p.Edges()) != len(d.Edges())-2 {
+		t.Fatalf("pruned device has %d edges", len(p.Edges()))
+	}
+	// Still connected by construction.
+	if p.Diameter() <= 0 {
+		t.Fatal("pruned device broken")
+	}
+}
+
+func TestPruneNoOpWhenAllGood(t *testing.T) {
+	d := Grid(2, 2)
+	if p := PruneUnreliableEdges(d, UniformNoise(0.01), 0.1); p != d {
+		t.Fatal("pruning should return the original device untouched")
+	}
+}
+
+func TestPruneRestoresConnectivity(t *testing.T) {
+	// A line where every edge is bad: pruning must re-add the best
+	// edges rather than disconnect the chip.
+	d := Line(4)
+	m := &NoiseModel{EdgeError: map[Edge]float64{
+		NewEdge(0, 1): 0.5,
+		NewEdge(1, 2): 0.4,
+		NewEdge(2, 3): 0.3,
+	}, Default: 0.5}
+	p := PruneUnreliableEdges(d, m, 0.1)
+	if len(p.Edges()) != 3 {
+		t.Fatalf("connectivity not restored: %v", p.Edges())
+	}
+}
+
+func TestPrunePartialRestoreKeepsBest(t *testing.T) {
+	// Star with all edges bad except that removing only some would
+	// disconnect: the best bad edges must return first.
+	d := Star(4)
+	m := &NoiseModel{EdgeError: map[Edge]float64{
+		NewEdge(0, 1): 0.2,
+		NewEdge(0, 2): 0.3,
+		NewEdge(0, 3): 0.4,
+	}, Default: 0.2}
+	p := PruneUnreliableEdges(d, m, 0.1)
+	// All three must come back (each leaf has exactly one edge).
+	if len(p.Edges()) != 3 {
+		t.Fatalf("star pruning wrong: %v", p.Edges())
+	}
+}
+
+func TestWeightedDistancesMetricProperties(t *testing.T) {
+	d := IBMQ20Tokyo()
+	m := RandomNoise(d, 0.005, 0.05, rand.New(rand.NewSource(3)))
+	wd := WeightedDistances(d, m)
+	n := d.NumQubits()
+	for i := 0; i < n; i++ {
+		if wd[i][i] != 0 {
+			t.Fatal("nonzero diagonal")
+		}
+		for j := 0; j < n; j++ {
+			if wd[i][j] != wd[j][i] {
+				t.Fatal("asymmetric")
+			}
+			for k := 0; k < n; k++ {
+				if wd[i][j] > wd[i][k]+wd[k][j]+1e-12 {
+					t.Fatal("triangle inequality violated")
+				}
+			}
+		}
+	}
+}

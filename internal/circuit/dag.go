@@ -1,0 +1,131 @@
+package circuit
+
+// DAG is the gate-dependency graph of paper Fig. 4, built over every
+// gate in the circuit (single-qubit gates are kept as nodes so routers
+// can stream them to the output in order; only two-qubit nodes
+// constrain the mapping). Gate i depends on gate j when j is the most
+// recent earlier gate sharing a qubit with i.
+type DAG struct {
+	circ  *Circuit
+	succs [][]int // successor gate indices
+	preds [][]int // predecessor gate indices
+	inDeg []int   // initial indegrees
+}
+
+// BuildDAG constructs the dependency DAG in O(g) (paper §IV-A).
+func BuildDAG(c *Circuit) *DAG {
+	g := c.NumGates()
+	d := &DAG{
+		circ:  c,
+		succs: make([][]int, g),
+		preds: make([][]int, g),
+		inDeg: make([]int, g),
+	}
+	last := make([]int, c.NumQubits()) // last gate index seen per qubit
+	for i := range last {
+		last[i] = -1
+	}
+	for i, gate := range c.Gates() {
+		for _, q := range gate.Qubits() {
+			if p := last[q]; p >= 0 {
+				d.succs[p] = append(d.succs[p], i)
+				d.preds[i] = append(d.preds[i], p)
+				d.inDeg[i]++
+			}
+			last[q] = i
+		}
+	}
+	return d
+}
+
+// Circuit returns the circuit the DAG was built from.
+func (d *DAG) Circuit() *Circuit { return d.circ }
+
+// NumNodes returns the number of gate nodes.
+func (d *DAG) NumNodes() int { return len(d.succs) }
+
+// Successors returns the gates that directly depend on gate i.
+// The returned slice must not be modified.
+func (d *DAG) Successors(i int) []int { return d.succs[i] }
+
+// Predecessors returns the gates that gate i directly depends on.
+// The returned slice must not be modified.
+func (d *DAG) Predecessors(i int) []int { return d.preds[i] }
+
+// InDegrees returns a fresh copy of the initial indegree array, ready
+// to be consumed by a scheduling traversal.
+func (d *DAG) InDegrees() []int {
+	out := make([]int, len(d.inDeg))
+	copy(out, d.inDeg)
+	return out
+}
+
+// FrontLayer returns the initial front layer F: indices of the
+// two-qubit gates with no unexecuted predecessors (paper §IV-A), plus
+// the single-qubit gates that precede nothing (they are immediately
+// executable and are returned separately).
+func (d *DAG) FrontLayer() (twoQubit, singleQubit []int) {
+	for i, deg := range d.inDeg {
+		if deg != 0 {
+			continue
+		}
+		if d.circ.Gate(i).TwoQubit() {
+			twoQubit = append(twoQubit, i)
+		} else {
+			singleQubit = append(singleQubit, i)
+		}
+	}
+	return twoQubit, singleQubit
+}
+
+// TopologicalOrder returns one topological ordering of the gates.
+// Because BuildDAG scans gates in program order, 0..g-1 is already
+// topological; this method exists for validation and testing.
+func (d *DAG) TopologicalOrder() []int {
+	deg := d.InDegrees()
+	var order []int
+	var ready []int
+	for i, dg := range deg {
+		if dg == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, i)
+		for _, s := range d.succs[i] {
+			deg[s]--
+			if deg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return order
+}
+
+// Layers partitions the two-qubit gates into dependency layers: layer k
+// contains two-qubit gates whose two-qubit depth is k. Gates within a
+// layer act on disjoint qubits. This is the layer decomposition used
+// by the IBM/Zulehner baselines (paper §VII).
+func (d *DAG) Layers() [][]int {
+	c := d.circ
+	level := make([]int, c.NumQubits())
+	var layers [][]int
+	for i, g := range c.Gates() {
+		if !g.TwoQubit() {
+			continue
+		}
+		t := level[g.Q0]
+		if level[g.Q1] > t {
+			t = level[g.Q1]
+		}
+		if t == len(layers) {
+			layers = append(layers, nil)
+		}
+		layers[t] = append(layers[t], i)
+		level[g.Q0] = t + 1
+		level[g.Q1] = t + 1
+	}
+	return layers
+}

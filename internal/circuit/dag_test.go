@@ -1,0 +1,185 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fig4Circuit reproduces the dependency structure of paper Fig. 4:
+// g1..g8 over q1..q6 (0-indexed here), single-qubit gates interleaved.
+func fig4Circuit() *Circuit {
+	c := New(6)
+	c.Append(
+		G1(KindH, 0), // 0
+		CX(1, 2),     // 1: g1 on q2,q3
+		CX(3, 5),     // 2: g2 on q4,q6
+		G1(KindH, 4), // 3
+		CX(1, 3),     // 4: g3 on q2,q4
+		CX(2, 3),     // 5: g4 on q3,q4
+		CX(0, 1),     // 6: g5 on q1,q2
+		CX(3, 4),     // 7: g6 on q4,q5
+	)
+	return c
+}
+
+func TestBuildDAGDependencies(t *testing.T) {
+	c := fig4Circuit()
+	d := BuildDAG(c)
+	// g3 (index 4, on q1&q3) depends on g1 (index 1) via q1 and on g2
+	// (index 2) via q3.
+	preds := d.Predecessors(4)
+	if len(preds) != 2 || !containsInt(preds, 1) || !containsInt(preds, 2) {
+		t.Fatalf("g3 preds = %v", preds)
+	}
+	// g1 has no predecessors among gates... gate 1 acts on q1,q2 (fresh).
+	if len(d.Predecessors(1)) != 0 {
+		t.Fatalf("g1 preds = %v", d.Predecessors(1))
+	}
+	// Successor symmetry.
+	for i := 0; i < d.NumNodes(); i++ {
+		for _, s := range d.Successors(i) {
+			if !containsInt(d.Predecessors(s), i) {
+				t.Fatalf("succ/pred asymmetry %d->%d", i, s)
+			}
+		}
+	}
+}
+
+func TestFrontLayer(t *testing.T) {
+	c := fig4Circuit()
+	two, single := BuildDAG(c).FrontLayer()
+	// Initial F = {g1, g2} (paper Fig. 4); indices 1 and 2.
+	if len(two) != 2 || !containsInt(two, 1) || !containsInt(two, 2) {
+		t.Fatalf("front layer = %v", two)
+	}
+	// The two H gates (0 and 3) are immediately executable.
+	if len(single) != 2 || !containsInt(single, 0) || !containsInt(single, 3) {
+		t.Fatalf("single front = %v", single)
+	}
+}
+
+func TestTopologicalOrderIsValid(t *testing.T) {
+	c := fig4Circuit()
+	d := BuildDAG(c)
+	order := d.TopologicalOrder()
+	if len(order) != c.NumGates() {
+		t.Fatalf("topological order covers %d of %d gates", len(order), c.NumGates())
+	}
+	pos := make([]int, len(order))
+	for idx, g := range order {
+		pos[g] = idx
+	}
+	for i := 0; i < d.NumNodes(); i++ {
+		for _, s := range d.Successors(i) {
+			if pos[i] >= pos[s] {
+				t.Fatalf("order violates edge %d->%d", i, s)
+			}
+		}
+	}
+}
+
+func TestInDegreesCopy(t *testing.T) {
+	d := BuildDAG(fig4Circuit())
+	a := d.InDegrees()
+	a[0] = 99
+	if d.InDegrees()[0] == 99 {
+		t.Fatal("InDegrees exposes internal state")
+	}
+}
+
+func TestLayersDisjointAndOrdered(t *testing.T) {
+	c := fig4Circuit()
+	layers := BuildDAG(c).Layers()
+	// Layer 0 must be {g1, g2}; they act on disjoint qubits.
+	if len(layers[0]) != 2 {
+		t.Fatalf("layer0 = %v", layers[0])
+	}
+	seenAt := make(map[int]int)
+	for li, layer := range layers {
+		occupied := map[int]bool{}
+		for _, gi := range layer {
+			g := c.Gate(gi)
+			if occupied[g.Q0] || occupied[g.Q1] {
+				t.Fatalf("layer %d has overlapping gates", li)
+			}
+			occupied[g.Q0], occupied[g.Q1] = true, true
+			seenAt[gi] = li
+		}
+	}
+	// Dependencies must not be within or behind their predecessors' layer.
+	d := BuildDAG(c)
+	for gi, li := range seenAt {
+		for _, p := range d.Predecessors(gi) {
+			if c.Gate(p).TwoQubit() && seenAt[p] >= li {
+				t.Fatalf("gate %d in layer %d not after predecessor %d in layer %d", gi, li, p, seenAt[p])
+			}
+		}
+	}
+}
+
+// Property: on random circuits the DAG is acyclic with a complete
+// topological order, and the front layer is exactly the 0-indegree set.
+func TestDAGProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCircuit(seed, 7, 50)
+		d := BuildDAG(c)
+		if len(d.TopologicalOrder()) != c.NumGates() {
+			return false
+		}
+		two, single := d.FrontLayer()
+		count := 0
+		for i, deg := range d.InDegrees() {
+			if deg == 0 {
+				count++
+				if c.Gate(i).TwoQubit() != containsInt(two, i) {
+					return false
+				}
+				if !c.Gate(i).TwoQubit() && !containsInt(single, i) {
+					return false
+				}
+			}
+		}
+		return count == len(two)+len(single)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every two-qubit gate appears in exactly one layer.
+func TestLayersPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCircuit(seed, 6, 40)
+		total := 0
+		for _, l := range BuildDAG(c).Layers() {
+			total += len(l)
+		}
+		return total == c.CountTwoQubit()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyCircuitDAG(t *testing.T) {
+	d := BuildDAG(New(3))
+	if d.NumNodes() != 0 {
+		t.Fatal("empty DAG has nodes")
+	}
+	two, single := d.FrontLayer()
+	if len(two) != 0 || len(single) != 0 {
+		t.Fatal("empty DAG has front layer")
+	}
+	if len(d.Layers()) != 0 {
+		t.Fatal("empty DAG has layers")
+	}
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

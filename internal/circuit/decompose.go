@@ -1,0 +1,104 @@
+package circuit
+
+// ToffoliDecomposition returns the standard 15-gate decomposition of a
+// Toffoli (CCX) gate into {H, T, T†, CX} — paper Fig. 1. RevLib
+// arithmetic benchmarks are Toffoli networks, so this decomposition
+// fixes their elementary-gate shape.
+func ToffoliDecomposition(c1, c2, target int) []Gate {
+	return []Gate{
+		G1(KindH, target),
+		CX(c2, target),
+		G1(KindTdg, target),
+		CX(c1, target),
+		G1(KindT, target),
+		CX(c2, target),
+		G1(KindTdg, target),
+		CX(c1, target),
+		G1(KindT, c2),
+		G1(KindT, target),
+		G1(KindH, target),
+		CX(c1, c2),
+		G1(KindT, c1),
+		G1(KindTdg, c2),
+		CX(c1, c2),
+	}
+}
+
+// CU1Decomposition returns the textbook decomposition of a controlled
+// phase gate cu1(λ) into {u1, CX}: the form QFT benchmarks take on
+// IBM's elementary gate set.
+func CU1Decomposition(lambda float64, control, target int) []Gate {
+	return []Gate{
+		G1(KindU1, control, lambda/2),
+		CX(control, target),
+		G1(KindU1, target, -lambda/2),
+		CX(control, target),
+		G1(KindU1, target, lambda/2),
+	}
+}
+
+// CYDecomposition returns controlled-Y as {S†, CX, S} (qelib1's cy).
+func CYDecomposition(control, target int) []Gate {
+	return []Gate{
+		G1(KindSdg, target),
+		CX(control, target),
+		G1(KindS, target),
+	}
+}
+
+// CHDecomposition returns controlled-H per the qelib1 definition.
+func CHDecomposition(control, target int) []Gate {
+	return []Gate{
+		G1(KindH, target),
+		G1(KindSdg, target),
+		CX(control, target),
+		G1(KindH, target),
+		G1(KindT, target),
+		CX(control, target),
+		G1(KindT, target),
+		G1(KindH, target),
+		G1(KindS, target),
+		G1(KindX, target),
+		G1(KindS, control),
+	}
+}
+
+// CRZDecomposition returns controlled-RZ(λ) as {RZ, CX} (qelib1's crz).
+func CRZDecomposition(lambda float64, control, target int) []Gate {
+	return []Gate{
+		G1(KindRZ, target, lambda/2),
+		CX(control, target),
+		G1(KindRZ, target, -lambda/2),
+		CX(control, target),
+	}
+}
+
+// CU3Decomposition returns controlled-U3(θ,φ,λ) per qelib1.
+func CU3Decomposition(theta, phi, lambda float64, control, target int) []Gate {
+	return []Gate{
+		G1(KindU1, control, (lambda+phi)/2),
+		G1(KindU1, target, (lambda-phi)/2),
+		CX(control, target),
+		G1(KindU3, target, -theta/2, 0, -(phi+lambda)/2),
+		CX(control, target),
+		G1(KindU3, target, theta/2, phi, 0),
+	}
+}
+
+// CSwapDecomposition returns a Fredkin gate as {CX, Toffoli, CX}.
+func CSwapDecomposition(control, a, b int) []Gate {
+	out := []Gate{CX(b, a)}
+	out = append(out, ToffoliDecomposition(control, a, b)...)
+	return append(out, CX(b, a))
+}
+
+// RZZDecomposition returns the two-qubit ZZ interaction exp(-iθZZ/2)
+// as {CX, U1, CX} (qelib1's rzz) — the building block of the Ising
+// benchmarks.
+func RZZDecomposition(theta float64, a, b int) []Gate {
+	return []Gate{
+		CX(a, b),
+		G1(KindU1, b, theta),
+		CX(a, b),
+	}
+}

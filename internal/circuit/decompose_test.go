@@ -1,0 +1,77 @@
+package circuit
+
+import "testing"
+
+// Structural tests for the decomposition library; unitary correctness
+// is covered by internal/sim's tests (Toffoli) and internal/qasm's
+// qelib1 tests, which simulate against reference truth tables.
+
+func TestToffoliDecompositionShape(t *testing.T) {
+	gs := ToffoliDecomposition(0, 1, 2)
+	if len(gs) != 15 {
+		t.Fatalf("toffoli has %d gates", len(gs))
+	}
+	cx := 0
+	for _, g := range gs {
+		if g.Kind == KindCX {
+			cx++
+		}
+	}
+	if cx != 6 {
+		t.Fatalf("toffoli has %d CNOTs, want 6", cx)
+	}
+}
+
+func TestDecompositionArities(t *testing.T) {
+	cases := []struct {
+		name  string
+		gates []Gate
+		cx    int
+	}{
+		{"cu1", CU1Decomposition(0.5, 0, 1), 2},
+		{"cy", CYDecomposition(0, 1), 1},
+		{"ch", CHDecomposition(0, 1), 2},
+		{"crz", CRZDecomposition(0.7, 0, 1), 2},
+		{"cu3", CU3Decomposition(0.1, 0.2, 0.3, 0, 1), 2},
+		{"rzz", RZZDecomposition(0.4, 0, 1), 2},
+	}
+	for _, tc := range cases {
+		cx := 0
+		for _, g := range tc.gates {
+			if g.Kind == KindCX {
+				cx++
+			}
+			if g.TwoQubit() && g.Q0 == g.Q1 {
+				t.Fatalf("%s: degenerate two-qubit gate", tc.name)
+			}
+		}
+		if cx != tc.cx {
+			t.Fatalf("%s: %d CNOTs, want %d", tc.name, cx, tc.cx)
+		}
+	}
+	if got := len(CSwapDecomposition(0, 1, 2)); got != 17 {
+		t.Fatalf("cswap has %d gates", got)
+	}
+}
+
+func TestDecompositionsOnlyTouchOperands(t *testing.T) {
+	all := [][]Gate{
+		ToffoliDecomposition(3, 5, 7),
+		CU1Decomposition(1, 3, 5),
+		CYDecomposition(3, 5),
+		CHDecomposition(3, 5),
+		CRZDecomposition(1, 3, 5),
+		CU3Decomposition(1, 2, 3, 3, 5),
+		RZZDecomposition(1, 3, 5),
+	}
+	allowed := map[int]bool{3: true, 5: true, 7: true}
+	for _, gs := range all {
+		for _, g := range gs {
+			for _, q := range g.Qubits() {
+				if !allowed[q] {
+					t.Fatalf("decomposition leaked to qubit %d: %v", q, g)
+				}
+			}
+		}
+	}
+}

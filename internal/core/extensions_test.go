@@ -1,0 +1,398 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/mapping"
+	"repro/internal/verify"
+	"repro/internal/workloads"
+)
+
+// --- Bridge transformation (§VI extension) ---
+
+func TestBridgeIdentityOverGF2(t *testing.T) {
+	// CX(c,m) CX(m,t) CX(c,m) CX(m,t) == CX(c,t) with m restored.
+	bridge := circuit.New(3)
+	bridge.Append(circuit.CX(0, 1), circuit.CX(1, 2), circuit.CX(0, 1), circuit.CX(1, 2))
+	direct := circuit.New(3)
+	direct.Append(circuit.CX(0, 2))
+	a, err := verify.FromCircuit(bridge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := verify.FromCircuit(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("bridge != CNOT:\n%v\nvs\n%v", a, b)
+	}
+}
+
+func TestBridgeUsedForNonRecurringDistance2CNOT(t *testing.T) {
+	// Line of 3: CX(0,2) at distance 2, never repeated → bridge, not SWAP.
+	dev := arch.Line(3)
+	c := circuit.New(3)
+	c.Append(circuit.CX(0, 1), circuit.CX(1, 2), circuit.CX(0, 2))
+	opts := DefaultOptions()
+	opts.UseBridge = true
+	res, err := CompileWithLayout(c, dev, mapping.Identity(3), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BridgeCount != 1 || res.SwapCount != 0 {
+		t.Fatalf("bridges=%d swaps=%d, want 1 bridge 0 swaps", res.BridgeCount, res.SwapCount)
+	}
+	if res.AddedGates != 3 {
+		t.Fatalf("added = %d, want 3", res.AddedGates)
+	}
+	// Mapping unchanged: a bridge does not move qubits.
+	for q := 0; q < 3; q++ {
+		if res.FinalLayout[q] != q {
+			t.Fatalf("bridge moved qubits: %v", res.FinalLayout)
+		}
+	}
+	if err := verify.CheckRouted(c, res.Circuit, res.InitialLayout, res.FinalLayout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBridgeAvoidedForRecurringPair(t *testing.T) {
+	// The same distant pair repeated many times: bridging every CNOT
+	// would cost 3 gates each, so the router should move the qubits
+	// together (SWAP) instead.
+	dev := arch.Line(3)
+	c := circuit.New(3)
+	for i := 0; i < 8; i++ {
+		c.Append(circuit.CX(0, 2))
+	}
+	opts := DefaultOptions()
+	opts.UseBridge = true
+	res, err := CompileWithLayout(c, dev, mapping.Identity(3), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BridgeCount != 0 {
+		t.Fatalf("bridged a recurring pair %d times", res.BridgeCount)
+	}
+	if err := verify.CheckRouted(c, res.Circuit, res.InitialLayout, res.FinalLayout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bridge-enabled routing stays correct on random circuits.
+func TestBridgeEquivalenceProperty(t *testing.T) {
+	dev := arch.Grid(3, 3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.New(9)
+		for i := 0; i < 40; i++ {
+			a := rng.Intn(9)
+			b := rng.Intn(8)
+			if b >= a {
+				b++
+			}
+			c.Append(circuit.CX(a, b))
+		}
+		opts := DefaultOptions()
+		opts.Trials = 1
+		opts.Seed = seed
+		opts.UseBridge = true
+		res, err := Compile(c, dev, opts)
+		if err != nil {
+			return false
+		}
+		if verify.HardwareCompliant(res.Circuit.DecomposeSwaps(), dev.Connected) != nil {
+			return false
+		}
+		return verify.CheckRouted(c, res.Circuit, res.InitialLayout, res.FinalLayout) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBridgeAccounting(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	c := workloads.QFT(10)
+	opts := DefaultOptions()
+	opts.UseBridge = true
+	res, err := Compile(c, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AddedGates != 3*(res.SwapCount+res.BridgeCount) {
+		t.Fatalf("accounting: %d != 3*(%d+%d)", res.AddedGates, res.SwapCount, res.BridgeCount)
+	}
+	// The output circuit's gate count must agree with the accounting:
+	// g_out = g_ori + 3·swaps + 3·bridges after SWAP decomposition.
+	out := res.Circuit.DecomposeSwaps().NumGates()
+	if out != c.NumGates()+res.AddedGates {
+		t.Fatalf("gate total %d != %d + %d", out, c.NumGates(), res.AddedGates)
+	}
+}
+
+// --- Noise-aware routing (§VI extension) ---
+
+func TestNoiseAwareAvoidsBadEdge(t *testing.T) {
+	// Ring of 4 with one catastrophic edge. A repeated CNOT between
+	// qubits placed across the ring must be routed around the bad edge.
+	dev := arch.Ring(4)
+	noise := &arch.NoiseModel{
+		EdgeError: map[arch.Edge]float64{
+			arch.NewEdge(0, 1): 0.4,
+			arch.NewEdge(1, 2): 0.001,
+			arch.NewEdge(2, 3): 0.001,
+			arch.NewEdge(0, 3): 0.001,
+		},
+	}
+	c := circuit.New(4)
+	for i := 0; i < 6; i++ {
+		c.Append(circuit.CX(0, 2))
+	}
+	opts := DefaultOptions()
+	opts.Noise = noise
+	res, err := Compile(c, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Circuit.DecomposeSwaps().Gates() {
+		if g.TwoQubit() && arch.NewEdge(g.Q0, g.Q1) == arch.NewEdge(0, 1) {
+			t.Fatalf("noise-aware routing used the bad edge: %v", g)
+		}
+	}
+	if err := verify.CheckRouted(c, res.Circuit, res.InitialLayout, res.FinalLayout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseAwareImprovesExpectedFidelity(t *testing.T) {
+	// On a Q20 with a 10× spread of edge errors, noise-aware routing
+	// should not lose expected fidelity vs hop-count routing, summed
+	// over several workloads.
+	dev := arch.IBMQ20Tokyo()
+	rng := rand.New(rand.NewSource(11))
+	noise := arch.RandomNoise(dev, 0.005, 0.05, rng)
+	var plain, aware float64
+	for seed := int64(0); seed < 3; seed++ {
+		c := workloads.RandomCircuit("noise", 12, 150, 0.7, seed)
+		op := DefaultOptions()
+		op.Trials = 3
+		op.Seed = seed
+		rp, err := Compile(c, dev, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oa := op
+		oa.Noise = noise
+		ra, err := Compile(c, dev, oa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain += edgeAwareFidelity(rp.Circuit, noise)
+		aware += edgeAwareFidelity(ra.Circuit, noise)
+	}
+	if aware < plain*0.98 {
+		t.Fatalf("noise-aware fidelity %.4f clearly worse than plain %.4f", aware, plain)
+	}
+}
+
+// edgeAwareFidelity multiplies per-edge success probabilities of every
+// two-qubit gate (single-qubit gates ignored: identical on both sides).
+func edgeAwareFidelity(c *circuit.Circuit, m *arch.NoiseModel) float64 {
+	f := 1.0
+	for _, g := range c.DecomposeSwaps().Gates() {
+		if g.TwoQubit() {
+			f *= 1 - m.Error(arch.NewEdge(g.Q0, g.Q1))
+		}
+	}
+	return f
+}
+
+func TestEdgePruningAvoidsDeadCouplers(t *testing.T) {
+	// Four near-dead central couplers on the Q20: with MaxEdgeError set
+	// the router must never touch them, and must still verify.
+	dev := arch.IBMQ20Tokyo()
+	bad := []arch.Edge{
+		arch.NewEdge(6, 7), arch.NewEdge(7, 12),
+		arch.NewEdge(11, 12), arch.NewEdge(12, 13),
+	}
+	noise := arch.UniformNoise(0.005)
+	noise.EdgeError = map[arch.Edge]float64{}
+	for _, e := range bad {
+		noise.EdgeError[e] = 0.25
+	}
+	c := circuit.New(12)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 120; i++ {
+		a := rng.Intn(12)
+		b := rng.Intn(11)
+		if b >= a {
+			b++
+		}
+		c.Append(circuit.CX(a, b))
+	}
+	opts := DefaultOptions()
+	opts.Noise = noise
+	opts.MaxEdgeError = 0.1
+	res, err := Compile(c, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Circuit.DecomposeSwaps().Gates() {
+		if !g.TwoQubit() {
+			continue
+		}
+		e := arch.NewEdge(g.Q0, g.Q1)
+		for _, be := range bad {
+			if e == be {
+				t.Fatalf("gate on pruned coupler %v", e)
+			}
+		}
+	}
+	// Output is still compliant with the FULL device.
+	if err := verify.HardwareCompliant(res.Circuit.DecomposeSwaps(), dev.Connected); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckRouted(c, res.Circuit, res.InitialLayout, res.FinalLayout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseAwareStillCompliant(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	noise := arch.RandomNoise(dev, 0.005, 0.05, rand.New(rand.NewSource(5)))
+	c := workloads.QFT(10)
+	opts := DefaultOptions()
+	opts.Trials = 2
+	opts.Noise = noise
+	res, err := Compile(c, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.HardwareCompliant(res.Circuit.DecomposeSwaps(), dev.Connected); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Instrumentation (§IV-C1 complexity claim) ---
+
+func TestStatsCollected(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	c := workloads.QFT(12)
+	res, err := Compile(c, dev, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.SwapRounds == 0 || s.TotalCandidates == 0 {
+		t.Fatalf("no stats collected: %+v", s)
+	}
+	if s.MaxCandidates > 2*len(dev.Edges()) {
+		t.Fatalf("candidate list %d larger than edge set %d", s.MaxCandidates, len(dev.Edges()))
+	}
+	if s.AvgCandidates() <= 0 {
+		t.Fatal("avg candidates wrong")
+	}
+}
+
+// The §IV-C1 claim: the candidate list is O(N) — bounded by the edge
+// count, which is O(N) on degree-bounded NISQ topologies — versus the
+// mapping space O(exp N). Check the bound holds across grid sizes.
+func TestCandidateListLinearInDeviceSize(t *testing.T) {
+	for _, side := range []int{3, 4, 5, 6} {
+		dev := arch.Grid(side, side)
+		n := side * side
+		c := workloads.RandomCircuit("cand", n, 40*n, 0.8, int64(side))
+		opts := DefaultOptions()
+		opts.Trials = 1
+		res, err := Compile(c, dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.MaxCandidates > len(dev.Edges()) {
+			t.Fatalf("side %d: candidates %d exceed |E|=%d", side, res.Stats.MaxCandidates, len(dev.Edges()))
+		}
+	}
+}
+
+// --- Known-optimal (QUEKO-style) instances ---
+
+func TestKnownOptimalZeroGap(t *testing.T) {
+	// A zero-SWAP mapping exists by construction; SABRE's random-restart
+	// + reverse-traversal pipeline should find it on the Q20 (cf. the
+	// paper's small-benchmark claim, extended to 20 qubits).
+	dev := arch.IBMQ20Tokyo()
+	totalGap := 0
+	for seed := int64(1); seed <= 3; seed++ {
+		c, hidden := workloads.KnownOptimal(dev, 300, seed)
+		opts := DefaultOptions()
+		opts.Seed = seed
+		res, err := Compile(c, dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalGap += res.AddedGates
+		if err := verify.CheckRouted(c, res.Circuit, res.InitialLayout, res.FinalLayout); err != nil {
+			t.Fatal(err)
+		}
+		// Sanity: the hidden witness really is a 0-swap layout.
+		wl, err := mapping.FromLogicalToPhysical(hidden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wres, err := CompileWithLayout(c, dev, wl, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wres.SwapCount != 0 {
+			t.Fatalf("hidden witness not zero-swap (seed %d)", seed)
+		}
+	}
+	if totalGap > 18 {
+		t.Fatalf("optimality gap %d over 3 instances; expected near zero", totalGap)
+	}
+}
+
+// --- Parallel trials ---
+
+func TestParallelTrialsBitIdentical(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	for _, name := range []string{"qft_10", "rd84_142"} {
+		b, _ := workloads.ByName(name)
+		c := b.Build()
+		serial := DefaultOptions()
+		parallel := DefaultOptions()
+		parallel.ParallelTrials = true
+		rs, err := Compile(c, dev, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := Compile(c, dev, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rs.Circuit.Equal(rp.Circuit) {
+			t.Fatalf("%s: parallel result differs from sequential", name)
+		}
+		if rs.AddedGates != rp.AddedGates || rs.FirstTraversalAdded != rp.FirstTraversalAdded {
+			t.Fatalf("%s: accounting differs", name)
+		}
+		for i := range rs.InitialLayout {
+			if rs.InitialLayout[i] != rp.InitialLayout[i] {
+				t.Fatalf("%s: layouts differ", name)
+			}
+		}
+	}
+}
+
+func TestPassStatsZeroRounds(t *testing.T) {
+	var s PassStats
+	if s.AvgCandidates() != 0 {
+		t.Fatal("zero-round average should be 0")
+	}
+}

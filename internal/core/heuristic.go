@@ -1,0 +1,59 @@
+package core
+
+import (
+	"repro/internal/arch"
+)
+
+// scoreSwap evaluates the heuristic cost function H for one candidate
+// SWAP under a temporarily-updated mapping π_temp (Algorithm 1 lines
+// 20-23). The layout is mutated and restored in place — cheaper than
+// cloning per candidate and equivalent to the paper's π.update(SWAP).
+func (r *router) scoreSwap(e arch.Edge) float64 {
+	// Decay factor belongs to the logical qubits being swapped
+	// (Eq. 2: max(decay(SWAP.q1), decay(SWAP.q2))).
+	qa, qb := r.layout.Log(e.A), r.layout.Log(e.B)
+
+	r.layout.SwapPhysical(e.A, e.B)
+	var score float64
+	switch r.opts.Heuristic {
+	case HeuristicBasic:
+		score = r.frontDistanceSum()
+	case HeuristicLookahead:
+		score = r.lookaheadScore()
+	case HeuristicDecay:
+		d := r.decay[qa]
+		if r.decay[qb] > d {
+			d = r.decay[qb]
+		}
+		score = d * r.lookaheadScore()
+	}
+	r.layout.SwapPhysical(e.A, e.B)
+	return score
+}
+
+// frontDistanceSum is Eq. 1: Σ_{gate∈F} D[π(q1)][π(q2)], with D the
+// hop-count matrix or, under a noise model, the reliability-weighted
+// matrix (§VI extension).
+func (r *router) frontDistanceSum() float64 {
+	sum := 0.0
+	for _, g := range r.front {
+		gate := r.circ.Gate(g)
+		sum += r.dist(r.layout.Phys(gate.Q0), r.layout.Phys(gate.Q1))
+	}
+	return sum
+}
+
+// lookaheadScore is Eq. 2 without the decay factor: the size-normalized
+// front-layer distance sum plus the W-weighted extended-set term.
+func (r *router) lookaheadScore() float64 {
+	score := r.frontDistanceSum() / float64(len(r.front))
+	if len(r.extended) > 0 {
+		extSum := 0.0
+		for _, g := range r.extended {
+			gate := r.circ.Gate(g)
+			extSum += r.dist(r.layout.Phys(gate.Q0), r.layout.Phys(gate.Q1))
+		}
+		score += r.opts.ExtendedSetWeight * extSum / float64(len(r.extended))
+	}
+	return score
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/mapping"
+)
+
+// PassResult is the outcome of one traversal (RoutePass): the routed
+// physical circuit, the layouts bracketing it, and the SWAP count.
+type PassResult struct {
+	Circuit       *circuit.Circuit
+	InitialLayout mapping.Layout
+	FinalLayout   mapping.Layout
+	SwapCount     int
+	BridgeCount   int
+	Stats         PassStats
+}
+
+// PassStats instruments one traversal; it quantifies the §IV-C1
+// complexity claim (the SWAP candidate list is O(N), not O(exp(N))).
+type PassStats struct {
+	// SwapRounds counts SWAP-selection rounds (Algorithm 1's else
+	// branch); TotalCandidates across them gives the average candidate
+	// list size the heuristic scored per round.
+	SwapRounds      int
+	TotalCandidates int
+	MaxCandidates   int
+	MaxFront        int
+	ForcedRoutes    int
+}
+
+// AvgCandidates returns the mean SWAP-candidate count per round.
+func (s PassStats) AvgCandidates() float64 {
+	if s.SwapRounds == 0 {
+		return 0
+	}
+	return float64(s.TotalCandidates) / float64(s.SwapRounds)
+}
+
+// router holds the mutable state of one traversal of Algorithm 1.
+type router struct {
+	dev  *arch.Device
+	opts Options
+	rng  *rand.Rand
+
+	circ *circuit.Circuit // logical circuit, width == device size
+	dag  *circuit.DAG
+
+	layout mapping.Layout
+	inDeg  []int
+	front  []int // two-qubit gate indices: dependencies met, not yet executable
+	ready  []int // gate indices with dependencies met, executability unchecked
+	done   int   // executed gate count
+
+	out     []circuit.Gate
+	swaps   int
+	bridges int
+	stats   PassStats
+
+	// wdist is the noise-weighted distance matrix (nil when routing by
+	// hop count); see Options.Noise.
+	wdist [][]float64
+
+	decay      []float64 // per logical qubit, 1.0 at rest
+	decaySteps int       // SWAP selections since last decay reset
+	stall      int       // consecutive SWAPs without executing a gate
+
+	// scratch buffers reused across SWAP-selection rounds.
+	extended   []int
+	candidates []arch.Edge
+	candSeen   map[arch.Edge]bool
+}
+
+// RoutePass runs one traversal of SABRE's SWAP-based heuristic search
+// (Algorithm 1) over circ starting from the given layout. circ must
+// already be widened to the device's qubit count. The input layout is
+// not mutated.
+func RoutePass(circ *circuit.Circuit, dev *arch.Device, init mapping.Layout, opts Options, rng *rand.Rand) PassResult {
+	opts = opts.normalized()
+	r := &router{
+		dev:      dev,
+		opts:     opts,
+		rng:      rng,
+		circ:     circ,
+		dag:      circuit.BuildDAG(circ),
+		layout:   init.Clone(),
+		decay:    make([]float64, dev.NumQubits()),
+		candSeen: make(map[arch.Edge]bool),
+	}
+	for i := range r.decay {
+		r.decay[i] = 1
+	}
+	if opts.Noise != nil {
+		r.wdist = arch.WeightedDistances(dev, opts.Noise)
+	}
+	r.inDeg = r.dag.InDegrees()
+	for i, deg := range r.inDeg {
+		if deg == 0 {
+			r.ready = append(r.ready, i)
+		}
+	}
+	r.run()
+	out := circuit.NewNamed(circ.Name(), dev.NumQubits())
+	out.Append(r.out...)
+	return PassResult{
+		Circuit:       out,
+		InitialLayout: init.Clone(),
+		FinalLayout:   r.layout,
+		SwapCount:     r.swaps,
+		BridgeCount:   r.bridges,
+		Stats:         r.stats,
+	}
+}
+
+// dist returns the routing distance between physical qubits a and b:
+// coupling-graph hops by default, or the noise-weighted most-reliable-
+// path cost when a NoiseModel is configured.
+func (r *router) dist(a, b int) float64 {
+	if r.wdist != nil {
+		return r.wdist[a][b]
+	}
+	return float64(r.dev.Distance(a, b))
+}
+
+// run is the main loop of Algorithm 1.
+func (r *router) run() {
+	maxStall := r.opts.MaxStall
+	if maxStall <= 0 {
+		maxStall = 4*r.dev.Diameter() + 16
+	}
+	for {
+		r.drain()
+		if len(r.front) == 0 {
+			return
+		}
+		if r.stall >= maxStall {
+			r.forceRoute()
+			continue
+		}
+		if r.opts.UseBridge && r.tryBridge() {
+			continue
+		}
+		r.insertBestSwap()
+	}
+}
+
+// tryBridge looks for a front-layer CNOT whose qubits sit at distance
+// exactly 2 and whose logical pair does not recur in the extended set,
+// and executes it through a 4-CNOT bridge instead of moving qubits:
+//
+//	CX(c,m) CX(m,t) CX(c,m) CX(m,t)  ==  CX(c,t)   (m restored)
+//
+// A bridge costs the same 3 extra gates as one SWAP but leaves the
+// mapping unchanged, which wins exactly when the pair will not
+// interact again soon (§VI's circuit-transformation direction; the
+// transformation the paper cites from Siraichi et al.).
+func (r *router) tryBridge() bool {
+	r.collectExtendedSet()
+	recurring := make(map[[2]int]bool, len(r.extended))
+	for _, gi := range r.extended {
+		g := r.circ.Gate(gi)
+		a, b := g.Q0, g.Q1
+		if a > b {
+			a, b = b, a
+		}
+		recurring[[2]int{a, b}] = true
+	}
+	for fi, gi := range r.front {
+		g := r.circ.Gate(gi)
+		if g.Kind != circuit.KindCX {
+			continue
+		}
+		pa, pb := r.layout.Phys(g.Q0), r.layout.Phys(g.Q1)
+		if r.dev.Distance(pa, pb) != 2 {
+			continue
+		}
+		a, b := g.Q0, g.Q1
+		if a > b {
+			a, b = b, a
+		}
+		if recurring[[2]int{a, b}] {
+			continue
+		}
+		// Middle qubit on a shortest path.
+		path := r.dev.ShortestPath(pa, pb)
+		m := path[1]
+		r.out = append(r.out,
+			circuit.CX(pa, m), circuit.CX(m, pb),
+			circuit.CX(pa, m), circuit.CX(m, pb),
+		)
+		r.bridges++
+		r.stall = 0
+		r.resetDecay()
+		// Retire the gate without the usual execute() remap (the bridge
+		// already realized it on physical wires).
+		r.front = append(r.front[:fi], r.front[fi+1:]...)
+		r.done++
+		for _, s := range r.dag.Successors(gi) {
+			r.inDeg[s]--
+			if r.inDeg[s] == 0 {
+				r.ready = append(r.ready, s)
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// drain executes every gate whose dependencies are met and whose
+// physical qubits (for two-qubit gates) are coupled, looping until no
+// further progress. It maintains the front layer F.
+func (r *router) drain() {
+	for {
+		progress := false
+		// Newly-ready gates: execute or park in the front layer.
+		for len(r.ready) > 0 {
+			g := r.ready[len(r.ready)-1]
+			r.ready = r.ready[:len(r.ready)-1]
+			if r.executable(g) {
+				r.execute(g)
+				progress = true
+			} else {
+				r.front = append(r.front, g)
+			}
+		}
+		// Front-layer gates that a SWAP (or an executed gate) unlocked.
+		keep := r.front[:0]
+		for _, g := range r.front {
+			if r.executable(g) {
+				r.execute(g)
+				progress = true
+			} else {
+				keep = append(keep, g)
+			}
+		}
+		r.front = keep
+		if !progress {
+			return
+		}
+	}
+}
+
+// executable reports whether gate g can run right now under the current
+// layout: single-qubit gates always can; two-qubit gates need their
+// physical qubits coupled.
+func (r *router) executable(g int) bool {
+	gate := r.circ.Gate(g)
+	if !gate.TwoQubit() {
+		return true
+	}
+	return r.dev.Connected(r.layout.Phys(gate.Q0), r.layout.Phys(gate.Q1))
+}
+
+// execute emits gate g remapped to physical qubits, retires it in the
+// DAG and releases its successors.
+func (r *router) execute(g int) {
+	gate := r.circ.Gate(g)
+	r.out = append(r.out, gate.Remap(r.layout.Phys))
+	r.done++
+	if gate.TwoQubit() {
+		// Paper §V: decay resets whenever a CNOT is executed.
+		r.resetDecay()
+		r.stall = 0
+	}
+	for _, s := range r.dag.Successors(g) {
+		r.inDeg[s]--
+		if r.inDeg[s] == 0 {
+			r.ready = append(r.ready, s)
+		}
+	}
+}
+
+// insertBestSwap scores the candidate SWAPs (edges touching a front-
+// layer qubit, §IV-C1) with the configured heuristic and applies the
+// best one.
+func (r *router) insertBestSwap() {
+	r.collectCandidates()
+	r.collectExtendedSet()
+	r.stats.SwapRounds++
+	r.stats.TotalCandidates += len(r.candidates)
+	if len(r.candidates) > r.stats.MaxCandidates {
+		r.stats.MaxCandidates = len(r.candidates)
+	}
+	if len(r.front) > r.stats.MaxFront {
+		r.stats.MaxFront = len(r.front)
+	}
+
+	best := r.candidates[0]
+	bestScore := r.scoreSwap(best)
+	ties := 1
+	for _, e := range r.candidates[1:] {
+		s := r.scoreSwap(e)
+		switch {
+		case s < bestScore-1e-12:
+			best, bestScore, ties = e, s, 1
+		case s <= bestScore+1e-12:
+			// Reservoir-sample among ties so the seeded search explores
+			// the plateau uniformly (the authors' artifact randomizes
+			// tie order the same way).
+			ties++
+			if r.rng.Intn(ties) == 0 {
+				best = e
+			}
+		}
+	}
+	r.applySwap(best)
+}
+
+// collectCandidates gathers the SWAP candidate list: every coupling
+// edge with at least one endpoint hosting a logical qubit of a front-
+// layer gate. SWAPs entirely between low-priority qubits cannot help
+// (paper Fig. 6) and are pruned.
+func (r *router) collectCandidates() {
+	r.candidates = r.candidates[:0]
+	for e := range r.candSeen {
+		delete(r.candSeen, e)
+	}
+	for _, g := range r.front {
+		gate := r.circ.Gate(g)
+		for _, q := range [2]int{gate.Q0, gate.Q1} {
+			p := r.layout.Phys(q)
+			for _, nb := range r.dev.Neighbors(p) {
+				e := arch.NewEdge(p, nb)
+				if !r.candSeen[e] {
+					r.candSeen[e] = true
+					r.candidates = append(r.candidates, e)
+				}
+			}
+		}
+	}
+}
+
+// collectExtendedSet fills r.extended with up to ExtendedSetSize
+// two-qubit gates that follow the front layer in the DAG (BFS order),
+// giving the heuristic its look-ahead window (§IV-D).
+func (r *router) collectExtendedSet() {
+	r.extended = r.extended[:0]
+	if r.opts.Heuristic == HeuristicBasic {
+		return
+	}
+	limit := r.opts.ExtendedSetSize
+	// BFS from the front layer through the DAG. Decremented indegree
+	// bookkeeping is not needed for an estimate: we walk successors
+	// breadth-first and take the first `limit` two-qubit gates.
+	queue := append([]int(nil), r.front...)
+	visited := make(map[int]bool, 4*limit)
+	for _, g := range queue {
+		visited[g] = true
+	}
+	for len(queue) > 0 && len(r.extended) < limit {
+		g := queue[0]
+		queue = queue[1:]
+		for _, s := range r.dag.Successors(g) {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if r.circ.Gate(s).TwoQubit() {
+				r.extended = append(r.extended, s)
+				if len(r.extended) >= limit {
+					break
+				}
+			}
+			queue = append(queue, s)
+		}
+	}
+}
+
+// applySwap emits a SWAP on the physical edge, updates the layout and
+// the decay bookkeeping.
+func (r *router) applySwap(e arch.Edge) {
+	r.out = append(r.out, circuit.Swap(e.A, e.B))
+	qa, qb := r.layout.Log(e.A), r.layout.Log(e.B)
+	r.layout.SwapPhysical(e.A, e.B)
+	r.swaps++
+	r.stall++
+
+	r.decay[qa] += r.opts.DecayDelta
+	r.decay[qb] += r.opts.DecayDelta
+	r.decaySteps++
+	if r.decaySteps >= r.opts.DecayResetInterval {
+		r.resetDecay()
+	}
+}
+
+func (r *router) resetDecay() {
+	if r.decaySteps == 0 {
+		return
+	}
+	for i := range r.decay {
+		r.decay[i] = 1
+	}
+	r.decaySteps = 0
+}
+
+// forceRoute deterministically routes the oldest front-layer gate by
+// swapping its control along a shortest path to its target. It is the
+// termination safeguard: bounded by the device diameter, it always
+// executes at least one gate.
+func (r *router) forceRoute() {
+	g := r.front[0]
+	for _, fg := range r.front {
+		if fg < g {
+			g = fg
+		}
+	}
+	gate := r.circ.Gate(g)
+	pa, pb := r.layout.Phys(gate.Q0), r.layout.Phys(gate.Q1)
+	path := r.dev.ShortestPath(pa, pb)
+	// Swap the control forward until adjacent to the target.
+	for i := 0; i+2 < len(path); i++ {
+		r.applySwap(arch.NewEdge(path[i], path[i+1]))
+	}
+	r.stall = 0
+	r.stats.ForcedRoutes++
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/mapping"
+)
+
+// newTestRouter builds a router mid-flight for white-box tests: the
+// Fig. 6 scenario — a 3×3 grid, front layer {CX(q0,q6), CX(q2,q7)},
+// identity layout.
+func newTestRouter(t *testing.T) *router {
+	t.Helper()
+	dev := arch.Grid(3, 3)
+	c := circuit.New(9)
+	c.Append(
+		circuit.CX(0, 6), // front (distance 2)
+		circuit.CX(2, 7), // front (distance 2)
+		circuit.CX(1, 6), // successor, shares q6
+	)
+	r := &router{
+		dev:      dev,
+		opts:     DefaultOptions().normalized(),
+		rng:      rand.New(rand.NewSource(1)),
+		circ:     c,
+		dag:      circuit.BuildDAG(c),
+		layout:   mapping.Identity(9),
+		decay:    make([]float64, 9),
+		candSeen: make(map[arch.Edge]bool),
+	}
+	for i := range r.decay {
+		r.decay[i] = 1
+	}
+	r.inDeg = r.dag.InDegrees()
+	r.front = []int{0, 1}
+	return r
+}
+
+func TestCollectCandidatesOnlyFrontAdjacent(t *testing.T) {
+	r := newTestRouter(t)
+	r.collectCandidates()
+	if len(r.candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	frontPhys := map[int]bool{0: true, 6: true, 2: true, 7: true}
+	for _, e := range r.candidates {
+		if !frontPhys[e.A] && !frontPhys[e.B] {
+			t.Fatalf("candidate %v touches no front qubit (paper Fig. 6: low-priority SWAPs are pruned)", e)
+		}
+	}
+	// No duplicates.
+	seen := map[arch.Edge]bool{}
+	for _, e := range r.candidates {
+		if seen[e] {
+			t.Fatalf("duplicate candidate %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestCollectExtendedSet(t *testing.T) {
+	r := newTestRouter(t)
+	r.collectExtendedSet()
+	// Gate 2 (CX(1,6)) is the lone successor.
+	if len(r.extended) != 1 || r.extended[0] != 2 {
+		t.Fatalf("extended = %v, want [2]", r.extended)
+	}
+	// Basic heuristic skips the extended set entirely.
+	r.opts.Heuristic = HeuristicBasic
+	r.collectExtendedSet()
+	if len(r.extended) != 0 {
+		t.Fatal("basic heuristic should not build an extended set")
+	}
+}
+
+func TestExtendedSetRespectsLimit(t *testing.T) {
+	dev := arch.Line(4)
+	c := circuit.New(4)
+	for i := 0; i < 30; i++ {
+		c.Append(circuit.CX(0, 1))
+	}
+	r := &router{
+		dev: dev, opts: DefaultOptions().normalized(), rng: rand.New(rand.NewSource(1)),
+		circ: c, dag: circuit.BuildDAG(c), layout: mapping.Identity(4),
+		decay: []float64{1, 1, 1, 1}, candSeen: map[arch.Edge]bool{},
+	}
+	r.opts.ExtendedSetSize = 5
+	r.inDeg = r.dag.InDegrees()
+	r.front = []int{0}
+	r.collectExtendedSet()
+	if len(r.extended) > 5 {
+		t.Fatalf("extended set %d exceeds limit 5", len(r.extended))
+	}
+}
+
+func TestFrontDistanceSumEq1(t *testing.T) {
+	r := newTestRouter(t)
+	// Identity layout on the 3×3 grid (row-major): dist(0,6)=2 and
+	// dist(2,7)=3, so Eq. 1 sums to 5.
+	if got := r.frontDistanceSum(); got != 5 {
+		t.Fatalf("H_basic = %g, want 5", got)
+	}
+}
+
+func TestScoreSwapRestoresLayout(t *testing.T) {
+	r := newTestRouter(t)
+	before := r.layout.Clone()
+	for _, h := range []Heuristic{HeuristicBasic, HeuristicLookahead, HeuristicDecay} {
+		r.opts.Heuristic = h
+		r.collectExtendedSet()
+		_ = r.scoreSwap(arch.NewEdge(0, 3))
+		if !r.layout.Equal(before) {
+			t.Fatalf("%v: scoreSwap mutated the layout", h)
+		}
+	}
+}
+
+func TestScoreSwapPrefersHelpfulSwap(t *testing.T) {
+	r := newTestRouter(t)
+	r.opts.Heuristic = HeuristicBasic
+	// Swapping 0↔3 moves q0 one step toward q6: front sum 4 → 3.
+	helpful := r.scoreSwap(arch.NewEdge(0, 3))
+	// Swapping 0↔1 leaves both distances at best unchanged.
+	neutral := r.scoreSwap(arch.NewEdge(0, 1))
+	if helpful >= neutral {
+		t.Fatalf("helpful swap scored %g, neutral %g", helpful, neutral)
+	}
+}
+
+func TestDecayBiasesAgainstReusedQubits(t *testing.T) {
+	r := newTestRouter(t)
+	r.opts.Heuristic = HeuristicDecay
+	r.collectExtendedSet()
+	base := r.scoreSwap(arch.NewEdge(0, 3))
+	// Mark logical q0 (on phys 0) as recently swapped.
+	r.decay[0] = 1.5
+	biased := r.scoreSwap(arch.NewEdge(0, 3))
+	if biased <= base {
+		t.Fatalf("decay did not raise the score: %g vs %g", biased, base)
+	}
+	// An edge not touching q0 is unaffected.
+	r.collectExtendedSet()
+	other := r.scoreSwap(arch.NewEdge(7, 8))
+	r.decay[0] = 1
+	otherBase := r.scoreSwap(arch.NewEdge(7, 8))
+	if other != otherBase {
+		t.Fatalf("decay leaked to unrelated swap: %g vs %g", other, otherBase)
+	}
+}
+
+func TestApplySwapUpdatesEverything(t *testing.T) {
+	r := newTestRouter(t)
+	r.applySwap(arch.NewEdge(0, 3))
+	if r.swaps != 1 || len(r.out) != 1 || r.out[0].Kind != circuit.KindSwap {
+		t.Fatal("swap not recorded")
+	}
+	if r.layout.Phys(0) != 3 || r.layout.Phys(3) != 0 {
+		t.Fatal("layout not updated")
+	}
+	if r.decay[0] != 1+r.opts.DecayDelta || r.decay[3] != 1+r.opts.DecayDelta {
+		t.Fatal("decay not incremented for swapped logical qubits")
+	}
+}
+
+func TestDecayResetAfterInterval(t *testing.T) {
+	r := newTestRouter(t)
+	r.opts.DecayResetInterval = 2
+	r.applySwap(arch.NewEdge(0, 3))
+	if r.decay[0] == 1 {
+		t.Fatal("decay should be raised after first swap")
+	}
+	r.applySwap(arch.NewEdge(0, 3)) // second swap hits the interval
+	for q, d := range r.decay {
+		if d != 1 {
+			t.Fatalf("decay[%d] = %g after reset interval", q, d)
+		}
+	}
+}
+
+func TestExecuteResetsDecayOnCNOT(t *testing.T) {
+	dev := arch.Line(2)
+	c := circuit.New(2)
+	c.Append(circuit.CX(0, 1))
+	r := &router{
+		dev: dev, opts: DefaultOptions().normalized(), rng: rand.New(rand.NewSource(1)),
+		circ: c, dag: circuit.BuildDAG(c), layout: mapping.Identity(2),
+		decay: []float64{1.5, 1.5}, candSeen: map[arch.Edge]bool{},
+	}
+	r.decaySteps = 3
+	r.inDeg = r.dag.InDegrees()
+	r.execute(0)
+	if r.decay[0] != 1 || r.decay[1] != 1 {
+		t.Fatal("executing a CNOT must reset decay (paper §V)")
+	}
+}
+
+func TestRoutePassDoesNotMutateInputLayout(t *testing.T) {
+	dev := arch.Line(4)
+	c := circuit.New(4)
+	c.Append(circuit.CX(0, 3))
+	init := mapping.Identity(4)
+	before := init.Clone()
+	RoutePass(c, dev, init, DefaultOptions(), rand.New(rand.NewSource(1)))
+	if !init.Equal(before) {
+		t.Fatal("RoutePass mutated the caller's layout")
+	}
+}
+
+func TestForceRouteExecutesFrontGate(t *testing.T) {
+	dev := arch.Line(5)
+	c := circuit.New(5)
+	c.Append(circuit.CX(0, 4))
+	r := &router{
+		dev: dev, opts: DefaultOptions().normalized(), rng: rand.New(rand.NewSource(1)),
+		circ: c, dag: circuit.BuildDAG(c), layout: mapping.Identity(5),
+		decay: []float64{1, 1, 1, 1, 1}, candSeen: map[arch.Edge]bool{},
+	}
+	r.inDeg = r.dag.InDegrees()
+	r.front = []int{0}
+	r.forceRoute()
+	// dist(0,4)=4 on a line → 3 swaps bring them adjacent.
+	if r.swaps != 3 {
+		t.Fatalf("force route used %d swaps, want 3", r.swaps)
+	}
+	if !r.executable(0) {
+		t.Fatal("gate still not executable after force route")
+	}
+}

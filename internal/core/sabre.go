@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/mapping"
+)
+
+// Compile maps circ onto dev with SABRE: for each of Options.Trials
+// random initial mappings it performs Options.Traversals alternating
+// forward/backward traversals (the reverse-traversal technique of
+// §IV-C2), letting each traversal's final mapping seed the next as an
+// ever-better initial mapping; the last forward traversal produces the
+// output circuit. The best trial by added gates (ties: output depth)
+// wins.
+//
+// The returned circuit acts on the device's physical qubits and
+// contains symbolic SWAPs; Result documents the accounting.
+func Compile(circ *circuit.Circuit, dev *arch.Device, opts Options) (*Result, error) {
+	start := time.Now()
+	opts = opts.normalized()
+	dev = effectiveDevice(dev, opts)
+	if circ.NumQubits() > dev.NumQubits() {
+		return nil, fmt.Errorf("core: circuit needs %d qubits but device %s has %d",
+			circ.NumQubits(), dev.Name(), dev.NumQubits())
+	}
+	wide := circ
+	if circ.NumQubits() < dev.NumQubits() {
+		wide = circ.Widen(dev.NumQubits())
+	}
+	reversed := wide.Reverse()
+
+	results := make([]*Result, opts.Trials)
+	depths := make([]int, opts.Trials)
+	if opts.ParallelTrials && opts.Trials > 1 {
+		var wg sync.WaitGroup
+		for trial := 0; trial < opts.Trials; trial++ {
+			wg.Add(1)
+			go func(trial int) {
+				defer wg.Done()
+				results[trial], depths[trial] = runTrial(wide, reversed, dev, opts, trial)
+			}(trial)
+		}
+		wg.Wait()
+	} else {
+		for trial := 0; trial < opts.Trials; trial++ {
+			results[trial], depths[trial] = runTrial(wide, reversed, dev, opts, trial)
+		}
+	}
+
+	// Select the winner in trial order (strict improvement), so the
+	// parallel and sequential paths return identical results.
+	best, bestDepth := results[0], depths[0]
+	for trial := 1; trial < opts.Trials; trial++ {
+		res, depth := results[trial], depths[trial]
+		if res.AddedGates < best.AddedGates ||
+			(res.AddedGates == best.AddedGates && depth < bestDepth) {
+			best = res
+			bestDepth = depth
+		}
+	}
+	best.TrialsRun = opts.Trials
+	best.Elapsed = time.Since(start)
+	return best, nil
+}
+
+// runTrial executes one random restart: Traversals alternating passes
+// seeded by Seed+trial, returning the final forward pass's result and
+// its decomposed depth.
+func runTrial(wide, reversed *circuit.Circuit, dev *arch.Device, opts Options, trial int) (*Result, int) {
+	rng := rand.New(rand.NewSource(opts.Seed + int64(trial)))
+	layout := mapping.Random(dev.NumQubits(), rng)
+
+	var final PassResult
+	firstAdded := -1
+	for t := 0; t < opts.Traversals; t++ {
+		in := wide
+		if t%2 == 1 {
+			in = reversed
+		}
+		final = RoutePass(in, dev, layout, opts, rng)
+		layout = final.FinalLayout
+		if t == 0 {
+			firstAdded = 3 * (final.SwapCount + final.BridgeCount)
+		}
+	}
+	res := &Result{
+		Circuit:             final.Circuit,
+		InitialLayout:       final.InitialLayout.LogicalToPhysical(),
+		FinalLayout:         final.FinalLayout.LogicalToPhysical(),
+		SwapCount:           final.SwapCount,
+		BridgeCount:         final.BridgeCount,
+		AddedGates:          3 * (final.SwapCount + final.BridgeCount),
+		FirstTraversalAdded: firstAdded,
+		TrialsRun:           trial + 1,
+		Stats:               final.Stats,
+	}
+	return res, final.Circuit.DecomposeSwaps().Depth()
+}
+
+// CompileWithLayout routes circ starting from a caller-chosen initial
+// layout, skipping the random restarts and reverse traversals. Useful
+// when a good initial mapping is already known (e.g. produced by a
+// previous Compile on a related circuit).
+func CompileWithLayout(circ *circuit.Circuit, dev *arch.Device, init mapping.Layout, opts Options) (*Result, error) {
+	start := time.Now()
+	opts = opts.normalized()
+	dev = effectiveDevice(dev, opts)
+	if circ.NumQubits() > dev.NumQubits() {
+		return nil, fmt.Errorf("core: circuit needs %d qubits but device %s has %d",
+			circ.NumQubits(), dev.Name(), dev.NumQubits())
+	}
+	if init.Size() != dev.NumQubits() {
+		return nil, fmt.Errorf("core: layout size %d does not match device size %d", init.Size(), dev.NumQubits())
+	}
+	wide := circ
+	if circ.NumQubits() < dev.NumQubits() {
+		wide = circ.Widen(dev.NumQubits())
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	pass := RoutePass(wide, dev, init, opts, rng)
+	return &Result{
+		Circuit:             pass.Circuit,
+		InitialLayout:       pass.InitialLayout.LogicalToPhysical(),
+		FinalLayout:         pass.FinalLayout.LogicalToPhysical(),
+		SwapCount:           pass.SwapCount,
+		BridgeCount:         pass.BridgeCount,
+		AddedGates:          3 * (pass.SwapCount + pass.BridgeCount),
+		FirstTraversalAdded: 3 * (pass.SwapCount + pass.BridgeCount),
+		TrialsRun:           1,
+		Stats:               pass.Stats,
+		Elapsed:             time.Since(start),
+	}, nil
+}
+
+// effectiveDevice applies noise-driven edge pruning when configured:
+// routing then happens on the subdevice without near-dead couplers, so
+// the output never touches them (it stays compliant with the full
+// device, whose edge set is a superset).
+func effectiveDevice(dev *arch.Device, opts Options) *arch.Device {
+	if opts.Noise == nil || opts.MaxEdgeError <= 0 {
+		return dev
+	}
+	return arch.PruneUnreliableEdges(dev, opts.Noise, opts.MaxEdgeError)
+}
+
+// InitialMapping runs the forward-backward prefix of SABRE and returns
+// the improved initial layout without producing a routed circuit. This
+// exposes the reverse-traversal technique as a standalone layout pass
+// (the role SabreLayout plays in production compilers).
+func InitialMapping(circ *circuit.Circuit, dev *arch.Device, opts Options) (mapping.Layout, error) {
+	opts = opts.normalized()
+	dev = effectiveDevice(dev, opts)
+	if circ.NumQubits() > dev.NumQubits() {
+		return mapping.Layout{}, fmt.Errorf("core: circuit needs %d qubits but device %s has %d",
+			circ.NumQubits(), dev.Name(), dev.NumQubits())
+	}
+	wide := circ
+	if circ.NumQubits() < dev.NumQubits() {
+		wide = circ.Widen(dev.NumQubits())
+	}
+	reversed := wide.Reverse()
+
+	bestSwaps := -1
+	var bestLayout mapping.Layout
+	for trial := 0; trial < opts.Trials; trial++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(trial)))
+		layout := mapping.Random(dev.NumQubits(), rng)
+		// Forward then backward: the backward pass's final mapping is
+		// the improved initial mapping for the original circuit.
+		f := RoutePass(wide, dev, layout, opts, rng)
+		b := RoutePass(reversed, dev, f.FinalLayout, opts, rng)
+		// Score the candidate by one evaluation pass.
+		probe := RoutePass(wide, dev, b.FinalLayout, opts, rng)
+		if bestSwaps < 0 || probe.SwapCount < bestSwaps {
+			bestSwaps = probe.SwapCount
+			bestLayout = b.FinalLayout
+		}
+	}
+	return bestLayout, nil
+}

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/mapping"
+	"repro/internal/verify"
+	"repro/internal/workloads"
+)
+
+// compileAndVerify routes circ onto dev and fails the test unless the
+// output is hardware-compliant and (for linear circuits) functionally
+// equivalent under the reported layouts.
+func compileAndVerify(t *testing.T, c *circuit.Circuit, dev *arch.Device, opts Options) *Result {
+	t.Helper()
+	res, err := Compile(c, dev, opts)
+	if err != nil {
+		t.Fatalf("Compile(%s on %s): %v", c.Name(), dev.Name(), err)
+	}
+	decomposed := res.Circuit.DecomposeSwaps()
+	if err := verify.HardwareCompliant(decomposed, dev.Connected); err != nil {
+		t.Fatalf("%s on %s: %v", c.Name(), dev.Name(), err)
+	}
+	if res.AddedGates != 3*res.SwapCount {
+		t.Fatalf("gate accounting wrong: %d != 3*%d", res.AddedGates, res.SwapCount)
+	}
+	onlyLinear := true
+	for _, g := range c.Gates() {
+		if g.Kind != circuit.KindCX && g.Kind != circuit.KindSwap {
+			onlyLinear = false
+			break
+		}
+	}
+	if onlyLinear {
+		if err := verify.CheckRouted(c, res.Circuit, res.InitialLayout, res.FinalLayout); err != nil {
+			t.Fatalf("%s on %s: %v", c.Name(), dev.Name(), err)
+		}
+	}
+	return res
+}
+
+func fastOpts() Options {
+	o := DefaultOptions()
+	o.Trials = 2
+	return o
+}
+
+func TestCompileEmptyCircuit(t *testing.T) {
+	res := compileAndVerify(t, circuit.New(3), arch.Line(5), fastOpts())
+	if res.SwapCount != 0 || res.Circuit.NumGates() != 0 {
+		t.Fatalf("empty circuit produced %d swaps, %d gates", res.SwapCount, res.Circuit.NumGates())
+	}
+}
+
+func TestCompileSingleQubitOnly(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(circuit.G1(circuit.KindH, 0), circuit.G1(circuit.KindT, 2))
+	res := compileAndVerify(t, c, arch.Line(4), fastOpts())
+	if res.SwapCount != 0 || res.Circuit.NumGates() != 2 {
+		t.Fatal("single-qubit circuit should route with no swaps")
+	}
+}
+
+func TestCompileTooWide(t *testing.T) {
+	if _, err := Compile(circuit.New(6), arch.Line(4), fastOpts()); err == nil {
+		t.Fatal("oversized circuit accepted")
+	}
+}
+
+func TestCompileAdjacentCNOT(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(circuit.CX(0, 1))
+	res := compileAndVerify(t, c, arch.Line(2), fastOpts())
+	if res.SwapCount != 0 {
+		t.Fatalf("adjacent CNOT needed %d swaps", res.SwapCount)
+	}
+}
+
+func TestCompileDistantCNOTOnLine(t *testing.T) {
+	// One CNOT between ends of a 4-line: a good initial mapping places
+	// them adjacent, so zero SWAPs.
+	c := circuit.New(4)
+	c.Append(circuit.CX(0, 3))
+	res := compileAndVerify(t, c, arch.Line(4), fastOpts())
+	if res.SwapCount != 0 {
+		t.Fatalf("trivially-embeddable CNOT needed %d swaps", res.SwapCount)
+	}
+}
+
+func TestFig3Example(t *testing.T) {
+	// The paper's worked example (§III-A): 4-qubit device, ring coupling
+	// Q1-Q2-Q4-Q3-Q1; 6 CNOTs. With the paper's fixed identity layout
+	// one SWAP suffices; SABRE with free initial mapping should need at
+	// most one SWAP (the interaction graph K4 minus nothing... contains
+	// a 4-cycle + chords, not embeddable with 0 swaps on C4).
+	dev := arch.MustNew("fig3", 4, []arch.Edge{arch.NewEdge(0, 1), arch.NewEdge(1, 3), arch.NewEdge(2, 3), arch.NewEdge(0, 2)})
+	c := circuit.NewNamed("fig3", 4)
+	c.Append(
+		circuit.CX(0, 1), circuit.CX(2, 3), circuit.CX(1, 3),
+		circuit.CX(1, 2), circuit.CX(2, 3), circuit.CX(0, 3),
+	)
+	res := compileAndVerify(t, c, dev, DefaultOptions())
+	if res.SwapCount > 1 {
+		t.Fatalf("Fig. 3 example needed %d swaps, paper needs 1", res.SwapCount)
+	}
+}
+
+func TestCompileWithIdentityLayoutFig3(t *testing.T) {
+	// With the paper's fixed initial mapping {qi -> Qi} the circuit
+	// needs exactly one SWAP (Fig. 3d).
+	dev := arch.MustNew("fig3", 4, []arch.Edge{arch.NewEdge(0, 1), arch.NewEdge(1, 3), arch.NewEdge(2, 3), arch.NewEdge(0, 2)})
+	c := circuit.New(4)
+	c.Append(
+		circuit.CX(0, 1), circuit.CX(2, 3), circuit.CX(1, 3),
+		circuit.CX(1, 2), circuit.CX(2, 3), circuit.CX(0, 3),
+	)
+	res, err := CompileWithLayout(c, dev, mapping.Identity(4), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.HardwareCompliant(res.Circuit.DecomposeSwaps(), dev.Connected); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckRouted(c, res.Circuit, res.InitialLayout, res.FinalLayout); err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 1 {
+		t.Fatalf("identity-layout Fig. 3 used %d swaps, want 1", res.SwapCount)
+	}
+}
+
+func TestGHZZeroSwapsOnLine(t *testing.T) {
+	// A CNOT ladder embeds perfectly in a line.
+	c := workloads.GHZ(8)
+	res := compileAndVerify(t, c, arch.Line(8), DefaultOptions())
+	if res.SwapCount != 0 {
+		t.Fatalf("GHZ ladder needed %d swaps on a line", res.SwapCount)
+	}
+}
+
+func TestIsingZeroSwapsOnQ20(t *testing.T) {
+	// §V-A1: the ising benchmarks admit a trivially optimal (0-SWAP)
+	// solution on Q20; SABRE finds it.
+	c := workloads.Ising(10, 3)
+	res := compileAndVerify(t, c, arch.IBMQ20Tokyo(), DefaultOptions())
+	if res.SwapCount != 0 {
+		t.Fatalf("ising(10) needed %d swaps on Q20", res.SwapCount)
+	}
+}
+
+func TestSmallBenchmarksNearZeroOnQ20(t *testing.T) {
+	// §V-A1: SABRE finds perfect or near-perfect initial mappings for
+	// the small suite (paper: 0 added gates on 4 of 5, 3 CNOTs on 1).
+	dev := arch.IBMQ20Tokyo()
+	total := 0
+	for _, b := range workloads.ByClass(workloads.ClassSmall) {
+		res := compileAndVerify(t, b.Build(), dev, DefaultOptions())
+		total += res.AddedGates
+	}
+	if total > 9 {
+		t.Fatalf("small suite added %d gates total, want near zero", total)
+	}
+}
+
+func TestQFTOnQ20RoutesAndVerifies(t *testing.T) {
+	c := workloads.QFT(10)
+	res := compileAndVerify(t, c, arch.IBMQ20Tokyo(), fastOpts())
+	if res.SwapCount == 0 {
+		t.Fatal("qft_10 cannot embed in Q20 with zero swaps (K10 interaction graph)")
+	}
+}
+
+func TestReverseTraversalImproves(t *testing.T) {
+	// On aggregate over the qft benchmarks, 3 traversals must not be
+	// worse than 1 traversal (the paper's g_op <= g_la on average).
+	dev := arch.IBMQ20Tokyo()
+	var one, three int
+	for _, n := range []int{10, 13} {
+		c := workloads.QFT(n)
+		o1 := DefaultOptions()
+		o1.Trials, o1.Traversals = 3, 1
+		r1, err := Compile(c, dev, o1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o3 := DefaultOptions()
+		o3.Trials, o3.Traversals = 3, 3
+		r3, err := Compile(c, dev, o3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one += r1.AddedGates
+		three += r3.AddedGates
+	}
+	if three > one {
+		t.Fatalf("reverse traversal hurt: 3-traversal added %d vs 1-traversal %d", three, one)
+	}
+}
+
+func TestDecayReducesDepth(t *testing.T) {
+	// §IV-C3 / Fig. 8: larger δ should trade gates for depth. We check
+	// the mechanism's direction statistically on QFT: depth with decay
+	// enabled (δ=0.01) must not exceed depth with δ≈0 by more than
+	// noise, and gate counts respond to δ. The strong assertion —
+	// average normalized depth decreases — is exercised in the Fig. 8
+	// bench harness; here we just require both configurations route
+	// correctly and differ.
+	dev := arch.IBMQ20Tokyo()
+	c := workloads.QFT(13)
+	lo := DefaultOptions()
+	lo.Trials, lo.DecayDelta = 2, 0.0001
+	hi := DefaultOptions()
+	hi.Trials, hi.DecayDelta = 2, 0.05
+	rlo, err := Compile(c, dev, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhi, err := Compile(c, dev, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rlo.Circuit.Equal(rhi.Circuit) {
+		t.Fatal("decay parameter had no effect on output")
+	}
+}
+
+func TestHeuristicVariants(t *testing.T) {
+	dev := arch.Grid(3, 3)
+	c := workloads.RandomCircuit("h", 9, 120, 0.5, 11)
+	for _, h := range []Heuristic{HeuristicBasic, HeuristicLookahead, HeuristicDecay} {
+		o := fastOpts()
+		o.Heuristic = h
+		res, err := Compile(c, dev, o)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if err := verify.HardwareCompliant(res.Circuit.DecomposeSwaps(), dev.Connected); err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+	}
+}
+
+func TestLookaheadBeatsBasicOnAverage(t *testing.T) {
+	// The extended set exists because it reduces added gates (§IV-D).
+	dev := arch.Grid(4, 4)
+	var basic, look int
+	for seed := int64(0); seed < 4; seed++ {
+		c := workloads.RandomCircuit("cmp", 16, 200, 0.6, seed)
+		ob := fastOpts()
+		ob.Heuristic = HeuristicBasic
+		ol := fastOpts()
+		ol.Heuristic = HeuristicLookahead
+		rb, err := Compile(c, dev, ob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl, err := Compile(c, dev, ol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		basic += rb.AddedGates
+		look += rl.AddedGates
+	}
+	if look > basic*11/10 {
+		t.Fatalf("lookahead (%d added) much worse than basic (%d added)", look, basic)
+	}
+}
+
+func TestDeterminismPerSeed(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	c := workloads.QFT(8)
+	o := fastOpts()
+	r1, err := Compile(c, dev, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Compile(c, dev, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Circuit.Equal(r2.Circuit) {
+		t.Fatal("same seed produced different circuits")
+	}
+	o2 := o
+	o2.Seed = 999
+	r3, err := Compile(c, dev, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different seed will usually differ; only check it still verifies.
+	if err := verify.HardwareCompliant(r3.Circuit.DecomposeSwaps(), dev.Connected); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleQubitGatesPreservedAndRemapped(t *testing.T) {
+	dev := arch.Line(3)
+	c := circuit.New(3)
+	c.Append(
+		circuit.G1(circuit.KindH, 0),
+		circuit.CX(0, 2),
+		circuit.G1(circuit.KindT, 2),
+		circuit.G1(circuit.KindMeasure, 0),
+	)
+	res, err := Compile(c, dev, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h, tg, m int
+	for _, g := range res.Circuit.Gates() {
+		switch g.Kind {
+		case circuit.KindH:
+			h++
+		case circuit.KindT:
+			tg++
+		case circuit.KindMeasure:
+			m++
+		}
+	}
+	if h != 1 || tg != 1 || m != 1 {
+		t.Fatalf("single-qubit gates lost: h=%d t=%d m=%d", h, tg, m)
+	}
+}
+
+func TestInitialMappingStandalone(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	c := workloads.Ising(10, 3)
+	l, err := InitialMapping(c, dev, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Valid() || l.Size() != 20 {
+		t.Fatal("invalid layout")
+	}
+	// The improved layout should route ising with zero swaps.
+	res, err := CompileWithLayout(c, dev, l, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 0 {
+		t.Fatalf("reverse-traversal layout still needs %d swaps on ising", res.SwapCount)
+	}
+}
+
+func TestInitialMappingTooWide(t *testing.T) {
+	if _, err := InitialMapping(circuit.New(10), arch.Line(4), fastOpts()); err == nil {
+		t.Fatal("oversized circuit accepted")
+	}
+}
+
+func TestCompileWithLayoutValidation(t *testing.T) {
+	if _, err := CompileWithLayout(circuit.New(10), arch.Line(4), mapping.Identity(4), fastOpts()); err == nil {
+		t.Fatal("oversized circuit accepted")
+	}
+	if _, err := CompileWithLayout(circuit.New(3), arch.Line(4), mapping.Identity(3), fastOpts()); err == nil {
+		t.Fatal("undersized layout accepted")
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	var o Options
+	n := o.normalized()
+	if n.ExtendedSetSize != 20 || n.ExtendedSetWeight != 0.5 || n.Trials != 5 || n.Traversals != 3 {
+		t.Fatalf("zero options not defaulted: %+v", n)
+	}
+	o.Traversals = 2
+	if o.normalized().Traversals != 3 {
+		t.Fatal("even traversals not rounded up")
+	}
+	o.ExtendedSetWeight = 1.5
+	if o.normalized().ExtendedSetWeight != 0.5 {
+		t.Fatal("invalid W not repaired")
+	}
+}
+
+func TestHeuristicStrings(t *testing.T) {
+	if HeuristicBasic.String() != "basic" || HeuristicDecay.String() != "decay" {
+		t.Fatal("heuristic names wrong")
+	}
+}
+
+// Property: every routed random CNOT circuit on every topology is
+// hardware-compliant and GF(2)-equivalent to its source.
+func TestCompileEquivalenceProperty(t *testing.T) {
+	devices := []*arch.Device{
+		arch.Line(6), arch.Ring(7), arch.Grid(3, 3), arch.Star(6), arch.IBMQX5(),
+	}
+	f := func(seed int64, devIdx uint8) bool {
+		dev := devices[int(devIdx)%len(devices)]
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(dev.NumQubits()-1)
+		c := circuit.New(n)
+		for i := 0; i < 40; i++ {
+			a := rng.Intn(n)
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			c.Append(circuit.CX(a, b))
+		}
+		o := DefaultOptions()
+		o.Trials = 1
+		o.Seed = seed
+		res, err := Compile(c, dev, o)
+		if err != nil {
+			return false
+		}
+		if verify.HardwareCompliant(res.Circuit.DecomposeSwaps(), dev.Connected) != nil {
+			return false
+		}
+		return verify.CheckRouted(c, res.Circuit, res.InitialLayout, res.FinalLayout) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: routed circuits preserve full quantum semantics (state
+// vector), including single-qubit gates, on small devices.
+func TestCompileStateEquivalenceProperty(t *testing.T) {
+	dev := arch.Grid(2, 3)
+	f := func(seed int64) bool {
+		c := workloads.RandomCircuit("sv", 5, 40, 0.5, seed)
+		o := DefaultOptions()
+		o.Trials = 1
+		o.Seed = seed
+		res, err := Compile(c, dev, o)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		return verify.EquivalentStates(c, res.Circuit, res.InitialLayout, res.FinalLayout, 2, rng) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: swap count reported matches SWAPs in the output circuit.
+func TestSwapAccountingProperty(t *testing.T) {
+	dev := arch.Ring(8)
+	f := func(seed int64) bool {
+		c := workloads.RandomCircuit("acct", 8, 60, 0.7, seed)
+		o := DefaultOptions()
+		o.Trials = 1
+		o.Seed = seed
+		res, err := Compile(c, dev, o)
+		if err != nil {
+			return false
+		}
+		return res.Circuit.CountKind(circuit.KindSwap) == res.SwapCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForceRouteTermination(t *testing.T) {
+	// With MaxStall=1 the router falls back to shortest-path routing
+	// almost immediately; it must still terminate and verify.
+	dev := arch.Line(10)
+	c := workloads.RandomCircuit("stall", 10, 100, 1.0, 3)
+	o := DefaultOptions()
+	o.Trials = 1
+	o.MaxStall = 1
+	res, err := Compile(c, dev, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckRouted(c, res.Circuit, res.InitialLayout, res.FinalLayout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStarTopologyRouting(t *testing.T) {
+	// Star graphs are adversarial: every route passes through the hub.
+	c := workloads.RandomCircuit("star", 5, 40, 1.0, 7)
+	res := compileAndVerify(t, c, arch.Star(5), fastOpts())
+	if res.SwapCount == 0 {
+		t.Log("star routed with zero swaps (possible for sparse interaction)")
+	}
+}
+
+func TestFirstTraversalRecorded(t *testing.T) {
+	res, err := Compile(workloads.QFT(8), arch.IBMQ20Tokyo(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstTraversalAdded < 0 {
+		t.Fatal("g_la not recorded")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+}

@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// quickConfig keeps harness tests fast: fewer trials, greedy only.
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SabreOpts.Trials = 2
+	cfg.RunAStar = false
+	return cfg
+}
+
+func TestRunTable2SmallClass(t *testing.T) {
+	rows, err := RunTable2(workloads.ByClass(workloads.ClassSmall), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.SabreAdded < 0 || r.SabreAdded%3 != 0 {
+			t.Fatalf("%s: bad added gates %d", r.Bench.Name, r.SabreAdded)
+		}
+		if r.GreedyAdded < 0 {
+			t.Fatalf("%s: greedy column missing", r.Bench.Name)
+		}
+		if r.Gori == 0 || r.DOri == 0 {
+			t.Fatalf("%s: original metrics missing", r.Bench.Name)
+		}
+	}
+}
+
+func TestRunTable2WithAStar(t *testing.T) {
+	cfg := quickConfig()
+	cfg.RunAStar = true
+	bench, _ := workloads.ByName("4mod5-v1_22")
+	rows, err := RunTable2([]workloads.Benchmark{bench}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.BKAOOM {
+		t.Fatal("tiny benchmark tripped the node budget")
+	}
+	if r.BKAAdded < 0 || r.BKANodes <= 0 {
+		t.Fatalf("BKA columns missing: %+v", r)
+	}
+	// Headline result: SABRE must not be worse than BKA on small cases.
+	if r.SabreAdded > r.BKAAdded {
+		t.Fatalf("SABRE added %d > BKA %d on a small benchmark", r.SabreAdded, r.BKAAdded)
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "4mod5-v1_22") {
+		t.Fatal("format lost the benchmark name")
+	}
+}
+
+func TestFormatTable2OOMRendering(t *testing.T) {
+	rows := []Table2Row{{Bench: workloads.Benchmark{Name: "x", Class: workloads.ClassQFT, N: 20}, BKAOOM: true, BKAAdded: -1}}
+	if !strings.Contains(FormatTable2(rows), "OOM") {
+		t.Fatal("OOM row not rendered")
+	}
+}
+
+func TestRunFig8ProducesTradeoff(t *testing.T) {
+	cfg := quickConfig()
+	b, _ := workloads.ByName("qft_10")
+	pts, err := RunFig8(b, []float64{0.001, 0.05}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.NormGates < 1 || p.NormDepth <= 0 {
+			t.Fatalf("implausible point %+v", p)
+		}
+	}
+	if out := FormatFig8("qft_10", pts); !strings.Contains(out, "qft_10") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestRunScalingQFT(t *testing.T) {
+	cfg := quickConfig()
+	cfg.RunAStar = true
+	cfg.AStarOpts.NodeBudget = 50000
+	rows, err := RunScalingQFT([]int{4, 6}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].N != 4 {
+		t.Fatalf("rows wrong: %+v", rows)
+	}
+	if out := FormatScaling(rows); !strings.Contains(out, "sabre_t") {
+		t.Fatal("scaling format broken")
+	}
+}
+
+func TestVerifyFlagCatchesNothingOnGoodRuns(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Verify = true
+	b, _ := workloads.ByName("ising_model_10")
+	if _, err := RunTable2([]workloads.Benchmark{b}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsingRowIsOptimal(t *testing.T) {
+	// §V-A1: ising rows should be solved with zero added gates.
+	cfg := DefaultConfig()
+	cfg.RunAStar = false
+	cfg.RunGreedy = false
+	b, _ := workloads.ByName("ising_model_10")
+	rows, err := RunTable2([]workloads.Benchmark{b}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].SabreAdded != 0 {
+		t.Fatalf("ising_model_10 added %d gates, want 0", rows[0].SabreAdded)
+	}
+}
+
+func TestRunSearchSpace(t *testing.T) {
+	cfg := quickConfig()
+	rows, err := RunSearchSpace([]int{3, 4}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgCandidates <= 0 || r.MaxCandidates > r.Edges {
+			t.Fatalf("implausible row %+v", r)
+		}
+	}
+	// The O(N) claim: candidates grow with N but stay bounded by |E|.
+	if rows[1].AvgCandidates <= rows[0].AvgCandidates {
+		t.Log("candidate count did not grow with N (acceptable, bound still holds)")
+	}
+	if out := FormatSearchSpace(rows); !strings.Contains(out, "avg_cand") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestRunOptimalityGap(t *testing.T) {
+	cfg := quickConfig()
+	rows, err := RunOptimalityGap(150, []int64{1, 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SabreAdded < 0 || r.GreedyAdded < 0 {
+			t.Fatalf("columns missing: %+v", r)
+		}
+		// SABRE's gap on known-optimal instances must be far below
+		// greedy's (the construction guarantees optimum 0).
+		if r.GreedyAdded > 0 && r.SabreAdded > r.GreedyAdded/2 {
+			t.Fatalf("seed %d: sabre gap %d vs greedy %d", r.Seed, r.SabreAdded, r.GreedyAdded)
+		}
+	}
+	if out := FormatOptimality(rows); !strings.Contains(out, "mean gap") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestSabreOptionsPropagate(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SabreOpts.Heuristic = core.HeuristicBasic
+	b, _ := workloads.ByName("4mod5-v1_22")
+	if _, err := RunTable2([]workloads.Benchmark{b}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+func fig3Original() *circuit.Circuit {
+	c := circuit.NewNamed("fig3", 4)
+	c.Append(
+		circuit.CX(0, 1), circuit.CX(2, 3), circuit.CX(1, 3),
+		circuit.CX(1, 2), circuit.CX(2, 3), circuit.CX(0, 3),
+	)
+	return c
+}
+
+func fig3Routed() *circuit.Circuit {
+	c := circuit.NewNamed("fig3-routed", 4)
+	c.Append(
+		circuit.CX(0, 1), circuit.CX(2, 3), circuit.CX(1, 3),
+		circuit.Swap(0, 1),
+		circuit.CX(1, 2), circuit.CX(2, 3), circuit.CX(0, 3),
+	)
+	return c
+}
+
+func TestMeasureFig3(t *testing.T) {
+	r := Measure(fig3Original())
+	if r.Gates != 6 || r.Depth != 5 || r.TwoQubitGates != 6 {
+		t.Fatalf("fig3 original: %+v", r)
+	}
+}
+
+func TestCompareFig3(t *testing.T) {
+	// Paper §III-A: gates 6 -> 9, depth 5 -> 8 after one SWAP.
+	r := Compare(fig3Original(), fig3Routed())
+	if r.RefGates != 6 || r.Gates != 9 || r.AddedGates != 3 {
+		t.Fatalf("gate accounting: %+v", r)
+	}
+	if r.RefDepth != 5 || r.Depth != 8 {
+		t.Fatalf("depth accounting: %+v", r)
+	}
+}
+
+func TestEstimateFidelity(t *testing.T) {
+	em := arch.Q20ErrorModel()
+	c := circuit.New(2)
+	c.Append(circuit.G1(circuit.KindH, 0), circuit.CX(0, 1), circuit.G1(circuit.KindMeasure, 0))
+	want := (1 - em.SingleQubitError) * (1 - em.TwoQubitError) * (1 - em.MeasurementError)
+	if got := EstimateFidelity(c, em); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fidelity = %g, want %g", got, want)
+	}
+	// A SWAP costs 3 CNOTs of error.
+	s := circuit.New(2)
+	s.Append(circuit.Swap(0, 1))
+	want = math.Pow(1-em.TwoQubitError, 3)
+	if got := EstimateFidelity(s, em); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("swap fidelity = %g, want %g", got, want)
+	}
+	// Barrier is free.
+	b := circuit.New(1)
+	b.Append(circuit.G1(circuit.KindBarrier, 0))
+	if EstimateFidelity(b, em) != 1 {
+		t.Fatal("barrier should not cost fidelity")
+	}
+}
+
+func TestFidelityMonotoneInGates(t *testing.T) {
+	em := arch.Q20ErrorModel()
+	short := fig3Original()
+	long := fig3Routed()
+	if EstimateFidelity(long, em) >= EstimateFidelity(short, em) {
+		t.Fatal("more gates should mean lower fidelity")
+	}
+}
+
+func TestEstimateDuration(t *testing.T) {
+	em := arch.ErrorModel{SingleQubitNanos: 10, TwoQubitNanos: 100, T2Microseconds: 1}
+	c := circuit.New(2)
+	c.Append(circuit.G1(circuit.KindH, 0), circuit.G1(circuit.KindH, 1), circuit.CX(0, 1))
+	// Both H in parallel (10ns) then CX (100ns).
+	if got := EstimateDuration(c, em); got != 110 {
+		t.Fatalf("duration = %g, want 110", got)
+	}
+	if EstimateDuration(circuit.New(0), em) != 0 {
+		t.Fatal("empty circuit duration")
+	}
+}
+
+func TestCoherenceBudget(t *testing.T) {
+	em := arch.ErrorModel{SingleQubitNanos: 10, TwoQubitNanos: 100, T2Microseconds: 1} // 1000ns budget
+	c := circuit.New(2)
+	c.Append(circuit.CX(0, 1)) // 100ns
+	if !CoherenceBudgetOK(c, em, 0.5) {
+		t.Fatal("100ns should fit in 500ns")
+	}
+	for i := 0; i < 9; i++ {
+		c.Append(circuit.CX(0, 1))
+	}
+	if CoherenceBudgetOK(c, em, 0.5) { // 1000ns > 500ns
+		t.Fatal("1000ns should not fit in 500ns")
+	}
+}
+
+func TestDecoherenceFactor(t *testing.T) {
+	em := arch.ErrorModel{TwoQubitNanos: 1000, T2Microseconds: 1} // one gate = full T2
+	c := circuit.New(2)
+	c.Append(circuit.CX(0, 1))
+	if got := DecoherenceFactor(c, em); math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("decoherence = %g", got)
+	}
+	if DecoherenceFactor(c, arch.ErrorModel{}) != 0 {
+		t.Fatal("zero T2 should yield 0")
+	}
+}
+
+func TestQubitUtilization(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(circuit.CX(0, 1), circuit.G1(circuit.KindH, 0), circuit.Swap(1, 2))
+	u := QubitUtilization(c)
+	// Swap decomposes to 3 CX: q1 and q2 each get 3 touches.
+	if u[0] != 2 || u[1] != 4 || u[2] != 3 {
+		t.Fatalf("utilization %v", u)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown(fig3Original(), fig3Routed())
+	if b.OriginalGates != 6 || b.RoutedGates != 9 || b.AddedGates != 3 {
+		t.Fatalf("breakdown %+v", b)
+	}
+	if b.AddedCNOTs != 3 || b.SwapsInserted != 1 {
+		t.Fatalf("breakdown %+v", b)
+	}
+	if b.OverheadRatio != 1.5 || b.TwoQubitShare != 1 {
+		t.Fatalf("breakdown %+v", b)
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	e := circuit.New(2)
+	b := Breakdown(e, e)
+	if b.OverheadRatio != 0 || b.TwoQubitShare != 0 {
+		t.Fatalf("empty breakdown %+v", b)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Compare(fig3Original(), fig3Routed())
+	if r.String() == "" {
+		t.Fatal("empty report string")
+	}
+	m := Measure(fig3Original())
+	if m.String() == "" {
+		t.Fatal("empty measure string")
+	}
+}

@@ -1,0 +1,212 @@
+// Package opt implements post-routing peephole optimization. Routing
+// inserts SWAPs mechanically; simple local rewrites then reclaim gates:
+// adjacent self-inverse pairs cancel (CX·CX, H·H, X·X, SWAP·SWAP),
+// inverse pairs cancel (S·S†, T·T†), and consecutive rotations about
+// the same axis merge. The paper's gate-count objective (§III-B) makes
+// every reclaimed gate a direct fidelity win.
+//
+// The optimizer preserves circuit semantics exactly (tests verify over
+// GF(2) and by state-vector simulation) and never reorders gates across
+// dependencies: cancellation only fires when two gates are adjacent on
+// all of their qubits' timelines.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Options configures the peephole optimizer.
+type Options struct {
+	// MaxPasses bounds the fixpoint iteration (each pass scans the
+	// whole circuit once). 0 selects a default of 10; the fixpoint is
+	// normally reached in 2-3 passes.
+	MaxPasses int
+
+	// MergeRotations merges consecutive same-axis rotations (RZ/RZ,
+	// RX/RX, RY/RY, U1/U1) into one gate, dropping it entirely when the
+	// combined angle is a multiple of 2π.
+	MergeRotations bool
+}
+
+// DefaultOptions enables all rewrites.
+func DefaultOptions() Options {
+	return Options{MaxPasses: 10, MergeRotations: true}
+}
+
+// Result reports what the optimizer did.
+type Result struct {
+	Circuit  *circuit.Circuit
+	Removed  int // gates removed by cancellation
+	Merged   int // rotation pairs merged
+	Passes   int // passes until fixpoint
+	GatesIn  int
+	GatesOut int
+}
+
+// Optimize applies peephole rewrites until fixpoint (or MaxPasses) and
+// returns the optimized circuit. The input circuit is not modified.
+func Optimize(c *circuit.Circuit, opts Options) Result {
+	if opts.MaxPasses <= 0 {
+		opts.MaxPasses = 10
+	}
+	res := Result{GatesIn: c.NumGates()}
+	gates := append([]circuit.Gate(nil), c.Gates()...)
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		var removed, merged int
+		gates, removed, merged = onePass(c.NumQubits(), gates, opts)
+		res.Passes = pass + 1
+		res.Removed += removed
+		res.Merged += merged
+		if removed == 0 && merged == 0 {
+			break
+		}
+	}
+	out := circuit.NewNamed(c.Name(), c.NumQubits())
+	out.Append(gates...)
+	res.Circuit = out
+	res.GatesOut = out.NumGates()
+	return res
+}
+
+// onePass scans once, cancelling/merging adjacent pairs. Two gates are
+// "adjacent" when the earlier one is the most recent gate on every
+// qubit of the later one (nothing touched any shared qubit between
+// them) — then the rewrite is sound regardless of what happens on
+// other qubits.
+func onePass(n int, gates []circuit.Gate, opts Options) (out []circuit.Gate, removed, merged int) {
+	// lastIdx[q] is the index (into out) of the last surviving gate on
+	// wire q, or -1.
+	lastIdx := make([]int, n)
+	for i := range lastIdx {
+		lastIdx[i] = -1
+	}
+	dead := make([]bool, len(gates))
+	out = make([]circuit.Gate, 0, len(gates))
+
+	prevOn := func(g circuit.Gate) (int, bool) {
+		// The candidate predecessor must be the last gate on ALL of g's
+		// qubits, and alive.
+		p := lastIdx[g.Q0]
+		if g.TwoQubit() {
+			if lastIdx[g.Q1] != p {
+				return -1, false
+			}
+		}
+		if p < 0 || dead[p] {
+			return -1, false
+		}
+		return p, true
+	}
+
+	push := func(g circuit.Gate, srcIdx int) {
+		out = append(out, g)
+		idx := len(out) - 1
+		lastIdx[g.Q0] = idx
+		if g.TwoQubit() {
+			lastIdx[g.Q1] = idx
+		}
+		_ = srcIdx
+	}
+
+	// dead is indexed over `out` after this point: simpler to track a
+	// parallel slice.
+	dead = make([]bool, 0, len(gates))
+	pushAlive := func(g circuit.Gate) {
+		push(g, 0)
+		dead = append(dead, false)
+	}
+
+	for _, g := range gates {
+		if p, ok := prevOn(g); ok {
+			prev := out[p]
+			switch {
+			case cancels(prev, g):
+				dead[p] = true
+				removed += 2
+				// Roll lastIdx back is unnecessary: dead gates are
+				// skipped by prevOn and filtered at the end; but the
+				// wires' "last gate" should become whatever preceded.
+				// Conservatively reset to -1 (prevents further rewrites
+				// through the hole this pass; later passes catch them).
+				lastIdx[g.Q0] = -1
+				if g.TwoQubit() {
+					lastIdx[g.Q1] = -1
+				}
+				continue
+			case opts.MergeRotations && sameAxisRotation(prev, g):
+				angle := prev.Params[0] + g.Params[0]
+				if wrapsToIdentity(angle) {
+					dead[p] = true
+					removed += 2
+				} else {
+					out[p] = circuit.G1(prev.Kind, prev.Q0, angle)
+					merged++
+				}
+				continue
+			}
+		}
+		pushAlive(g)
+	}
+
+	kept := out[:0]
+	for i, g := range out {
+		if !dead[i] {
+			kept = append(kept, g)
+		}
+	}
+	return kept, removed, merged
+}
+
+// cancels reports whether b immediately after a is the identity.
+func cancels(a, b circuit.Gate) bool {
+	switch {
+	case a.Kind == circuit.KindCX && b.Kind == circuit.KindCX:
+		return a.Q0 == b.Q0 && a.Q1 == b.Q1
+	case a.Kind == circuit.KindCZ && b.Kind == circuit.KindCZ:
+		// CZ is symmetric.
+		return (a.Q0 == b.Q0 && a.Q1 == b.Q1) || (a.Q0 == b.Q1 && a.Q1 == b.Q0)
+	case a.Kind == circuit.KindSwap && b.Kind == circuit.KindSwap:
+		return (a.Q0 == b.Q0 && a.Q1 == b.Q1) || (a.Q0 == b.Q1 && a.Q1 == b.Q0)
+	case a.Q0 != b.Q0:
+		return false
+	case a.Kind == circuit.KindH && b.Kind == circuit.KindH,
+		a.Kind == circuit.KindX && b.Kind == circuit.KindX,
+		a.Kind == circuit.KindY && b.Kind == circuit.KindY,
+		a.Kind == circuit.KindZ && b.Kind == circuit.KindZ:
+		return true
+	case a.Kind == circuit.KindS && b.Kind == circuit.KindSdg,
+		a.Kind == circuit.KindSdg && b.Kind == circuit.KindS,
+		a.Kind == circuit.KindT && b.Kind == circuit.KindTdg,
+		a.Kind == circuit.KindTdg && b.Kind == circuit.KindT:
+		return true
+	default:
+		return false
+	}
+}
+
+// sameAxisRotation reports whether a and b are mergeable rotations on
+// the same qubit and axis.
+func sameAxisRotation(a, b circuit.Gate) bool {
+	if a.Q0 != b.Q0 || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case circuit.KindRZ, circuit.KindRX, circuit.KindRY, circuit.KindU1:
+		return true
+	default:
+		return false
+	}
+}
+
+// wrapsToIdentity reports whether the merged angle is a multiple of 2π
+// (the merged rotation is the identity up to global phase).
+func wrapsToIdentity(angle float64) bool {
+	m := math.Mod(angle, 2*math.Pi)
+	if m < 0 {
+		m += 2 * math.Pi
+	}
+	const eps = 1e-12
+	return m < eps || 2*math.Pi-m < eps
+}

@@ -1,0 +1,226 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+	"repro/internal/verify"
+	"repro/internal/workloads"
+)
+
+func optimize(t *testing.T, c *circuit.Circuit) Result {
+	t.Helper()
+	res := Optimize(c, DefaultOptions())
+	if res.GatesOut != res.Circuit.NumGates() {
+		t.Fatalf("accounting wrong: %d != %d", res.GatesOut, res.Circuit.NumGates())
+	}
+	return res
+}
+
+func TestCancelAdjacentCX(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(circuit.CX(0, 1), circuit.CX(0, 1))
+	res := optimize(t, c)
+	if res.Circuit.NumGates() != 0 || res.Removed != 2 {
+		t.Fatalf("CX pair not cancelled: %v", res.Circuit.Gates())
+	}
+}
+
+func TestNoCancelReversedCX(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(circuit.CX(0, 1), circuit.CX(1, 0))
+	if res := optimize(t, c); res.Circuit.NumGates() != 2 {
+		t.Fatal("reversed CX pair wrongly cancelled")
+	}
+}
+
+func TestCancelSelfInverses(t *testing.T) {
+	pairs := [][2]circuit.Gate{
+		{circuit.G1(circuit.KindH, 0), circuit.G1(circuit.KindH, 0)},
+		{circuit.G1(circuit.KindX, 1), circuit.G1(circuit.KindX, 1)},
+		{circuit.G1(circuit.KindS, 0), circuit.G1(circuit.KindSdg, 0)},
+		{circuit.G1(circuit.KindTdg, 1), circuit.G1(circuit.KindT, 1)},
+		{circuit.Swap(0, 1), circuit.Swap(1, 0)},
+		{circuit.CZ(0, 1), circuit.CZ(1, 0)},
+	}
+	for _, p := range pairs {
+		c := circuit.New(2)
+		c.Append(p[0], p[1])
+		if res := optimize(t, c); res.Circuit.NumGates() != 0 {
+			t.Fatalf("%v then %v not cancelled", p[0], p[1])
+		}
+	}
+}
+
+func TestInterveningGateBlocksCancellation(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(circuit.G1(circuit.KindH, 0), circuit.G1(circuit.KindT, 0), circuit.G1(circuit.KindH, 0))
+	if res := optimize(t, c); res.Circuit.NumGates() != 3 {
+		t.Fatal("cancelled across an intervening gate")
+	}
+}
+
+func TestBarrierAndMeasureBlockCancellation(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(circuit.G1(circuit.KindH, 0), circuit.G1(circuit.KindBarrier, 0), circuit.G1(circuit.KindH, 0))
+	if res := optimize(t, c); res.Circuit.CountKind(circuit.KindH) != 2 {
+		t.Fatal("cancelled across a barrier")
+	}
+	m := circuit.New(1)
+	m.Append(circuit.G1(circuit.KindX, 0), circuit.G1(circuit.KindMeasure, 0), circuit.G1(circuit.KindX, 0))
+	if res := optimize(t, m); res.Circuit.CountKind(circuit.KindX) != 2 {
+		t.Fatal("cancelled across a measurement")
+	}
+}
+
+func TestSpectatorGateDoesNotBlock(t *testing.T) {
+	// A gate on an unrelated wire must not block cancellation.
+	c := circuit.New(3)
+	c.Append(circuit.CX(0, 1), circuit.G1(circuit.KindH, 2), circuit.CX(0, 1))
+	res := optimize(t, c)
+	if res.Circuit.NumGates() != 1 || res.Circuit.Gate(0).Kind != circuit.KindH {
+		t.Fatalf("spectator handling wrong: %v", res.Circuit.Gates())
+	}
+}
+
+func TestPartialOverlapBlocksCXCancellation(t *testing.T) {
+	// CX(0,1) CX(1,2) CX(0,1): the middle gate shares qubit 1, so the
+	// outer pair is NOT adjacent and must survive.
+	c := circuit.New(3)
+	c.Append(circuit.CX(0, 1), circuit.CX(1, 2), circuit.CX(0, 1))
+	if res := optimize(t, c); res.Circuit.NumGates() != 3 {
+		t.Fatalf("unsound cancellation: %v", res.Circuit.Gates())
+	}
+}
+
+func TestRotationMerging(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(circuit.G1(circuit.KindRZ, 0, 0.3), circuit.G1(circuit.KindRZ, 0, 0.5))
+	res := optimize(t, c)
+	if res.Circuit.NumGates() != 1 || res.Merged != 1 {
+		t.Fatalf("rotations not merged: %v", res.Circuit.Gates())
+	}
+	if math.Abs(res.Circuit.Gate(0).Params[0]-0.8) > 1e-15 {
+		t.Fatalf("merged angle %g", res.Circuit.Gate(0).Params[0])
+	}
+}
+
+func TestRotationMergeToIdentity(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(circuit.G1(circuit.KindRX, 0, 1.1), circuit.G1(circuit.KindRX, 0, 2*math.Pi-1.1))
+	if res := optimize(t, c); res.Circuit.NumGates() != 0 {
+		t.Fatalf("2π rotation survived: %v", res.Circuit.Gates())
+	}
+}
+
+func TestRotationMergeDisabled(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(circuit.G1(circuit.KindRZ, 0, 0.3), circuit.G1(circuit.KindRZ, 0, 0.5))
+	opts := DefaultOptions()
+	opts.MergeRotations = false
+	if res := Optimize(c, opts); res.Circuit.NumGates() != 2 {
+		t.Fatal("merge happened while disabled")
+	}
+}
+
+func TestFixpointCascade(t *testing.T) {
+	// T Tdg cancellation exposes an H H pair; both must go (multi-pass).
+	c := circuit.New(1)
+	c.Append(
+		circuit.G1(circuit.KindH, 0),
+		circuit.G1(circuit.KindT, 0),
+		circuit.G1(circuit.KindTdg, 0),
+		circuit.G1(circuit.KindH, 0),
+	)
+	res := optimize(t, c)
+	if res.Circuit.NumGates() != 0 {
+		t.Fatalf("cascade incomplete: %v", res.Circuit.Gates())
+	}
+	if res.Passes < 2 {
+		t.Fatalf("expected multiple passes, got %d", res.Passes)
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(circuit.G1(circuit.KindH, 0), circuit.G1(circuit.KindH, 0))
+	Optimize(c, DefaultOptions())
+	if c.NumGates() != 2 {
+		t.Fatal("Optimize mutated its input")
+	}
+}
+
+// Property: optimization preserves the GF(2) function of CNOT/SWAP
+// circuits exactly.
+func TestOptimizePreservesLinearFunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		c := circuit.New(n)
+		for i := 0; i < 60; i++ {
+			a := rng.Intn(n)
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			if rng.Intn(4) == 0 {
+				c.Append(circuit.Swap(a, b))
+			} else {
+				c.Append(circuit.CX(a, b))
+			}
+		}
+		res := Optimize(c, DefaultOptions())
+		before, err1 := verify.FromCircuit(c)
+		after, err2 := verify.FromCircuit(res.Circuit)
+		return err1 == nil && err2 == nil && before.Equal(after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: optimization preserves full quantum semantics on random
+// mixed circuits (state-vector check).
+func TestOptimizePreservesStates(t *testing.T) {
+	f := func(seed int64) bool {
+		c := workloads.RandomCircuit("opt", 4, 50, 0.4, seed)
+		res := Optimize(c, DefaultOptions())
+		rng := rand.New(rand.NewSource(seed))
+		psi := sim.NewRandomState(4, rng)
+		a := psi.Clone()
+		a.ApplyCircuit(c)
+		b := psi.Clone()
+		b.ApplyCircuit(res.Circuit)
+		return a.EqualUpToGlobalPhase(b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the optimizer is idempotent (running twice = running once).
+func TestOptimizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		c := workloads.RandomCircuit("idem", 5, 80, 0.5, seed)
+		once := Optimize(c, DefaultOptions())
+		twice := Optimize(once.Circuit, DefaultOptions())
+		return twice.Removed == 0 && twice.Merged == 0 && twice.Circuit.Equal(once.Circuit)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeReclaimsRoutingOverhead(t *testing.T) {
+	// Routed circuits contain decomposed SWAPs adjacent to CNOTs; the
+	// optimizer should reclaim some gates on a dense workload.
+	c := workloads.RandomCircuit("reclaim", 8, 300, 0.8, 3)
+	res := Optimize(c, DefaultOptions())
+	if res.GatesOut > res.GatesIn {
+		t.Fatal("optimizer grew the circuit")
+	}
+}

@@ -1,0 +1,221 @@
+package qasm
+
+import (
+	"math"
+	"strconv"
+)
+
+// expr is a parsed parameter expression. Expressions appear in gate
+// parameter lists and inside gate bodies, where they may reference the
+// gate's formal parameters; eval resolves formals through env.
+type expr interface {
+	eval(env map[string]float64) (float64, error)
+}
+
+type numExpr float64
+
+func (n numExpr) eval(map[string]float64) (float64, error) { return float64(n), nil }
+
+type varExpr struct {
+	name string
+	line int
+	col  int
+}
+
+func (v varExpr) eval(env map[string]float64) (float64, error) {
+	if v.name == "pi" {
+		return math.Pi, nil
+	}
+	if env != nil {
+		if val, ok := env[v.name]; ok {
+			return val, nil
+		}
+	}
+	return 0, errf(v.line, v.col, "unknown parameter %q", v.name)
+}
+
+type unaryExpr struct {
+	op        string // "-" or a function name
+	arg       expr
+	line, col int
+}
+
+func (u unaryExpr) eval(env map[string]float64) (float64, error) {
+	v, err := u.arg.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch u.op {
+	case "-":
+		return -v, nil
+	case "sin":
+		return math.Sin(v), nil
+	case "cos":
+		return math.Cos(v), nil
+	case "tan":
+		return math.Tan(v), nil
+	case "exp":
+		return math.Exp(v), nil
+	case "ln":
+		return math.Log(v), nil
+	case "sqrt":
+		return math.Sqrt(v), nil
+	default:
+		return 0, errf(u.line, u.col, "unknown function %q", u.op)
+	}
+}
+
+type binExpr struct {
+	op        tokenKind
+	l, r      expr
+	line, col int
+}
+
+func (b binExpr) eval(env map[string]float64) (float64, error) {
+	l, err := b.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case tokPlus:
+		return l + r, nil
+	case tokMinus:
+		return l - r, nil
+	case tokStar:
+		return l * r, nil
+	case tokSlash:
+		if r == 0 {
+			return 0, errf(b.line, b.col, "division by zero in parameter expression")
+		}
+		return l / r, nil
+	case tokCaret:
+		return math.Pow(l, r), nil
+	default:
+		return 0, errf(b.line, b.col, "unknown operator")
+	}
+}
+
+// parseExpr parses an additive expression (lowest precedence).
+func (p *parser) parseExpr() (expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		op, line, col := p.tok.kind, p.tok.line, p.tok.col
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{op: op, l: left, r: right, line: line, col: col}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (expr, error) {
+	left, err := p.parsePower()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokStar || p.tok.kind == tokSlash {
+		op, line, col := p.tok.kind, p.tok.line, p.tok.col
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parsePower()
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{op: op, l: left, r: right, line: line, col: col}
+	}
+	return left, nil
+}
+
+// parsePower handles '^' with right associativity.
+func (p *parser) parsePower() (expr, error) {
+	base, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokCaret {
+		line, col := p.tok.line, p.tok.col
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		exp, err := p.parsePower()
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{op: tokCaret, l: base, r: exp, line: line, col: col}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	switch p.tok.kind {
+	case tokMinus:
+		line, col := p.tok.line, p.tok.col
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		arg, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: "-", arg: arg, line: line, col: col}, nil
+	case tokPlus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.parseUnary()
+	case tokNumber:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, errf(p.tok.line, p.tok.col, "invalid number %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return numExpr(v), nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		name, line, col := p.tok.text, p.tok.line, p.tok.col
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokLParen { // function call
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return unaryExpr{op: name, arg: arg, line: line, col: col}, nil
+		}
+		return varExpr{name: name, line: line, col: col}, nil
+	default:
+		return nil, errf(p.tok.line, p.tok.col, "expected expression, found %v %q", p.tok.kind, p.tok.text)
+	}
+}

@@ -1,0 +1,61 @@
+package qasm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestParseFileAdder(t *testing.T) {
+	c, err := ParseFile("testdata/adder4.qasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "adder4" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if c.NumQubits() != 5 {
+		t.Fatalf("qubits = %d", c.NumQubits())
+	}
+	// 3 ccx (15 gates each) + 4 cx + 5 measures.
+	if got := c.NumGates(); got != 3*15+4+5 {
+		t.Fatalf("gates = %d", got)
+	}
+	if c.CountKind(circuit.KindCX) != 3*6+4 {
+		t.Fatalf("CX count = %d", c.CountKind(circuit.KindCX))
+	}
+	if c.CountKind(circuit.KindMeasure) != 5 {
+		t.Fatal("broadcast measure lost")
+	}
+}
+
+func TestParseFileVQE(t *testing.T) {
+	c, err := ParseFile("testdata/vqe_fragment.qasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits() != 4 {
+		t.Fatalf("qubits = %d", c.NumQubits())
+	}
+	// 4 h + 3 entangle (3 gates each) + 1 u3 + 4 barrier.
+	if got := c.NumGates(); got != 4+9+1+4 {
+		t.Fatalf("gates = %d: %v", got, c.Gates())
+	}
+	// The third entangle's rz carries -pi/16.
+	var rzs []float64
+	for _, g := range c.Gates() {
+		if g.Kind == circuit.KindRZ {
+			rzs = append(rzs, g.Params[0])
+		}
+	}
+	if len(rzs) != 3 || math.Abs(rzs[2]+math.Pi/16) > 1e-15 {
+		t.Fatalf("rz params = %v", rzs)
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("testdata/nonexistent.qasm"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,265 @@
+// Package qasm implements a reader and writer for the OpenQASM 2.0
+// subset needed by the paper's benchmark suites (RevLib, QISKit,
+// Quipper and ScaffCC exports all ship as QASM built on qelib1.inc).
+//
+// Supported: OPENQASM/include headers, qreg/creg declarations (multiple
+// registers are flattened into one wire space), the qelib1 standard
+// gates, user gate definitions (inlined at parse time), parameter
+// expressions over pi with + - * / ^ and the usual unary functions,
+// whole-register broadcast, measure, barrier and comments.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSemicolon
+	tokComma
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokLBrace
+	tokRBrace
+	tokArrow
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokCaret
+	tokEquals
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokSemicolon:
+		return "';'"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokArrow:
+		return "'->'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokCaret:
+		return "'^'"
+	case tokEquals:
+		return "'=='"
+	default:
+		return "unknown token"
+	}
+}
+
+// token is one lexical unit with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer converts QASM source into a token stream.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a QASM syntax or semantic error with source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("qasm:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// next returns the next token, skipping whitespace and comments.
+func (l *lexer) next() (token, error) {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return token{kind: tokEOF, line: l.line, col: l.col}, nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return l.lexToken()
+		}
+	}
+}
+
+func (l *lexer) lexToken() (token, error) {
+	line, col := l.line, l.col
+	c := l.advance()
+	switch {
+	case c == ';':
+		return token{tokSemicolon, ";", line, col}, nil
+	case c == ',':
+		return token{tokComma, ",", line, col}, nil
+	case c == '(':
+		return token{tokLParen, "(", line, col}, nil
+	case c == ')':
+		return token{tokRParen, ")", line, col}, nil
+	case c == '[':
+		return token{tokLBracket, "[", line, col}, nil
+	case c == ']':
+		return token{tokRBracket, "]", line, col}, nil
+	case c == '{':
+		return token{tokLBrace, "{", line, col}, nil
+	case c == '}':
+		return token{tokRBrace, "}", line, col}, nil
+	case c == '+':
+		return token{tokPlus, "+", line, col}, nil
+	case c == '*':
+		return token{tokStar, "*", line, col}, nil
+	case c == '/':
+		return token{tokSlash, "/", line, col}, nil
+	case c == '^':
+		return token{tokCaret, "^", line, col}, nil
+	case c == '-':
+		if nc, ok := l.peekByte(); ok && nc == '>' {
+			l.advance()
+			return token{tokArrow, "->", line, col}, nil
+		}
+		return token{tokMinus, "-", line, col}, nil
+	case c == '=':
+		if nc, ok := l.peekByte(); ok && nc == '=' {
+			l.advance()
+			return token{tokEquals, "==", line, col}, nil
+		}
+		return token{}, errf(line, col, "unexpected character %q", c)
+	case c == '"':
+		var sb strings.Builder
+		for {
+			nc, ok := l.peekByte()
+			if !ok {
+				return token{}, errf(line, col, "unterminated string literal")
+			}
+			l.advance()
+			if nc == '"' {
+				return token{tokString, sb.String(), line, col}, nil
+			}
+			sb.WriteByte(nc)
+		}
+	case isDigit(c) || c == '.':
+		var sb strings.Builder
+		sb.WriteByte(c)
+		seenExp := false
+		for {
+			nc, ok := l.peekByte()
+			if !ok {
+				break
+			}
+			if isDigit(nc) || nc == '.' {
+				sb.WriteByte(nc)
+				l.advance()
+				continue
+			}
+			if (nc == 'e' || nc == 'E') && !seenExp {
+				seenExp = true
+				sb.WriteByte(nc)
+				l.advance()
+				if sc, ok := l.peekByte(); ok && (sc == '+' || sc == '-') {
+					sb.WriteByte(sc)
+					l.advance()
+				}
+				continue
+			}
+			break
+		}
+		return token{tokNumber, sb.String(), line, col}, nil
+	case isIdentStart(c):
+		var sb strings.Builder
+		sb.WriteByte(c)
+		for {
+			nc, ok := l.peekByte()
+			if !ok || !isIdentPart(nc) {
+				break
+			}
+			sb.WriteByte(nc)
+			l.advance()
+		}
+		return token{tokIdent, sb.String(), line, col}, nil
+	default:
+		return token{}, errf(line, col, "unexpected character %q", c)
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

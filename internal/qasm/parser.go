@@ -1,0 +1,709 @@
+package qasm
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// gateDef is a user-defined gate (OpenQASM `gate` statement) that the
+// parser inlines at application sites.
+type gateDef struct {
+	params []string   // formal parameter names
+	args   []string   // formal qubit argument names
+	body   []gateCall // calls in terms of formals
+}
+
+// gateCall is one statement inside a gate body, unresolved.
+type gateCall struct {
+	name   string
+	params []expr
+	args   []string
+	line   int
+	col    int
+}
+
+// parser consumes tokens and emits a circuit.
+type parser struct {
+	lex    *lexer
+	tok    token
+	peeked *token
+
+	regOffset map[string]int // qreg name -> first flat wire index
+	regSize   map[string]int
+	cregSize  map[string]int
+	numWires  int
+
+	defs  map[string]*gateDef
+	gates []circuit.Gate
+}
+
+// Parse reads OpenQASM 2.0 source and returns the flattened circuit.
+// Measurements and barriers are preserved as gates; classical registers
+// are validated but carry no data in this IR.
+func Parse(src string) (*circuit.Circuit, error) {
+	p := &parser{
+		lex:       newLexer(src),
+		regOffset: make(map[string]int),
+		regSize:   make(map[string]int),
+		cregSize:  make(map[string]int),
+		defs:      make(map[string]*gateDef),
+	}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	c := circuit.New(p.numWires)
+	c.Append(p.gates...)
+	return c, nil
+}
+
+// ParseFile reads and parses a QASM file; the circuit is named after
+// the file's base name without extension.
+func ParseFile(path string) (*circuit.Circuit, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	c.SetName(strings.TrimSuffix(base, ".qasm"))
+	return c, nil
+}
+
+// ParseReader parses QASM from r.
+func ParseReader(r io.Reader) (*circuit.Circuit, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(string(data))
+}
+
+func (p *parser) run() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for p.tok.kind != tokEOF {
+		if err := p.statement(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) advance() error {
+	if p.peeked != nil {
+		p.tok = *p.peeked
+		p.peeked = nil
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peek() (token, error) {
+	if p.peeked == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, errf(p.tok.line, p.tok.col, "expected %v, found %v %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) statement() error {
+	if p.tok.kind != tokIdent {
+		return errf(p.tok.line, p.tok.col, "expected statement, found %v %q", p.tok.kind, p.tok.text)
+	}
+	switch p.tok.text {
+	case "OPENQASM":
+		return p.header()
+	case "include":
+		return p.include()
+	case "qreg":
+		return p.qreg()
+	case "creg":
+		return p.creg()
+	case "gate":
+		return p.gateDefStmt()
+	case "opaque":
+		return p.opaque()
+	case "measure":
+		return p.measure()
+	case "barrier":
+		return p.barrier()
+	case "reset":
+		return p.reset()
+	case "if":
+		return errf(p.tok.line, p.tok.col, "classical control (if) is not supported by this subset")
+	default:
+		return p.application()
+	}
+}
+
+func (p *parser) header() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	v, err := p.expect(tokNumber)
+	if err != nil {
+		return err
+	}
+	if v.text != "2.0" && v.text != "2" {
+		return errf(v.line, v.col, "unsupported OPENQASM version %q (want 2.0)", v.text)
+	}
+	_, err = p.expect(tokSemicolon)
+	return err
+}
+
+func (p *parser) include() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	name, err := p.expect(tokString)
+	if err != nil {
+		return err
+	}
+	if name.text != "qelib1.inc" {
+		return errf(name.line, name.col, "unsupported include %q (only qelib1.inc)", name.text)
+	}
+	_, err = p.expect(tokSemicolon)
+	return err
+}
+
+func (p *parser) qreg() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, dup := p.regSize[name.text]; dup {
+		return errf(name.line, name.col, "qreg %q redeclared", name.text)
+	}
+	size, err := p.bracketSize()
+	if err != nil {
+		return err
+	}
+	p.regOffset[name.text] = p.numWires
+	p.regSize[name.text] = size
+	p.numWires += size
+	_, err = p.expect(tokSemicolon)
+	return err
+}
+
+func (p *parser) creg() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	size, err := p.bracketSize()
+	if err != nil {
+		return err
+	}
+	p.cregSize[name.text] = size
+	_, err = p.expect(tokSemicolon)
+	return err
+}
+
+func (p *parser) bracketSize() (int, error) {
+	if _, err := p.expect(tokLBracket); err != nil {
+		return 0, err
+	}
+	n, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	size, convErr := strconv.Atoi(n.text)
+	if convErr != nil || size <= 0 {
+		return 0, errf(n.line, n.col, "invalid register size %q", n.text)
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return 0, err
+	}
+	return size, nil
+}
+
+// opaque declarations are parsed and ignored (no body to inline).
+func (p *parser) opaque() error {
+	for p.tok.kind != tokSemicolon && p.tok.kind != tokEOF {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	_, err := p.expect(tokSemicolon)
+	return err
+}
+
+func (p *parser) gateDefStmt() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	def := &gateDef{}
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		for p.tok.kind != tokRParen {
+			id, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			def.params = append(def.params, id.text)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := p.advance(); err != nil { // consume ')'
+			return err
+		}
+	}
+	for p.tok.kind == tokIdent {
+		def.args = append(def.args, p.tok.text)
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.tok.kind != tokRBrace {
+		if p.tok.kind == tokEOF {
+			return errf(p.tok.line, p.tok.col, "unterminated gate body for %q", name.text)
+		}
+		if p.tok.kind == tokIdent && p.tok.text == "barrier" {
+			// Barriers inside gate bodies are scheduling hints; skip.
+			for p.tok.kind != tokSemicolon && p.tok.kind != tokEOF {
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+			if _, err := p.expect(tokSemicolon); err != nil {
+				return err
+			}
+			continue
+		}
+		call, err := p.gateBodyCall(def)
+		if err != nil {
+			return err
+		}
+		def.body = append(def.body, call)
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return err
+	}
+	p.defs[name.text] = def
+	return nil
+}
+
+func (p *parser) gateBodyCall(def *gateDef) (gateCall, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return gateCall{}, err
+	}
+	call := gateCall{name: name.text, line: name.line, col: name.col}
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return gateCall{}, err
+		}
+		for p.tok.kind != tokRParen {
+			e, err := p.parseExpr()
+			if err != nil {
+				return gateCall{}, err
+			}
+			call.params = append(call.params, e)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return gateCall{}, err
+				}
+			}
+		}
+		if err := p.advance(); err != nil {
+			return gateCall{}, err
+		}
+	}
+	for p.tok.kind == tokIdent {
+		arg := p.tok.text
+		found := false
+		for _, a := range def.args {
+			if a == arg {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return gateCall{}, errf(p.tok.line, p.tok.col, "unknown qubit argument %q in gate body", arg)
+		}
+		call.args = append(call.args, arg)
+		if err := p.advance(); err != nil {
+			return gateCall{}, err
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return gateCall{}, err
+			}
+		}
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return gateCall{}, err
+	}
+	return call, nil
+}
+
+// operand is a parsed qubit operand: either one wire or a whole register.
+type operand struct {
+	wires []int
+	line  int
+	col   int
+}
+
+func (p *parser) operand() (operand, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return operand{}, err
+	}
+	off, ok := p.regOffset[name.text]
+	if !ok {
+		return operand{}, errf(name.line, name.col, "unknown quantum register %q", name.text)
+	}
+	size := p.regSize[name.text]
+	if p.tok.kind == tokLBracket {
+		idx, err := p.bracketSize2()
+		if err != nil {
+			return operand{}, err
+		}
+		if idx < 0 || idx >= size {
+			return operand{}, errf(name.line, name.col, "index %d out of range for %s[%d]", idx, name.text, size)
+		}
+		return operand{wires: []int{off + idx}, line: name.line, col: name.col}, nil
+	}
+	wires := make([]int, size)
+	for i := range wires {
+		wires[i] = off + i
+	}
+	return operand{wires: wires, line: name.line, col: name.col}, nil
+}
+
+// bracketSize2 parses "[n]" allowing zero.
+func (p *parser) bracketSize2() (int, error) {
+	if _, err := p.expect(tokLBracket); err != nil {
+		return 0, err
+	}
+	n, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	idx, convErr := strconv.Atoi(n.text)
+	if convErr != nil {
+		return 0, errf(n.line, n.col, "invalid index %q", n.text)
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return 0, err
+	}
+	return idx, nil
+}
+
+func (p *parser) measure() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	src, err := p.operand()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return err
+	}
+	// Classical target: ident with optional index; validated only.
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, ok := p.cregSize[name.text]; !ok {
+		return errf(name.line, name.col, "unknown classical register %q", name.text)
+	}
+	if p.tok.kind == tokLBracket {
+		if _, err := p.bracketSize2(); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return err
+	}
+	for _, w := range src.wires {
+		p.gates = append(p.gates, circuit.G1(circuit.KindMeasure, w))
+	}
+	return nil
+}
+
+func (p *parser) barrier() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	var wires []int
+	for {
+		op, err := p.operand()
+		if err != nil {
+			return err
+		}
+		wires = append(wires, op.wires...)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return err
+	}
+	for _, w := range wires {
+		p.gates = append(p.gates, circuit.G1(circuit.KindBarrier, w))
+	}
+	return nil
+}
+
+func (p *parser) reset() error {
+	return errf(p.tok.line, p.tok.col, "reset is not supported by this subset")
+}
+
+// application parses a gate application statement and appends the
+// resulting elementary gates.
+func (p *parser) application() error {
+	name := p.tok
+	if err := p.advance(); err != nil {
+		return err
+	}
+	var params []float64
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		for p.tok.kind != tokRParen {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			v, err := e.eval(nil)
+			if err != nil {
+				return err
+			}
+			params = append(params, v)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	var ops []operand
+	for {
+		op, err := p.operand()
+		if err != nil {
+			return err
+		}
+		ops = append(ops, op)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return err
+	}
+	return p.broadcast(name, params, ops)
+}
+
+// broadcast expands whole-register operands: all register operands must
+// have equal length; single-wire operands are repeated.
+func (p *parser) broadcast(name token, params []float64, ops []operand) error {
+	length := 1
+	for _, op := range ops {
+		if len(op.wires) > 1 {
+			if length > 1 && len(op.wires) != length {
+				return errf(name.line, name.col, "mismatched register lengths in %q application", name.text)
+			}
+			length = len(op.wires)
+		}
+	}
+	for i := 0; i < length; i++ {
+		wires := make([]int, len(ops))
+		for j, op := range ops {
+			if len(op.wires) == 1 {
+				wires[j] = op.wires[0]
+			} else {
+				wires[j] = op.wires[i]
+			}
+		}
+		if err := p.emit(name, params, wires); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit appends one elementary gate (or an inlined definition) acting on
+// resolved wires.
+func (p *parser) emit(name token, params []float64, wires []int) error {
+	switch name.text {
+	case "id", "u0":
+		return nil // identity
+	case "ccx":
+		if len(wires) != 3 {
+			return errf(name.line, name.col, "ccx needs 3 qubits, got %d", len(wires))
+		}
+		p.gates = append(p.gates, ToffoliDecomposition(wires[0], wires[1], wires[2])...)
+		return nil
+	case "cu1":
+		if len(wires) != 2 || len(params) != 1 {
+			return errf(name.line, name.col, "cu1 needs 1 param and 2 qubits")
+		}
+		p.gates = append(p.gates, CU1Decomposition(params[0], wires[0], wires[1])...)
+		return nil
+	case "cy":
+		if len(wires) != 2 || len(params) != 0 {
+			return errf(name.line, name.col, "cy needs 2 qubits and no params")
+		}
+		p.gates = append(p.gates, circuit.CYDecomposition(wires[0], wires[1])...)
+		return nil
+	case "ch":
+		if len(wires) != 2 || len(params) != 0 {
+			return errf(name.line, name.col, "ch needs 2 qubits and no params")
+		}
+		p.gates = append(p.gates, circuit.CHDecomposition(wires[0], wires[1])...)
+		return nil
+	case "crz":
+		if len(wires) != 2 || len(params) != 1 {
+			return errf(name.line, name.col, "crz needs 1 param and 2 qubits")
+		}
+		p.gates = append(p.gates, circuit.CRZDecomposition(params[0], wires[0], wires[1])...)
+		return nil
+	case "cu3":
+		if len(wires) != 2 || len(params) != 3 {
+			return errf(name.line, name.col, "cu3 needs 3 params and 2 qubits")
+		}
+		p.gates = append(p.gates, circuit.CU3Decomposition(params[0], params[1], params[2], wires[0], wires[1])...)
+		return nil
+	case "cswap":
+		if len(wires) != 3 || len(params) != 0 {
+			return errf(name.line, name.col, "cswap needs 3 qubits and no params")
+		}
+		p.gates = append(p.gates, circuit.CSwapDecomposition(wires[0], wires[1], wires[2])...)
+		return nil
+	case "rzz":
+		if len(wires) != 2 || len(params) != 1 {
+			return errf(name.line, name.col, "rzz needs 1 param and 2 qubits")
+		}
+		p.gates = append(p.gates, circuit.RZZDecomposition(params[0], wires[0], wires[1])...)
+		return nil
+	case "u", "U":
+		name.text = "u3"
+	}
+	if k, ok := circuit.KindByName(name.text); ok && name.text != "measure" && name.text != "barrier" {
+		if len(wires) != k.Arity() {
+			return errf(name.line, name.col, "%s needs %d qubits, got %d", name.text, k.Arity(), len(wires))
+		}
+		if len(params) != k.NumParams() {
+			return errf(name.line, name.col, "%s needs %d params, got %d", name.text, k.NumParams(), len(params))
+		}
+		if k.Arity() == 1 {
+			p.gates = append(p.gates, circuit.G1(k, wires[0], params...))
+		} else {
+			if wires[0] == wires[1] {
+				return errf(name.line, name.col, "%s applied to the same qubit twice", name.text)
+			}
+			p.gates = append(p.gates, circuit.Gate{Kind: k, Q0: wires[0], Q1: wires[1]})
+		}
+		return nil
+	}
+	def, ok := p.defs[name.text]
+	if !ok {
+		return errf(name.line, name.col, "unknown gate %q", name.text)
+	}
+	if len(wires) != len(def.args) {
+		return errf(name.line, name.col, "%s needs %d qubits, got %d", name.text, len(def.args), len(wires))
+	}
+	if len(params) != len(def.params) {
+		return errf(name.line, name.col, "%s needs %d params, got %d", name.text, len(def.params), len(params))
+	}
+	env := make(map[string]float64, len(def.params))
+	for i, formal := range def.params {
+		env[formal] = params[i]
+	}
+	bind := make(map[string]int, len(def.args))
+	for i, formal := range def.args {
+		bind[formal] = wires[i]
+	}
+	for _, call := range def.body {
+		callParams := make([]float64, len(call.params))
+		for i, e := range call.params {
+			v, err := e.eval(env)
+			if err != nil {
+				return err
+			}
+			callParams[i] = v
+		}
+		callWires := make([]int, len(call.args))
+		for i, a := range call.args {
+			callWires[i] = bind[a]
+		}
+		sub := token{kind: tokIdent, text: call.name, line: call.line, col: call.col}
+		if err := p.emit(sub, callParams, callWires); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ToffoliDecomposition re-exports the paper Fig. 1 CCX decomposition.
+func ToffoliDecomposition(c1, c2, target int) []circuit.Gate {
+	return circuit.ToffoliDecomposition(c1, c2, target)
+}
+
+// CU1Decomposition re-exports the controlled-phase decomposition.
+func CU1Decomposition(lambda float64, control, target int) []circuit.Gate {
+	return circuit.CU1Decomposition(lambda, control, target)
+}

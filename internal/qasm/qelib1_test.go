@@ -1,0 +1,150 @@
+package qasm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Unitary correctness of the extended qelib1 gates: each parsed
+// decomposition is simulated against a directly-constructed
+// controlled-U reference on random states.
+
+// fidelityWith compares a simulated state against raw amplitudes up to
+// global phase.
+func fidelityWith(s *sim.State, amps []complex128) float64 {
+	var dot complex128
+	for b := range amps {
+		dot += cmplx.Conj(amps[b]) * s.Amplitude(uint64(b))
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot)
+}
+
+func controlledRef(s *sim.State, u [2][2]complex128, c, t int) []complex128 {
+	n := s.NumQubits()
+	amps := make([]complex128, 1<<uint(n))
+	cm := uint64(1) << uint(c)
+	tm := uint64(1) << uint(t)
+	for b := uint64(0); b < uint64(len(amps)); b++ {
+		a := s.Amplitude(b)
+		if a == 0 {
+			continue
+		}
+		if b&cm == 0 {
+			amps[b] += a
+			continue
+		}
+		if b&tm == 0 {
+			amps[b] += u[0][0] * a
+			amps[b|tm] += u[1][0] * a
+		} else {
+			amps[b&^tm] += u[0][1] * a
+			amps[b] += u[1][1] * a
+		}
+	}
+	return amps
+}
+
+func TestQelib1ControlledGates(t *testing.T) {
+	isq := complex(1/math.Sqrt2, 0)
+	cases := []struct {
+		src string
+		u   [2][2]complex128
+	}{
+		{"cy q[0],q[1];", [2][2]complex128{{0, -1i}, {1i, 0}}},
+		{"ch q[0],q[1];", [2][2]complex128{{isq, isq}, {isq, -isq}}},
+		{"crz(0.7) q[0],q[1];", [2][2]complex128{
+			{cmplx.Exp(complex(0, -0.35)), 0}, {0, cmplx.Exp(complex(0, 0.35))}}},
+		{"cu1(0.9) q[0],q[1];", [2][2]complex128{{1, 0}, {0, cmplx.Exp(complex(0, 0.9))}}},
+		{"cu3(0.5,0.6,0.7) q[0],q[1];", u3Matrix(0.5, 0.6, 0.7)},
+	}
+	for _, tc := range cases {
+		circ, err := Parse("OPENQASM 2.0;\nqreg q[2];\n" + tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 3; trial++ {
+			psi := sim.NewRandomState(2, rng)
+			want := controlledRef(psi, tc.u, 0, 1)
+			got := psi.Clone()
+			got.ApplyCircuit(circ)
+			if f := fidelityWith(got, want); math.Abs(1-f) > 1e-9 {
+				t.Fatalf("%s: fidelity %g with reference", tc.src, f)
+			}
+		}
+	}
+}
+
+func u3Matrix(theta, phi, lambda float64) [2][2]complex128 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return [2][2]complex128{
+		{c, -s * cmplx.Exp(complex(0, lambda))},
+		{s * cmplx.Exp(complex(0, phi)), c * cmplx.Exp(complex(0, phi+lambda))},
+	}
+}
+
+func TestQelib1CSwap(t *testing.T) {
+	circ, err := Parse("OPENQASM 2.0;\nqreg q[3];\ncswap q[0],q[1],q[2];\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truth table: swap bits 1,2 iff bit 0 set.
+	for b := uint64(0); b < 8; b++ {
+		s := sim.NewBasisState(3, b)
+		s.ApplyCircuit(circ)
+		want := b
+		if b&1 != 0 {
+			b1 := (b >> 1) & 1
+			b2 := (b >> 2) & 1
+			want = (b & 1) | (b2 << 1) | (b1 << 2)
+		}
+		ref := sim.NewBasisState(3, want)
+		if !s.EqualUpToGlobalPhase(ref, 1e-9) {
+			t.Fatalf("cswap |%03b>: fidelity %g with |%03b>", b, s.Fidelity(ref), want)
+		}
+	}
+}
+
+func TestQelib1RZZ(t *testing.T) {
+	circ, err := Parse("OPENQASM 2.0;\nqreg q[2];\nrzz(0.8) q[0],q[1];\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rzz(θ) = diag(1, e^{iθ}, e^{iθ}, 1) up to global phase (qelib1
+	// convention: cx; u1(θ) on target; cx).
+	rng := rand.New(rand.NewSource(2))
+	psi := sim.NewRandomState(2, rng)
+	want := make([]complex128, 4)
+	phase := cmplx.Exp(complex(0, 0.8))
+	want[0] = psi.Amplitude(0)
+	want[1] = psi.Amplitude(1) * phase
+	want[2] = psi.Amplitude(2) * phase
+	want[3] = psi.Amplitude(3)
+	got := psi.Clone()
+	got.ApplyCircuit(circ)
+	if f := fidelityWith(got, want); math.Abs(1-f) > 1e-9 {
+		t.Fatalf("rzz fidelity %g", f)
+	}
+}
+
+func TestQelib1ArityErrors(t *testing.T) {
+	cases := []string{
+		"cy q[0];",
+		"ch q[0],q[1],q[0];",
+		"crz q[0],q[1];",
+		"cu3(1,2) q[0],q[1];",
+		"cswap q[0],q[1];",
+		"rzz(1,2) q[0],q[1];",
+	}
+	for _, src := range cases {
+		full := "OPENQASM 2.0;\nqreg q[3];\n" + src
+		if _, err := Parse(full); err == nil {
+			t.Errorf("%s: accepted", src)
+		}
+	}
+}

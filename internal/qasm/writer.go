@@ -1,0 +1,108 @@
+package qasm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Write serializes a circuit as OpenQASM 2.0. All wires are emitted as
+// a single register q[n]; measurements target a matching creg c[n].
+// SWAP gates are emitted with the qelib1 `swap` mnemonic (callers that
+// need pure {1q, CX} output should DecomposeSwaps first).
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	n := c.NumQubits()
+	fmt.Fprintln(bw, "OPENQASM 2.0;")
+	fmt.Fprintln(bw, "include \"qelib1.inc\";")
+	fmt.Fprintf(bw, "qreg q[%d];\n", maxInt(n, 1))
+	if c.CountKind(circuit.KindMeasure) > 0 {
+		fmt.Fprintf(bw, "creg c[%d];\n", maxInt(n, 1))
+	}
+	for _, g := range c.Gates() {
+		if err := writeGate(bw, g); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Format returns the QASM text of the circuit.
+func Format(c *circuit.Circuit) string {
+	var sb strings.Builder
+	// strings.Builder never fails.
+	_ = Write(&sb, c)
+	return sb.String()
+}
+
+func writeGate(w io.Writer, g circuit.Gate) error {
+	switch g.Kind {
+	case circuit.KindMeasure:
+		_, err := fmt.Fprintf(w, "measure q[%d] -> c[%d];\n", g.Q0, g.Q0)
+		return err
+	case circuit.KindBarrier:
+		_, err := fmt.Fprintf(w, "barrier q[%d];\n", g.Q0)
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString(g.Kind.String())
+	if len(g.Params) > 0 {
+		sb.WriteByte('(')
+		for i, p := range g.Params {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(formatParam(p))
+		}
+		sb.WriteByte(')')
+	}
+	fmt.Fprintf(&sb, " q[%d]", g.Q0)
+	if g.TwoQubit() {
+		fmt.Fprintf(&sb, ",q[%d]", g.Q1)
+	}
+	sb.WriteString(";\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// formatParam renders an angle, using exact multiples of pi when the
+// value is one (pi/2, -pi/4, ...) so round-trips stay bit-exact for
+// the common cases.
+func formatParam(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	ratio := v / math.Pi
+	for _, den := range []float64{1, 2, 3, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		num := ratio * den
+		if num == math.Trunc(num) && math.Abs(num) <= 1024 {
+			n := int64(num)
+			switch {
+			case den == 1 && n == 1:
+				return "pi"
+			case den == 1 && n == -1:
+				return "-pi"
+			case den == 1:
+				return fmt.Sprintf("%d*pi", n)
+			case n == 1:
+				return fmt.Sprintf("pi/%d", int64(den))
+			case n == -1:
+				return fmt.Sprintf("-pi/%d", int64(den))
+			default:
+				return fmt.Sprintf("%d*pi/%d", n, int64(den))
+			}
+		}
+	}
+	return fmt.Sprintf("%.17g", v)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

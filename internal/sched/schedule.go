@@ -1,0 +1,243 @@
+// Package sched turns a circuit into an explicit time-step schedule —
+// the "moments" view behind the paper's depth metric (§III-B) and its
+// parallelism objective: gates on disjoint qubits share a time step,
+// and the number of steps is the circuit depth that determines
+// execution time against the qubit coherence budget (§II-B).
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+// Schedule assigns every gate of a circuit to a time step.
+type Schedule struct {
+	circ  *circuit.Circuit
+	steps [][]int // steps[t] lists gate indices at time t
+	at    []int   // at[g] is gate g's time step
+}
+
+// ASAP schedules every gate as soon as its qubits are free (the
+// standard as-soon-as-possible policy; its step count equals
+// Circuit.Depth()).
+func ASAP(c *circuit.Circuit) *Schedule {
+	s := &Schedule{circ: c, at: make([]int, c.NumGates())}
+	level := make([]int, c.NumQubits())
+	for i, g := range c.Gates() {
+		t := level[g.Q0]
+		if g.TwoQubit() && level[g.Q1] > t {
+			t = level[g.Q1]
+		}
+		s.place(i, t)
+		level[g.Q0] = t + 1
+		if g.TwoQubit() {
+			level[g.Q1] = t + 1
+		}
+	}
+	return s
+}
+
+// ALAP schedules every gate as late as possible without growing the
+// ASAP depth — the mirror policy, useful for slack analysis.
+func ALAP(c *circuit.Circuit) *Schedule {
+	depth := c.Depth()
+	s := &Schedule{circ: c, at: make([]int, c.NumGates())}
+	level := make([]int, c.NumQubits())
+	for i := range level {
+		level[i] = depth
+	}
+	// Walk backwards; a gate ends at the earliest deadline of its qubits.
+	times := make([]int, c.NumGates())
+	for i := c.NumGates() - 1; i >= 0; i-- {
+		g := c.Gate(i)
+		t := level[g.Q0]
+		if g.TwoQubit() && level[g.Q1] < t {
+			t = level[g.Q1]
+		}
+		times[i] = t - 1
+		level[g.Q0] = t - 1
+		if g.TwoQubit() {
+			level[g.Q1] = t - 1
+		}
+	}
+	s.steps = make([][]int, depth)
+	for i, t := range times {
+		s.at[i] = t
+		s.steps[t] = append(s.steps[t], i)
+	}
+	return s
+}
+
+func (s *Schedule) place(g, t int) {
+	for len(s.steps) <= t {
+		s.steps = append(s.steps, nil)
+	}
+	s.steps[t] = append(s.steps[t], g)
+	s.at[g] = t
+}
+
+// Depth returns the number of time steps.
+func (s *Schedule) Depth() int { return len(s.steps) }
+
+// Step returns the gate indices scheduled at time t, in program order.
+// The returned slice must not be modified.
+func (s *Schedule) Step(t int) []int { return s.steps[t] }
+
+// TimeOf returns gate g's time step.
+func (s *Schedule) TimeOf(g int) int { return s.at[g] }
+
+// Valid checks the schedule's structural invariants: every gate placed
+// exactly once, no two gates in a step share a qubit, and dependencies
+// (program order per qubit) are respected.
+func (s *Schedule) Valid() error {
+	seen := make([]bool, s.circ.NumGates())
+	for t, step := range s.steps {
+		occupied := map[int]int{}
+		for _, gi := range step {
+			if seen[gi] {
+				return fmt.Errorf("sched: gate %d scheduled twice", gi)
+			}
+			seen[gi] = true
+			g := s.circ.Gate(gi)
+			for _, q := range g.Qubits() {
+				if other, ok := occupied[q]; ok {
+					return fmt.Errorf("sched: step %d has gates %d and %d on qubit %d", t, other, gi, q)
+				}
+				occupied[q] = gi
+			}
+		}
+	}
+	for i := range seen {
+		if !seen[i] {
+			return fmt.Errorf("sched: gate %d unscheduled", i)
+		}
+	}
+	// Program order per qubit implies dependency order.
+	last := make([]int, s.circ.NumQubits())
+	for i := range last {
+		last[i] = -1
+	}
+	for i := 0; i < s.circ.NumGates(); i++ {
+		g := s.circ.Gate(i)
+		for _, q := range g.Qubits() {
+			if p := last[q]; p >= 0 && s.at[p] >= s.at[i] {
+				return fmt.Errorf("sched: gate %d at t=%d not after predecessor %d at t=%d", i, s.at[i], p, s.at[p])
+			}
+			last[q] = i
+		}
+	}
+	return nil
+}
+
+// Parallelism returns the mean number of gates per time step — the
+// quantity the decay effect (§IV-C3) raises by preferring
+// non-overlapping SWAPs.
+func (s *Schedule) Parallelism() float64 {
+	if len(s.steps) == 0 {
+		return 0
+	}
+	return float64(s.circ.NumGates()) / float64(len(s.steps))
+}
+
+// Slack returns, per gate, the difference between its ALAP and ASAP
+// times — zero-slack gates form the critical path.
+func Slack(c *circuit.Circuit) []int {
+	asap := ASAP(c)
+	alap := ALAP(c)
+	out := make([]int, c.NumGates())
+	for i := range out {
+		out[i] = alap.at[i] - asap.at[i]
+	}
+	return out
+}
+
+// CriticalPath returns the gate indices with zero slack, in order.
+func CriticalPath(c *circuit.Circuit) []int {
+	var out []int
+	for i, s := range Slack(c) {
+		if s == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Duration returns the schedule's wall-clock length under the error
+// model's per-kind gate durations, stepping each moment by its slowest
+// gate (a tighter model than metrics.EstimateDuration's per-wire ASAP
+// when gate times differ).
+func (s *Schedule) Duration(em arch.ErrorModel) float64 {
+	var total float64
+	for _, step := range s.steps {
+		var longest float64
+		for _, gi := range step {
+			g := s.circ.Gate(gi)
+			var d float64
+			switch {
+			case g.Kind == circuit.KindBarrier:
+				d = 0
+			case g.TwoQubit():
+				d = em.TwoQubitNanos
+			default:
+				d = em.SingleQubitNanos
+			}
+			if d > longest {
+				longest = d
+			}
+		}
+		total += longest
+	}
+	return total
+}
+
+// Render draws the schedule as a text timeline: one row per qubit, one
+// column per time step.
+func (s *Schedule) Render() string {
+	n := s.circ.NumQubits()
+	depth := len(s.steps)
+	cells := make([][]string, n)
+	for q := range cells {
+		cells[q] = make([]string, depth)
+		for t := range cells[q] {
+			cells[q][t] = "--"
+		}
+	}
+	for t, step := range s.steps {
+		for _, gi := range step {
+			g := s.circ.Gate(gi)
+			switch {
+			case g.Kind == circuit.KindCX:
+				cells[g.Q0][t] = "C "
+				cells[g.Q1][t] = "X "
+			case g.Kind == circuit.KindSwap:
+				cells[g.Q0][t] = "s "
+				cells[g.Q1][t] = "s "
+			case g.TwoQubit():
+				cells[g.Q0][t] = "o "
+				cells[g.Q1][t] = "o "
+			default:
+				mn := g.Kind.String()
+				if len(mn) > 2 {
+					mn = mn[:2]
+				}
+				for len(mn) < 2 {
+					mn += " "
+				}
+				cells[g.Q0][t] = mn
+			}
+		}
+	}
+	var sb strings.Builder
+	for q := 0; q < n; q++ {
+		fmt.Fprintf(&sb, "q%-3d|", q)
+		for t := 0; t < depth; t++ {
+			sb.WriteString(cells[q][t])
+			sb.WriteByte('|')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/workloads"
+)
+
+func ghz3() *circuit.Circuit {
+	c := circuit.New(3)
+	c.Append(circuit.G1(circuit.KindH, 0), circuit.CX(0, 1), circuit.CX(1, 2))
+	return c
+}
+
+func TestASAPDepthMatchesCircuitDepth(t *testing.T) {
+	for _, c := range []*circuit.Circuit{ghz3(), workloads.QFT(6), workloads.Ising(5, 3)} {
+		s := ASAP(c)
+		if s.Depth() != c.Depth() {
+			t.Fatalf("%s: ASAP depth %d != circuit depth %d", c.Name(), s.Depth(), c.Depth())
+		}
+		if err := s.Valid(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestASAPPlacesParallelGatesTogether(t *testing.T) {
+	c := circuit.New(4)
+	c.Append(circuit.CX(0, 1), circuit.CX(2, 3))
+	s := ASAP(c)
+	if s.Depth() != 1 || len(s.Step(0)) != 2 {
+		t.Fatalf("parallel CNOTs not co-scheduled: %v", s.steps)
+	}
+}
+
+func TestALAPValidAndSameDepth(t *testing.T) {
+	for _, c := range []*circuit.Circuit{ghz3(), workloads.QFT(6)} {
+		a := ALAP(c)
+		if a.Depth() != c.Depth() {
+			t.Fatalf("ALAP depth %d != %d", a.Depth(), c.Depth())
+		}
+		if err := a.Valid(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestALAPDelaysIndependentGate(t *testing.T) {
+	// H on a free qubit: ASAP puts it at t=0, ALAP at the end.
+	c := circuit.New(2)
+	c.Append(circuit.G1(circuit.KindH, 1), circuit.G1(circuit.KindT, 0), circuit.G1(circuit.KindT, 0), circuit.G1(circuit.KindT, 0))
+	if got := ASAP(c).TimeOf(0); got != 0 {
+		t.Fatalf("ASAP time %d", got)
+	}
+	if got := ALAP(c).TimeOf(0); got != c.Depth()-1 {
+		t.Fatalf("ALAP time %d, want %d", got, c.Depth()-1)
+	}
+}
+
+func TestSlackAndCriticalPath(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(circuit.G1(circuit.KindH, 1), circuit.G1(circuit.KindT, 0), circuit.G1(circuit.KindT, 0))
+	slack := Slack(c)
+	if slack[0] != 1 { // the lone H can slide one step
+		t.Fatalf("slack[0] = %d", slack[0])
+	}
+	if slack[1] != 0 || slack[2] != 0 {
+		t.Fatalf("critical chain has slack: %v", slack)
+	}
+	cp := CriticalPath(c)
+	if len(cp) != 2 || cp[0] != 1 || cp[1] != 2 {
+		t.Fatalf("critical path %v", cp)
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	c := circuit.New(4)
+	c.Append(circuit.CX(0, 1), circuit.CX(2, 3)) // 2 gates, 1 step
+	if p := ASAP(c).Parallelism(); p != 2 {
+		t.Fatalf("parallelism %g", p)
+	}
+	if ASAP(circuit.New(2)).Parallelism() != 0 {
+		t.Fatal("empty circuit parallelism")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	em := arch.ErrorModel{SingleQubitNanos: 10, TwoQubitNanos: 100}
+	c := circuit.New(2)
+	c.Append(circuit.G1(circuit.KindH, 0), circuit.G1(circuit.KindH, 1), circuit.CX(0, 1))
+	// Step 0: two H in parallel (10ns); step 1: CX (100ns).
+	if d := ASAP(c).Duration(em); d != 110 {
+		t.Fatalf("duration %g", d)
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := ASAP(ghz3()).Render()
+	if !strings.Contains(out, "q0") || !strings.Contains(out, "C ") || !strings.Contains(out, "X ") {
+		t.Fatalf("render missing markers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(lines))
+	}
+}
+
+// Property: ASAP and ALAP are always valid and agree on depth.
+func TestSchedulesValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c := workloads.RandomCircuit("sched", 6, 60, 0.5, seed)
+		a := ASAP(c)
+		l := ALAP(c)
+		if a.Valid() != nil || l.Valid() != nil {
+			return false
+		}
+		if a.Depth() != c.Depth() || l.Depth() != c.Depth() {
+			return false
+		}
+		// Slack is non-negative everywhere.
+		for _, s := range Slack(c) {
+			if s < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

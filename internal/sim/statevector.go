@@ -1,0 +1,328 @@
+// Package sim is a dense state-vector quantum simulator. It exists as
+// a verification substrate: compiled (routed) circuits must implement
+// the same unitary as the input circuit up to the initial and final
+// qubit permutations, and for small circuits we check that directly by
+// simulating both sides (see internal/verify for the large-circuit
+// GF(2) checker).
+//
+// Convention: qubit 0 is the least significant bit of the basis-state
+// index, so |q2 q1 q0⟩ = |b⟩ with b = q0 + 2·q1 + 4·q2.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// State is an n-qubit pure state: 2^n complex amplitudes.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState returns |0...0⟩ on n qubits. n is capped at 24 to keep the
+// allocation sane (16M amplitudes); verification uses far fewer.
+func NewState(n int) *State {
+	if n < 0 || n > 24 {
+		panic(fmt.Sprintf("sim: unsupported qubit count %d", n))
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s
+}
+
+// NewBasisState returns the computational basis state |b⟩.
+func NewBasisState(n int, b uint64) *State {
+	s := NewState(n)
+	if b >= 1<<uint(n) {
+		panic(fmt.Sprintf("sim: basis state %d out of range for %d qubits", b, n))
+	}
+	s.amp[0] = 0
+	s.amp[b] = 1
+	return s
+}
+
+// NewRandomState returns a Haar-ish random normalized state (i.i.d.
+// complex Gaussians, normalized), useful for equivalence testing: two
+// unitaries agreeing on a random state almost surely agree everywhere
+// when combined with a handful of basis states.
+func NewRandomState(n int, rng *rand.Rand) *State {
+	s := NewState(n)
+	var norm float64
+	for i := range s.amp {
+		re, im := rng.NormFloat64(), rng.NormFloat64()
+		s.amp[i] = complex(re, im)
+		norm += re*re + im*im
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for i := range s.amp {
+		s.amp[i] *= scale
+	}
+	return s
+}
+
+// NumQubits returns n.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns the amplitude of basis state b.
+func (s *State) Amplitude(b uint64) complex128 { return s.amp[b] }
+
+// Clone returns a deep copy.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	copy(c.amp, s.amp)
+	return c
+}
+
+// Norm returns the 2-norm of the state (1.0 for a valid state).
+func (s *State) Norm() float64 {
+	var sum float64
+	for _, a := range s.amp {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+// Fidelity returns |⟨s|o⟩|², the overlap probability with o.
+func (s *State) Fidelity(o *State) float64 {
+	if s.n != o.n {
+		panic("sim: fidelity of states with different sizes")
+	}
+	var dot complex128
+	for i := range s.amp {
+		dot += cmplx.Conj(s.amp[i]) * o.amp[i]
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot)
+}
+
+// EqualUpToGlobalPhase reports whether the two states differ only by a
+// global phase, within tolerance eps on fidelity.
+func (s *State) EqualUpToGlobalPhase(o *State, eps float64) bool {
+	return math.Abs(1-s.Fidelity(o)) < eps
+}
+
+// Probability returns the probability of measuring qubit q as 1.
+func (s *State) Probability(q int) float64 {
+	mask := uint64(1) << uint(q)
+	var p float64
+	for b, a := range s.amp {
+		if uint64(b)&mask != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// ApplyGate applies one gate in place. Measure gates require a source
+// of randomness; use Measure explicitly for that — ApplyGate treats
+// KindMeasure and KindBarrier as no-ops so whole compiled circuits can
+// be replayed deterministically.
+func (s *State) ApplyGate(g circuit.Gate) {
+	switch g.Kind {
+	case circuit.KindMeasure, circuit.KindBarrier:
+		return
+	case circuit.KindCX:
+		s.applyCX(g.Q0, g.Q1)
+	case circuit.KindCZ:
+		s.applyCZ(g.Q0, g.Q1)
+	case circuit.KindSwap:
+		s.applySwap(g.Q0, g.Q1)
+	default:
+		m := Matrix1Q(g)
+		s.apply1Q(g.Q0, m)
+	}
+}
+
+// ApplyCircuit applies every gate of c in order. The circuit must have
+// the same qubit count as the state.
+func (s *State) ApplyCircuit(c *circuit.Circuit) {
+	if c.NumQubits() != s.n {
+		panic(fmt.Sprintf("sim: circuit on %d qubits applied to %d-qubit state", c.NumQubits(), s.n))
+	}
+	for _, g := range c.Gates() {
+		s.ApplyGate(g)
+	}
+}
+
+// PermuteQubits returns a new state with qubits relabelled through perm:
+// logical qubit q of the input occupies wire perm[q] of the output.
+// This realizes a layout π as a state transformation.
+func (s *State) PermuteQubits(perm []int) *State {
+	if len(perm) != s.n {
+		panic("sim: permutation size mismatch")
+	}
+	out := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	for b := range s.amp {
+		var nb uint64
+		for q := 0; q < s.n; q++ {
+			if uint64(b)&(1<<uint(q)) != 0 {
+				nb |= 1 << uint(perm[q])
+			}
+		}
+		out.amp[nb] = s.amp[b]
+	}
+	return out
+}
+
+// Measure performs a projective measurement of qubit q, collapsing the
+// state, and returns the outcome (0 or 1).
+func (s *State) Measure(q int, rng *rand.Rand) int {
+	p1 := s.Probability(q)
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	mask := uint64(1) << uint(q)
+	var norm float64
+	for b := range s.amp {
+		bit := 0
+		if uint64(b)&mask != 0 {
+			bit = 1
+		}
+		if bit != outcome {
+			s.amp[b] = 0
+		} else {
+			a := s.amp[b]
+			norm += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for b := range s.amp {
+		s.amp[b] *= scale
+	}
+	return outcome
+}
+
+// SampleCircuit runs c from |0...0⟩ and draws `shots` full-register
+// measurement samples from the final distribution, returning counts
+// keyed by basis-state index. Measure/barrier gates inside c are
+// no-ops during evolution (terminal measurement is implied), matching
+// how compiled benchmark circuits end.
+func SampleCircuit(c *circuit.Circuit, shots int, rng *rand.Rand) map[uint64]int {
+	s := NewState(c.NumQubits())
+	s.ApplyCircuit(c)
+	// Cumulative distribution over basis states.
+	probs := make([]float64, len(s.amp))
+	var acc float64
+	for b, a := range s.amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		probs[b] = acc
+	}
+	counts := make(map[uint64]int)
+	for i := 0; i < shots; i++ {
+		r := rng.Float64() * acc
+		// Binary search the CDF.
+		lo, hi := 0, len(probs)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if probs[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		counts[uint64(lo)]++
+	}
+	return counts
+}
+
+// apply1Q applies the 2×2 matrix m to qubit q.
+func (s *State) apply1Q(q int, m [2][2]complex128) {
+	mask := uint64(1) << uint(q)
+	for b := uint64(0); b < uint64(len(s.amp)); b++ {
+		if b&mask != 0 {
+			continue
+		}
+		b1 := b | mask
+		a0, a1 := s.amp[b], s.amp[b1]
+		s.amp[b] = m[0][0]*a0 + m[0][1]*a1
+		s.amp[b1] = m[1][0]*a0 + m[1][1]*a1
+	}
+}
+
+func (s *State) applyCX(control, target int) {
+	cm := uint64(1) << uint(control)
+	tm := uint64(1) << uint(target)
+	for b := uint64(0); b < uint64(len(s.amp)); b++ {
+		if b&cm != 0 && b&tm == 0 {
+			s.amp[b], s.amp[b|tm] = s.amp[b|tm], s.amp[b]
+		}
+	}
+}
+
+func (s *State) applyCZ(a, b int) {
+	am := uint64(1) << uint(a)
+	bm := uint64(1) << uint(b)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if i&am != 0 && i&bm != 0 {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+func (s *State) applySwap(a, b int) {
+	am := uint64(1) << uint(a)
+	bm := uint64(1) << uint(b)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if i&am != 0 && i&bm == 0 {
+			j := (i &^ am) | bm
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// Matrix1Q returns the 2×2 unitary of a single-qubit gate.
+func Matrix1Q(g circuit.Gate) [2][2]complex128 {
+	isq := complex(1/math.Sqrt2, 0)
+	switch g.Kind {
+	case circuit.KindH:
+		return [2][2]complex128{{isq, isq}, {isq, -isq}}
+	case circuit.KindX:
+		return [2][2]complex128{{0, 1}, {1, 0}}
+	case circuit.KindY:
+		return [2][2]complex128{{0, -1i}, {1i, 0}}
+	case circuit.KindZ:
+		return [2][2]complex128{{1, 0}, {0, -1}}
+	case circuit.KindS:
+		return [2][2]complex128{{1, 0}, {0, 1i}}
+	case circuit.KindSdg:
+		return [2][2]complex128{{1, 0}, {0, -1i}}
+	case circuit.KindT:
+		return [2][2]complex128{{1, 0}, {0, cmplx.Exp(1i * math.Pi / 4)}}
+	case circuit.KindTdg:
+		return [2][2]complex128{{1, 0}, {0, cmplx.Exp(-1i * math.Pi / 4)}}
+	case circuit.KindRX:
+		t := g.Params[0] / 2
+		c, s := complex(math.Cos(t), 0), complex(math.Sin(t), 0)
+		return [2][2]complex128{{c, -1i * s}, {-1i * s, c}}
+	case circuit.KindRY:
+		t := g.Params[0] / 2
+		c, s := complex(math.Cos(t), 0), complex(math.Sin(t), 0)
+		return [2][2]complex128{{c, -s}, {s, c}}
+	case circuit.KindRZ:
+		t := g.Params[0] / 2
+		return [2][2]complex128{{cmplx.Exp(complex(0, -g.Params[0]/2)), 0}, {0, cmplx.Exp(complex(0, t))}}
+	case circuit.KindU1:
+		return [2][2]complex128{{1, 0}, {0, cmplx.Exp(complex(0, g.Params[0]))}}
+	case circuit.KindU2:
+		phi, lam := g.Params[0], g.Params[1]
+		return [2][2]complex128{
+			{isq, -isq * cmplx.Exp(complex(0, lam))},
+			{isq * cmplx.Exp(complex(0, phi)), isq * cmplx.Exp(complex(0, phi+lam))},
+		}
+	case circuit.KindU3:
+		th, phi, lam := g.Params[0], g.Params[1], g.Params[2]
+		c := complex(math.Cos(th/2), 0)
+		s := complex(math.Sin(th/2), 0)
+		return [2][2]complex128{
+			{c, -s * cmplx.Exp(complex(0, lam))},
+			{s * cmplx.Exp(complex(0, phi)), c * cmplx.Exp(complex(0, phi+lam))},
+		}
+	default:
+		panic(fmt.Sprintf("sim: no matrix for gate kind %v", g.Kind))
+	}
+}

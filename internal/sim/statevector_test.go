@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+const eps = 1e-10
+
+func TestNewStateIsZeroKet(t *testing.T) {
+	s := NewState(3)
+	if s.Amplitude(0) != 1 {
+		t.Fatal("|000> amplitude wrong")
+	}
+	if math.Abs(s.Norm()-1) > eps {
+		t.Fatal("norm wrong")
+	}
+}
+
+func TestNewStatePanics(t *testing.T) {
+	for _, n := range []int{-1, 25} {
+		func() {
+			defer func() { recover() }()
+			NewState(n)
+			t.Fatalf("NewState(%d) did not panic", n)
+		}()
+	}
+}
+
+func TestBasisState(t *testing.T) {
+	s := NewBasisState(3, 5)
+	if s.Amplitude(5) != 1 || s.Amplitude(0) != 0 {
+		t.Fatal("basis state wrong")
+	}
+}
+
+func TestHadamardSuperposition(t *testing.T) {
+	s := NewState(1)
+	s.ApplyGate(circuit.G1(circuit.KindH, 0))
+	want := 1 / math.Sqrt2
+	if math.Abs(real(s.Amplitude(0))-want) > eps || math.Abs(real(s.Amplitude(1))-want) > eps {
+		t.Fatalf("H|0> = (%v, %v)", s.Amplitude(0), s.Amplitude(1))
+	}
+	// H is self-inverse.
+	s.ApplyGate(circuit.G1(circuit.KindH, 0))
+	if math.Abs(real(s.Amplitude(0))-1) > eps {
+		t.Fatal("HH != I")
+	}
+}
+
+func TestXFlip(t *testing.T) {
+	s := NewState(2)
+	s.ApplyGate(circuit.G1(circuit.KindX, 1))
+	if s.Amplitude(2) != 1 {
+		t.Fatal("X on qubit 1 should give |10>")
+	}
+}
+
+func TestCXTruthTable(t *testing.T) {
+	// CX(control=0, target=1): |q1 q0>: 00->00, 01->11, 10->10, 11->01.
+	cases := map[uint64]uint64{0: 0, 1: 3, 2: 2, 3: 1}
+	for in, want := range cases {
+		s := NewBasisState(2, in)
+		s.ApplyGate(circuit.CX(0, 1))
+		if s.Amplitude(want) != 1 {
+			t.Fatalf("CX|%02b> != |%02b>", in, want)
+		}
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := NewState(2)
+	s.ApplyGate(circuit.G1(circuit.KindH, 0))
+	s.ApplyGate(circuit.CX(0, 1))
+	want := 1 / math.Sqrt2
+	if math.Abs(real(s.Amplitude(0))-want) > eps || math.Abs(real(s.Amplitude(3))-want) > eps {
+		t.Fatal("Bell state wrong")
+	}
+	if p := s.Probability(0); math.Abs(p-0.5) > eps {
+		t.Fatalf("P(q0=1) = %g", p)
+	}
+}
+
+func TestSwapGate(t *testing.T) {
+	s := NewBasisState(2, 1) // |01>
+	s.ApplyGate(circuit.Swap(0, 1))
+	if s.Amplitude(2) != 1 {
+		t.Fatal("SWAP|01> != |10>")
+	}
+}
+
+func TestSwapEqualsThreeCNOTs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s1 := NewRandomState(3, rng)
+	s2 := s1.Clone()
+	s1.ApplyGate(circuit.Swap(0, 2))
+	for _, g := range []circuit.Gate{circuit.CX(0, 2), circuit.CX(2, 0), circuit.CX(0, 2)} {
+		s2.ApplyGate(g)
+	}
+	if !s1.EqualUpToGlobalPhase(s2, eps) {
+		t.Fatal("SWAP != CX CX CX")
+	}
+}
+
+func TestCZSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s1 := NewRandomState(2, rng)
+	s2 := s1.Clone()
+	s1.ApplyGate(circuit.CZ(0, 1))
+	s2.ApplyGate(circuit.CZ(1, 0))
+	if !s1.EqualUpToGlobalPhase(s2, eps) {
+		t.Fatal("CZ not symmetric")
+	}
+}
+
+func TestSelfInverses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pairs := [][2]circuit.Gate{
+		{circuit.G1(circuit.KindS, 0), circuit.G1(circuit.KindSdg, 0)},
+		{circuit.G1(circuit.KindT, 1), circuit.G1(circuit.KindTdg, 1)},
+		{circuit.G1(circuit.KindRX, 0, 0.7), circuit.G1(circuit.KindRX, 0, -0.7)},
+		{circuit.G1(circuit.KindRY, 1, 1.3), circuit.G1(circuit.KindRY, 1, -1.3)},
+		{circuit.G1(circuit.KindRZ, 0, 2.1), circuit.G1(circuit.KindRZ, 0, -2.1)},
+		{circuit.G1(circuit.KindU1, 1, 0.9), circuit.G1(circuit.KindU1, 1, -0.9)},
+	}
+	for _, p := range pairs {
+		s := NewRandomState(2, rng)
+		orig := s.Clone()
+		s.ApplyGate(p[0])
+		s.ApplyGate(p[1])
+		if !s.EqualUpToGlobalPhase(orig, eps) {
+			t.Fatalf("%v then %v is not identity", p[0], p[1])
+		}
+	}
+}
+
+func TestToffoliDecompositionIsToffoli(t *testing.T) {
+	// The 15-gate network from paper Fig. 1 must act as CCX on every
+	// basis state: flip target (bit 2) iff both controls set.
+	for b := uint64(0); b < 8; b++ {
+		s := NewBasisState(3, b)
+		for _, g := range toffoliGates(0, 1, 2) {
+			s.ApplyGate(g)
+		}
+		want := b
+		if b&1 != 0 && b&2 != 0 {
+			want = b ^ 4
+		}
+		got := NewBasisState(3, want)
+		if !s.EqualUpToGlobalPhase(got, eps) {
+			t.Fatalf("toffoli on |%03b>: fidelity %g with |%03b>", b, s.Fidelity(got), want)
+		}
+	}
+}
+
+// toffoliGates mirrors qasm.ToffoliDecomposition without importing it
+// (avoids a package cycle in tests; the sequence is the paper's Fig 1).
+func toffoliGates(c1, c2, tg int) []circuit.Gate {
+	return []circuit.Gate{
+		circuit.G1(circuit.KindH, tg),
+		circuit.CX(c2, tg),
+		circuit.G1(circuit.KindTdg, tg),
+		circuit.CX(c1, tg),
+		circuit.G1(circuit.KindT, tg),
+		circuit.CX(c2, tg),
+		circuit.G1(circuit.KindTdg, tg),
+		circuit.CX(c1, tg),
+		circuit.G1(circuit.KindT, c2),
+		circuit.G1(circuit.KindT, tg),
+		circuit.G1(circuit.KindH, tg),
+		circuit.CX(c1, c2),
+		circuit.G1(circuit.KindT, c1),
+		circuit.G1(circuit.KindTdg, c2),
+		circuit.CX(c1, c2),
+	}
+}
+
+func TestPermuteQubits(t *testing.T) {
+	// |q1 q0> = |01> permuted by q0->q1, q1->q0 gives |10>.
+	s := NewBasisState(2, 1)
+	p := s.PermuteQubits([]int{1, 0})
+	if p.Amplitude(2) != 1 {
+		t.Fatal("permutation wrong")
+	}
+	// Identity permutation is a no-op.
+	id := s.PermuteQubits([]int{0, 1})
+	if id.Amplitude(1) != 1 {
+		t.Fatal("identity permutation wrong")
+	}
+}
+
+// Property: unitarity — every gate preserves the norm.
+func TestGatesPreserveNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		s := NewRandomState(n, rng)
+		for i := 0; i < 25; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				s.ApplyGate(circuit.G1(circuit.KindH, rng.Intn(n)))
+			case 1:
+				s.ApplyGate(circuit.G1(circuit.KindU3, rng.Intn(n), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()))
+			case 2:
+				a, b := twoDistinct(rng, n)
+				s.ApplyGate(circuit.CX(a, b))
+			default:
+				a, b := twoDistinct(rng, n)
+				s.ApplyGate(circuit.Swap(a, b))
+			}
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: measuring a basis state is deterministic.
+func TestMeasureBasisState(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewBasisState(3, 5) // |101>
+	if s.Measure(0, rng) != 1 || s.Measure(1, rng) != 0 || s.Measure(2, rng) != 1 {
+		t.Fatal("measurement of basis state wrong")
+	}
+	if math.Abs(s.Norm()-1) > eps {
+		t.Fatal("state not normalized after measurement")
+	}
+}
+
+func TestMeasureCollapsesBell(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		s := NewState(2)
+		s.ApplyGate(circuit.G1(circuit.KindH, 0))
+		s.ApplyGate(circuit.CX(0, 1))
+		m0 := s.Measure(0, rng)
+		m1 := s.Measure(1, rng)
+		if m0 != m1 {
+			t.Fatal("Bell state measurements disagree")
+		}
+	}
+}
+
+func TestApplyCircuitSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewState(2).ApplyCircuit(circuit.New(3))
+}
+
+func TestMeasureBarrierNoOps(t *testing.T) {
+	s := NewState(1)
+	s.ApplyGate(circuit.G1(circuit.KindH, 0))
+	before := s.Clone()
+	s.ApplyGate(circuit.G1(circuit.KindBarrier, 0))
+	s.ApplyGate(circuit.G1(circuit.KindMeasure, 0))
+	if !s.EqualUpToGlobalPhase(before, eps) {
+		t.Fatal("barrier/measure mutated state in ApplyGate")
+	}
+}
+
+func TestSampleCircuitDeterministicCircuit(t *testing.T) {
+	// X on both qubits: every shot must read |11⟩.
+	c := circuit.New(2)
+	c.Append(circuit.G1(circuit.KindX, 0), circuit.G1(circuit.KindX, 1))
+	counts := SampleCircuit(c, 100, rand.New(rand.NewSource(1)))
+	if counts[3] != 100 || len(counts) != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestSampleCircuitBellStatistics(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(circuit.G1(circuit.KindH, 0), circuit.CX(0, 1))
+	counts := SampleCircuit(c, 4000, rand.New(rand.NewSource(2)))
+	if counts[1] != 0 || counts[2] != 0 {
+		t.Fatalf("bell state produced odd-parity outcomes: %v", counts)
+	}
+	frac := float64(counts[0]) / 4000
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("|00> fraction %.3f far from 0.5", frac)
+	}
+	if counts[0]+counts[3] != 4000 {
+		t.Fatalf("shots lost: %v", counts)
+	}
+}
+
+func twoDistinct(rng *rand.Rand, n int) (int, int) {
+	a := rng.Intn(n)
+	b := rng.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}

@@ -1,0 +1,108 @@
+package transpile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func TestLowerEachKindPreservesUnitary(t *testing.T) {
+	gates := []circuit.Gate{
+		circuit.G1(circuit.KindH, 0),
+		circuit.G1(circuit.KindX, 0),
+		circuit.G1(circuit.KindY, 1),
+		circuit.G1(circuit.KindZ, 0),
+		circuit.G1(circuit.KindS, 1),
+		circuit.G1(circuit.KindSdg, 0),
+		circuit.G1(circuit.KindT, 1),
+		circuit.G1(circuit.KindTdg, 0),
+		circuit.G1(circuit.KindRX, 0, 0.7),
+		circuit.G1(circuit.KindRY, 1, 1.2),
+		circuit.G1(circuit.KindRZ, 0, -0.4),
+		circuit.CZ(0, 1),
+		circuit.Swap(0, 1),
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range gates {
+		c := circuit.New(2)
+		c.Append(g)
+		lowered := ToIBMBasis(c)
+		if !InBasis(lowered) {
+			t.Fatalf("%v: lowering left non-basis gates: %v", g, lowered.Gates())
+		}
+		for trial := 0; trial < 3; trial++ {
+			psi := sim.NewRandomState(2, rng)
+			a := psi.Clone()
+			a.ApplyCircuit(c)
+			b := psi.Clone()
+			b.ApplyCircuit(lowered)
+			if !a.EqualUpToGlobalPhase(b, 1e-9) {
+				t.Fatalf("%v: lowering changed semantics (fidelity %g)", g, a.Fidelity(b))
+			}
+		}
+	}
+}
+
+func TestBasisGatesPassThrough(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(
+		circuit.G1(circuit.KindU1, 0, 0.1),
+		circuit.G1(circuit.KindU2, 0, 0.1, 0.2),
+		circuit.G1(circuit.KindU3, 1, 0.1, 0.2, 0.3),
+		circuit.CX(0, 1),
+		circuit.G1(circuit.KindMeasure, 0),
+		circuit.G1(circuit.KindBarrier, 1),
+	)
+	lowered := ToIBMBasis(c)
+	if !lowered.Equal(c) {
+		t.Fatal("basis gates were rewritten")
+	}
+	if !InBasis(c) || Count(c) != 0 {
+		t.Fatal("InBasis/Count wrong on pure-basis circuit")
+	}
+}
+
+func TestCount(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(circuit.G1(circuit.KindH, 0), circuit.CX(0, 1), circuit.Swap(0, 1))
+	if Count(c) != 2 {
+		t.Fatalf("Count = %d, want 2", Count(c))
+	}
+	if InBasis(c) {
+		t.Fatal("InBasis wrong")
+	}
+}
+
+// Property: lowering preserves semantics on random mixed circuits.
+func TestToIBMBasisProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c := workloads.RandomCircuit("basis", 4, 40, 0.4, seed)
+		lowered := ToIBMBasis(c)
+		if !InBasis(lowered) {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		psi := sim.NewRandomState(4, rng)
+		a := psi.Clone()
+		a.ApplyCircuit(c)
+		b := psi.Clone()
+		b.ApplyCircuit(lowered)
+		return a.EqualUpToGlobalPhase(b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQFTAlreadyInBasis(t *testing.T) {
+	// QFT is generated in {H, u1, CX}; lowering only rewrites the Hs.
+	c := workloads.QFT(5)
+	lowered := ToIBMBasis(c)
+	if lowered.NumGates() != c.NumGates() {
+		t.Fatalf("QFT lowering changed gate count %d -> %d", c.NumGates(), lowered.NumGates())
+	}
+}

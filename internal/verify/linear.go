@@ -1,0 +1,224 @@
+// Package verify checks that a routed (hardware-compliant) circuit is
+// functionally equivalent to the original circuit under its initial and
+// final layouts.
+//
+// Two checkers are provided:
+//
+//   - LinearFunction: CNOT and SWAP gates implement linear reversible
+//     functions over GF(2); a circuit of such gates is an invertible
+//     boolean matrix, so equivalence is exact and scales to any size.
+//     This is the workhorse for validating routers on the paper's
+//     CNOT-structured benchmarks.
+//   - Equivalent (equiv.go): full state-vector comparison for circuits
+//     with arbitrary gates, limited to small qubit counts.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// LinearFunction is an n×n invertible matrix over GF(2), row i giving
+// the output bit i as a parity of input bits. Rows are stored as
+// bitsets ([]uint64) so matrices stay compact up to hundreds of qubits.
+type LinearFunction struct {
+	n    int
+	rows [][]uint64
+}
+
+// NewIdentityLinear returns the identity function on n bits.
+func NewIdentityLinear(n int) *LinearFunction {
+	words := (n + 63) / 64
+	lf := &LinearFunction{n: n, rows: make([][]uint64, n)}
+	for i := 0; i < n; i++ {
+		lf.rows[i] = make([]uint64, words)
+		lf.rows[i][i/64] = 1 << uint(i%64)
+	}
+	return lf
+}
+
+// N returns the bit width.
+func (lf *LinearFunction) N() int { return lf.n }
+
+// Bit returns entry (row, col).
+func (lf *LinearFunction) Bit(row, col int) bool {
+	return lf.rows[row][col/64]&(1<<uint(col%64)) != 0
+}
+
+// ApplyCNOT composes the function with CNOT(control, target):
+// x[target] ^= x[control], i.e. row[target] ^= row[control].
+func (lf *LinearFunction) ApplyCNOT(control, target int) {
+	rc, rt := lf.rows[control], lf.rows[target]
+	for w := range rt {
+		rt[w] ^= rc[w]
+	}
+}
+
+// ApplySwap composes with SWAP(a, b): exchange rows a and b.
+func (lf *LinearFunction) ApplySwap(a, b int) {
+	lf.rows[a], lf.rows[b] = lf.rows[b], lf.rows[a]
+}
+
+// ApplyGate composes with one gate. Only linear gates are accepted:
+// CX and Swap. Barrier and measure are ignored (they do not change the
+// tracked classical function). Any other gate returns an error.
+func (lf *LinearFunction) ApplyGate(g circuit.Gate) error {
+	switch g.Kind {
+	case circuit.KindCX:
+		lf.ApplyCNOT(g.Q0, g.Q1)
+	case circuit.KindSwap:
+		lf.ApplySwap(g.Q0, g.Q1)
+	case circuit.KindBarrier, circuit.KindMeasure:
+	default:
+		return fmt.Errorf("verify: gate %v is not linear over GF(2)", g.Kind)
+	}
+	return nil
+}
+
+// FromCircuit builds the linear function of a CNOT/SWAP circuit.
+func FromCircuit(c *circuit.Circuit) (*LinearFunction, error) {
+	lf := NewIdentityLinear(c.NumQubits())
+	for _, g := range c.Gates() {
+		if err := lf.ApplyGate(g); err != nil {
+			return nil, err
+		}
+	}
+	return lf, nil
+}
+
+// Equal reports whether two linear functions are identical.
+func (lf *LinearFunction) Equal(o *LinearFunction) bool {
+	if lf.n != o.n {
+		return false
+	}
+	for i := range lf.rows {
+		for w := range lf.rows[i] {
+			if lf.rows[i][w] != o.rows[i][w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (lf *LinearFunction) Clone() *LinearFunction {
+	c := &LinearFunction{n: lf.n, rows: make([][]uint64, lf.n)}
+	for i := range lf.rows {
+		c.rows[i] = make([]uint64, len(lf.rows[i]))
+		copy(c.rows[i], lf.rows[i])
+	}
+	return c
+}
+
+// PermuteRows returns P∘lf where P relabels output wire i to perm[i].
+// Row r of the result is row of the input that lands on wire r.
+func (lf *LinearFunction) PermuteRows(perm []int) *LinearFunction {
+	if len(perm) != lf.n {
+		panic("verify: permutation size mismatch")
+	}
+	out := &LinearFunction{n: lf.n, rows: make([][]uint64, lf.n)}
+	for i, p := range perm {
+		row := make([]uint64, len(lf.rows[i]))
+		copy(row, lf.rows[i])
+		out.rows[p] = row
+	}
+	return out
+}
+
+// PermuteCols returns lf∘P⁻¹ where P relabels input wire i to perm[i]:
+// column perm[j] of the result equals column j of the input.
+func (lf *LinearFunction) PermuteCols(perm []int) *LinearFunction {
+	if len(perm) != lf.n {
+		panic("verify: permutation size mismatch")
+	}
+	words := (lf.n + 63) / 64
+	out := &LinearFunction{n: lf.n, rows: make([][]uint64, lf.n)}
+	for i := 0; i < lf.n; i++ {
+		out.rows[i] = make([]uint64, words)
+	}
+	for i := 0; i < lf.n; i++ {
+		for j := 0; j < lf.n; j++ {
+			if lf.Bit(i, j) {
+				p := perm[j]
+				out.rows[i][p/64] |= 1 << uint(p%64)
+			}
+		}
+	}
+	return out
+}
+
+// CheckRouted verifies that a routed CNOT/SWAP circuit equals the
+// original under the given layouts: for every input x, placing logical
+// values onto physical wires via initLayout (wire π₀(q) carries q),
+// running the routed circuit, and reading wire π_f(q) as logical q must
+// reproduce original(x). Algebraically:
+//
+//	P_f⁻¹ · A_routed · P₀ == A_orig
+//
+// where (P₀ x)[π₀(q)] = x[q]. Returns nil when equivalent.
+func CheckRouted(orig, routed *circuit.Circuit, initL2P, finalL2P []int) error {
+	if routed.NumQubits() < orig.NumQubits() {
+		return fmt.Errorf("verify: routed circuit narrower (%d) than original (%d)", routed.NumQubits(), orig.NumQubits())
+	}
+	n := routed.NumQubits()
+	aOrig, err := FromCircuit(orig.Widen(n))
+	if err != nil {
+		return fmt.Errorf("verify: original circuit: %w", err)
+	}
+	aRouted, err := FromCircuit(routed)
+	if err != nil {
+		return fmt.Errorf("verify: routed circuit: %w", err)
+	}
+	if len(initL2P) != n || len(finalL2P) != n {
+		return fmt.Errorf("verify: layout sizes (%d, %d) do not match width %d", len(initL2P), len(finalL2P), n)
+	}
+	// Conjugate: logical-frame function of the routed circuit is
+	// P_f⁻¹ · A_routed · P₀. Column relabel by π₀ realizes ·P₀ (input
+	// logical q enters on wire π₀(q) ⇒ column π₀(q) must align with
+	// logical column q). Row relabel maps physical output row π_f(q)
+	// back to logical row q.
+	inv := make([]int, n)
+	for q, p := range finalL2P {
+		inv[p] = q
+	}
+	logical := aRouted.PermuteRows(inv).permuteColsInverse(initL2P)
+	if !logical.Equal(aOrig) {
+		return fmt.Errorf("verify: routed circuit is not equivalent to the original under the given layouts")
+	}
+	return nil
+}
+
+// permuteColsInverse relabels input wires: column p of the receiver is
+// column q of the result where l2p[q] = p. I.e. result.Bit(i, q) ==
+// lf.Bit(i, l2p[q]).
+func (lf *LinearFunction) permuteColsInverse(l2p []int) *LinearFunction {
+	words := (lf.n + 63) / 64
+	out := &LinearFunction{n: lf.n, rows: make([][]uint64, lf.n)}
+	for i := 0; i < lf.n; i++ {
+		out.rows[i] = make([]uint64, words)
+		for q := 0; q < lf.n; q++ {
+			if lf.Bit(i, l2p[q]) {
+				out.rows[i][q/64] |= 1 << uint(q%64)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the matrix for debugging (rows top to bottom).
+func (lf *LinearFunction) String() string {
+	buf := make([]byte, 0, lf.n*(lf.n+1))
+	for i := 0; i < lf.n; i++ {
+		for j := 0; j < lf.n; j++ {
+			if lf.Bit(i, j) {
+				buf = append(buf, '1')
+			} else {
+				buf = append(buf, '0')
+			}
+		}
+		buf = append(buf, '\n')
+	}
+	return string(buf)
+}

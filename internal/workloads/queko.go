@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+// KnownOptimal generates a QUEKO-style benchmark: a circuit constructed
+// so that a zero-SWAP mapping onto dev provably exists. Construction:
+// fix a hidden random logical→physical assignment, emit `gates` CNOTs
+// only between logical qubits whose hidden images are coupled, then
+// return the circuit (the hidden assignment is also returned so tests
+// can inspect the optimum). A perfect mapper adds 0 gates on these; the
+// measured overhead of a real mapper is its optimality gap.
+//
+// (After Tan & Cong's QUEKO suite, which was built to benchmark
+// mappers against known-optimal depth; our variant fixes optimal added
+// gates = 0 instead.)
+func KnownOptimal(dev *arch.Device, gates int, seed int64) (*circuit.Circuit, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := dev.NumQubits()
+	hidden := rng.Perm(n) // hidden[q] = physical home of logical q
+	// Inverse: logical qubit living on each physical node.
+	logAt := make([]int, n)
+	for q, p := range hidden {
+		logAt[p] = q
+	}
+	edges := dev.Edges()
+	c := circuit.NewNamed(fmt.Sprintf("queko_%s_%d", dev.Name(), seed), n)
+	for i := 0; i < gates; i++ {
+		e := edges[rng.Intn(len(edges))]
+		a, b := logAt[e.A], logAt[e.B]
+		if rng.Intn(2) == 0 {
+			a, b = b, a
+		}
+		c.Append(circuit.CX(a, b))
+	}
+	return c, hidden
+}
+
+// QAOAMaxCut returns a depth-p QAOA circuit for MaxCut on a random
+// graph with n vertices and the given edge probability: per round, a
+// ZZ-phase separator on every graph edge followed by an RX mixer layer.
+// QAOA is the canonical NISQ application the paper's motivation points
+// at; its interaction graph equals the problem graph, so mapping
+// difficulty tracks graph density.
+func QAOAMaxCut(n, rounds int, edgeProb float64, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < edgeProb {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	c := circuit.NewNamed(fmt.Sprintf("qaoa_n%d_p%d", n, rounds), n)
+	for q := 0; q < n; q++ {
+		c.Append(circuit.G1(circuit.KindH, q))
+	}
+	for r := 0; r < rounds; r++ {
+		gamma := 0.4 + 0.1*float64(r)
+		beta := 0.7 - 0.1*float64(r)
+		for _, e := range edges {
+			c.Append(circuit.RZZDecomposition(gamma, e[0], e[1])...)
+		}
+		for q := 0; q < n; q++ {
+			c.Append(circuit.G1(circuit.KindRX, q, 2*beta))
+		}
+	}
+	return c
+}
+
+// Grover returns an n-qubit Grover iteration count times: the phase
+// oracle marks the all-ones state (a CZ cascade via Toffoli
+// decompositions for n=2,3; falls back to a CZ chain for larger n), and
+// the diffusion operator inverts about the mean. Exercises deep
+// sequential structure with a repeated interaction pattern.
+func Grover(n, iterations int) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("grover_%d", n), n)
+	for q := 0; q < n; q++ {
+		c.Append(circuit.G1(circuit.KindH, q))
+	}
+	markAllOnes := func() {
+		switch {
+		case n == 2:
+			c.Append(circuit.CZ(0, 1))
+		default:
+			// Multi-controlled Z via H·CCX·H on the last qubit, chaining
+			// Toffolis through the wires (exact for n=3; a standard
+			// ancilla-free ladder approximation otherwise, adequate as a
+			// routing workload).
+			c.Append(circuit.G1(circuit.KindH, n-1))
+			for i := 0; i+2 < n; i++ {
+				c.Append(circuit.ToffoliDecomposition(i, i+1, i+2)...)
+			}
+			c.Append(circuit.ToffoliDecomposition(n-3, n-2, n-1)...)
+			for i := n - 4; i >= 0; i-- {
+				c.Append(circuit.ToffoliDecomposition(i, i+1, i+2)...)
+			}
+			c.Append(circuit.G1(circuit.KindH, n-1))
+		}
+	}
+	for it := 0; it < iterations; it++ {
+		markAllOnes()
+		// Diffusion: H X (mark) X H on all qubits.
+		for q := 0; q < n; q++ {
+			c.Append(circuit.G1(circuit.KindH, q), circuit.G1(circuit.KindX, q))
+		}
+		markAllOnes()
+		for q := 0; q < n; q++ {
+			c.Append(circuit.G1(circuit.KindX, q), circuit.G1(circuit.KindH, q))
+		}
+	}
+	return c
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+func TestKnownOptimalRespectsHiddenMapping(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	c, hidden := KnownOptimal(dev, 300, 42)
+	if c.NumQubits() != dev.NumQubits() {
+		t.Fatalf("width %d", c.NumQubits())
+	}
+	if c.NumGates() != 300 {
+		t.Fatalf("gates %d", c.NumGates())
+	}
+	// Every CNOT must act on a coupled pair under the hidden mapping —
+	// i.e. the hidden mapping is a 0-SWAP witness.
+	for _, g := range c.Gates() {
+		if !dev.Connected(hidden[g.Q0], hidden[g.Q1]) {
+			t.Fatalf("gate %v not executable under the hidden mapping", g)
+		}
+	}
+}
+
+func TestKnownOptimalDeterministic(t *testing.T) {
+	dev := arch.Grid(3, 3)
+	a, ha := KnownOptimal(dev, 50, 7)
+	b, hb := KnownOptimal(dev, 50, 7)
+	if !a.Equal(b) {
+		t.Fatal("not deterministic")
+	}
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatal("hidden mappings differ")
+		}
+	}
+	c, _ := KnownOptimal(dev, 50, 8)
+	if a.Equal(c) {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestQAOAStructure(t *testing.T) {
+	c := QAOAMaxCut(8, 2, 0.5, 3)
+	if c.NumQubits() != 8 {
+		t.Fatal("width wrong")
+	}
+	// Two rounds: every interaction pair appears an even number of
+	// times ≥ 2 (each ZZ block has 2 CNOTs, repeated per round).
+	for pair, count := range c.InteractionPairs() {
+		if count%4 != 0 {
+			t.Fatalf("pair %v count %d not a multiple of 4 (2 CNOT per ZZ x 2 rounds)", pair, count)
+		}
+	}
+	if c.CountKind(circuit.KindRX) != 16 {
+		t.Fatalf("mixer layer wrong: %d RX", c.CountKind(circuit.KindRX))
+	}
+	if c.CountKind(circuit.KindH) != 8 {
+		t.Fatal("initial layer wrong")
+	}
+}
+
+func TestQAOADensityScalesEdges(t *testing.T) {
+	sparse := QAOAMaxCut(10, 1, 0.2, 5)
+	dense := QAOAMaxCut(10, 1, 0.9, 5)
+	if len(dense.InteractionPairs()) <= len(sparse.InteractionPairs()) {
+		t.Fatal("edge probability had no effect")
+	}
+}
+
+func TestGroverShapes(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		c := Grover(n, 2)
+		if c.NumQubits() != n {
+			t.Fatalf("grover(%d) width", n)
+		}
+		if c.NumGates() == 0 || c.CountTwoQubit() == 0 {
+			t.Fatalf("grover(%d) empty", n)
+		}
+	}
+	// Iterations scale the size linearly (minus the initial H layer).
+	one := Grover(4, 1).NumGates()
+	two := Grover(4, 2).NumGates()
+	if two-one != one-4 {
+		t.Fatalf("iteration scaling wrong: %d vs %d", one, two)
+	}
+}

@@ -1,0 +1,236 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+func TestQFTStructure(t *testing.T) {
+	for _, n := range []int{2, 5, 10} {
+		c := QFT(n)
+		wantGates := n + 5*n*(n-1)/2
+		if c.NumGates() != wantGates {
+			t.Fatalf("QFT(%d): %d gates, want %d", n, c.NumGates(), wantGates)
+		}
+		if c.CountKind(circuit.KindCX) != n*(n-1) {
+			t.Fatalf("QFT(%d): %d CNOTs, want %d", n, c.CountKind(circuit.KindCX), n*(n-1))
+		}
+		// All-to-all interaction graph: every pair interacts.
+		if got := len(c.InteractionPairs()); got != n*(n-1)/2 {
+			t.Fatalf("QFT(%d): %d interacting pairs, want %d", n, got, n*(n-1)/2)
+		}
+	}
+}
+
+func TestQFTUnitaryOnSmallCase(t *testing.T) {
+	// QFT maps |0...0> to the uniform superposition.
+	c := QFT(3)
+	s := sim.NewState(3)
+	s.ApplyCircuit(c)
+	want := 1 / math.Sqrt(8)
+	for b := uint64(0); b < 8; b++ {
+		a := s.Amplitude(b)
+		if math.Abs(real(a)-want) > 1e-9 || math.Abs(imag(a)) > 1e-9 {
+			t.Fatalf("QFT|000> amplitude %d = %v, want %g", b, a, want)
+		}
+	}
+}
+
+func TestIsingStructure(t *testing.T) {
+	c := Ising(10, 12)
+	// Nearest-neighbour interactions only.
+	for pair := range c.InteractionPairs() {
+		if pair[1]-pair[0] != 1 {
+			t.Fatalf("ising has non-NN interaction %v", pair)
+		}
+	}
+	wantGates := 10 + 12*(3*9+10)
+	if c.NumGates() != wantGates {
+		t.Fatalf("Ising(10,12): %d gates, want %d", c.NumGates(), wantGates)
+	}
+}
+
+func TestIsingStepsTargets(t *testing.T) {
+	for _, tc := range []struct{ n, target int }{{10, 480}, {13, 633}, {16, 786}} {
+		c := Ising(tc.n, isingSteps(tc.n, tc.target))
+		got := c.NumGates()
+		// Within one Trotter step of the Table II count.
+		perStep := 3*(tc.n-1) + tc.n
+		if got < tc.target-perStep || got > tc.target+perStep {
+			t.Fatalf("ising_model_%d: %d gates, target %d±%d", tc.n, got, tc.target, perStep)
+		}
+	}
+}
+
+func TestGHZ(t *testing.T) {
+	c := GHZ(4)
+	s := sim.NewState(4)
+	s.ApplyCircuit(c)
+	w := 1 / math.Sqrt2
+	if math.Abs(real(s.Amplitude(0))-w) > 1e-9 || math.Abs(real(s.Amplitude(15))-w) > 1e-9 {
+		t.Fatal("GHZ state wrong")
+	}
+}
+
+func TestBernsteinVazirani(t *testing.T) {
+	secret := uint64(0b1011)
+	c := BernsteinVazirani(secret, 4)
+	s := sim.NewState(5)
+	s.ApplyCircuit(c)
+	// Data qubits must read the secret with certainty.
+	for q := 0; q < 4; q++ {
+		want := 0.0
+		if secret&(1<<uint(q)) != 0 {
+			want = 1.0
+		}
+		if got := s.Probability(q); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("BV qubit %d: P(1)=%g, want %g", q, got, want)
+		}
+	}
+}
+
+func TestRandomCircuitDeterministic(t *testing.T) {
+	a := RandomCircuit("a", 6, 100, 0.5, 42)
+	b := RandomCircuit("a", 6, 100, 0.5, 42)
+	if !a.Equal(b) {
+		t.Fatal("RandomCircuit not deterministic")
+	}
+	c := RandomCircuit("a", 6, 100, 0.5, 43)
+	if a.Equal(c) {
+		t.Fatal("different seeds gave identical circuits")
+	}
+	if a.NumGates() != 100 {
+		t.Fatal("gate count wrong")
+	}
+}
+
+func TestRandomCircuitCXFraction(t *testing.T) {
+	c := RandomCircuit("frac", 8, 2000, 0.4, 7)
+	frac := float64(c.CountKind(circuit.KindCX)) / 2000
+	if frac < 0.35 || frac > 0.45 {
+		t.Fatalf("CX fraction %.3f, want ~0.4", frac)
+	}
+	all1q := RandomCircuit("all1q", 8, 100, 0, 7)
+	if all1q.CountTwoQubit() != 0 {
+		t.Fatal("cxFrac=0 still produced CNOTs")
+	}
+}
+
+func TestSuiteComplete(t *testing.T) {
+	all := All()
+	if len(all) != 26 {
+		t.Fatalf("suite has %d benchmarks, want 26", len(all))
+	}
+	counts := map[Class]int{}
+	for _, b := range all {
+		counts[b.Class]++
+	}
+	if counts[ClassSmall] != 5 || counts[ClassSim] != 3 || counts[ClassQFT] != 4 || counts[ClassLarge] != 14 {
+		t.Fatalf("class counts wrong: %v", counts)
+	}
+}
+
+func TestSuiteBuildMatchesSpec(t *testing.T) {
+	for _, b := range All() {
+		if b.Class == ClassLarge && b.Gori > 8000 {
+			continue // keep the test fast; covered by TestLargestBenchmarks
+		}
+		c := b.Build()
+		if c.NumQubits() != b.N {
+			t.Fatalf("%s: %d qubits, want %d", b.Name, c.NumQubits(), b.N)
+		}
+		if c.Name() != b.Name {
+			t.Fatalf("%s: circuit named %q", b.Name, c.Name())
+		}
+		switch b.Class {
+		case ClassSmall, ClassLarge:
+			if c.NumGates() != b.Gori {
+				t.Fatalf("%s: %d gates, want exactly %d", b.Name, c.NumGates(), b.Gori)
+			}
+		case ClassSim:
+			if d := c.NumGates() - b.Gori; d > 60 || d < -60 {
+				t.Fatalf("%s: %d gates, target %d", b.Name, c.NumGates(), b.Gori)
+			}
+		case ClassQFT:
+			// Exact QFT; count is structural, not Table II's export count.
+			if c.CountKind(circuit.KindCX) != b.N*(b.N-1) {
+				t.Fatalf("%s: CX count wrong", b.Name)
+			}
+		}
+		// Every benchmark must actually use two-qubit gates.
+		if c.CountTwoQubit() == 0 {
+			t.Fatalf("%s: no two-qubit gates", b.Name)
+		}
+	}
+}
+
+func TestLargestBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"sym9_193", "9symml_195", "co14_215", "rd84_253", "sqn_258"} {
+		b, ok := ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		c := b.Build()
+		if c.NumGates() != b.Gori || c.NumQubits() != b.N {
+			t.Fatalf("%s: got (n=%d,g=%d), want (n=%d,g=%d)", name, c.NumQubits(), c.NumGates(), b.N, b.Gori)
+		}
+	}
+}
+
+func TestSmallBenchmarksAreSparse(t *testing.T) {
+	// Small benchmarks must have Q20-embeddable (sparse) interaction
+	// graphs: at most n pairs (path + one chord).
+	for _, b := range ByClass(ClassSmall) {
+		c := b.Build()
+		if got := len(c.InteractionPairs()); got > b.N {
+			t.Fatalf("%s: %d interaction pairs, want <= %d", b.Name, got, b.N)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	b, _ := ByName("rd84_142")
+	if !b.Build().Equal(b.Build()) {
+		t.Fatal("benchmark build not deterministic")
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if _, ok := ByName("qft_16"); !ok {
+		t.Fatal("qft_16 missing")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("bogus name found")
+	}
+	names := Names()
+	if len(names) != 26 {
+		t.Fatal("Names() incomplete")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names() not sorted")
+		}
+	}
+}
+
+func TestByClassPreservesOrder(t *testing.T) {
+	qfts := ByClass(ClassQFT)
+	if len(qfts) != 4 || qfts[0].Name != "qft_10" || qfts[3].Name != "qft_20" {
+		t.Fatalf("qft class wrong: %v", qfts)
+	}
+}
+
+func TestToffoliNetworkTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := toffoliNetwork("trunc", 5, 7, nil, rng)
+	if c.NumGates() != 7 {
+		t.Fatalf("truncation failed: %d gates", c.NumGates())
+	}
+}

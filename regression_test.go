@@ -1,0 +1,49 @@
+package sabre
+
+import "testing"
+
+// Regression pins: exact outputs for fixed seeds under the default
+// configuration. math/rand's top-level generator sequence is frozen by
+// the Go 1 compatibility promise, so these values are stable; a change
+// here means the algorithm's behaviour changed and EXPERIMENTS.md needs
+// re-measuring.
+func TestRegressionPinnedResults(t *testing.T) {
+	dev := IBMQ20Tokyo()
+	cases := []struct {
+		n     int
+		added int
+		swaps int
+	}{
+		{6, 6, 2},
+		{8, 21, 7},
+		{10, 36, 12},
+	}
+	for _, tc := range cases {
+		res, err := Compile(QFT(tc.n), dev, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AddedGates != tc.added || res.SwapCount != tc.swaps {
+			t.Errorf("qft_%d: added=%d swaps=%d, pinned added=%d swaps=%d (algorithm behaviour changed; re-measure EXPERIMENTS.md)",
+				tc.n, res.AddedGates, res.SwapCount, tc.added, tc.swaps)
+		}
+	}
+}
+
+// The accounting identity must hold on every compile: the routed
+// circuit's decomposed gate count equals the input count plus the
+// reported overhead.
+func TestRegressionAccountingIdentity(t *testing.T) {
+	dev := IBMQ20Tokyo()
+	for _, n := range []int{5, 9, 13} {
+		c := QFT(n)
+		res, err := Compile(c, dev, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Circuit.DecomposeSwaps().NumGates()
+		if got != c.NumGates()+res.AddedGates {
+			t.Fatalf("qft_%d: %d gates out, want %d + %d", n, got, c.NumGates(), res.AddedGates)
+		}
+	}
+}

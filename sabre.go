@@ -1,0 +1,334 @@
+// Package sabre is a Go implementation of SABRE — the SWAP-based
+// BidiREctional heuristic search algorithm for the qubit mapping
+// problem on NISQ devices (Li, Ding, Xie, ASPLOS 2019).
+//
+// A quantum circuit assumes any two logical qubits can interact; real
+// devices only couple neighbouring physical qubits. This package finds
+// an initial logical→physical mapping and inserts SWAP gates so every
+// two-qubit gate acts on coupled qubits, minimizing the added gates and
+// depth:
+//
+//	dev  := sabre.IBMQ20Tokyo()
+//	circ := sabre.QFT(16)
+//	res, err := sabre.Compile(circ, dev, sabre.DefaultOptions())
+//	// res.Circuit is hardware-compliant; res.AddedGates = 3·#SWAPs.
+//
+// The facade re-exports the internal packages' curated surface: circuit
+// construction, device topologies, OpenQASM 2.0 I/O, workload
+// generators, verification and metrics. Everything is pure Go with no
+// dependencies outside the standard library.
+package sabre
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/baseline"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/metrics"
+	"repro/internal/opt"
+	"repro/internal/qasm"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/verify"
+	"repro/internal/workloads"
+)
+
+// Core types, re-exported by alias so values flow freely between the
+// facade and the internal packages.
+type (
+	// Circuit is an ordered gate list over n logical (or, after
+	// compilation, physical) qubits.
+	Circuit = circuit.Circuit
+	// Gate is one operation; see the Kind* constants.
+	Gate = circuit.Gate
+	// Kind enumerates gate kinds (KindH, KindCX, ...).
+	Kind = circuit.Kind
+	// Device is an immutable hardware coupling model.
+	Device = arch.Device
+	// Edge is an undirected coupling between two physical qubits.
+	Edge = arch.Edge
+	// ErrorModel carries per-gate error rates and durations.
+	ErrorModel = arch.ErrorModel
+	// Options configures Compile; start from DefaultOptions.
+	Options = core.Options
+	// Heuristic selects the SWAP-scoring cost function.
+	Heuristic = core.Heuristic
+	// Result is Compile's outcome.
+	Result = core.Result
+	// Layout is a logical↔physical qubit bijection.
+	Layout = mapping.Layout
+	// Report carries gate/depth metrics for a circuit.
+	Report = metrics.Report
+	// Benchmark describes one entry of the paper's Table II suite.
+	Benchmark = workloads.Benchmark
+)
+
+// Gate kinds.
+const (
+	KindH       = circuit.KindH
+	KindX       = circuit.KindX
+	KindY       = circuit.KindY
+	KindZ       = circuit.KindZ
+	KindS       = circuit.KindS
+	KindSdg     = circuit.KindSdg
+	KindT       = circuit.KindT
+	KindTdg     = circuit.KindTdg
+	KindRX      = circuit.KindRX
+	KindRY      = circuit.KindRY
+	KindRZ      = circuit.KindRZ
+	KindU1      = circuit.KindU1
+	KindU2      = circuit.KindU2
+	KindU3      = circuit.KindU3
+	KindMeasure = circuit.KindMeasure
+	KindBarrier = circuit.KindBarrier
+	KindCX      = circuit.KindCX
+	KindCZ      = circuit.KindCZ
+	KindSwap    = circuit.KindSwap
+)
+
+// Heuristics.
+const (
+	HeuristicBasic     = core.HeuristicBasic
+	HeuristicLookahead = core.HeuristicLookahead
+	HeuristicDecay     = core.HeuristicDecay
+)
+
+// --- Circuit construction ---
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n int) *Circuit { return circuit.New(n) }
+
+// NewNamedCircuit returns an empty named circuit over n qubits.
+func NewNamedCircuit(name string, n int) *Circuit { return circuit.NewNamed(name, n) }
+
+// G1 constructs a single-qubit gate of the given kind.
+func G1(k Kind, q int, params ...float64) Gate { return circuit.G1(k, q, params...) }
+
+// CX constructs a CNOT gate.
+func CX(control, target int) Gate { return circuit.CX(control, target) }
+
+// CZ constructs a controlled-Z gate.
+func CZ(a, b int) Gate { return circuit.CZ(a, b) }
+
+// SwapGate constructs a SWAP gate.
+func SwapGate(a, b int) Gate { return circuit.Swap(a, b) }
+
+// Toffoli returns the paper Fig. 1 15-gate CCX decomposition.
+func Toffoli(c1, c2, target int) []Gate { return circuit.ToffoliDecomposition(c1, c2, target) }
+
+// --- Devices ---
+
+// IBMQ20Tokyo returns the 20-qubit IBM Q20 Tokyo coupling graph used in
+// the paper's evaluation (Fig. 2).
+func IBMQ20Tokyo() *Device { return arch.IBMQ20Tokyo() }
+
+// IBMQX5 returns the 16-qubit IBM QX5 ladder.
+func IBMQX5() *Device { return arch.IBMQX5() }
+
+// LineDevice returns an n-qubit nearest-neighbour chain.
+func LineDevice(n int) *Device { return arch.Line(n) }
+
+// RingDevice returns an n-qubit cycle.
+func RingDevice(n int) *Device { return arch.Ring(n) }
+
+// GridDevice returns a rows×cols 2-D lattice.
+func GridDevice(rows, cols int) *Device { return arch.Grid(rows, cols) }
+
+// IBMFalcon27 returns the 27-qubit heavy-hexagon IBM Falcon topology.
+func IBMFalcon27() *Device { return arch.IBMFalcon27() }
+
+// RigettiAspen returns an Aspen-style chain of fused octagons.
+func RigettiAspen(octagons int) *Device { return arch.RigettiAspen(octagons) }
+
+// Sycamore returns a Google Sycamore-style diagonal lattice.
+func Sycamore(rows, cols int) *Device { return arch.Sycamore(rows, cols) }
+
+// NewDevice builds a custom device from an edge list; it validates
+// ranges and connectivity.
+func NewDevice(name string, n int, edges []Edge) (*Device, error) {
+	return arch.New(name, n, edges)
+}
+
+// CouplingEdge returns the canonical form of the edge {a, b}.
+func CouplingEdge(a, b int) Edge { return arch.NewEdge(a, b) }
+
+// Q20ErrorModel returns the Fig. 2 average chip parameters.
+func Q20ErrorModel() ErrorModel { return arch.Q20ErrorModel() }
+
+// NoiseModel carries per-edge CNOT error rates for variability-aware
+// routing (set Options.Noise to use it).
+type NoiseModel = arch.NoiseModel
+
+// UniformNoise returns a noise model with one error rate everywhere.
+func UniformNoise(e float64) *NoiseModel { return arch.UniformNoise(e) }
+
+// RandomNoise draws per-edge error rates log-uniformly from [lo, hi].
+func RandomNoise(dev *Device, lo, hi float64, rng *rand.Rand) *NoiseModel {
+	return arch.RandomNoise(dev, lo, hi, rng)
+}
+
+// --- Compilation ---
+
+// DefaultOptions returns the paper's §V algorithm configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Compile maps circ onto dev with SABRE (random-restart, bidirectional
+// traversals) and returns the hardware-compliant physical circuit plus
+// accounting. See core.Compile for details.
+func Compile(circ *Circuit, dev *Device, opts Options) (*Result, error) {
+	return core.Compile(circ, dev, opts)
+}
+
+// CompileWithLayout routes from a fixed initial layout (single forward
+// traversal, no restarts).
+func CompileWithLayout(circ *Circuit, dev *Device, init Layout, opts Options) (*Result, error) {
+	return core.CompileWithLayout(circ, dev, init, opts)
+}
+
+// FindInitialMapping runs SABRE's reverse-traversal technique and
+// returns only the improved initial layout.
+func FindInitialMapping(circ *Circuit, dev *Device, opts Options) (Layout, error) {
+	return core.InitialMapping(circ, dev, opts)
+}
+
+// IdentityLayout returns the layout mapping logical i to physical i.
+func IdentityLayout(n int) Layout { return mapping.Identity(n) }
+
+// RandomLayout returns a uniformly random layout.
+func RandomLayout(n int, rng *rand.Rand) Layout { return mapping.Random(n, rng) }
+
+// --- Baselines (for comparison studies) ---
+
+// GreedyCompile routes with the naive shortest-path baseline.
+func GreedyCompile(circ *Circuit, dev *Device) (*baseline.GreedyResult, error) {
+	return baseline.GreedyCompile(circ, dev)
+}
+
+// AStarCompile routes with the Zulehner-style layered A* baseline
+// (the paper's BKA).
+func AStarCompile(circ *Circuit, dev *Device, opts baseline.AStarOptions) (*baseline.AStarResult, error) {
+	return baseline.AStarCompile(circ, dev, opts)
+}
+
+// --- QASM I/O ---
+
+// ParseQASM parses OpenQASM 2.0 source.
+func ParseQASM(src string) (*Circuit, error) { return qasm.Parse(src) }
+
+// ParseQASMFile parses a .qasm file.
+func ParseQASMFile(path string) (*Circuit, error) { return qasm.ParseFile(path) }
+
+// WriteQASM serializes a circuit as OpenQASM 2.0.
+func WriteQASM(w io.Writer, c *Circuit) error { return qasm.Write(w, c) }
+
+// FormatQASM returns the QASM text of a circuit.
+func FormatQASM(c *Circuit) string { return qasm.Format(c) }
+
+// --- Workloads ---
+
+// QFT returns the n-qubit quantum Fourier transform.
+func QFT(n int) *Circuit { return workloads.QFT(n) }
+
+// Ising returns a Trotterized 1-D transverse-field Ising circuit.
+func Ising(n, steps int) *Circuit { return workloads.Ising(n, steps) }
+
+// GHZ returns the n-qubit GHZ preparation circuit.
+func GHZ(n int) *Circuit { return workloads.GHZ(n) }
+
+// RandomCircuit returns a seeded random benchmark circuit.
+func RandomCircuit(name string, n, gates int, cxFrac float64, seed int64) *Circuit {
+	return workloads.RandomCircuit(name, n, gates, cxFrac, seed)
+}
+
+// Benchmarks returns the paper's 26-benchmark Table II suite.
+func Benchmarks() []Benchmark { return workloads.All() }
+
+// BenchmarkByName looks up one Table II benchmark.
+func BenchmarkByName(name string) (Benchmark, bool) { return workloads.ByName(name) }
+
+// --- Verification & metrics ---
+
+// VerifyCompliant checks every two-qubit gate acts on coupled qubits.
+func VerifyCompliant(c *Circuit, dev *Device) error {
+	return verify.HardwareCompliant(c.DecomposeSwaps(), dev.Connected)
+}
+
+// VerifyRouted checks (exactly, over GF(2)) that a routed CNOT/SWAP
+// circuit implements the original under the result's layouts.
+func VerifyRouted(orig *Circuit, res *Result) error {
+	return verify.CheckRouted(orig, res.Circuit, res.InitialLayout, res.FinalLayout)
+}
+
+// VerifyRoutedStates checks equivalence by state-vector simulation
+// (arbitrary gate kinds, ≤16 qubits).
+func VerifyRoutedStates(orig *Circuit, res *Result, trials int, rng *rand.Rand) error {
+	return verify.EquivalentStates(orig, res.Circuit, res.InitialLayout, res.FinalLayout, trials, rng)
+}
+
+// SampleCircuit runs c from |0...0⟩ and draws shots full-register
+// measurement samples, returning counts keyed by basis-state index.
+func SampleCircuit(c *Circuit, shots int, rng *rand.Rand) map[uint64]int {
+	return sim.SampleCircuit(c, shots, rng)
+}
+
+// Simulate applies the circuit to |0...0⟩ and returns the amplitude
+// vector, for inspection in examples and tests (≤24 qubits).
+func Simulate(c *Circuit) []complex128 {
+	s := sim.NewState(c.NumQubits())
+	s.ApplyCircuit(c)
+	out := make([]complex128, 1<<uint(c.NumQubits()))
+	for b := range out {
+		out[b] = s.Amplitude(uint64(b))
+	}
+	return out
+}
+
+// --- Post-processing ---
+
+// OptimizeResult reports what the peephole optimizer did.
+type OptimizeResult = opt.Result
+
+// Optimize applies peephole rewrites (self-inverse cancellation,
+// rotation merging) until fixpoint, preserving semantics exactly.
+func Optimize(c *Circuit) OptimizeResult {
+	return opt.Optimize(c, opt.DefaultOptions())
+}
+
+// Schedule is an explicit time-step (moments) view of a circuit.
+type Schedule = sched.Schedule
+
+// ScheduleASAP returns the as-soon-as-possible schedule; its depth
+// equals Circuit.Depth().
+func ScheduleASAP(c *Circuit) *Schedule { return sched.ASAP(c) }
+
+// ScheduleALAP returns the as-late-as-possible schedule.
+func ScheduleALAP(c *Circuit) *Schedule { return sched.ALAP(c) }
+
+// MeasureCircuit returns gate/depth metrics (SWAPs counted as 3 CNOTs).
+func MeasureCircuit(c *Circuit) Report { return metrics.Measure(c) }
+
+// CompareCircuits reports routed against orig (the Table II columns).
+func CompareCircuits(orig, routed *Circuit) Report { return metrics.Compare(orig, routed) }
+
+// OverheadBreakdown decomposes routing overhead per kind.
+type OverheadBreakdown = metrics.OverheadBreakdown
+
+// BreakdownCircuits computes the overhead decomposition of routed vs
+// the original circuit.
+func BreakdownCircuits(orig, routed *Circuit) OverheadBreakdown {
+	return metrics.Breakdown(orig, routed)
+}
+
+// QubitUtilization returns per-wire gate counts (SWAPs decomposed).
+func QubitUtilization(c *Circuit) []int { return metrics.QubitUtilization(c) }
+
+// EstimateFidelity returns the first-order success probability of the
+// circuit under the error model.
+func EstimateFidelity(c *Circuit, em ErrorModel) float64 { return metrics.EstimateFidelity(c, em) }
+
+// EstimateDuration returns the critical-path execution time in ns.
+func EstimateDuration(c *Circuit, em ErrorModel) float64 { return metrics.EstimateDuration(c, em) }
