@@ -1,0 +1,26 @@
+# Tier-1 verification plus the race-enabled suite. `make check` is the
+# gate CI runs on every push.
+
+GO ?= go
+
+.PHONY: check build test vet race bench clean
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench BenchmarkBatchCompile -benchtime=2x .
+
+clean:
+	$(GO) clean ./...

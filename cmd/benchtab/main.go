@@ -4,18 +4,28 @@
 //	benchtab -table2 -type small  one class only
 //	benchtab -fig8                Figure 8 (gates/depth trade-off vs δ)
 //	benchtab -scaling             §V-B scalability study on QFT
+//	benchtab -batch               batch engine over the full suite
 //
 // -quick reduces SABRE to 2 trials for a fast pass; -no-astar skips the
 // exponential baseline; -budget caps the A* node budget (the paper's
-// memory limit analogue).
+// memory limit analogue). -batch drives the concurrent compilation
+// engine (-workers pool size, -rounds repetitions: round 1 is the cold
+// pass, later rounds exercise the warm result cache); it honors -type
+// and -max-gori.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"repro/internal/arch"
+	"repro/internal/batch"
+	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/metrics"
 	"repro/internal/workloads"
 )
 
@@ -32,10 +42,13 @@ func main() {
 		budget      = flag.Int("budget", 0, "A* node budget (0 = default)")
 		seed        = flag.Int64("seed", 1, "PRNG seed")
 		maxGori     = flag.Int("max-gori", 0, "skip benchmarks with more than this many gates (0 = no limit)")
+		batchMode   = flag.Bool("batch", false, "drive the concurrent batch engine over the workload suite")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "batch engine worker count")
+		rounds      = flag.Int("rounds", 2, "batch rounds (first cold, rest warm-cache)")
 	)
 	flag.Parse()
 
-	if !*table2 && !*fig8 && !*scaling && !*searchspace && !*optimality {
+	if !*table2 && !*fig8 && !*scaling && !*searchspace && !*optimality && !*batchMode {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -53,24 +66,7 @@ func main() {
 	}
 
 	if *table2 {
-		benches := workloads.All()
-		if *class != "" {
-			benches = workloads.ByClass(workloads.Class(*class))
-			if len(benches) == 0 {
-				fmt.Fprintf(os.Stderr, "benchtab: unknown class %q\n", *class)
-				os.Exit(1)
-			}
-		}
-		if *maxGori > 0 {
-			var kept []workloads.Benchmark
-			for _, b := range benches {
-				if b.Gori <= *maxGori {
-					kept = append(kept, b)
-				}
-			}
-			benches = kept
-		}
-		rows, err := exp.RunTable2(benches, cfg)
+		rows, err := exp.RunTable2(selectBenches(*class, *maxGori), cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -111,6 +107,14 @@ func main() {
 		fmt.Print(exp.FormatSearchSpace(rows))
 	}
 
+	if *batchMode {
+		// Let the engine derive per-job seeds from -seed (as BaseSeed)
+		// instead of giving every job the same literal seed.
+		opts := cfg.SabreOpts
+		opts.Seed = 0
+		runBatch(selectBenches(*class, *maxGori), cfg.Device, opts, *workers, *rounds, *seed)
+	}
+
 	if *optimality {
 		fmt.Println("== E7 optimality gap on known-optimal (QUEKO-style) instances, Q20 ==")
 		rows, err := exp.RunOptimalityGap(400, []int64{1, 2, 3, 4, 5, 6, 7, 8}, cfg)
@@ -119,6 +123,78 @@ func main() {
 		}
 		fmt.Print(exp.FormatOptimality(rows))
 	}
+}
+
+// selectBenches applies the shared -type/-max-gori filters to the
+// Table II suite, exiting on an unknown class.
+func selectBenches(class string, maxGori int) []workloads.Benchmark {
+	benches := workloads.All()
+	if class != "" {
+		benches = workloads.ByClass(workloads.Class(class))
+		if len(benches) == 0 {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown class %q\n", class)
+			os.Exit(1)
+		}
+	}
+	if maxGori > 0 {
+		var kept []workloads.Benchmark
+		for _, b := range benches {
+			if b.Gori <= maxGori {
+				kept = append(kept, b)
+			}
+		}
+		benches = kept
+	}
+	return benches
+}
+
+// runBatch compiles the whole benchmark list through the concurrent
+// engine for the requested number of rounds on one shared engine.
+// Round 1 is the cold pass (every job runs the SABRE search); later
+// rounds replay the same jobs and are served by the result cache,
+// printing the throughput gap between the two regimes.
+func runBatch(benches []workloads.Benchmark, dev *arch.Device, opts core.Options, workers, rounds int, seed int64) {
+	eng := batch.NewEngine(batch.Config{Workers: workers, BaseSeed: seed})
+	defer eng.Close()
+
+	jobs := make([]batch.Job, len(benches))
+	for i, b := range benches {
+		jobs[i] = batch.Job{Circuit: b.Build(), Device: dev, Options: opts, Tag: b.Name}
+	}
+
+	fmt.Printf("== batch engine: %d jobs x %d rounds, %d workers, device %s ==\n",
+		len(jobs), rounds, eng.Workers(), dev.Name())
+	for round := 1; round <= rounds; round++ {
+		start := time.Now()
+		results := eng.CompileBatch(jobs)
+		elapsed := time.Since(start)
+
+		var addedTotal, hits int
+		for _, res := range results {
+			if res.Err != nil {
+				fatal(fmt.Errorf("%s: %w", res.Tag, res.Err))
+			}
+			addedTotal += res.AddedGates
+			if res.CacheHit {
+				hits++
+			}
+		}
+		if round == 1 {
+			fmt.Printf("%-16s %6s %6s %7s %7s\n", "benchmark", "g_ori", "g_add", "depth", "ms")
+			for i, res := range results {
+				rep := metrics.Compare(jobs[i].Circuit, res.Circuit)
+				fmt.Printf("%-16s %6d %6d %7d %7.1f\n",
+					res.Tag, rep.RefGates, res.AddedGates, rep.Depth,
+					float64(res.Elapsed.Nanoseconds())/1e6)
+			}
+		}
+		fmt.Printf("round %d: %d jobs in %v (%.1f jobs/s), %d cache hits, g_add total %d\n",
+			round, len(results), elapsed.Round(time.Millisecond),
+			float64(len(results))/elapsed.Seconds(), hits, addedTotal)
+	}
+	st := eng.Stats()
+	fmt.Printf("engine: %d jobs, %d compiles, %d hits, %d shared, %d cached\n",
+		st.Jobs, st.Compiles, st.Hits, st.Shared, st.Cached)
 }
 
 func fatal(err error) {

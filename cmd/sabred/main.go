@@ -1,0 +1,417 @@
+// Command sabred is a compilation daemon: it serves SABRE qubit
+// mapping over HTTP/JSON on top of the concurrent batch engine
+// (bounded worker pool + sharded LRU result cache), so heavy circuit
+// traffic compiles as fast as the hardware allows and repeated
+// circuits are served from memory.
+//
+//	sabred -addr :8037 -workers 8 -cache 4096
+//
+// Endpoints:
+//
+//	POST /compile?device=tokyo[&seed=7&trials=5&bridge=1&heuristic=decay]
+//	    Body: OpenQASM 2.0 source (or, with Content-Type
+//	    application/json, {"qasm": "...", "device": "...",
+//	    "options": {...}}). Returns routed QASM plus metrics.
+//	GET  /devices    topology catalogue (incl. parameterized forms)
+//	GET  /stats      engine counters (jobs, cache hits, ...)
+//	GET  /healthz    liveness probe
+//
+// Devices: tokyo (ibmq20), qx5, falcon27, plus parameterized
+// line:<n>, ring:<n>, star:<n>, full:<n>, grid:<r>x<c>,
+// sycamore:<r>x<c>, aspen:<octagons>.
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/qasm"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8037", "listen address")
+		workers = flag.Int("workers", 0, "compilation workers (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 4096, "result-cache entries (negative disables)")
+		seed    = flag.Int64("seed", 1, "base seed for derived per-job seeds")
+	)
+	flag.Parse()
+
+	eng := batch.NewEngine(batch.Config{Workers: *workers, CacheEntries: *cache, BaseSeed: *seed})
+	defer eng.Close()
+
+	srv := newServer(eng)
+	log.Printf("sabred: listening on %s (%d workers, cache %d)", *addr, eng.Workers(), *cache)
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}
+
+// maxBodyBytes bounds a compile request body (large arithmetic
+// benchmarks are ~1 MB of QASM; 16 MB leaves ample headroom).
+const maxBodyBytes = 16 << 20
+
+// server carries the shared engine and a construct-once device cache
+// (device construction runs Floyd–Warshall, worth amortizing).
+type server struct {
+	eng   *batch.Engine
+	start time.Time
+
+	mu      sync.Mutex
+	devices map[string]*arch.Device
+}
+
+func newServer(eng *batch.Engine) *server {
+	return &server{eng: eng, start: time.Now(), devices: make(map[string]*arch.Device)}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/devices", s.handleDevices)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// compileRequest is the JSON envelope form of a compile request.
+type compileRequest struct {
+	QASM    string         `json:"qasm"`
+	Device  string         `json:"device"`
+	Options optionsRequest `json:"options"`
+}
+
+// optionsRequest exposes the result-affecting SABRE knobs; zero fields
+// keep the paper's defaults.
+type optionsRequest struct {
+	Heuristic         string  `json:"heuristic,omitempty"`
+	ExtendedSetSize   int     `json:"extended_set_size,omitempty"`
+	ExtendedSetWeight float64 `json:"extended_set_weight,omitempty"`
+	DecayDelta        float64 `json:"decay_delta,omitempty"`
+	Trials            int     `json:"trials,omitempty"`
+	Traversals        int     `json:"traversals,omitempty"`
+	Seed              int64   `json:"seed,omitempty"`
+	UseBridge         bool    `json:"use_bridge,omitempty"`
+}
+
+// compileResponse reports the routed circuit and the paper's metrics.
+type compileResponse struct {
+	Name          string `json:"name,omitempty"`
+	Device        string `json:"device"`
+	DeviceQubits  int    `json:"device_qubits"`
+	OriginalGates int    `json:"original_gates"`
+	OriginalDepth int    `json:"original_depth"`
+	Swaps         int    `json:"swaps"`
+	Bridges       int    `json:"bridges"`
+	AddedGates    int    `json:"added_gates"`
+	Gates         int    `json:"gates"`
+	Depth         int    `json:"depth"`
+	InitialLayout []int  `json:"initial_layout"`
+	FinalLayout   []int  `json:"final_layout"`
+	CacheHit      bool   `json:"cache_hit"`
+	Key           string `json:"key"`
+	ElapsedNS     int64  `json:"elapsed_ns"`
+	QASM          string `json:"qasm"`
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	var (
+		src     string
+		devName string
+		opts    core.Options
+	)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req compileRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		src, devName = req.QASM, req.Device
+		if devName == "" {
+			devName = r.URL.Query().Get("device")
+		}
+		if opts, err = req.Options.toCore(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	} else {
+		src = string(body)
+		devName = r.URL.Query().Get("device")
+		if opts, err = queryOptions(r); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if devName == "" {
+		devName = "tokyo"
+	}
+
+	dev, err := s.device(devName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	circ, err := qasm.Parse(src)
+	if err != nil {
+		http.Error(w, "parse QASM: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	res := <-s.eng.Submit(batch.Job{Circuit: circ, Device: dev, Options: opts})
+	if res.Err != nil {
+		http.Error(w, res.Err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+
+	rep := metrics.Compare(circ, res.Circuit)
+	orig := metrics.Measure(circ)
+	writeJSON(w, compileResponse{
+		Name:          circ.Name(),
+		Device:        dev.Name(),
+		DeviceQubits:  dev.NumQubits(),
+		OriginalGates: orig.Gates,
+		OriginalDepth: orig.Depth,
+		Swaps:         res.SwapCount,
+		Bridges:       res.BridgeCount,
+		AddedGates:    res.AddedGates,
+		Gates:         rep.Gates,
+		Depth:         rep.Depth,
+		InitialLayout: res.InitialLayout,
+		FinalLayout:   res.FinalLayout,
+		CacheHit:      res.CacheHit,
+		Key:           hex.EncodeToString(res.Key[:8]),
+		ElapsedNS:     res.Elapsed.Nanoseconds(),
+		QASM:          qasm.Format(res.Circuit),
+	})
+}
+
+func (s *server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"named":         []string{"tokyo", "qx5", "falcon27"},
+		"parameterized": []string{"line:<n>", "ring:<n>", "star:<n>", "full:<n>", "grid:<r>x<c>", "sycamore:<r>x<c>", "aspen:<octagons>"},
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, map[string]any{
+		"jobs":     st.Jobs,
+		"compiles": st.Compiles,
+		"hits":     st.Hits,
+		"shared":   st.Shared,
+		"errors":   st.Errors,
+		"cached":   st.Cached,
+		"workers":  s.eng.Workers(),
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// maxCachedDevices bounds the device memo: specs are client-chosen
+// and each device carries an O(n²) distance matrix, so an unbounded
+// map would let a client exhaust memory by enumerating specs. Past
+// the cap, devices are built per request and not retained.
+const maxCachedDevices = 64
+
+// device resolves (and memoizes) a device spec. Construction happens
+// outside the lock — building a large device runs Floyd–Warshall and
+// must not stall every other request's lookup; the worst case is two
+// concurrent requests building the same device once each.
+func (s *server) device(spec string) (*arch.Device, error) {
+	key := strings.ToLower(strings.TrimSpace(spec))
+	s.mu.Lock()
+	d, ok := s.devices[key]
+	s.mu.Unlock()
+	if ok {
+		return d, nil
+	}
+	d, err := buildDevice(key)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if prev, ok := s.devices[key]; ok {
+		d = prev // keep the first build so pointers stay stable
+	} else if len(s.devices) < maxCachedDevices {
+		s.devices[key] = d
+	}
+	s.mu.Unlock()
+	return d, nil
+}
+
+// buildDevice constructs a device from its spec string.
+func buildDevice(spec string) (*arch.Device, error) {
+	switch spec {
+	case "tokyo", "ibmq20", "q20":
+		return arch.IBMQ20Tokyo(), nil
+	case "qx5", "ibmqx5":
+		return arch.IBMQX5(), nil
+	case "falcon", "falcon27":
+		return arch.IBMFalcon27(), nil
+	}
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("unknown device %q (see /devices)", spec)
+	}
+	dims := func() (int, int, error) {
+		rs, cs, ok := strings.Cut(arg, "x")
+		if !ok {
+			return 0, 0, fmt.Errorf("device %q needs <rows>x<cols>", spec)
+		}
+		r, err1 := strconv.Atoi(rs)
+		c, err2 := strconv.Atoi(cs)
+		if err1 != nil || err2 != nil || r < 1 || c < 1 {
+			return 0, 0, fmt.Errorf("device %q: bad dimensions %q", spec, arg)
+		}
+		return r, c, nil
+	}
+	switch kind {
+	case "grid", "sycamore":
+		r, c, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		if r*c > 1024 {
+			return nil, fmt.Errorf("device %q too large (max 1024 qubits)", spec)
+		}
+		if kind == "grid" {
+			return arch.Grid(r, c), nil
+		}
+		return arch.Sycamore(r, c), nil
+	case "line", "ring", "star", "full", "aspen":
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 || n > 1024 {
+			return nil, fmt.Errorf("device %q: bad size %q", spec, arg)
+		}
+		switch kind {
+		case "line":
+			return arch.Line(n), nil
+		case "ring":
+			if n < 3 {
+				return nil, fmt.Errorf("ring needs at least 3 qubits")
+			}
+			return arch.Ring(n), nil
+		case "star":
+			if n < 2 {
+				return nil, fmt.Errorf("star needs at least 2 qubits")
+			}
+			return arch.Star(n), nil
+		case "full":
+			return arch.FullyConnected(n), nil
+		default:
+			if n > 16 {
+				return nil, fmt.Errorf("aspen supports at most 16 octagons")
+			}
+			return arch.RigettiAspen(n), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown device %q (see /devices)", spec)
+}
+
+// toCore converts the JSON options to core.Options, starting from the
+// paper's defaults.
+func (o optionsRequest) toCore() (core.Options, error) {
+	opts := core.DefaultOptions()
+	if o.Heuristic != "" {
+		h, err := parseHeuristic(o.Heuristic)
+		if err != nil {
+			return opts, err
+		}
+		opts.Heuristic = h
+	}
+	if o.ExtendedSetSize > 0 {
+		opts.ExtendedSetSize = o.ExtendedSetSize
+	}
+	if o.ExtendedSetWeight > 0 {
+		opts.ExtendedSetWeight = o.ExtendedSetWeight
+	}
+	if o.DecayDelta > 0 {
+		opts.DecayDelta = o.DecayDelta
+	}
+	if o.Trials > 0 {
+		opts.Trials = o.Trials
+	}
+	if o.Traversals > 0 {
+		opts.Traversals = o.Traversals
+	}
+	opts.Seed = o.Seed
+	opts.UseBridge = o.UseBridge
+	return opts, nil
+}
+
+// queryOptions builds options from ?seed=&trials=&bridge=&heuristic=.
+func queryOptions(r *http.Request) (core.Options, error) {
+	opts := core.DefaultOptions()
+	opts.Seed = 0
+	q := r.URL.Query()
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return opts, fmt.Errorf("bad seed %q", v)
+		}
+		opts.Seed = n
+	}
+	if v := q.Get("trials"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return opts, fmt.Errorf("bad trials %q", v)
+		}
+		opts.Trials = n
+	}
+	if v := q.Get("bridge"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad bridge %q", v)
+		}
+		opts.UseBridge = b
+	}
+	if v := q.Get("heuristic"); v != "" {
+		h, err := parseHeuristic(v)
+		if err != nil {
+			return opts, err
+		}
+		opts.Heuristic = h
+	}
+	return opts, nil
+}
+
+func parseHeuristic(name string) (core.Heuristic, error) {
+	switch strings.ToLower(name) {
+	case "basic":
+		return core.HeuristicBasic, nil
+	case "lookahead":
+		return core.HeuristicLookahead, nil
+	case "decay":
+		return core.HeuristicDecay, nil
+	}
+	return 0, fmt.Errorf("unknown heuristic %q (basic|lookahead|decay)", name)
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/qasm"
+	"repro/internal/verify"
+	"repro/internal/workloads"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *server) {
+	t.Helper()
+	eng := batch.NewEngine(batch.Config{Workers: 2})
+	t.Cleanup(eng.Close)
+	srv := newServer(eng)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func postQASM(t *testing.T, url, body string) (*http.Response, compileResponse) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out compileResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestCompileEndpoint(t *testing.T) {
+	ts, srv := newTestServer(t)
+	src := qasm.Format(workloads.QFT(6))
+
+	resp, out := postQASM(t, ts.URL+"/compile?device=tokyo&seed=3", src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Device != "ibmq20-tokyo" && !strings.Contains(strings.ToLower(out.Device), "tokyo") {
+		t.Fatalf("device = %q", out.Device)
+	}
+	if out.DeviceQubits != 20 {
+		t.Fatalf("device_qubits = %d", out.DeviceQubits)
+	}
+	if out.AddedGates != 3*(out.Swaps+out.Bridges) {
+		t.Fatalf("added_gates %d != 3*(%d+%d)", out.AddedGates, out.Swaps, out.Bridges)
+	}
+	if out.CacheHit {
+		t.Fatal("first compile was a cache hit")
+	}
+
+	// The returned QASM must parse and be hardware-compliant.
+	routed, err := qasm.Parse(out.QASM)
+	if err != nil {
+		t.Fatalf("returned QASM does not parse: %v", err)
+	}
+	dev, err := srv.device("tokyo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.HardwareCompliant(routed.DecomposeSwaps(), dev.Connected); err != nil {
+		t.Fatalf("returned circuit not compliant: %v", err)
+	}
+
+	// Same request again: served from the cache, identical output.
+	resp2, out2 := postQASM(t, ts.URL+"/compile?device=tokyo&seed=3", src)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp2.StatusCode)
+	}
+	if !out2.CacheHit {
+		t.Fatal("identical request missed the cache")
+	}
+	if out2.QASM != out.QASM || out2.Key != out.Key {
+		t.Fatal("cache hit returned different output")
+	}
+}
+
+func TestCompileJSONEnvelope(t *testing.T) {
+	ts, _ := newTestServer(t)
+	req, _ := json.Marshal(compileRequest{
+		QASM:    qasm.Format(workloads.GHZ(5)),
+		Device:  "line:6",
+		Options: optionsRequest{Trials: 2, Seed: 9, Heuristic: "lookahead"},
+	})
+	resp, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(string(req)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out compileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.DeviceQubits != 6 {
+		t.Fatalf("device_qubits = %d, want 6", out.DeviceQubits)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Unknown device.
+	resp, _ := postQASM(t, ts.URL+"/compile?device=nope", "OPENQASM 2.0;\nqreg q[2];\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown device: status %d", resp.StatusCode)
+	}
+
+	// Malformed QASM.
+	resp, _ = postQASM(t, ts.URL+"/compile?device=tokyo", "this is not qasm")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad QASM: status %d", resp.StatusCode)
+	}
+
+	// Circuit wider than the device.
+	resp, _ = postQASM(t, ts.URL+"/compile?device=line:3", qasm.Format(workloads.QFT(8)))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("oversized circuit: status %d", resp.StatusCode)
+	}
+
+	// GET on /compile.
+	getResp, err := http.Get(ts.URL + "/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /compile: status %d", getResp.StatusCode)
+	}
+}
+
+func TestAuxEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	for _, path := range []string{"/healthz", "/devices", "/stats"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// Stats reflect traffic.
+	postQASM(t, ts.URL+"/compile?device=tokyo", qasm.Format(workloads.GHZ(4)))
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["jobs"].(float64) < 1 {
+		t.Fatalf("stats.jobs = %v", st["jobs"])
+	}
+}
+
+func TestBuildDevice(t *testing.T) {
+	cases := map[string]int{
+		"tokyo": 20, "qx5": 16, "falcon27": 27,
+		"line:7": 7, "ring:5": 5, "star:4": 4, "full:3": 3,
+		"grid:3x4": 12, "sycamore:3x3": 9, "aspen:2": 16,
+	}
+	for spec, n := range cases {
+		d, err := buildDevice(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if d.NumQubits() != n {
+			t.Fatalf("%s: %d qubits, want %d", spec, d.NumQubits(), n)
+		}
+	}
+	for _, spec := range []string{"", "nope", "line:x", "grid:3", "grid:0x4", "ring:2", "line:99999"} {
+		if _, err := buildDevice(spec); err == nil {
+			t.Fatalf("%s: accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package batch
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// resultCache is a sharded LRU cache from job Key to compile Result.
+// Sharding bounds lock contention: concurrent workers touching
+// different keys almost always lock different shards, so a hot cache
+// does not serialize the pool (the same reason NDN-DPDK partitions its
+// forwarder tables per-core). Each shard holds its own lock, map and
+// recency list; a key's shard is fixed by its first byte.
+type resultCache struct {
+	shards []cacheShard
+	mask   uint32
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent
+	items map[Key]*list.Element
+}
+
+type cacheEntry struct {
+	key Key
+	res *core.Result
+}
+
+// newResultCache builds a cache with the given total entry capacity
+// spread over nShards shards. nShards is rounded up to a power of two
+// so shard selection is a mask, not a modulo. Returns nil when
+// capacity <= 0 (caching disabled).
+func newResultCache(capacity, nShards int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	if nShards <= 0 {
+		nShards = defaultCacheShards
+	}
+	pow := 1
+	for pow < nShards {
+		pow <<= 1
+	}
+	if pow > capacity {
+		// No point having more shards than entries.
+		pow = 1
+		for pow*2 <= capacity {
+			pow <<= 1
+		}
+	}
+	perShard := (capacity + pow - 1) / pow
+	c := &resultCache{shards: make([]cacheShard, pow), mask: uint32(pow - 1)}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].order = list.New()
+		c.shards[i].items = make(map[Key]*list.Element, perShard)
+	}
+	return c
+}
+
+func (c *resultCache) shard(k Key) *cacheShard {
+	// The key is a cryptographic digest: any prefix is uniform. Four
+	// bytes address every permitted shard count, not just 256.
+	return &c.shards[binary.LittleEndian.Uint32(k[:4])&c.mask]
+}
+
+// get returns the cached result for k, promoting it to most-recent.
+func (c *resultCache) get(k Key) (*core.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// add inserts (or refreshes) k, evicting the shard's least-recently
+// used entry on overflow.
+func (c *resultCache) add(k Key, res *core.Result) {
+	if c == nil {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		el.Value.(*cacheEntry).res = res
+		s.order.MoveToFront(el)
+		return
+	}
+	s.items[k] = s.order.PushFront(&cacheEntry{key: k, res: res})
+	if s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the total number of cached entries across shards.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package batch
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fakeKey builds a key that lands in a chosen shard (the shard is
+// selected by the first byte) with a distinct identity.
+func fakeKey(shard byte, id uint64) Key {
+	var k Key
+	k[0] = shard
+	binary.LittleEndian.PutUint64(k[1:9], id)
+	return k
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 4 entries over 1 shard: inserting 5 keys into the same shard
+	// evicts exactly the least-recently-used one.
+	c := newResultCache(4, 1)
+	results := make([]*core.Result, 5)
+	for i := range results {
+		results[i] = &core.Result{SwapCount: i}
+		c.add(fakeKey(0, uint64(i)), results[i])
+	}
+	if c.len() != 4 {
+		t.Fatalf("len = %d, want 4", c.len())
+	}
+	if _, ok := c.get(fakeKey(0, 0)); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for i := 1; i < 5; i++ {
+		got, ok := c.get(fakeKey(0, uint64(i)))
+		if !ok || got != results[i] {
+			t.Fatalf("entry %d lost or wrong", i)
+		}
+	}
+
+	// Touching an entry protects it: get(1) then add(5) evicts 2.
+	c.get(fakeKey(0, 1))
+	c.add(fakeKey(0, 5), &core.Result{})
+	if _, ok := c.get(fakeKey(0, 1)); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if _, ok := c.get(fakeKey(0, 2)); ok {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestCacheSharding(t *testing.T) {
+	c := newResultCache(64, 4)
+	if len(c.shards) != 4 {
+		t.Fatalf("shards = %d, want 4", len(c.shards))
+	}
+	// Keys differing only in their first byte land in different shards.
+	seen := make(map[*cacheShard]bool)
+	for b := 0; b < 4; b++ {
+		seen[c.shard(fakeKey(byte(b), 1))] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("4 distinct lead bytes hit %d shards", len(seen))
+	}
+
+	// With more than 256 shards, selection must use more than the
+	// first key byte or shards past 255 would never be addressed.
+	wide := newResultCache(4096, 1024)
+	if len(wide.shards) != 1024 {
+		t.Fatalf("shards = %d, want 1024", len(wide.shards))
+	}
+	var k Key
+	k[1] = 1 // second byte only: lands past shard 255 iff >1 byte is used
+	if wide.shard(k) == wide.shard(Key{}) {
+		t.Fatal("shard selection ignores everything but the first key byte")
+	}
+
+	// Shard counts round up to a power of two and never exceed capacity.
+	if got := len(newResultCache(64, 3).shards); got != 4 {
+		t.Fatalf("3 shards rounded to %d, want 4", got)
+	}
+	if got := len(newResultCache(2, 16).shards); got != 2 {
+		t.Fatalf("capacity 2 with 16 shards produced %d shards", got)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	var c *resultCache // capacity <= 0 yields a nil cache
+	if newResultCache(0, 4) != nil || newResultCache(-1, 4) != nil {
+		t.Fatal("zero/negative capacity should disable the cache")
+	}
+	// All operations are nil-safe no-ops.
+	c.add(fakeKey(0, 1), &core.Result{})
+	if _, ok := c.get(fakeKey(0, 1)); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+}
+
+// TestCacheConcurrent exercises the shard locks under -race: many
+// goroutines adding and getting overlapping keys across shards.
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(256, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fakeKey(byte(i%16), uint64(i%32))
+				if i%3 == 0 {
+					c.add(k, &core.Result{SwapCount: i})
+				} else {
+					c.get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 256 {
+		t.Fatalf("cache overflowed: %d entries", c.len())
+	}
+}

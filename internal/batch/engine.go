@@ -1,0 +1,321 @@
+// Package batch provides a concurrent batch-compilation engine on top
+// of the core SABRE compiler: a bounded worker pool that keeps every
+// core busy across many circuit/device/options jobs, a sharded LRU
+// result cache keyed by a canonical structural hash so repeated
+// workloads hit memory instead of re-running the search, and
+// deterministic per-job seed derivation so a batch compiles to
+// byte-identical results regardless of worker count or scheduling
+// order.
+//
+// The engine is long-lived and safe for concurrent use: a service can
+// share one Engine across all request handlers, and overlapping
+// batches naturally deduplicate — identical jobs in flight at the same
+// time are compiled once and the result shared (single-flight).
+package batch
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// Job is one compilation request: route Circuit onto Device under
+// Options. The zero Options value selects the paper's defaults
+// (including the decay heuristic) with a seed derived from the job's
+// content (see Config.BaseSeed); partially-filled Options are used as
+// given, with core's usual zero-field normalization.
+type Job struct {
+	Circuit *circuit.Circuit
+	Device  *arch.Device
+	Options core.Options
+
+	// Tag is an optional caller label carried into the Result. It is
+	// not part of the cache key.
+	Tag string
+}
+
+// Result is the outcome of one Job. On cache or single-flight hits the
+// embedded *core.Result is shared between callers and must be treated
+// as read-only (Results are never mutated by the engine).
+type Result struct {
+	*core.Result
+
+	// Tag echoes Job.Tag.
+	Tag string
+	// Key is the job's canonical cache key.
+	Key Key
+	// CacheHit reports that the result was served from the cache or
+	// joined an identical in-flight compilation.
+	CacheHit bool
+	// Err is the compile error, if any; the embedded Result is nil
+	// when Err is non-nil.
+	Err error
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	Jobs     int64 // jobs processed
+	Compiles int64 // jobs that ran the SABRE search
+	Hits     int64 // jobs served from the result cache
+	Shared   int64 // jobs that joined an identical in-flight compile
+	Errors   int64 // jobs that failed
+	Cached   int   // entries currently in the cache
+}
+
+// Config configures an Engine; the zero value picks sensible defaults.
+type Config struct {
+	// Workers bounds the number of concurrent compilations
+	// (default GOMAXPROCS).
+	Workers int
+
+	// CacheEntries is the total result-cache capacity in entries
+	// (default 1024). Negative disables caching; zero selects the
+	// default.
+	CacheEntries int
+
+	// CacheShards is the shard count of the result cache, rounded up
+	// to a power of two (default 16). More shards means less lock
+	// contention between workers.
+	CacheShards int
+
+	// BaseSeed is mixed into the derived seed of every job whose
+	// Options.Seed is zero. Two engines with the same BaseSeed produce
+	// identical results for identical jobs; changing it re-randomizes
+	// the whole batch while staying deterministic. Jobs with an
+	// explicit Options.Seed ignore it.
+	BaseSeed int64
+}
+
+const (
+	defaultCacheEntries = 1024
+	defaultCacheShards  = 16
+)
+
+// ErrClosed is reported by jobs submitted after Close.
+var ErrClosed = errors.New("batch: engine closed")
+
+// errNilJob is reported for jobs missing a circuit or device.
+var errNilJob = errors.New("batch: job needs a non-nil Circuit and Device")
+
+// Engine is a concurrent compilation engine. Create one with
+// NewEngine, share it freely between goroutines, and Close it when
+// done to release the worker pool.
+type Engine struct {
+	cfg   Config
+	tasks chan task
+	wg    sync.WaitGroup
+	cache *resultCache
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+
+	// inflight deduplicates concurrent identical jobs (single-flight).
+	mu       sync.Mutex
+	inflight map[Key]*flight
+
+	jobs     atomic.Int64
+	compiles atomic.Int64
+	hits     atomic.Int64
+	shared   atomic.Int64
+	errs     atomic.Int64
+}
+
+type task struct {
+	job  Job
+	out  *Result
+	done func()
+}
+
+type flight struct {
+	wg  sync.WaitGroup
+	res *core.Result
+	err error
+}
+
+// NewEngine starts an engine with cfg.Workers worker goroutines.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = defaultCacheEntries
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = defaultCacheShards
+	}
+	e := &Engine{
+		cfg:      cfg,
+		tasks:    make(chan task),
+		cache:    newResultCache(cfg.CacheEntries, cfg.CacheShards),
+		inflight: make(map[Key]*flight),
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Close drains the pool. Jobs already accepted complete; jobs
+// submitted afterwards fail with ErrClosed. Close is idempotent and
+// safe to call concurrently with submissions.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		close(e.tasks)
+		e.wg.Wait()
+	})
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Jobs:     e.jobs.Load(),
+		Compiles: e.compiles.Load(),
+		Hits:     e.hits.Load(),
+		Shared:   e.shared.Load(),
+		Errors:   e.errs.Load(),
+		Cached:   e.cache.len(),
+	}
+}
+
+// CompileBatch compiles all jobs concurrently on the worker pool and
+// returns results in job order. It blocks until every job finishes.
+// Safe to call from many goroutines at once; overlapping batches share
+// the pool, the cache, and in-flight compilations.
+func (e *Engine) CompileBatch(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	for i := range jobs {
+		e.enqueue(task{job: jobs[i], out: &results[i], done: wg.Done})
+	}
+	wg.Wait()
+	return results
+}
+
+// Submit enqueues one job and returns a channel that yields its Result
+// exactly once. The channel is buffered: the caller may drop it
+// without leaking a goroutine.
+func (e *Engine) Submit(job Job) <-chan Result {
+	ch := make(chan Result, 1)
+	out := new(Result)
+	e.enqueue(task{job: job, out: out, done: func() { ch <- *out }})
+	return ch
+}
+
+// enqueue hands a task to the pool, failing fast when the engine is
+// closed. The closed check plus the send race is resolved by the
+// recover: a send on the closed channel can only happen during
+// shutdown, where ErrClosed is the correct answer.
+func (e *Engine) enqueue(t task) {
+	if e.closed.Load() {
+		t.out.Err = ErrClosed
+		t.done()
+		return
+	}
+	defer func() {
+		if recover() != nil {
+			t.out.Err = ErrClosed
+			t.done()
+		}
+	}()
+	e.tasks <- t
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for t := range e.tasks {
+		e.process(t)
+	}
+}
+
+// process executes one job: cache lookup, single-flight join, or a
+// real compile with the job's derived seed.
+func (e *Engine) process(t task) {
+	defer t.done()
+	e.jobs.Add(1)
+
+	job := t.job
+	t.out.Tag = job.Tag
+	if job.Circuit == nil || job.Device == nil {
+		t.out.Err = errNilJob
+		e.errs.Add(1)
+		return
+	}
+
+	// A fully zero Options means "the paper's defaults": substitute
+	// them before hashing. core's normalized() cannot do this — the
+	// zero Heuristic and zero DecayDelta are valid non-default
+	// settings — so only the all-zero struct is rewritten; the seed
+	// stays zero to request content-derived seeding.
+	if job.Options == (core.Options{}) {
+		job.Options = core.DefaultOptions()
+		job.Options.Seed = 0
+	}
+
+	key := KeyOf(job)
+	t.out.Key = key
+
+	if res, ok := e.cache.get(key); ok {
+		t.out.Result = res
+		t.out.CacheHit = true
+		e.hits.Add(1)
+		return
+	}
+
+	// Single-flight: the first goroutine in compiles; the rest wait on
+	// its flight and share the outcome. Progress is guaranteed because
+	// a leader never waits — it is the one running the compile.
+	e.mu.Lock()
+	if f, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		f.wg.Wait()
+		t.out.Result, t.out.Err = f.res, f.err
+		t.out.CacheHit = t.out.Err == nil
+		e.shared.Add(1)
+		if t.out.Err != nil {
+			e.errs.Add(1)
+		}
+		return
+	}
+	// Re-check the cache before becoming leader: a previous leader
+	// publishes to the cache before leaving the inflight map, so this
+	// closes the window where a job misses both and recompiles.
+	if res, ok := e.cache.get(key); ok {
+		e.mu.Unlock()
+		t.out.Result = res
+		t.out.CacheHit = true
+		e.hits.Add(1)
+		return
+	}
+	f := new(flight)
+	f.wg.Add(1)
+	e.inflight[key] = f
+	e.mu.Unlock()
+
+	opts := deriveSeed(key, e.cfg.BaseSeed, job.Options)
+	res, err := core.Compile(job.Circuit, job.Device, opts)
+	e.compiles.Add(1)
+
+	f.res, f.err = res, err
+	if err == nil {
+		e.cache.add(key, res)
+	} else {
+		e.errs.Add(1)
+	}
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	f.wg.Done()
+
+	t.out.Result, t.out.Err = res, err
+}

@@ -1,0 +1,47 @@
+package qasm
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRoundTripTestdata is the golden round-trip over every fixture:
+// parse the file, serialize it with the writer, re-parse the output,
+// and require the second parse to reproduce the first circuit exactly
+// (same wires, same flattened gate list — hence same gate count, depth
+// and per-kind counts). This pins the writer's parameter formatting
+// (exact pi fractions) and the parser's handling of its own output.
+func TestRoundTripTestdata(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.qasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata fixtures found")
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			orig, err := ParseFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := Format(orig)
+			back, err := Parse(text)
+			if err != nil {
+				t.Fatalf("re-parse of written QASM failed: %v\n%s", err, text)
+			}
+			if got, want := back.NumGates(), orig.NumGates(); got != want {
+				t.Fatalf("gate count %d after round-trip, want %d", got, want)
+			}
+			if got, want := back.Depth(), orig.Depth(); got != want {
+				t.Fatalf("depth %d after round-trip, want %d", got, want)
+			}
+			if got, want := back.NumQubits(), orig.NumQubits(); got != want {
+				t.Fatalf("qubits %d after round-trip, want %d", got, want)
+			}
+			if !back.Equal(orig) {
+				t.Fatalf("round-trip changed the circuit:\n%s", text)
+			}
+		})
+	}
+}

@@ -1,0 +1,22 @@
+// adder4: one full-adder stage of a ripple-carry adder (the repeating
+// cell of the classic 4-bit VBE adder), written over the flat register
+// q = [cin, a, b, sum, cout].
+//
+// The carry-out is computed as the majority MAJ(cin, a, b) with three
+// Toffolis before the inputs are disturbed; the sum wire then receives
+// a XOR b XOR cin, restoring b in between so a and b survive the stage
+// unchanged for the next ripple.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+// cout = a&b XOR cin&a XOR cin&b = MAJ(cin, a, b)
+ccx q[1],q[2],q[4];
+ccx q[0],q[1],q[4];
+ccx q[0],q[2],q[4];
+// sum = a XOR b XOR cin (b computed into, then restored)
+cx q[1],q[2];
+cx q[2],q[3];
+cx q[1],q[2];
+cx q[0],q[3];
+measure q -> c;

@@ -1,0 +1,19 @@
+// vqe_fragment: one ansatz layer of a hardware-efficient VQE circuit:
+// a Hadamard wall, a linear chain of parameterized ZZ entanglers
+// (cx - rz(theta) - cx), one general single-qubit rotation, and a
+// final barrier before readout. The entangler is a user-defined gate
+// so parsing exercises gate definitions and parameter expressions.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+gate entangle(theta) a,b {
+  cx a,b;
+  rz(theta) b;
+  cx a,b;
+}
+h q;
+entangle(pi/4) q[0],q[1];
+entangle(pi/8) q[1],q[2];
+entangle(-pi/16) q[2],q[3];
+u3(pi/2,0,pi/4) q[0];
+barrier q;

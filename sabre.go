@@ -13,6 +13,34 @@
 //	res, err := sabre.Compile(circ, dev, sabre.DefaultOptions())
 //	// res.Circuit is hardware-compliant; res.AddedGates = 3·#SWAPs.
 //
+// # Batch compilation
+//
+// For many circuits, NewEngine builds a concurrent batch-compilation
+// engine: a bounded worker pool with a sharded LRU result cache keyed
+// by a canonical hash of (circuit structure, device, options), plus
+// deterministic per-job seed derivation, so batches compile to
+// byte-identical results regardless of worker count or scheduling
+// order and repeated workloads hit memory instead of re-running the
+// search:
+//
+//	eng := sabre.NewEngine(sabre.BatchConfig{Workers: 8})
+//	defer eng.Close()
+//	results := eng.CompileBatch([]sabre.BatchJob{
+//		{Circuit: sabre.QFT(16), Device: dev, Tag: "qft16"},
+//		{Circuit: sabre.GHZ(12), Device: dev, Tag: "ghz12"},
+//	})
+//
+// The one-shot CompileBatch helper wraps a throwaway engine for
+// scripts. cmd/sabred serves the same engine over HTTP/JSON:
+//
+//	sabred -addr :8037 &
+//	curl -X POST --data-binary @circ.qasm 'localhost:8037/compile?device=tokyo'
+//
+// returns the routed QASM plus metrics (added gates, depth, layouts,
+// cache hit) as JSON; GET /devices lists the topology catalogue and
+// GET /stats exposes the engine counters. cmd/benchtab's -batch mode
+// drives the engine over the full Table II workload suite.
+//
 // The facade re-exports the internal packages' curated surface: circuit
 // construction, device topologies, OpenQASM 2.0 I/O, workload
 // generators, verification and metrics. Everything is pure Go with no
@@ -25,6 +53,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/baseline"
+	"repro/internal/batch"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/mapping"
@@ -200,6 +229,45 @@ func IdentityLayout(n int) Layout { return mapping.Identity(n) }
 
 // RandomLayout returns a uniformly random layout.
 func RandomLayout(n int, rng *rand.Rand) Layout { return mapping.Random(n, rng) }
+
+// --- Batch compilation ---
+
+// Batch-engine types, re-exported by alias.
+type (
+	// Engine is a concurrent batch-compilation engine; see NewEngine.
+	Engine = batch.Engine
+	// BatchConfig configures NewEngine (zero value = defaults).
+	BatchConfig = batch.Config
+	// BatchJob is one circuit/device/options compilation request.
+	BatchJob = batch.Job
+	// BatchResult is the outcome of one BatchJob.
+	BatchResult = batch.Result
+	// BatchKey is the canonical cache identity of a BatchJob.
+	BatchKey = batch.Key
+	// BatchStats snapshots an engine's counters.
+	BatchStats = batch.Stats
+)
+
+// ErrEngineClosed is reported by jobs submitted after Engine.Close.
+var ErrEngineClosed = batch.ErrClosed
+
+// NewEngine starts a batch-compilation engine: a bounded worker pool
+// (default GOMAXPROCS workers) with a sharded LRU result cache and
+// deterministic per-job seeding. Close it when done.
+func NewEngine(cfg BatchConfig) *Engine { return batch.NewEngine(cfg) }
+
+// CompileBatch compiles all jobs concurrently with a throwaway
+// default-configured engine and returns results in job order. For
+// repeated or overlapping batches, keep a NewEngine instance instead
+// so its result cache survives between calls.
+func CompileBatch(jobs []BatchJob) []BatchResult {
+	eng := batch.NewEngine(batch.Config{})
+	defer eng.Close()
+	return eng.CompileBatch(jobs)
+}
+
+// BatchKeyOf computes the canonical cache key of a job.
+func BatchKeyOf(job BatchJob) BatchKey { return batch.KeyOf(job) }
 
 // --- Baselines (for comparison studies) ---
 
