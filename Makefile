@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench clean
+.PHONY: check build test vet race bench bench-smoke clean
 
 check: vet build race
 
@@ -21,6 +21,12 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench BenchmarkBatchCompile -benchtime=2x .
+
+# End-to-end routing smoke: two small workloads through the batch
+# engine with a 4-trial fan-out and the verify pass in the job
+# pipeline, so any routing-validity error fails the target (exit 1).
+bench-smoke:
+	$(GO) run ./cmd/benchtab -batch -names 4mod5-v1_22,qft_10 -trials 4 -passes verify -rounds 1 -workers 2
 
 clean:
 	$(GO) clean ./...

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/arch"
@@ -42,6 +43,9 @@ func main() {
 		budget      = flag.Int("budget", 0, "A* node budget (0 = default)")
 		seed        = flag.Int64("seed", 1, "PRNG seed")
 		maxGori     = flag.Int("max-gori", 0, "skip benchmarks with more than this many gates (0 = no limit)")
+		names       = flag.String("names", "", "restrict to named benchmarks, comma-separated (e.g. 4mod5-v1_22,qft_10)")
+		trials      = flag.Int("trials", 0, "SABRE best-of-N trial count (0 = paper default; overrides -quick)")
+		passesFlag  = flag.String("passes", "", "post-routing pipeline passes for -batch jobs, comma-separated: basis|peephole|schedule|verify")
 		batchMode   = flag.Bool("batch", false, "drive the concurrent batch engine over the workload suite")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "batch engine worker count")
 		rounds      = flag.Int("rounds", 2, "batch rounds (first cold, rest warm-cache)")
@@ -58,6 +62,9 @@ func main() {
 	if *quick {
 		cfg.SabreOpts.Trials = 2
 	}
+	if *trials > 0 {
+		cfg.SabreOpts.Trials = *trials
+	}
 	if *noAStar {
 		cfg.RunAStar = false
 	}
@@ -66,7 +73,7 @@ func main() {
 	}
 
 	if *table2 {
-		rows, err := exp.RunTable2(selectBenches(*class, *maxGori), cfg)
+		rows, err := exp.RunTable2(selectBenches(*class, *maxGori, *names), cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -112,7 +119,7 @@ func main() {
 		// instead of giving every job the same literal seed.
 		opts := cfg.SabreOpts
 		opts.Seed = 0
-		runBatch(selectBenches(*class, *maxGori), cfg.Device, opts, *workers, *rounds, *seed)
+		runBatch(selectBenches(*class, *maxGori, *names), cfg.Device, opts, splitPasses(*passesFlag), *workers, *rounds, *seed)
 	}
 
 	if *optimality {
@@ -125,9 +132,15 @@ func main() {
 	}
 }
 
-// selectBenches applies the shared -type/-max-gori filters to the
-// Table II suite, exiting on an unknown class.
-func selectBenches(class string, maxGori int) []workloads.Benchmark {
+// selectBenches applies the shared -type/-max-gori/-names filters to
+// the Table II suite, exiting on an unknown class or benchmark name.
+// -type and -names are mutually exclusive: silently intersecting them
+// would make one filter look ignored.
+func selectBenches(class string, maxGori int, names string) []workloads.Benchmark {
+	if class != "" && names != "" {
+		fmt.Fprintln(os.Stderr, "benchtab: -type and -names are mutually exclusive")
+		os.Exit(1)
+	}
 	benches := workloads.All()
 	if class != "" {
 		benches = workloads.ByClass(workloads.Class(class))
@@ -135,6 +148,22 @@ func selectBenches(class string, maxGori int) []workloads.Benchmark {
 			fmt.Fprintf(os.Stderr, "benchtab: unknown class %q\n", class)
 			os.Exit(1)
 		}
+	}
+	if names != "" {
+		var kept []workloads.Benchmark
+		for _, name := range strings.Split(names, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			b, ok := workloads.ByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchtab: unknown benchmark %q\n", name)
+				os.Exit(1)
+			}
+			kept = append(kept, b)
+		}
+		benches = kept
 	}
 	if maxGori > 0 {
 		var kept []workloads.Benchmark
@@ -148,22 +177,35 @@ func selectBenches(class string, maxGori int) []workloads.Benchmark {
 	return benches
 }
 
+// splitPasses parses the -passes flag value.
+func splitPasses(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // runBatch compiles the whole benchmark list through the concurrent
 // engine for the requested number of rounds on one shared engine.
 // Round 1 is the cold pass (every job runs the SABRE search); later
 // rounds replay the same jobs and are served by the result cache,
-// printing the throughput gap between the two regimes.
-func runBatch(benches []workloads.Benchmark, dev *arch.Device, opts core.Options, workers, rounds int, seed int64) {
+// printing the throughput gap between the two regimes. Requested
+// post-routing passes run inside each job; a failing verify pass
+// fails the run (exit 1).
+func runBatch(benches []workloads.Benchmark, dev *arch.Device, opts core.Options, passes []string, workers, rounds int, seed int64) {
 	eng := batch.NewEngine(batch.Config{Workers: workers, BaseSeed: seed})
 	defer eng.Close()
 
 	jobs := make([]batch.Job, len(benches))
 	for i, b := range benches {
-		jobs[i] = batch.Job{Circuit: b.Build(), Device: dev, Options: opts, Tag: b.Name}
+		jobs[i] = batch.Job{Circuit: b.Build(), Device: dev, Options: opts, Passes: passes, Tag: b.Name}
 	}
 
-	fmt.Printf("== batch engine: %d jobs x %d rounds, %d workers, device %s ==\n",
-		len(jobs), rounds, eng.Workers(), dev.Name())
+	fmt.Printf("== batch engine: %d jobs x %d rounds, %d workers, device %s, passes %v ==\n",
+		len(jobs), rounds, eng.Workers(), dev.Name(), append([]string{"route"}, passes...))
 	for round := 1; round <= rounds; round++ {
 		start := time.Now()
 		results := eng.CompileBatch(jobs)
@@ -182,7 +224,7 @@ func runBatch(benches []workloads.Benchmark, dev *arch.Device, opts core.Options
 		if round == 1 {
 			fmt.Printf("%-16s %6s %6s %7s %7s\n", "benchmark", "g_ori", "g_add", "depth", "ms")
 			for i, res := range results {
-				rep := metrics.Compare(jobs[i].Circuit, res.Circuit)
+				rep := metrics.Compare(jobs[i].Circuit, res.Final)
 				fmt.Printf("%-16s %6d %6d %7d %7.1f\n",
 					res.Tag, rep.RefGates, res.AddedGates, rep.Depth,
 					float64(res.Elapsed.Nanoseconds())/1e6)

@@ -8,10 +8,13 @@
 //
 // Endpoints:
 //
-//	POST /compile?device=tokyo[&seed=7&trials=5&bridge=1&heuristic=decay]
+//	POST /compile?device=tokyo[&seed=7&trials=5&bridge=1&heuristic=decay&passes=peephole,basis]
 //	    Body: OpenQASM 2.0 source (or, with Content-Type
 //	    application/json, {"qasm": "...", "device": "...",
-//	    "options": {...}}). Returns routed QASM plus metrics.
+//	    "options": {...}, "trials": 8, "passes": ["peephole"]}).
+//	    Returns routed QASM plus metrics, including per-pass
+//	    timing/gate/depth snapshots. Cancelled requests (client
+//	    disconnects) stop compiling at the next trial boundary.
 //	GET  /devices    topology catalogue (incl. parameterized forms)
 //	GET  /stats      engine counters (jobs, cache hits, ...)
 //	GET  /healthz    liveness probe
@@ -29,6 +32,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -38,19 +42,26 @@ import (
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/pipeline"
 	"repro/internal/qasm"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8037", "listen address")
-		workers = flag.Int("workers", 0, "compilation workers (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 4096, "result-cache entries (negative disables)")
-		seed    = flag.Int64("seed", 1, "base seed for derived per-job seeds")
+		addr         = flag.String("addr", ":8037", "listen address")
+		workers      = flag.Int("workers", 0, "compilation workers (0 = GOMAXPROCS)")
+		trialWorkers = flag.Int("trial-workers", 0, "per-request routing-trial fan-out (0 = GOMAXPROCS)")
+		cache        = flag.Int("cache", 4096, "result-cache entries (negative disables)")
+		seed         = flag.Int64("seed", 1, "base seed for derived per-job seeds")
 	)
 	flag.Parse()
 
-	eng := batch.NewEngine(batch.Config{Workers: *workers, CacheEntries: *cache, BaseSeed: *seed})
+	if *trialWorkers <= 0 {
+		// A daemon serves sparse single-circuit requests: parallelise
+		// each request's best-of-N trials, not just across requests.
+		*trialWorkers = runtime.GOMAXPROCS(0)
+	}
+	eng := batch.NewEngine(batch.Config{Workers: *workers, CacheEntries: *cache, BaseSeed: *seed, TrialWorkers: *trialWorkers})
 	defer eng.Close()
 
 	srv := newServer(eng)
@@ -92,6 +103,13 @@ type compileRequest struct {
 	QASM    string         `json:"qasm"`
 	Device  string         `json:"device"`
 	Options optionsRequest `json:"options"`
+
+	// Trials overrides the best-of-N routing fan-out (options.trials
+	// also works; this wins when both are set).
+	Trials int `json:"trials,omitempty"`
+	// Passes names post-routing pipeline passes to run in order:
+	// basis, peephole, schedule, verify.
+	Passes []string `json:"passes,omitempty"`
 }
 
 // optionsRequest exposes the result-affecting SABRE knobs; zero fields
@@ -124,7 +142,29 @@ type compileResponse struct {
 	CacheHit      bool   `json:"cache_hit"`
 	Key           string `json:"key"`
 	ElapsedNS     int64  `json:"elapsed_ns"`
-	QASM          string `json:"qasm"`
+
+	// Passes instruments the pipeline: one entry per executed pass
+	// (route plus any requested post-routing passes) with wall-clock
+	// time and gate/depth snapshots.
+	Passes []passMetricJSON `json:"passes"`
+
+	QASM string `json:"qasm"`
+}
+
+// passMetricJSON is the wire form of one pass metric.
+type passMetricJSON struct {
+	Pass      string `json:"pass"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+	Gates     int    `json:"gates"`
+	Depth     int    `json:"depth"`
+}
+
+func passMetrics(ms []pipeline.PassMetric) []passMetricJSON {
+	out := make([]passMetricJSON, len(ms))
+	for i, m := range ms {
+		out[i] = passMetricJSON{Pass: m.Pass, ElapsedNS: m.Elapsed.Nanoseconds(), Gates: m.Gates, Depth: m.Depth}
+	}
+	return out
 }
 
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -142,6 +182,8 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		src     string
 		devName string
 		opts    core.Options
+		trials  int
+		passes  []string
 	)
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		var req compileRequest
@@ -157,6 +199,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		trials, passes = req.Trials, req.Passes
 	} else {
 		src = string(body)
 		devName = r.URL.Query().Get("device")
@@ -164,6 +207,13 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		if v := r.URL.Query().Get("passes"); v != "" {
+			passes = strings.Split(v, ",")
+		}
+	}
+	if err := pipeline.PostRouting(passes); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
 	if devName == "" {
 		devName = "tokyo"
@@ -180,13 +230,21 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res := <-s.eng.Submit(batch.Job{Circuit: circ, Device: dev, Options: opts})
+	// The request context rides along: a disconnected client cancels
+	// the job, and an in-flight compile stops at its next trial
+	// boundary instead of burning a worker on a dead request.
+	res := <-s.eng.SubmitContext(r.Context(), batch.Job{
+		Circuit: circ, Device: dev, Options: opts, Trials: trials, Passes: passes,
+	})
 	if res.Err != nil {
+		if r.Context().Err() != nil {
+			return // client is gone; nothing to write
+		}
 		http.Error(w, res.Err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 
-	rep := metrics.Compare(circ, res.Circuit)
+	rep := metrics.Compare(circ, res.Final)
 	orig := metrics.Measure(circ)
 	writeJSON(w, compileResponse{
 		Name:          circ.Name(),
@@ -204,7 +262,8 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		CacheHit:      res.CacheHit,
 		Key:           hex.EncodeToString(res.Key[:8]),
 		ElapsedNS:     res.Elapsed.Nanoseconds(),
-		QASM:          qasm.Format(res.Circuit),
+		Passes:        passMetrics(res.PassMetrics),
+		QASM:          qasm.Format(res.Final),
 	})
 }
 

@@ -5,11 +5,13 @@
 //
 //	sabremap -in circuit.qasm -device q20 -out routed.qasm
 //	sabremap -in circuit.qasm -device grid:4x5 -decompose -stats
+//	sabremap -in circuit.qasm -trials 8 -passes peephole,basis -stats
 //
 // Devices: q20 (IBM Q20 Tokyo), qx5, line:N, ring:N, grid:RxC, full:N.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,16 +35,17 @@ func main() {
 		decompose = flag.Bool("decompose", false, "expand SWAPs into 3 CNOTs in the output")
 		stats     = flag.Bool("stats", false, "print compilation statistics to stderr")
 		doVerify  = flag.Bool("verify", false, "verify the routed circuit (GF(2) for CNOT circuits)")
+		passes    = flag.String("passes", "", "post-routing pipeline passes, comma-separated: basis|peephole|schedule|verify")
 	)
 	flag.Parse()
 
-	if err := run(*in, *out, *deviceStr, *trials, *travs, *delta, *heur, *seed, *bridge, *decompose, *stats, *doVerify); err != nil {
+	if err := run(*in, *out, *deviceStr, *trials, *travs, *delta, *heur, *seed, *bridge, *decompose, *stats, *doVerify, *passes); err != nil {
 		fmt.Fprintln(os.Stderr, "sabremap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, deviceStr string, trials, travs int, delta float64, heur string, seed int64, bridge, decompose, stats, doVerify bool) error {
+func run(in, out, deviceStr string, trials, travs int, delta float64, heur string, seed int64, bridge, decompose, stats, doVerify bool, passes string) error {
 	var circ *sabre.Circuit
 	var err error
 	if in == "" {
@@ -76,15 +79,33 @@ func run(in, out, deviceStr string, trials, travs int, delta float64, heur strin
 		return fmt.Errorf("unknown heuristic %q", heur)
 	}
 
-	res, err := sabre.Compile(circ, dev, opts)
+	// Compilation runs as a pass pipeline: the best-of-N routing stage
+	// plus any requested post-routing passes. -verify appends the
+	// verify pass, so what gets checked is the circuit actually
+	// emitted, after every requested rewrite.
+	var extra []string
+	for _, p := range strings.Split(passes, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			extra = append(extra, p)
+		}
+	}
+	if err := sabre.ValidatePostRoutingPasses(extra); err != nil {
+		return err
+	}
+	if doVerify && (len(extra) == 0 || extra[len(extra)-1] != "verify") {
+		extra = append(extra, "verify")
+	}
+	pm, err := sabre.BuildPipeline(append([]string{"route"}, extra...)...)
 	if err != nil {
 		return err
 	}
+	pc, err := pm.Compile(context.Background(), circ, dev, opts)
+	if err != nil {
+		return err
+	}
+	res := pc.Result
 
 	if doVerify {
-		if err := sabre.VerifyCompliant(res.Circuit, dev); err != nil {
-			return err
-		}
 		linear := true
 		for _, g := range circ.Gates() {
 			if g.Kind != sabre.KindCX && g.Kind != sabre.KindSwap {
@@ -93,16 +114,13 @@ func run(in, out, deviceStr string, trials, travs int, delta float64, heur strin
 			}
 		}
 		if linear {
-			if err := sabre.VerifyRouted(circ, res); err != nil {
-				return err
-			}
-			fmt.Fprintln(os.Stderr, "verified: routed circuit is GF(2)-equivalent to the input")
+			fmt.Fprintln(os.Stderr, "verified: output circuit is hardware-compliant; routing is GF(2)-equivalent to the input")
 		} else {
-			fmt.Fprintln(os.Stderr, "verified: routed circuit is hardware-compliant (input has non-linear gates; equivalence check skipped)")
+			fmt.Fprintln(os.Stderr, "verified: output circuit is hardware-compliant (input has non-linear gates; equivalence check skipped)")
 		}
 	}
 
-	output := res.Circuit
+	output := pc.Circuit
 	if decompose {
 		output = output.DecomposeSwaps()
 	}
@@ -121,7 +139,10 @@ func run(in, out, deviceStr string, trials, travs int, delta float64, heur strin
 	}
 
 	if stats {
-		rep := sabre.CompareCircuits(circ, res.Circuit)
+		for _, m := range pc.Metrics {
+			fmt.Fprintf(os.Stderr, "pass %-10s %10s  gates=%d depth=%d\n", m.Pass, m.Elapsed, m.Gates, m.Depth)
+		}
+		rep := sabre.CompareCircuits(circ, pc.Circuit)
 		em := sabre.Q20ErrorModel()
 		fmt.Fprintf(os.Stderr, "device         %s\n", dev)
 		fmt.Fprintf(os.Stderr, "input          n=%d gates=%d depth=%d\n", circ.NumQubits(), rep.RefGates, rep.RefDepth)

@@ -14,6 +14,7 @@ package arch
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Edge is an undirected coupling between two physical qubits.
@@ -39,6 +40,13 @@ type Device struct {
 	adj   [][]int       // adjacency lists, sorted
 	edge  map[Edge]bool // membership set
 	dist  [][]int       // all-pairs shortest path lengths
+
+	// wdist memoizes reliability-weighted distance matrices per noise
+	// model, so parallel routing trials share one O(N³) computation
+	// instead of redoing it every traversal. Guarded by wdistMu; the
+	// matrices themselves are read-only once published.
+	wdistMu sync.Mutex
+	wdist   map[*NoiseModel][][]float64
 }
 
 // New builds a device with n physical qubits and the given undirected
@@ -129,6 +137,53 @@ func (d *Device) Connected(a, b int) bool {
 // qubits have distance 1. The minimum number of SWAPs required to make
 // a and b adjacent is Distance(a, b) - 1.
 func (d *Device) Distance(a, b int) int { return d.dist[a][b] }
+
+// maxWeightedDistanceMemos bounds the per-device memo of weighted
+// distance matrices: on overflow an arbitrary old entry is evicted (a
+// service cycling through thousands of ad-hoc models must not pin
+// O(N²) memory for each, but recent models must keep hitting).
+const maxWeightedDistanceMemos = 8
+
+// WeightedDistancesFor returns the all-pairs most-reliable-path cost
+// matrix of the device under m, computing it on first use and serving
+// the same read-only matrix afterwards. The model must not be mutated
+// after its first use here (memoization is by pointer identity).
+// Returns nil for a nil model so callers can branch on "no noise".
+//
+// The O(N³) computation runs outside the lock, so a memo miss never
+// blocks concurrent lookups of other models; two goroutines racing on
+// the same new model may both compute, and the first insert wins (both
+// then return the same matrix).
+func (d *Device) WeightedDistancesFor(m *NoiseModel) [][]float64 {
+	if m == nil {
+		return nil
+	}
+	d.wdistMu.Lock()
+	if w, ok := d.wdist[m]; ok {
+		d.wdistMu.Unlock()
+		return w
+	}
+	d.wdistMu.Unlock()
+
+	w := WeightedDistances(d, m)
+
+	d.wdistMu.Lock()
+	defer d.wdistMu.Unlock()
+	if prev, ok := d.wdist[m]; ok {
+		return prev // a concurrent computation published first
+	}
+	if d.wdist == nil {
+		d.wdist = make(map[*NoiseModel][][]float64)
+	}
+	for len(d.wdist) >= maxWeightedDistanceMemos {
+		for k := range d.wdist { // evict an arbitrary entry
+			delete(d.wdist, k)
+			break
+		}
+	}
+	d.wdist[m] = w
+	return w
+}
 
 // Diameter returns the greatest pairwise distance on the device.
 func (d *Device) Diameter() int {

@@ -1,0 +1,71 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The weighted-distance memo exists because SABRE's multi-trial
+// protocol used to rerun the O(N³) Floyd–Warshall once per traversal
+// (15 times for the paper's 5-trial × 3-traversal configuration).
+// These two benchmarks quantify the gap between recomputing and
+// serving the memoized matrix.
+
+func BenchmarkWeightedDistancesRecompute(b *testing.B) {
+	dev := Sycamore(7, 7)
+	noise := RandomNoise(dev, 1e-3, 1e-1, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := WeightedDistances(dev, noise); w[0][1] < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkWeightedDistancesCached(b *testing.B) {
+	dev := Sycamore(7, 7)
+	noise := RandomNoise(dev, 1e-3, 1e-1, rand.New(rand.NewSource(1)))
+	dev.WeightedDistancesFor(noise) // warm the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := dev.WeightedDistancesFor(noise); w[0][1] < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func TestWeightedDistancesForMatchesDirect(t *testing.T) {
+	dev := Grid(4, 5)
+	noise := RandomNoise(dev, 1e-3, 1e-1, rand.New(rand.NewSource(7)))
+	direct := WeightedDistances(dev, noise)
+	cached := dev.WeightedDistancesFor(noise)
+	for i := range direct {
+		for j := range direct[i] {
+			if direct[i][j] != cached[i][j] {
+				t.Fatalf("matrix mismatch at (%d,%d): %g vs %g", i, j, direct[i][j], cached[i][j])
+			}
+		}
+	}
+	if again := dev.WeightedDistancesFor(noise); &again[0][0] != &cached[0][0] {
+		t.Fatal("second lookup did not return the memoized matrix")
+	}
+	if dev.WeightedDistancesFor(nil) != nil {
+		t.Fatal("nil model must return nil")
+	}
+}
+
+func TestWeightedDistancesMemoBounded(t *testing.T) {
+	dev := Line(6)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3*maxWeightedDistanceMemos; i++ {
+		dev.WeightedDistancesFor(RandomNoise(dev, 1e-3, 1e-1, rng))
+	}
+	dev.wdistMu.Lock()
+	n := len(dev.wdist)
+	dev.wdistMu.Unlock()
+	if n > maxWeightedDistanceMemos {
+		t.Fatalf("memo grew to %d entries, cap is %d", n, maxWeightedDistanceMemos)
+	}
+}

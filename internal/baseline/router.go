@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// GreedyRouter adapts GreedyCompile to the core.Router interface so
+// the naive shortest-path baseline drops into the pass pipeline as a
+// routing backend. Options are ignored (the greedy router has no
+// knobs); it is fully deterministic.
+type GreedyRouter struct{}
+
+// Name implements core.Router.
+func (GreedyRouter) Name() string { return "greedy" }
+
+// Route implements core.Router.
+func (GreedyRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, _ core.Options) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	g, err := GreedyCompile(circ, dev)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{
+		Circuit:             g.Circuit,
+		InitialLayout:       g.InitialLayout,
+		FinalLayout:         g.FinalLayout,
+		SwapCount:           g.SwapCount,
+		AddedGates:          g.AddedGates,
+		FirstTraversalAdded: g.AddedGates,
+		TrialsRun:           1,
+		Elapsed:             time.Since(start),
+	}, nil
+}
+
+// AStarRouter adapts AStarCompile (the paper's BKA baseline) to
+// core.Router. The zero value uses DefaultAStarOptions; core.Options
+// are ignored, as the search has its own configuration.
+type AStarRouter struct {
+	Options AStarOptions
+}
+
+// Name implements core.Router.
+func (AStarRouter) Name() string { return "astar" }
+
+// Route implements core.Router.
+func (r AStarRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, _ core.Options) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts := r.Options
+	if opts == (AStarOptions{}) {
+		opts = DefaultAStarOptions()
+	}
+	start := time.Now()
+	a, err := AStarCompile(circ, dev, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{
+		Circuit:             a.Circuit,
+		InitialLayout:       a.InitialLayout,
+		FinalLayout:         a.FinalLayout,
+		SwapCount:           a.SwapCount,
+		AddedGates:          a.AddedGates,
+		FirstTraversalAdded: a.AddedGates,
+		TrialsRun:           1,
+		Elapsed:             time.Since(start),
+	}, nil
+}

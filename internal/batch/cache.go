@@ -4,8 +4,6 @@ import (
 	"container/list"
 	"encoding/binary"
 	"sync"
-
-	"repro/internal/core"
 )
 
 // resultCache is a sharded LRU cache from job Key to compile Result.
@@ -28,7 +26,7 @@ type cacheShard struct {
 
 type cacheEntry struct {
 	key Key
-	res *core.Result
+	res *outcome
 }
 
 // newResultCache builds a cache with the given total entry capacity
@@ -70,7 +68,7 @@ func (c *resultCache) shard(k Key) *cacheShard {
 }
 
 // get returns the cached result for k, promoting it to most-recent.
-func (c *resultCache) get(k Key) (*core.Result, bool) {
+func (c *resultCache) get(k Key) (*outcome, bool) {
 	if c == nil {
 		return nil, false
 	}
@@ -87,7 +85,7 @@ func (c *resultCache) get(k Key) (*core.Result, bool) {
 
 // add inserts (or refreshes) k, evicting the shard's least-recently
 // used entry on overflow.
-func (c *resultCache) add(k Key, res *core.Result) {
+func (c *resultCache) add(k Key, res *outcome) {
 	if c == nil {
 		return
 	}

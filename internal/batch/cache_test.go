@@ -4,8 +4,6 @@ import (
 	"encoding/binary"
 	"sync"
 	"testing"
-
-	"repro/internal/core"
 )
 
 // fakeKey builds a key that lands in a chosen shard (the shard is
@@ -21,9 +19,9 @@ func TestCacheLRUEviction(t *testing.T) {
 	// 4 entries over 1 shard: inserting 5 keys into the same shard
 	// evicts exactly the least-recently-used one.
 	c := newResultCache(4, 1)
-	results := make([]*core.Result, 5)
+	results := make([]*outcome, 5)
 	for i := range results {
-		results[i] = &core.Result{SwapCount: i}
+		results[i] = &outcome{}
 		c.add(fakeKey(0, uint64(i)), results[i])
 	}
 	if c.len() != 4 {
@@ -41,7 +39,7 @@ func TestCacheLRUEviction(t *testing.T) {
 
 	// Touching an entry protects it: get(1) then add(5) evicts 2.
 	c.get(fakeKey(0, 1))
-	c.add(fakeKey(0, 5), &core.Result{})
+	c.add(fakeKey(0, 5), &outcome{})
 	if _, ok := c.get(fakeKey(0, 1)); !ok {
 		t.Fatal("recently-used entry evicted")
 	}
@@ -91,7 +89,7 @@ func TestCacheDisabled(t *testing.T) {
 		t.Fatal("zero/negative capacity should disable the cache")
 	}
 	// All operations are nil-safe no-ops.
-	c.add(fakeKey(0, 1), &core.Result{})
+	c.add(fakeKey(0, 1), &outcome{})
 	if _, ok := c.get(fakeKey(0, 1)); ok {
 		t.Fatal("nil cache returned a hit")
 	}
@@ -112,7 +110,7 @@ func TestCacheConcurrent(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				k := fakeKey(byte(i%16), uint64(i%32))
 				if i%3 == 0 {
-					c.add(k, &core.Result{SwapCount: i})
+					c.add(k, &outcome{})
 				} else {
 					c.get(k)
 				}

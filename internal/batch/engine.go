@@ -14,25 +14,41 @@
 package batch
 
 import (
+	"context"
 	"errors"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/pipeline"
 )
 
 // Job is one compilation request: route Circuit onto Device under
-// Options. The zero Options value selects the paper's defaults
-// (including the decay heuristic) with a seed derived from the job's
-// content (see Config.BaseSeed); partially-filled Options are used as
-// given, with core's usual zero-field normalization.
+// Options, then run the requested post-routing passes. The zero
+// Options value selects the paper's defaults (including the decay
+// heuristic) with a seed derived from the job's content (see
+// Config.BaseSeed); partially-filled Options are used as given, with
+// core's usual zero-field normalization.
 type Job struct {
 	Circuit *circuit.Circuit
 	Device  *arch.Device
 	Options core.Options
+
+	// Trials, when positive, overrides Options.Trials — the best-of-N
+	// fan-out width of the routing stage. It joins the cache key (via
+	// the effective trial count), so jobs differing only in trials
+	// never share a cached result.
+	Trials int
+
+	// Passes names post-routing pipeline passes to run on the routed
+	// circuit, in order: basis, peephole, schedule, verify. The list
+	// joins the cache key. Unknown or non-post-routing names fail the
+	// job.
+	Passes []string
 
 	// Tag is an optional caller label carried into the Result. It is
 	// not part of the cache key.
@@ -40,10 +56,19 @@ type Job struct {
 }
 
 // Result is the outcome of one Job. On cache or single-flight hits the
-// embedded *core.Result is shared between callers and must be treated
-// as read-only (Results are never mutated by the engine).
+// embedded *core.Result, Final circuit, and PassMetrics are shared
+// between callers and must be treated as read-only (the engine never
+// mutates them).
 type Result struct {
 	*core.Result
+
+	// Final is the circuit after all requested passes ran (equal to
+	// Result.Circuit when no post-routing passes were requested).
+	Final *circuit.Circuit
+
+	// PassMetrics records per-pass timing and circuit snapshots for
+	// the route stage and every requested pass, in execution order.
+	PassMetrics []pipeline.PassMetric
 
 	// Tag echoes Job.Tag.
 	Tag string
@@ -55,6 +80,21 @@ type Result struct {
 	// Err is the compile error, if any; the embedded Result is nil
 	// when Err is non-nil.
 	Err error
+}
+
+// outcome is the shareable product of one pipeline run — what the
+// cache stores and single-flight followers receive.
+type outcome struct {
+	res     *core.Result
+	final   *circuit.Circuit
+	metrics []pipeline.PassMetric
+}
+
+// fill copies an outcome into a caller-visible Result.
+func (r *Result) fill(o *outcome) {
+	r.Result = o.res
+	r.Final = o.final
+	r.PassMetrics = o.metrics
 }
 
 // Stats is a snapshot of engine counters.
@@ -89,6 +129,13 @@ type Config struct {
 	// the whole batch while staying deterministic. Jobs with an
 	// explicit Options.Seed ignore it.
 	BaseSeed int64
+
+	// TrialWorkers bounds the per-job routing-trial fan-out (default
+	// 1: jobs are the engine's unit of parallelism, so a saturated
+	// batch should not oversubscribe). A daemon serving sparse
+	// single-job traffic sets this higher to parallelise each job's
+	// best-of-N trials instead. Results are identical either way.
+	TrialWorkers int
 }
 
 const (
@@ -126,6 +173,7 @@ type Engine struct {
 }
 
 type task struct {
+	ctx  context.Context
 	job  Job
 	out  *Result
 	done func()
@@ -133,7 +181,7 @@ type task struct {
 
 type flight struct {
 	wg  sync.WaitGroup
-	res *core.Result
+	res *outcome
 	err error
 }
 
@@ -141,6 +189,9 @@ type flight struct {
 func NewEngine(cfg Config) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.TrialWorkers <= 0 {
+		cfg.TrialWorkers = 1
 	}
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = defaultCacheEntries
@@ -192,11 +243,19 @@ func (e *Engine) Stats() Stats {
 // Safe to call from many goroutines at once; overlapping batches share
 // the pool, the cache, and in-flight compilations.
 func (e *Engine) CompileBatch(jobs []Job) []Result {
+	return e.CompileBatchContext(context.Background(), jobs)
+}
+
+// CompileBatchContext is CompileBatch with cancellation: jobs not yet
+// started when ctx is cancelled fail fast with ctx's error, and
+// running compilations stop at their next trial boundary. It still
+// blocks until every job has settled.
+func (e *Engine) CompileBatchContext(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	var wg sync.WaitGroup
 	wg.Add(len(jobs))
 	for i := range jobs {
-		e.enqueue(task{job: jobs[i], out: &results[i], done: wg.Done})
+		e.enqueue(task{ctx: ctx, job: jobs[i], out: &results[i], done: wg.Done})
 	}
 	wg.Wait()
 	return results
@@ -206,9 +265,17 @@ func (e *Engine) CompileBatch(jobs []Job) []Result {
 // exactly once. The channel is buffered: the caller may drop it
 // without leaking a goroutine.
 func (e *Engine) Submit(job Job) <-chan Result {
+	return e.SubmitContext(context.Background(), job)
+}
+
+// SubmitContext is Submit with cancellation. A job whose ctx is
+// cancelled before a worker picks it up fails with ctx's error without
+// compiling; a cancelled in-flight compilation stops at its next trial
+// boundary — a disconnected client stops burning workers.
+func (e *Engine) SubmitContext(ctx context.Context, job Job) <-chan Result {
 	ch := make(chan Result, 1)
 	out := new(Result)
-	e.enqueue(task{job: job, out: out, done: func() { ch <- *out }})
+	e.enqueue(task{ctx: ctx, job: job, out: out, done: func() { ch <- *out }})
 	return ch
 }
 
@@ -239,15 +306,25 @@ func (e *Engine) worker() {
 }
 
 // process executes one job: cache lookup, single-flight join, or a
-// real compile with the job's derived seed.
+// real pipeline run with the job's derived seed.
 func (e *Engine) process(t task) {
 	defer t.done()
 	e.jobs.Add(1)
 
+	ctx := t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	job := t.job
 	t.out.Tag = job.Tag
 	if job.Circuit == nil || job.Device == nil {
 		t.out.Err = errNilJob
+		e.errs.Add(1)
+		return
+	}
+	// A cancelled job fails before compiling: the submitter is gone.
+	if err := ctx.Err(); err != nil {
+		t.out.Err = err
 		e.errs.Add(1)
 		return
 	}
@@ -261,54 +338,81 @@ func (e *Engine) process(t task) {
 		job.Options = core.DefaultOptions()
 		job.Options.Seed = 0
 	}
+	// The trial override folds into Options before hashing, so the
+	// effective trial count is part of the cache identity.
+	if job.Trials > 0 {
+		job.Options.Trials = job.Trials
+	}
+	job.Passes = normalizePasses(job.Passes)
+	if err := pipeline.PostRouting(job.Passes); err != nil {
+		t.out.Err = err
+		e.errs.Add(1)
+		return
+	}
 
 	key := KeyOf(job)
 	t.out.Key = key
 
-	if res, ok := e.cache.get(key); ok {
-		t.out.Result = res
-		t.out.CacheHit = true
-		e.hits.Add(1)
-		return
-	}
-
 	// Single-flight: the first goroutine in compiles; the rest wait on
 	// its flight and share the outcome. Progress is guaranteed because
-	// a leader never waits — it is the one running the compile.
-	e.mu.Lock()
-	if f, ok := e.inflight[key]; ok {
-		e.mu.Unlock()
-		f.wg.Wait()
-		t.out.Result, t.out.Err = f.res, f.err
-		t.out.CacheHit = t.out.Err == nil
-		e.shared.Add(1)
-		if t.out.Err != nil {
-			e.errs.Add(1)
+	// a leader never waits — it is the one running the compile. A
+	// follower whose leader was cancelled by its *own* caller retries
+	// (the dead flight is out of the inflight map by then), so one
+	// client's disconnect never fails another client's identical
+	// request; any other leader error is shared as-is, and errors are
+	// never cached, so the next identical job recompiles.
+	var f *flight
+	for {
+		if o, ok := e.cache.get(key); ok {
+			t.out.fill(o)
+			t.out.CacheHit = true
+			e.hits.Add(1)
+			return
 		}
-		return
-	}
-	// Re-check the cache before becoming leader: a previous leader
-	// publishes to the cache before leaving the inflight map, so this
-	// closes the window where a job misses both and recompiles.
-	if res, ok := e.cache.get(key); ok {
+		e.mu.Lock()
+		if lead, ok := e.inflight[key]; ok {
+			e.mu.Unlock()
+			lead.wg.Wait()
+			if lead.err != nil {
+				if isContextErr(lead.err) && ctx.Err() == nil {
+					continue // leader's caller bailed; ours did not
+				}
+				t.out.Err = lead.err
+				e.shared.Add(1)
+				e.errs.Add(1)
+				return
+			}
+			t.out.fill(lead.res)
+			t.out.CacheHit = true
+			e.shared.Add(1)
+			return
+		}
+		// Re-check the cache before becoming leader: a previous leader
+		// publishes to the cache before leaving the inflight map, so
+		// this closes the window where a job misses both and
+		// recompiles. (The loop-top get runs unlocked and can race a
+		// departing leader; this one cannot.)
+		if o, ok := e.cache.get(key); ok {
+			e.mu.Unlock()
+			t.out.fill(o)
+			t.out.CacheHit = true
+			e.hits.Add(1)
+			return
+		}
+		f = new(flight)
+		f.wg.Add(1)
+		e.inflight[key] = f
 		e.mu.Unlock()
-		t.out.Result = res
-		t.out.CacheHit = true
-		e.hits.Add(1)
-		return
+		break
 	}
-	f := new(flight)
-	f.wg.Add(1)
-	e.inflight[key] = f
-	e.mu.Unlock()
 
 	opts := deriveSeed(key, e.cfg.BaseSeed, job.Options)
-	res, err := core.Compile(job.Circuit, job.Device, opts)
+	o, err := e.runPipeline(ctx, job, opts)
 	e.compiles.Add(1)
 
-	f.res, f.err = res, err
+	f.res, f.err = o, err
 	if err == nil {
-		e.cache.add(key, res)
+		e.cache.add(key, o)
 	} else {
 		e.errs.Add(1)
 	}
@@ -317,5 +421,52 @@ func (e *Engine) process(t task) {
 	e.mu.Unlock()
 	f.wg.Done()
 
-	t.out.Result, t.out.Err = res, err
+	if err != nil {
+		t.out.Err = err
+		return
+	}
+	t.out.fill(o)
+}
+
+// runPipeline builds and runs the job's pass pipeline: the bounded
+// trial-runner route stage plus the requested post-routing passes.
+func (e *Engine) runPipeline(ctx context.Context, job Job, opts core.Options) (*outcome, error) {
+	passes := []pipeline.Pass{pipeline.RoutePass{Workers: e.cfg.TrialWorkers}}
+	for _, name := range job.Passes {
+		p, err := pipeline.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		passes = append(passes, p)
+	}
+	pc, err := pipeline.New(passes...).Compile(ctx, job.Circuit, job.Device, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &outcome{res: pc.Result, final: pc.Circuit, metrics: pc.Metrics}, nil
+}
+
+// normalizePasses lowercases, trims, drops empty pass names, and
+// canonicalizes aliases (opt→peephole, sched→schedule) so spelling
+// variations of the same pipeline share cache entries.
+func normalizePasses(names []string) []string {
+	var out []string
+	for _, name := range names {
+		name = strings.ToLower(strings.TrimSpace(name))
+		switch name {
+		case "":
+			continue
+		case "opt":
+			name = "peephole"
+		case "sched":
+			name = "schedule"
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// isContextErr reports whether err is a cancellation/deadline error.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

@@ -20,8 +20,9 @@ type Key [sha256.Size]byte
 
 // keyVersion is bumped whenever the encoding below changes, so stale
 // digests can never alias across engine versions (relevant once keys
-// are persisted or exchanged between processes).
-const keyVersion = 1
+// are persisted or exchanged between processes). Version 2 added the
+// post-routing pass list.
+const keyVersion = 2
 
 // KeyOf computes the cache key of a job. The encoding is canonical:
 // field order is fixed, floats are encoded by their IEEE-754 bits, and
@@ -70,8 +71,12 @@ func KeyOf(job Job) Key {
 		}
 	}
 
-	// Options, every result-affecting field.
+	// Options, every result-affecting field. The Trials override is
+	// folded in first so it is always part of the cache identity.
 	o := job.Options
+	if job.Trials > 0 {
+		o.Trials = job.Trials
+	}
 	u64(uint64(o.Heuristic))
 	i64(int64(o.ExtendedSetSize))
 	f64(o.ExtendedSetWeight)
@@ -88,6 +93,17 @@ func KeyOf(job Job) Key {
 	}
 	f64(o.MaxEdgeError)
 	hashNoise(h, u64, f64, o.Noise)
+
+	// Post-routing pass list, normalized so spelling variants share
+	// cache entries. The effective trial count is covered above via
+	// o.Trials; callers overriding Job.Trials must fold it in first
+	// (the engine does).
+	passes := normalizePasses(job.Passes)
+	u64(uint64(len(passes)))
+	for _, name := range passes {
+		u64(uint64(len(name)))
+		h.Write([]byte(name))
+	}
 
 	var k Key
 	h.Sum(k[:0])

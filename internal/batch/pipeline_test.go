@@ -1,0 +1,180 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/qasm"
+	"repro/internal/transpile"
+	"repro/internal/workloads"
+)
+
+func TestJobPassesRunAndJoinCacheKey(t *testing.T) {
+	e := NewEngine(Config{Workers: 2})
+	defer e.Close()
+	dev := arch.IBMQ20Tokyo()
+
+	plain := Job{Circuit: workloads.QFT(6), Device: dev}
+	piped := Job{Circuit: workloads.QFT(6), Device: dev, Passes: []string{"peephole", "basis", "verify"}}
+
+	rp := e.CompileBatch([]Job{plain})[0]
+	pp := e.CompileBatch([]Job{piped})[0]
+	if rp.Err != nil || pp.Err != nil {
+		t.Fatal(rp.Err, pp.Err)
+	}
+	if rp.Key == pp.Key {
+		t.Fatal("pass list did not change the cache key")
+	}
+	if pp.CacheHit {
+		t.Fatal("different pass list was served from the plain job's cache entry")
+	}
+	if !transpile.InBasis(pp.Final) {
+		t.Fatal("basis pass did not lower the final circuit")
+	}
+	if rp.Final == nil || qasm.Format(rp.Final) != qasm.Format(rp.Result.Circuit) {
+		t.Fatal("plain job's Final must equal the routed circuit")
+	}
+	// Metrics: route stage plus one entry per requested pass, in order.
+	want := []string{"route", "peephole", "basis", "verify"}
+	if len(pp.PassMetrics) != len(want) {
+		t.Fatalf("got %d pass metrics, want %d", len(pp.PassMetrics), len(want))
+	}
+	for i, m := range pp.PassMetrics {
+		if m.Pass != want[i] {
+			t.Fatalf("metric %d is %q, want %q", i, m.Pass, want[i])
+		}
+	}
+
+	// Identical piped job: cache hit sharing the same outcome.
+	again := e.CompileBatch([]Job{piped})[0]
+	if !again.CacheHit || again.Final != pp.Final {
+		t.Fatal("identical piped job did not share the cached outcome")
+	}
+}
+
+func TestJobTrialsJoinCacheKey(t *testing.T) {
+	e := NewEngine(Config{Workers: 2})
+	defer e.Close()
+	dev := arch.IBMQ20Tokyo()
+	// Explicit options: the zero-Options default substitution happens
+	// inside the engine, so only a concrete Options value lets KeyOf
+	// agree with the processed key.
+	base := Job{Circuit: workloads.QFT(6), Device: dev, Options: core.DefaultOptions()}
+	boosted := base
+	boosted.Trials = 9
+
+	a := e.CompileBatch([]Job{base})[0]
+	b := e.CompileBatch([]Job{boosted})[0]
+	if a.Err != nil || b.Err != nil {
+		t.Fatal(a.Err, b.Err)
+	}
+	if a.Key == b.Key {
+		t.Fatal("trial count did not join the cache key")
+	}
+	if b.TrialsRun != 9 {
+		t.Fatalf("boosted job ran %d trials, want 9", b.TrialsRun)
+	}
+	if KeyOf(boosted) != b.Key {
+		t.Fatal("KeyOf does not fold the Trials override like the engine does")
+	}
+}
+
+func TestJobRejectsNonPostRoutingPasses(t *testing.T) {
+	e := NewEngine(Config{Workers: 1})
+	defer e.Close()
+	res := e.CompileBatch([]Job{{
+		Circuit: workloads.GHZ(4),
+		Device:  arch.IBMQ20Tokyo(),
+		Passes:  []string{"route"},
+	}})[0]
+	if res.Err == nil {
+		t.Fatal("expected error for a route pass in Job.Passes")
+	}
+}
+
+func TestCancelledContextFailsFast(t *testing.T) {
+	e := NewEngine(Config{Workers: 1})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	res := <-e.SubmitContext(ctx, Job{Circuit: workloads.QFT(10), Device: arch.IBMQ20Tokyo()})
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", res.Err)
+	}
+	if e.Stats().Compiles != 0 {
+		t.Fatal("cancelled job still compiled")
+	}
+}
+
+func TestPassAliasesShareCacheKey(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	a := Job{Circuit: workloads.QFT(5), Device: dev, Options: core.DefaultOptions(), Passes: []string{"peephole", "schedule"}}
+	b := Job{Circuit: workloads.QFT(5), Device: dev, Options: core.DefaultOptions(), Passes: []string{"Opt", " sched "}}
+	if KeyOf(a) != KeyOf(b) {
+		t.Fatal("alias pass names (opt/sched) hash to a different key than peephole/schedule")
+	}
+}
+
+func TestFollowerSurvivesLeaderCancellation(t *testing.T) {
+	// Two identical jobs in flight: the one whose context is cancelled
+	// must fail, but it must not poison the healthy one — whichever of
+	// them led, the healthy submitter retries and gets a real result.
+	e := NewEngine(Config{Workers: 2})
+	defer e.Close()
+
+	job := Job{Circuit: workloads.QFT(16), Device: arch.IBMQ20Tokyo(), Options: core.DefaultOptions()}
+	job.Options.Trials = 20
+	job.Options.Seed = 77
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	chA := e.SubmitContext(ctxA, job)
+	time.Sleep(15 * time.Millisecond) // let A start compiling
+	chB := e.SubmitContext(context.Background(), job)
+	time.Sleep(15 * time.Millisecond) // let B join the flight
+	cancelA()
+
+	resB := <-chB
+	if resB.Err != nil {
+		t.Fatalf("healthy submitter failed with the cancelled peer's error: %v", resB.Err)
+	}
+	resA := <-chA
+	if resA.Err == nil && resA.Result == nil {
+		t.Fatal("cancelled submitter got neither a result nor an error")
+	}
+}
+
+func TestCancellationStopsQueuedJobs(t *testing.T) {
+	// One worker, many jobs: cancel mid-batch and check the tail fails
+	// with the context error instead of compiling.
+	e := NewEngine(Config{Workers: 1})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		// Distinct seeds defeat the cache and single-flight; qft_16 at
+		// 5 trials keeps the single worker busy long past the cancel.
+		job := Job{Circuit: workloads.QFT(16), Device: arch.IBMQ20Tokyo(), Options: core.DefaultOptions()}
+		job.Options.Seed = int64(i + 1)
+		jobs[i] = job
+	}
+	done := make(chan []Result, 1)
+	go func() { done <- e.CompileBatchContext(ctx, jobs) }()
+	time.Sleep(25 * time.Millisecond)
+	cancel()
+	results := <-done
+	var cancelled int
+	for _, res := range results {
+		if errors.Is(res.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no job observed the cancellation")
+	}
+}

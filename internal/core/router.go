@@ -94,7 +94,9 @@ func RoutePass(circ *circuit.Circuit, dev *arch.Device, init mapping.Layout, opt
 		r.decay[i] = 1
 	}
 	if opts.Noise != nil {
-		r.wdist = arch.WeightedDistances(dev, opts.Noise)
+		// Memoized on the device: every traversal of every trial shares
+		// one read-only matrix instead of rerunning Floyd–Warshall.
+		r.wdist = dev.WeightedDistancesFor(opts.Noise)
 	}
 	r.inDeg = r.dag.InDegrees()
 	for i, deg := range r.inDeg {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -11,18 +12,24 @@ import (
 	"repro/internal/mapping"
 )
 
-// Compile maps circ onto dev with SABRE: for each of Options.Trials
-// random initial mappings it performs Options.Traversals alternating
-// forward/backward traversals (the reverse-traversal technique of
-// §IV-C2), letting each traversal's final mapping seed the next as an
-// ever-better initial mapping; the last forward traversal produces the
-// output circuit. The best trial by added gates (ties: output depth)
-// wins.
-//
-// The returned circuit acts on the device's physical qubits and
-// contains symbolic SWAPs; Result documents the accounting.
-func Compile(circ *circuit.Circuit, dev *arch.Device, opts Options) (*Result, error) {
-	start := time.Now()
+// Prepared holds the trial-invariant inputs of a multi-trial compile:
+// the normalized options, the effective (possibly noise-pruned)
+// device, and the widened forward/reversed circuits. Preparing once
+// and fanning RunTrial out over many seeds is how the trial runner in
+// internal/pipeline shares the precomputed state — circuits, DAG
+// inputs, and the device's cached distance matrices — read-only across
+// a worker pool.
+type Prepared struct {
+	dev      *arch.Device
+	opts     Options
+	wide     *circuit.Circuit
+	reversed *circuit.Circuit
+}
+
+// Prepare validates circ against dev and precomputes the shared
+// read-only state every trial needs. The returned value is safe for
+// concurrent RunTrial calls.
+func Prepare(circ *circuit.Circuit, dev *arch.Device, opts Options) (*Prepared, error) {
 	opts = opts.normalized()
 	dev = effectiveDevice(dev, opts)
 	if circ.NumQubits() > dev.NumQubits() {
@@ -33,57 +40,39 @@ func Compile(circ *circuit.Circuit, dev *arch.Device, opts Options) (*Result, er
 	if circ.NumQubits() < dev.NumQubits() {
 		wide = circ.Widen(dev.NumQubits())
 	}
-	reversed := wide.Reverse()
-
-	results := make([]*Result, opts.Trials)
-	depths := make([]int, opts.Trials)
-	if opts.ParallelTrials && opts.Trials > 1 {
-		var wg sync.WaitGroup
-		for trial := 0; trial < opts.Trials; trial++ {
-			wg.Add(1)
-			go func(trial int) {
-				defer wg.Done()
-				results[trial], depths[trial] = runTrial(wide, reversed, dev, opts, trial)
-			}(trial)
-		}
-		wg.Wait()
-	} else {
-		for trial := 0; trial < opts.Trials; trial++ {
-			results[trial], depths[trial] = runTrial(wide, reversed, dev, opts, trial)
-		}
+	if opts.Noise != nil {
+		// Publish the weighted distance matrix before trials fan out so
+		// concurrent traversals only ever read the memo.
+		dev.WeightedDistancesFor(opts.Noise)
 	}
-
-	// Select the winner in trial order (strict improvement), so the
-	// parallel and sequential paths return identical results.
-	best, bestDepth := results[0], depths[0]
-	for trial := 1; trial < opts.Trials; trial++ {
-		res, depth := results[trial], depths[trial]
-		if res.AddedGates < best.AddedGates ||
-			(res.AddedGates == best.AddedGates && depth < bestDepth) {
-			best = res
-			bestDepth = depth
-		}
-	}
-	best.TrialsRun = opts.Trials
-	best.Elapsed = time.Since(start)
-	return best, nil
+	return &Prepared{dev: dev, opts: opts, wide: wide, reversed: wide.Reverse()}, nil
 }
 
-// runTrial executes one random restart: Traversals alternating passes
-// seeded by Seed+trial, returning the final forward pass's result and
-// its decomposed depth.
-func runTrial(wide, reversed *circuit.Circuit, dev *arch.Device, opts Options, trial int) (*Result, int) {
+// Options returns the normalized options the trials run under.
+func (p *Prepared) Options() Options { return p.opts }
+
+// Device returns the effective device trials route on (the input
+// device, or its noise-pruned subdevice).
+func (p *Prepared) Device() *arch.Device { return p.dev }
+
+// RunTrial executes one random restart: Traversals alternating
+// forward/backward passes seeded by Seed+trial (the reverse-traversal
+// technique of §IV-C2), returning the final forward pass's result and
+// its decomposed depth (the deterministic tie-break key). Safe to call
+// concurrently for distinct trials.
+func (p *Prepared) RunTrial(trial int) (*Result, int) {
+	opts := p.opts
 	rng := rand.New(rand.NewSource(opts.Seed + int64(trial)))
-	layout := mapping.Random(dev.NumQubits(), rng)
+	layout := mapping.Random(p.dev.NumQubits(), rng)
 
 	var final PassResult
 	firstAdded := -1
 	for t := 0; t < opts.Traversals; t++ {
-		in := wide
+		in := p.wide
 		if t%2 == 1 {
-			in = reversed
+			in = p.reversed
 		}
-		final = RoutePass(in, dev, layout, opts, rng)
+		final = RoutePass(in, p.dev, layout, opts, rng)
 		layout = final.FinalLayout
 		if t == 0 {
 			firstAdded = 3 * (final.SwapCount + final.BridgeCount)
@@ -101,6 +90,86 @@ func runTrial(wide, reversed *circuit.Circuit, dev *arch.Device, opts Options, t
 		Stats:               final.Stats,
 	}
 	return res, final.Circuit.DecomposeSwaps().Depth()
+}
+
+// SelectBest picks the winning trial deterministically: fewest added
+// gates, ties broken by decomposed depth, remaining ties by lowest
+// trial index (seed). Iterating in trial order with strict improvement
+// makes the choice independent of how the trials were scheduled.
+func SelectBest(results []*Result, depths []int) *Result {
+	best, bestDepth := results[0], depths[0]
+	for trial := 1; trial < len(results); trial++ {
+		res, depth := results[trial], depths[trial]
+		if res.AddedGates < best.AddedGates ||
+			(res.AddedGates == best.AddedGates && depth < bestDepth) {
+			best = res
+			bestDepth = depth
+		}
+	}
+	return best
+}
+
+// Compile maps circ onto dev with SABRE: for each of Options.Trials
+// random initial mappings it performs Options.Traversals alternating
+// forward/backward traversals (the reverse-traversal technique of
+// §IV-C2), letting each traversal's final mapping seed the next as an
+// ever-better initial mapping; the last forward traversal produces the
+// output circuit. The best trial by added gates (ties: output depth)
+// wins.
+//
+// The returned circuit acts on the device's physical qubits and
+// contains symbolic SWAPs; Result documents the accounting.
+func Compile(circ *circuit.Circuit, dev *arch.Device, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), circ, dev, opts)
+}
+
+// CompileContext is Compile with cancellation: the sequential path
+// checks ctx between trials, so a cancelled caller (a dropped HTTP
+// request, say) stops burning CPU at the next trial boundary instead
+// of finishing the whole restart schedule. Returns ctx.Err() when
+// cancelled before a winner exists.
+func CompileContext(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, opts Options) (*Result, error) {
+	start := time.Now()
+	p, err := Prepare(circ, dev, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts = p.opts
+
+	results := make([]*Result, opts.Trials)
+	depths := make([]int, opts.Trials)
+	if opts.ParallelTrials && opts.Trials > 1 {
+		var wg sync.WaitGroup
+		for trial := 0; trial < opts.Trials; trial++ {
+			wg.Add(1)
+			go func(trial int) {
+				defer wg.Done()
+				// Honor cancellation at the trial boundary: a trial
+				// not yet started when ctx dies is skipped, and the
+				// run as a whole fails below.
+				if ctx.Err() != nil {
+					return
+				}
+				results[trial], depths[trial] = p.RunTrial(trial)
+			}(trial)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	} else {
+		for trial := 0; trial < opts.Trials; trial++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			results[trial], depths[trial] = p.RunTrial(trial)
+		}
+	}
+
+	best := SelectBest(results, depths)
+	best.TrialsRun = opts.Trials
+	best.Elapsed = time.Since(start)
+	return best, nil
 }
 
 // CompileWithLayout routes circ starting from a caller-chosen initial

@@ -1,0 +1,104 @@
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// TrialRunner executes the paper's best-of-N protocol — N independent
+// routing trials, each a full reverse-traversal restart from a
+// different random initial mapping — across a bounded worker pool.
+//
+// All trials share one core.Prepared (widened/reversed circuits and
+// the device's cached distance matrices) read-only; nothing is locked
+// on the routing hot path. Trial t always uses seed Options.Seed+t and
+// results are collected by trial index, then the winner is selected by
+// fewest added gates, ties broken by decomposed depth, then by lowest
+// seed — so the outcome is byte-identical at any worker count.
+//
+// TrialRunner implements core.Router and is the default routing
+// backend of RoutePass.
+type TrialRunner struct {
+	// Trials is the number of independent seeds (0 = Options.Trials,
+	// which defaults to the paper's 5).
+	Trials int
+
+	// Workers bounds the pool (0 = min(Trials, GOMAXPROCS)).
+	Workers int
+}
+
+// Name implements core.Router.
+func (TrialRunner) Name() string { return "sabre" }
+
+// Route implements core.Router: it runs the trials and returns the
+// deterministic winner. Cancellation is honored at trial boundaries;
+// a cancelled run returns ctx.Err().
+func (tr TrialRunner) Route(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, opts core.Options) (*core.Result, error) {
+	start := time.Now()
+	results, depths, err := tr.RunTrials(ctx, circ, dev, opts)
+	if err != nil {
+		return nil, err
+	}
+	best := core.SelectBest(results, depths)
+	best.TrialsRun = len(results)
+	best.Elapsed = time.Since(start)
+	return best, nil
+}
+
+// RunTrials runs every trial and returns all results indexed by trial
+// (seed offset), with their decomposed depths. Exposed so studies and
+// tests can inspect the full trial population, not just the winner.
+func (tr TrialRunner) RunTrials(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, opts core.Options) ([]*core.Result, []int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, err := core.Prepare(circ, dev, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := tr.Trials
+	if n <= 0 {
+		n = p.Options().Trials
+	}
+	workers := tr.Workers
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	if max := runtime.GOMAXPROCS(0); tr.Workers <= 0 && workers > max {
+		workers = max
+	}
+
+	results := make([]*core.Result, n)
+	depths := make([]int, n)
+	trials := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for trial := range trials {
+				results[trial], depths[trial] = p.RunTrial(trial)
+			}
+		}()
+	}
+feed:
+	for trial := 0; trial < n; trial++ {
+		select {
+		case trials <- trial:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(trials)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return results, depths, nil
+}

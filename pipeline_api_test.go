@@ -1,0 +1,95 @@
+package sabre
+
+import (
+	"context"
+	"testing"
+)
+
+// These tests pin the acceptance contract of the pass-pipeline facade:
+// CompileN is deterministic at any worker count, never worse than a
+// single trial, and BuildPipeline composes instrumented pipelines.
+
+func TestCompileNDeterministicAndNoWorseThanSingleTrial(t *testing.T) {
+	dev := IBMQ20Tokyo()
+	opts := DefaultOptions()
+	opts.Seed = 17
+
+	for name, circ := range map[string]*Circuit{
+		"qft_16":    QFT(16),
+		"rnd_tokyo": RandomCircuit("rnd", 14, 160, 0.6, 23),
+	} {
+		single, err := Compile(circ, dev, func() Options { o := opts; o.Trials = 1; return o }())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var ref string
+		for _, workers := range []int{1, 4} {
+			tr := TrialRunner{Trials: 8, Workers: workers}
+			res, err := tr.Route(context.Background(), circ, dev, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if res.AddedGates > single.AddedGates {
+				t.Errorf("%s: CompileN(8) added %d gates, single trial %d",
+					name, res.AddedGates, single.AddedGates)
+			}
+			q := FormatQASM(res.Circuit)
+			if ref == "" {
+				ref = q
+			} else if q != ref {
+				t.Errorf("%s: CompileN not deterministic across worker counts", name)
+			}
+		}
+		// The facade entry point agrees with the explicit runner.
+		res, err := CompileN(circ, dev, opts, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if FormatQASM(res.Circuit) != ref {
+			t.Errorf("%s: CompileN diverged from TrialRunner", name)
+		}
+		if err := VerifyCompliant(res.Circuit, dev); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBuildPipelineExposed(t *testing.T) {
+	pm, err := BuildPipeline("route", "peephole", "basis", "schedule", "verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Seed = 2
+	pc, err := pm.Compile(context.Background(), QFT(8), IBMQ20Tokyo(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc.Metrics) != 5 {
+		t.Fatalf("expected 5 pass metrics, got %d", len(pc.Metrics))
+	}
+	if pc.Result == nil || pc.Schedule == nil {
+		t.Fatal("pipeline context missing route/schedule outputs")
+	}
+	if _, err := BuildPipeline("warp-drive"); err == nil {
+		t.Fatal("unknown pass accepted")
+	}
+}
+
+// customPass doubles as the ARCHITECTURE.md example: a user-defined
+// pass only needs Name and Run.
+type customPass struct{ ran *bool }
+
+func (customPass) Name() string                    { return "custom" }
+func (p customPass) Run(pc *PipelineContext) error { *p.ran = true; return nil }
+
+func TestCustomPassViaNewPipeline(t *testing.T) {
+	ran := false
+	pm := NewPipeline(customPass{ran: &ran})
+	if _, err := pm.Compile(context.Background(), GHZ(3), LineDevice(3), DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("custom pass did not run")
+	}
+}

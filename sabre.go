@@ -13,6 +13,21 @@
 //	res, err := sabre.Compile(circ, dev, sabre.DefaultOptions())
 //	// res.Circuit is hardware-compliant; res.AddedGates = 3·#SWAPs.
 //
+// # Pass pipeline
+//
+// Compilation is structured as an explicit pipeline of passes over a
+// shared context — parse, layout, route, basis, peephole, schedule,
+// verify — composed by a PassManager with per-pass timing and
+// deterministic seeding. The routing stage is the paper's best-of-N
+// protocol run on a bounded worker pool (TrialRunner): N independent
+// reverse-traversal restarts sharing the device's precomputed distance
+// matrices, with the winner selected deterministically, so results are
+// byte-identical at any worker count:
+//
+//	res, err := sabre.CompileN(circ, dev, sabre.DefaultOptions(), 8)
+//	pm, _ := sabre.BuildPipeline("route", "peephole", "basis", "verify")
+//	pc, err := pm.Compile(ctx, circ, dev, opts)   // pc.Metrics per pass
+//
 // # Batch compilation
 //
 // For many circuits, NewEngine builds a concurrent batch-compilation
@@ -48,6 +63,7 @@
 package sabre
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -59,6 +75,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/opt"
+	"repro/internal/pipeline"
 	"repro/internal/qasm"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -218,6 +235,30 @@ func CompileWithLayout(circ *Circuit, dev *Device, init Layout, opts Options) (*
 	return core.CompileWithLayout(circ, dev, init, opts)
 }
 
+// CompileContext is Compile with cancellation, honored at trial
+// boundaries.
+func CompileContext(ctx context.Context, circ *Circuit, dev *Device, opts Options) (*Result, error) {
+	return core.CompileContext(ctx, circ, dev, opts)
+}
+
+// CompileN routes circ with the paper's best-of-N protocol on a
+// bounded worker pool: n independent reverse-traversal trials (seeds
+// Seed..Seed+n-1) sharing the device's precomputed distance matrices,
+// with the winner selected deterministically (fewest added gates, ties
+// by depth, then by seed). The result is byte-identical at any worker
+// count and never worse than a single-trial Compile with the same
+// seed.
+func CompileN(circ *Circuit, dev *Device, opts Options, n int) (*Result, error) {
+	return CompileNContext(context.Background(), circ, dev, opts, n)
+}
+
+// CompileNContext is CompileN with cancellation, honored at trial
+// boundaries.
+func CompileNContext(ctx context.Context, circ *Circuit, dev *Device, opts Options, n int) (*Result, error) {
+	tr := pipeline.TrialRunner{Trials: n}
+	return tr.Route(ctx, circ, dev, opts)
+}
+
 // FindInitialMapping runs SABRE's reverse-traversal technique and
 // returns only the improved initial layout.
 func FindInitialMapping(circ *Circuit, dev *Device, opts Options) (Layout, error) {
@@ -229,6 +270,46 @@ func IdentityLayout(n int) Layout { return mapping.Identity(n) }
 
 // RandomLayout returns a uniformly random layout.
 func RandomLayout(n int, rng *rand.Rand) Layout { return mapping.Random(n, rng) }
+
+// --- Pass pipeline ---
+
+// Pipeline types, re-exported by alias.
+type (
+	// Pass is one stage of the compilation pipeline.
+	Pass = pipeline.Pass
+	// PassManager composes passes with per-pass timing/metrics,
+	// deterministic seeding, and cancellation.
+	PassManager = pipeline.Manager
+	// PipelineContext is the shared context passes operate on.
+	PipelineContext = pipeline.Ctx
+	// PassMetric instruments one executed pass.
+	PassMetric = pipeline.PassMetric
+	// TrialRunner is the bounded-pool best-of-N routing backend.
+	TrialRunner = pipeline.TrialRunner
+	// Router abstracts a routing backend (SABRE, greedy, A*).
+	Router = core.Router
+)
+
+// BuildPipeline composes a PassManager from pass names: parse, layout,
+// route (or route:sabre | route:greedy | route:astar), basis,
+// peephole, schedule, verify. Run it with its Compile method:
+//
+//	pm, _ := sabre.BuildPipeline("route", "peephole", "verify")
+//	pc, err := pm.Compile(ctx, circ, dev, opts)
+//	// pc.Circuit is the final circuit; pc.Metrics has per-pass data.
+func BuildPipeline(passes ...string) (*PassManager, error) {
+	return pipeline.Build(passes...)
+}
+
+// NewPipeline composes a PassManager from Pass values, for custom
+// passes; see ARCHITECTURE.md for how to write one.
+func NewPipeline(passes ...Pass) *PassManager { return pipeline.New(passes...) }
+
+// ValidatePostRoutingPasses checks that every name designates a pass
+// that is valid after routing (basis, peephole, schedule, verify) —
+// what batch jobs and the daemon accept on top of their own route
+// stage.
+func ValidatePostRoutingPasses(names []string) error { return pipeline.PostRouting(names) }
 
 // --- Batch compilation ---
 
