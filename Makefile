@@ -24,9 +24,13 @@ bench:
 
 # End-to-end routing smoke: two small workloads through the batch
 # engine with a 4-trial fan-out and the verify pass in the job
-# pipeline, so any routing-validity error fails the target (exit 1).
+# pipeline, so any routing-validity error fails the target (exit 1),
+# plus one workload through each registry heuristic (anneal,
+# tokenswap) under the same verify gate.
 bench-smoke:
 	$(GO) run ./cmd/benchtab -batch -names 4mod5-v1_22,qft_10 -trials 4 -passes verify -rounds 1 -workers 2
+	$(GO) run ./cmd/benchtab -batch -names 4mod5-v1_22 -route anneal -trials 2 -passes verify -rounds 1 -workers 2
+	$(GO) run ./cmd/benchtab -batch -names 4mod5-v1_22 -route tokenswap -trials 4 -passes verify -rounds 1 -workers 2
 
 clean:
 	$(GO) clean ./...

@@ -5,13 +5,18 @@
 //	benchtab -fig8                Figure 8 (gates/depth trade-off vs δ)
 //	benchtab -scaling             §V-B scalability study on QFT
 //	benchtab -batch               batch engine over the full suite
+//	benchtab -routers sabre,anneal,tokenswap -names qft_10
+//	                              cross-heuristic comparison table
 //
 // -quick reduces SABRE to 2 trials for a fast pass; -no-astar skips the
 // exponential baseline; -budget caps the A* node budget (the paper's
 // memory limit analogue). -batch drives the concurrent compilation
 // engine (-workers pool size, -rounds repetitions: round 1 is the cold
 // pass, later rounds exercise the warm result cache); it honors -type
-// and -max-gori.
+// and -max-gori, and -route selects a registry routing backend for the
+// jobs. -routers compares registered backends side by side on the same
+// workloads through the batch engine; results are deterministic at any
+// -workers.
 package main
 
 import (
@@ -49,10 +54,12 @@ func main() {
 		batchMode   = flag.Bool("batch", false, "drive the concurrent batch engine over the workload suite")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "batch engine worker count")
 		rounds      = flag.Int("rounds", 2, "batch rounds (first cold, rest warm-cache)")
+		routeName   = flag.String("route", "", "routing backend for -batch jobs: sabre|greedy|astar|anneal|tokenswap")
+		routersFlag = flag.String("routers", "", "comma-separated routing backends to compare side by side (e.g. sabre,greedy,astar,anneal,tokenswap)")
 	)
 	flag.Parse()
 
-	if !*table2 && !*fig8 && !*scaling && !*searchspace && !*optimality && !*batchMode {
+	if !*table2 && !*fig8 && !*scaling && !*searchspace && !*optimality && !*batchMode && *routersFlag == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -119,7 +126,11 @@ func main() {
 		// instead of giving every job the same literal seed.
 		opts := cfg.SabreOpts
 		opts.Seed = 0
-		runBatch(selectBenches(*class, *maxGori, *names), cfg.Device, opts, splitPasses(*passesFlag), *workers, *rounds, *seed)
+		runBatch(selectBenches(*class, *maxGori, *names), cfg.Device, opts, *routeName, splitPasses(*passesFlag), *workers, *rounds, *seed)
+	}
+
+	if *routersFlag != "" {
+		runRouters(selectBenches(*class, *maxGori, *names), cfg.Device, cfg.SabreOpts, splitPasses(*routersFlag), splitPasses(*passesFlag), *workers, *seed)
 	}
 
 	if *optimality {
@@ -195,17 +206,21 @@ func splitPasses(s string) []string {
 // printing the throughput gap between the two regimes. Requested
 // post-routing passes run inside each job; a failing verify pass
 // fails the run (exit 1).
-func runBatch(benches []workloads.Benchmark, dev *arch.Device, opts core.Options, passes []string, workers, rounds int, seed int64) {
+func runBatch(benches []workloads.Benchmark, dev *arch.Device, opts core.Options, routeName string, passes []string, workers, rounds int, seed int64) {
 	eng := batch.NewEngine(batch.Config{Workers: workers, BaseSeed: seed})
 	defer eng.Close()
 
 	jobs := make([]batch.Job, len(benches))
 	for i, b := range benches {
-		jobs[i] = batch.Job{Circuit: b.Build(), Device: dev, Options: opts, Passes: passes, Tag: b.Name}
+		jobs[i] = batch.Job{Circuit: b.Build(), Device: dev, Options: opts, Route: routeName, Passes: passes, Tag: b.Name}
 	}
 
+	routeStage := "route"
+	if routeName != "" {
+		routeStage = "route:" + routeName
+	}
 	fmt.Printf("== batch engine: %d jobs x %d rounds, %d workers, device %s, passes %v ==\n",
-		len(jobs), rounds, eng.Workers(), dev.Name(), append([]string{"route"}, passes...))
+		len(jobs), rounds, eng.Workers(), dev.Name(), append([]string{routeStage}, passes...))
 	for round := 1; round <= rounds; round++ {
 		start := time.Now()
 		results := eng.CompileBatch(jobs)
@@ -237,6 +252,60 @@ func runBatch(benches []workloads.Benchmark, dev *arch.Device, opts core.Options
 	st := eng.Stats()
 	fmt.Printf("engine: %d jobs, %d compiles, %d hits, %d shared, %d cached\n",
 		st.Jobs, st.Compiles, st.Hits, st.Shared, st.Cached)
+}
+
+// runRouters compares routing backends side by side: every benchmark
+// is compiled once per backend through one shared batch engine, and
+// the table reports added gates (and decomposed depth) per backend.
+// Jobs carry explicit per-router names into the cache key, and seeds
+// derive from job content, so the table is deterministic at any
+// -workers.
+func runRouters(benches []workloads.Benchmark, dev *arch.Device, opts core.Options, routers, passes []string, workers int, seed int64) {
+	if len(routers) == 0 || len(benches) == 0 {
+		fatal(fmt.Errorf("-routers needs at least one router and one benchmark"))
+	}
+	opts.Seed = 0 // content-derived seeds, reproducible at any worker count
+	eng := batch.NewEngine(batch.Config{Workers: workers, BaseSeed: seed})
+	defer eng.Close()
+
+	jobs := make([]batch.Job, 0, len(benches)*len(routers))
+	for _, b := range benches {
+		circ := b.Build()
+		for _, r := range routers {
+			jobs = append(jobs, batch.Job{Circuit: circ, Device: dev, Options: opts, Route: r, Passes: passes, Tag: b.Name + "/" + r})
+		}
+	}
+	start := time.Now()
+	results := eng.CompileBatch(jobs)
+	elapsed := time.Since(start)
+
+	fmt.Printf("== router comparison: %d benchmarks x %v, device %s, %d workers ==\n",
+		len(benches), routers, dev.Name(), eng.Workers())
+	fmt.Println("   (per router: g_add = added gates, depth = decomposed output depth)")
+	fmt.Printf("%-16s %6s", "benchmark", "g_ori")
+	for _, r := range routers {
+		fmt.Printf(" %9s %6s", r, "depth")
+	}
+	fmt.Println()
+	totals := make([]int, len(routers))
+	for bi, b := range benches {
+		fmt.Printf("%-16s %6d", b.Name, metrics.Measure(jobs[bi*len(routers)].Circuit).Gates)
+		for ri := range routers {
+			res := results[bi*len(routers)+ri]
+			if res.Err != nil {
+				fatal(fmt.Errorf("%s: %w", res.Tag, res.Err))
+			}
+			rep := metrics.Compare(jobs[bi*len(routers)+ri].Circuit, res.Final)
+			fmt.Printf(" %9d %6d", res.AddedGates, rep.Depth)
+			totals[ri] += res.AddedGates
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-16s %6s", "total g_add", "")
+	for ri := range routers {
+		fmt.Printf(" %9d %6s", totals[ri], "")
+	}
+	fmt.Printf("\n%d jobs in %v\n", len(results), elapsed.Round(time.Millisecond))
 }
 
 func fatal(err error) {

@@ -8,10 +8,11 @@
 //
 // Endpoints:
 //
-//	POST /compile?device=tokyo[&seed=7&trials=5&bridge=1&heuristic=decay&passes=peephole,basis]
+//	POST /compile?device=tokyo[&seed=7&trials=5&bridge=1&heuristic=decay&route=anneal&passes=peephole,basis]
 //	    Body: OpenQASM 2.0 source (or, with Content-Type
 //	    application/json, {"qasm": "...", "device": "...",
-//	    "options": {...}, "trials": 8, "passes": ["peephole"]}).
+//	    "options": {...}, "trials": 8, "route": "tokenswap",
+//	    "passes": ["peephole"]}).
 //	    Returns routed QASM plus metrics, including per-pass
 //	    timing/gate/depth snapshots. Cancelled requests (client
 //	    disconnects) stop compiling at the next trial boundary.
@@ -44,6 +45,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/qasm"
+	"repro/internal/route"
 )
 
 func main() {
@@ -53,6 +55,7 @@ func main() {
 		trialWorkers = flag.Int("trial-workers", 0, "per-request routing-trial fan-out (0 = GOMAXPROCS)")
 		cache        = flag.Int("cache", 4096, "result-cache entries (negative disables)")
 		seed         = flag.Int64("seed", 1, "base seed for derived per-job seeds")
+		patience     = flag.Int("patience", 0, "adaptive routing trials: stop after this many consecutive non-improving seeds (0 = exhaustive)")
 	)
 	flag.Parse()
 
@@ -61,7 +64,7 @@ func main() {
 		// each request's best-of-N trials, not just across requests.
 		*trialWorkers = runtime.GOMAXPROCS(0)
 	}
-	eng := batch.NewEngine(batch.Config{Workers: *workers, CacheEntries: *cache, BaseSeed: *seed, TrialWorkers: *trialWorkers})
+	eng := batch.NewEngine(batch.Config{Workers: *workers, CacheEntries: *cache, BaseSeed: *seed, TrialWorkers: *trialWorkers, TrialPatience: *patience})
 	defer eng.Close()
 
 	srv := newServer(eng)
@@ -72,6 +75,12 @@ func main() {
 // maxBodyBytes bounds a compile request body (large arithmetic
 // benchmarks are ~1 MB of QASM; 16 MB leaves ample headroom).
 const maxBodyBytes = 16 << 20
+
+// maxTrials bounds the client-requested best-of-N fan-out: the trial
+// runner allocates O(trials) slices and channel capacity up front, so
+// an unchecked huge value is a memory/CPU DoS. 10k is far above any
+// useful restart schedule (the paper uses 5).
+const maxTrials = 10_000
 
 // server carries the shared engine and a construct-once device cache
 // (device construction runs Floyd–Warshall, worth amortizing).
@@ -107,6 +116,9 @@ type compileRequest struct {
 	// Trials overrides the best-of-N routing fan-out (options.trials
 	// also works; this wins when both are set).
 	Trials int `json:"trials,omitempty"`
+	// Route names the routing backend from the router registry:
+	// sabre (default), greedy, astar, anneal, tokenswap.
+	Route string `json:"route,omitempty"`
 	// Passes names post-routing pipeline passes to run in order:
 	// basis, peephole, schedule, verify.
 	Passes []string `json:"passes,omitempty"`
@@ -179,11 +191,12 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var (
-		src     string
-		devName string
-		opts    core.Options
-		trials  int
-		passes  []string
+		src       string
+		devName   string
+		opts      core.Options
+		trials    int
+		routeName string
+		passes    []string
 	)
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		var req compileRequest
@@ -199,7 +212,15 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		trials, passes = req.Trials, req.Passes
+		if req.Trials < 0 || req.Options.Trials < 0 {
+			http.Error(w, fmt.Sprintf("bad trials %d: must be non-negative (0 = default)", min(req.Trials, req.Options.Trials)), http.StatusBadRequest)
+			return
+		}
+		if req.Trials > maxTrials || req.Options.Trials > maxTrials {
+			http.Error(w, fmt.Sprintf("bad trials %d: at most %d", max(req.Trials, req.Options.Trials), maxTrials), http.StatusBadRequest)
+			return
+		}
+		trials, routeName, passes = req.Trials, req.Route, req.Passes
 	} else {
 		src = string(body)
 		devName = r.URL.Query().Get("device")
@@ -207,11 +228,19 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		routeName = r.URL.Query().Get("route")
 		if v := r.URL.Query().Get("passes"); v != "" {
 			passes = strings.Split(v, ",")
 		}
 	}
+	// Invalid requests are the client's fault: reject every bad
+	// trials/route/passes value with a 400 here, before the job can
+	// reach the engine (whose failures map to 422).
 	if err := pipeline.PostRouting(passes); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := route.Canonical(routeName); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -234,7 +263,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// the job, and an in-flight compile stops at its next trial
 	// boundary instead of burning a worker on a dead request.
 	res := <-s.eng.SubmitContext(r.Context(), batch.Job{
-		Circuit: circ, Device: dev, Options: opts, Trials: trials, Passes: passes,
+		Circuit: circ, Device: dev, Options: opts, Trials: trials, Route: routeName, Passes: passes,
 	})
 	if res.Err != nil {
 		if r.Context().Err() != nil {
@@ -271,6 +300,7 @@ func (s *server) handleDevices(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"named":         []string{"tokyo", "qx5", "falcon27"},
 		"parameterized": []string{"line:<n>", "ring:<n>", "star:<n>", "full:<n>", "grid:<r>x<c>", "sycamore:<r>x<c>", "aspen:<octagons>"},
+		"routers":       route.Names(),
 	})
 }
 
@@ -441,8 +471,8 @@ func queryOptions(r *http.Request) (core.Options, error) {
 	}
 	if v := q.Get("trials"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			return opts, fmt.Errorf("bad trials %q", v)
+		if err != nil || n < 1 || n > maxTrials {
+			return opts, fmt.Errorf("bad trials %q (1..%d)", v, maxTrials)
 		}
 		opts.Trials = n
 	}

@@ -6,6 +6,7 @@
 //	sabremap -in circuit.qasm -device q20 -out routed.qasm
 //	sabremap -in circuit.qasm -device grid:4x5 -decompose -stats
 //	sabremap -in circuit.qasm -trials 8 -passes peephole,basis -stats
+//	sabremap -in circuit.qasm -route tokenswap -verify
 //
 // Devices: q20 (IBM Q20 Tokyo), qx5, line:N, ring:N, grid:RxC, full:N.
 package main
@@ -30,6 +31,7 @@ func main() {
 		travs     = flag.Int("traversals", 3, "forward/backward traversals per trial (odd)")
 		delta     = flag.Float64("delta", 0.001, "decay increment δ (depth/gate trade-off)")
 		heur      = flag.String("heuristic", "decay", "cost function: basic|lookahead|decay")
+		routeName = flag.String("route", "", "routing backend: sabre|greedy|astar|anneal|tokenswap (default sabre)")
 		bridge    = flag.Bool("bridge", false, "enable 4-CNOT bridges for non-recurring distance-2 CNOTs")
 		seed      = flag.Int64("seed", 1, "PRNG seed")
 		decompose = flag.Bool("decompose", false, "expand SWAPs into 3 CNOTs in the output")
@@ -39,13 +41,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*in, *out, *deviceStr, *trials, *travs, *delta, *heur, *seed, *bridge, *decompose, *stats, *doVerify, *passes); err != nil {
+	if err := run(*in, *out, *deviceStr, *routeName, *trials, *travs, *delta, *heur, *seed, *bridge, *decompose, *stats, *doVerify, *passes); err != nil {
 		fmt.Fprintln(os.Stderr, "sabremap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, deviceStr string, trials, travs int, delta float64, heur string, seed int64, bridge, decompose, stats, doVerify bool, passes string) error {
+func run(in, out, deviceStr, routeName string, trials, travs int, delta float64, heur string, seed int64, bridge, decompose, stats, doVerify bool, passes string) error {
 	var circ *sabre.Circuit
 	var err error
 	if in == "" {
@@ -95,7 +97,11 @@ func run(in, out, deviceStr string, trials, travs int, delta float64, heur strin
 	if doVerify && (len(extra) == 0 || extra[len(extra)-1] != "verify") {
 		extra = append(extra, "verify")
 	}
-	pm, err := sabre.BuildPipeline(append([]string{"route"}, extra...)...)
+	routeStage := "route"
+	if routeName != "" {
+		routeStage = "route:" + routeName
+	}
+	pm, err := sabre.BuildPipeline(append([]string{routeStage}, extra...)...)
 	if err != nil {
 		return err
 	}

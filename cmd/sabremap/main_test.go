@@ -52,7 +52,7 @@ cx q[0],q[2];
 	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out, "line:4", 3, 3, 0.001, "decay", 1, false, true, false, true, ""); err != nil {
+	if err := run(in, out, "line:4", "", 3, 3, 0.001, "decay", 1, false, true, false, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -72,13 +72,13 @@ func TestRunRejectsBadHeuristic(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "in.qasm")
 	os.WriteFile(in, []byte("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\n"), 0o644)
-	if err := run(in, "", "line:2", 1, 1, 0.001, "wrong", 1, false, false, false, false, ""); err == nil {
+	if err := run(in, "", "line:2", "", 1, 1, 0.001, "wrong", 1, false, false, false, false, ""); err == nil {
 		t.Fatal("bad heuristic accepted")
 	}
 }
 
 func TestRunRejectsMissingInput(t *testing.T) {
-	if err := run("/nonexistent/in.qasm", "", "q20", 1, 1, 0.001, "decay", 1, false, false, false, false, ""); err == nil {
+	if err := run("/nonexistent/in.qasm", "", "q20", "", 1, 1, 0.001, "decay", 1, false, false, false, false, ""); err == nil {
 		t.Fatal("missing input accepted")
 	}
 }
@@ -91,7 +91,7 @@ func TestRunBridgeFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out.qasm")
-	if err := run(in, out, "line:3", 2, 1, 0.001, "decay", 1, true, false, false, true, "peephole"); err != nil {
+	if err := run(in, out, "line:3", "", 2, 1, 0.001, "decay", 1, true, false, false, true, "peephole"); err != nil {
 		t.Fatal(err)
 	}
 }

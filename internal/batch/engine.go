@@ -25,6 +25,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/pipeline"
+	"repro/internal/route"
 )
 
 // Job is one compilation request: route Circuit onto Device under
@@ -43,6 +44,13 @@ type Job struct {
 	// the effective trial count), so jobs differing only in trials
 	// never share a cached result.
 	Trials int
+
+	// Route names the routing backend from the router registry
+	// (sabre, greedy, astar, anneal, tokenswap, ...); empty selects
+	// the default sabre trial runner. The canonical name joins the
+	// cache key, so jobs differing only in backend never share a
+	// cached result. Unknown names fail the job.
+	Route string
 
 	// Passes names post-routing pipeline passes to run on the routed
 	// circuit, in order: basis, peephole, schedule, verify. The list
@@ -136,6 +144,14 @@ type Config struct {
 	// single-job traffic sets this higher to parallelise each job's
 	// best-of-N trials instead. Results are identical either way.
 	TrialWorkers int
+
+	// TrialPatience, when positive, runs the default sabre backend's
+	// trials in adaptive mode: stop fanning out seeds after this many
+	// consecutive non-improving trials. Like BaseSeed it is engine
+	// configuration that affects results without joining the cache
+	// key — every job in the engine compiles under the same patience,
+	// and the outcome is still deterministic at any worker count.
+	TrialPatience int
 }
 
 const (
@@ -349,6 +365,16 @@ func (e *Engine) process(t task) {
 		e.errs.Add(1)
 		return
 	}
+	// Resolve the routing backend up front: an unknown name fails the
+	// job before it can poison the cache key space, and the canonical
+	// name is what KeyOf hashes (aliases share cache entries).
+	canonicalRoute, err := route.Canonical(job.Route)
+	if err != nil {
+		t.out.Err = err
+		e.errs.Add(1)
+		return
+	}
+	job.Route = canonicalRoute
 
 	key := KeyOf(job)
 	t.out.Key = key
@@ -428,10 +454,19 @@ func (e *Engine) process(t task) {
 	t.out.fill(o)
 }
 
-// runPipeline builds and runs the job's pass pipeline: the bounded
-// trial-runner route stage plus the requested post-routing passes.
+// runPipeline builds and runs the job's pass pipeline: the routing
+// stage (the bounded trial runner by default, or any registry backend
+// the job names) plus the requested post-routing passes.
 func (e *Engine) runPipeline(ctx context.Context, job Job, opts core.Options) (*outcome, error) {
-	passes := []pipeline.Pass{pipeline.RoutePass{Workers: e.cfg.TrialWorkers}}
+	rp := pipeline.RoutePass{Workers: e.cfg.TrialWorkers, Patience: e.cfg.TrialPatience}
+	if job.Route != "" && job.Route != "sabre" {
+		r, err := route.New(job.Route)
+		if err != nil {
+			return nil, err
+		}
+		rp = pipeline.RoutePass{Router: r}
+	}
+	passes := []pipeline.Pass{rp}
 	for _, name := range job.Passes {
 		p, err := pipeline.ByName(name)
 		if err != nil {

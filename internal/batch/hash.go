@@ -5,10 +5,12 @@ import (
 	"encoding/binary"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/route"
 )
 
 // Key is the canonical identity of a compilation job: a digest of the
@@ -21,8 +23,8 @@ type Key [sha256.Size]byte
 // keyVersion is bumped whenever the encoding below changes, so stale
 // digests can never alias across engine versions (relevant once keys
 // are persisted or exchanged between processes). Version 2 added the
-// post-routing pass list.
-const keyVersion = 2
+// post-routing pass list; version 3 added the routing-backend name.
+const keyVersion = 3
 
 // KeyOf computes the cache key of a job. The encoding is canonical:
 // field order is fixed, floats are encoded by their IEEE-754 bits, and
@@ -93,6 +95,18 @@ func KeyOf(job Job) Key {
 	}
 	f64(o.MaxEdgeError)
 	hashNoise(h, u64, f64, o.Noise)
+
+	// Routing backend, in canonical registry form so aliases (bka,
+	// trials) and the implicit default ("" = sabre) share cache
+	// entries. An unregistered name hashes as spelled — the job fails
+	// before compiling, and errors are never cached, so the entry can
+	// never be served.
+	routeName, err := route.Canonical(job.Route)
+	if err != nil {
+		routeName = strings.ToLower(strings.TrimSpace(job.Route))
+	}
+	u64(uint64(len(routeName)))
+	h.Write([]byte(routeName))
 
 	// Post-routing pass list, normalized so spelling variants share
 	// cache entries. The effective trial count is covered above via

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -92,21 +93,47 @@ func (p *Prepared) RunTrial(trial int) (*Result, int) {
 	return res, final.Circuit.DecomposeSwaps().Depth()
 }
 
-// SelectBest picks the winning trial deterministically: fewest added
-// gates, ties broken by decomposed depth, remaining ties by lowest
-// trial index (seed). Iterating in trial order with strict improvement
-// makes the choice independent of how the trials were scheduled.
-func SelectBest(results []*Result, depths []int) *Result {
-	best, bestDepth := results[0], depths[0]
-	for trial := 1; trial < len(results); trial++ {
-		res, depth := results[trial], depths[trial]
-		if res.AddedGates < best.AddedGates ||
-			(res.AddedGates == best.AddedGates && depth < bestDepth) {
-			best = res
-			bestDepth = depth
+// ErrNoTrials is returned by SelectBest when the trial population is
+// empty or contains no completed results to select from.
+var ErrNoTrials = errors.New("core: no completed trial results to select from")
+
+// BetterTrial reports whether trial a strictly beats trial b under the
+// deterministic selection order: fewest added gates, ties broken by
+// decomposed depth, remaining ties by lowest trial index (= lowest
+// seed, since trial t runs under Seed+t). The index tie-break is
+// explicit — not an artifact of iteration order — so selection over
+// any subset of a trial population (an adaptive early-exit prefix, a
+// cancellation-truncated slice) picks the same winner as selection
+// over the full population restricted to that subset.
+func BetterTrial(a *Result, aDepth, aTrial int, b *Result, bDepth, bTrial int) bool {
+	if a.AddedGates != b.AddedGates {
+		return a.AddedGates < b.AddedGates
+	}
+	if aDepth != bDepth {
+		return aDepth < bDepth
+	}
+	return aTrial < bTrial
+}
+
+// SelectBest picks the winning trial deterministically per BetterTrial.
+// Nil entries (holes left by cancellation or adaptive early exit) are
+// skipped; an empty or all-nil population returns ErrNoTrials instead
+// of panicking, so dynamic trial counts degrade to an error the caller
+// can handle.
+func SelectBest(results []*Result, depths []int) (*Result, error) {
+	best := -1
+	for trial, res := range results {
+		if res == nil {
+			continue
+		}
+		if best < 0 || BetterTrial(res, depths[trial], trial, results[best], depths[best], best) {
+			best = trial
 		}
 	}
-	return best
+	if best < 0 {
+		return nil, ErrNoTrials
+	}
+	return results[best], nil
 }
 
 // Compile maps circ onto dev with SABRE: for each of Options.Trials
@@ -166,7 +193,10 @@ func CompileContext(ctx context.Context, circ *circuit.Circuit, dev *arch.Device
 		}
 	}
 
-	best := SelectBest(results, depths)
+	best, err := SelectBest(results, depths)
+	if err != nil {
+		return nil, err
+	}
 	best.TrialsRun = opts.Trials
 	best.Elapsed = time.Since(start)
 	return best, nil

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func res(added int) *Result { return &Result{AddedGates: added} }
+
+func TestSelectBestEmptyAndAllNil(t *testing.T) {
+	if _, err := SelectBest(nil, nil); !errors.Is(err, ErrNoTrials) {
+		t.Fatalf("empty slice: err = %v, want ErrNoTrials", err)
+	}
+	if _, err := SelectBest([]*Result{nil, nil, nil}, []int{0, 0, 0}); !errors.Is(err, ErrNoTrials) {
+		t.Fatalf("all-nil slice: err = %v, want ErrNoTrials", err)
+	}
+}
+
+func TestSelectBestSkipsNilHoles(t *testing.T) {
+	results := []*Result{nil, res(9), nil, res(6), nil}
+	depths := []int{0, 4, 0, 8, 0}
+	best, err := SelectBest(results, depths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != results[3] {
+		t.Fatalf("best = %+v, want the AddedGates=6 trial", best)
+	}
+}
+
+func TestSelectBestTieBreaks(t *testing.T) {
+	// Equal gates: smaller depth wins regardless of position.
+	results := []*Result{res(6), res(6)}
+	best, err := SelectBest(results, []int{9, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != results[1] {
+		t.Fatal("depth tie-break did not pick the shallower trial")
+	}
+	// Equal gates and depth: the lowest trial index (lowest seed) wins.
+	results = []*Result{res(6), res(6), res(6)}
+	best, err = SelectBest(results, []int{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != results[0] {
+		t.Fatal("full tie did not pick the lowest trial index")
+	}
+	// The lowest-seed rule must hold even when the equal trials are
+	// separated by nil holes (an adaptive population with gaps).
+	results = []*Result{nil, res(6), nil, res(6)}
+	best, err = SelectBest(results, []int{0, 5, 0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != results[1] {
+		t.Fatal("tie across nil holes did not pick the lowest trial index")
+	}
+}
+
+func TestBetterTrialIsStrictTotalOrder(t *testing.T) {
+	a, b := res(6), res(6)
+	if BetterTrial(a, 5, 1, b, 5, 0) {
+		t.Fatal("higher index won a full tie")
+	}
+	if !BetterTrial(a, 5, 0, b, 5, 1) {
+		t.Fatal("lower index lost a full tie")
+	}
+	if BetterTrial(a, 5, 0, a, 5, 0) {
+		t.Fatal("a trial beat itself")
+	}
+	if !BetterTrial(res(3), 99, 9, res(6), 1, 0) {
+		t.Fatal("added gates must dominate depth and index")
+	}
+}

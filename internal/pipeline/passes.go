@@ -2,9 +2,7 @@ package pipeline
 
 import (
 	"errors"
-	"fmt"
 
-	"repro/internal/baseline"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/opt"
@@ -13,19 +11,6 @@ import (
 	"repro/internal/transpile"
 	"repro/internal/verify"
 )
-
-// routerByName resolves the routing backends the pipeline can host.
-func routerByName(name string) (core.Router, error) {
-	switch name {
-	case "sabre":
-		return core.SabreRouter{}, nil
-	case "greedy":
-		return baseline.GreedyRouter{}, nil
-	case "astar", "bka":
-		return baseline.AStarRouter{}, nil
-	}
-	return nil, fmt.Errorf("pipeline: unknown router %q (sabre|greedy|astar)", name)
-}
 
 // ParsePass turns pc.Source (OpenQASM 2.0) into pc.Circuit.
 type ParsePass struct{}
@@ -73,12 +58,17 @@ func (LayoutPass) Run(pc *Ctx) error {
 // bounded-pool TrialRunner running the paper's best-of-N protocol.
 type RoutePass struct {
 	// Router overrides the routing backend (nil = TrialRunner with
-	// this pass's Trials/Workers).
+	// this pass's Trials/Workers/Patience). Any backend from the
+	// router registry (internal/route) drops in here.
 	Router core.Router
 	// Trials overrides Options.Trials for the default TrialRunner.
 	Trials int
 	// Workers bounds the default TrialRunner's pool.
 	Workers int
+	// Patience enables the default TrialRunner's adaptive early exit
+	// (stop after this many consecutive non-improving trials; 0 =
+	// exhaustive).
+	Patience int
 }
 
 // Name implements Pass.
@@ -105,7 +95,7 @@ func (p RoutePass) Run(pc *Ctx) error {
 	case pc.Layout.Size() > 0:
 		res, err = core.CompileWithLayout(pc.Circuit, pc.Device, pc.Layout, pc.Options)
 	default:
-		tr := TrialRunner{Trials: p.Trials, Workers: p.Workers}
+		tr := TrialRunner{Trials: p.Trials, Workers: p.Workers, Patience: p.Patience}
 		res, err = tr.Route(pc.Context(), pc.Circuit, pc.Device, pc.Options)
 	}
 	if err != nil {

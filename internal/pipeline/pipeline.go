@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mapping"
 	"repro/internal/opt"
+	"repro/internal/route"
 	"repro/internal/sched"
 )
 
@@ -178,9 +179,10 @@ func (m *Manager) Compile(ctx context.Context, circ *circuit.Circuit, dev *arch.
 
 // Build composes a Manager from pass names — the form the -passes
 // flags and the daemon's JSON accept. Recognized names: parse, layout,
-// route (optionally route:sabre | route:greedy | route:astar), basis,
-// peephole, schedule, verify. Names are case-insensitive; empty names
-// (from trailing commas) are skipped.
+// route (optionally route:<name> for any backend in the router
+// registry — sabre, greedy, astar, anneal, tokenswap, plus anything
+// registered at runtime), basis, peephole, schedule, verify. Names are
+// case-insensitive; empty names (from trailing commas) are skipped.
 func Build(names ...string) (*Manager, error) {
 	var passes []Pass
 	for _, name := range names {
@@ -210,9 +212,12 @@ func ByName(name string) (Pass, error) {
 	case "route":
 		switch arg {
 		case "", "sabre", "trials":
+			// The default backend is the bounded-pool TrialRunner, not
+			// the registry's sequential SabreRouter; both compute the
+			// identical result, but the pool parallelises the trials.
 			return RoutePass{}, nil
 		default:
-			r, err := routerByName(arg)
+			r, err := route.New(arg)
 			if err != nil {
 				return nil, err
 			}
@@ -227,7 +232,7 @@ func ByName(name string) (Pass, error) {
 	case "verify":
 		return VerifyPass{}, nil
 	}
-	return nil, fmt.Errorf("pipeline: unknown pass %q (parse|layout|route[:sabre|greedy|astar]|basis|peephole|schedule|verify)", name)
+	return nil, fmt.Errorf("pipeline: unknown pass %q (parse|layout|route[:<router>]|basis|peephole|schedule|verify)", name)
 }
 
 // PostRouting reports whether every name designates a pass that is

@@ -22,15 +22,31 @@ import (
 // fewest added gates, ties broken by decomposed depth, then by lowest
 // seed — so the outcome is byte-identical at any worker count.
 //
+// With Patience > 0 the runner is adaptive: it stops fanning out new
+// seeds once Patience consecutive trials (in seed order) have failed
+// to improve the incumbent best. The surviving population is the
+// shortest prefix of the trial sequence satisfying the stop rule — a
+// pure function of per-trial results, never of scheduling — so the
+// selected winner is still byte-identical at any worker count, and
+// equals what exhaustive selection over that same prefix would pick.
+// Result.TrialsRun reports the population actually selected over.
+//
 // TrialRunner implements core.Router and is the default routing
 // backend of RoutePass.
 type TrialRunner struct {
 	// Trials is the number of independent seeds (0 = Options.Trials,
-	// which defaults to the paper's 5).
+	// which defaults to the paper's 5). In adaptive mode it is the
+	// upper bound on the population.
 	Trials int
 
 	// Workers bounds the pool (0 = min(Trials, GOMAXPROCS)).
 	Workers int
+
+	// Patience, when positive, enables adaptive early exit: feeding
+	// stops after Patience consecutive non-improving trials. Workers
+	// already past the stop point may finish extra trials; those are
+	// excluded from selection to keep the outcome deterministic.
+	Patience int
 }
 
 // Name implements core.Router.
@@ -45,15 +61,21 @@ func (tr TrialRunner) Route(ctx context.Context, circ *circuit.Circuit, dev *arc
 	if err != nil {
 		return nil, err
 	}
-	best := core.SelectBest(results, depths)
+	best, err := core.SelectBest(results, depths)
+	if err != nil {
+		return nil, err
+	}
 	best.TrialsRun = len(results)
 	best.Elapsed = time.Since(start)
 	return best, nil
 }
 
-// RunTrials runs every trial and returns all results indexed by trial
-// (seed offset), with their decomposed depths. Exposed so studies and
-// tests can inspect the full trial population, not just the winner.
+// RunTrials runs the trials and returns all surviving results indexed
+// by trial (seed offset), with their decomposed depths. In adaptive
+// mode (Patience > 0) the slices are truncated to the deterministic
+// early-exit population; otherwise their length is the full trial
+// count. Exposed so studies and tests can inspect the whole trial
+// population, not just the winner.
 func (tr TrialRunner) RunTrials(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, opts core.Options) ([]*core.Result, []int, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -77,6 +99,10 @@ func (tr TrialRunner) RunTrials(ctx context.Context, circ *circuit.Circuit, dev 
 	results := make([]*core.Result, n)
 	depths := make([]int, n)
 	trials := make(chan int)
+	// completions is buffered to n so workers never block reporting;
+	// the feeder drains it opportunistically to learn the early-exit
+	// point.
+	completions := make(chan int, n)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -84,15 +110,40 @@ func (tr TrialRunner) RunTrials(ctx context.Context, circ *circuit.Circuit, dev 
 			defer wg.Done()
 			for trial := range trials {
 				results[trial], depths[trial] = p.RunTrial(trial)
+				completions <- trial
 			}
 		}()
 	}
+
+	// stop is the known population bound: n until the adaptive rule
+	// fires on the contiguous completed prefix, then the deterministic
+	// early-exit point. Feeding never stops before every trial below
+	// the final stop point has been fed (the rule can only fire once
+	// they completed), so the surviving prefix is always fully present.
+	stop := n
+	completed := make([]bool, n)
+	prefix := newPrefixWatcher(results, depths, tr.Patience)
+	onCompletion := func(trial int) {
+		completed[trial] = true
+		if s, ok := prefix.advance(completed); ok && s < stop {
+			stop = s
+		}
+	}
+
 feed:
-	for trial := 0; trial < n; trial++ {
-		select {
-		case trials <- trial:
-		case <-ctx.Done():
-			break feed
+	for trial := 0; trial < n && trial < stop; trial++ {
+		for {
+			select {
+			case trials <- trial:
+				continue feed
+			case t := <-completions:
+				onCompletion(t)
+				if trial >= stop {
+					break feed
+				}
+			case <-ctx.Done():
+				break feed
+			}
 		}
 	}
 	close(trials)
@@ -100,5 +151,76 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	// Recompute the stop point over the final population. Workers may
+	// have finished trials past it; truncating to the recomputed point
+	// keeps the result a pure function of per-trial outcomes.
+	if tr.Patience > 0 {
+		final := newPrefixWatcher(results, depths, tr.Patience)
+		pop := n
+		if s, ok := final.advanceAll(); ok {
+			pop = s
+		}
+		results, depths = results[:pop], depths[:pop]
+	}
 	return results, depths, nil
+}
+
+// prefixWatcher evaluates the adaptive stop rule incrementally over
+// the contiguous completed prefix of a trial population, in strict
+// trial order: track the incumbent best (per core.BetterTrial) and
+// stop after `patience` consecutive trials that failed to improve it.
+type prefixWatcher struct {
+	results  []*core.Result
+	depths   []int
+	patience int
+
+	next     int // first trial not yet evaluated
+	best     int // incumbent trial index (-1 before any)
+	sinceImp int // consecutive non-improving trials
+}
+
+func newPrefixWatcher(results []*core.Result, depths []int, patience int) *prefixWatcher {
+	return &prefixWatcher{results: results, depths: depths, patience: patience, best: -1}
+}
+
+// step evaluates one completed trial; it returns the population size
+// (trial+1) and true when the stop rule fires at that trial.
+func (w *prefixWatcher) step(trial int) (int, bool) {
+	if w.best < 0 || core.BetterTrial(w.results[trial], w.depths[trial], trial,
+		w.results[w.best], w.depths[w.best], w.best) {
+		w.best = trial
+		w.sinceImp = 0
+	} else {
+		w.sinceImp++
+	}
+	if w.patience > 0 && w.sinceImp >= w.patience {
+		return trial + 1, true
+	}
+	return trial + 1, false
+}
+
+// advance consumes newly completed trials in order and reports the
+// stop point once the rule fires on the contiguous prefix.
+func (w *prefixWatcher) advance(completed []bool) (int, bool) {
+	for w.next < len(completed) && completed[w.next] {
+		pop, fired := w.step(w.next)
+		w.next++
+		if fired {
+			return pop, true
+		}
+	}
+	return 0, false
+}
+
+// advanceAll walks the full non-nil prefix (used after the pool
+// drained, when every fed trial has completed).
+func (w *prefixWatcher) advanceAll() (int, bool) {
+	for w.next < len(w.results) && w.results[w.next] != nil {
+		pop, fired := w.step(w.next)
+		w.next++
+		if fired {
+			return pop, true
+		}
+	}
+	return 0, false
 }

@@ -1,0 +1,184 @@
+package route
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/mapping"
+)
+
+// AnnealRouter implements core.Router with simulated annealing over
+// the space SABRE's restarts only sample: candidate initial mappings,
+// each scored by the SWAP-insertion cost of one deterministic routing
+// traversal. Neighbouring states differ by one transposition of the
+// layout; worse states are accepted with probability exp(-Δ/T) under a
+// geometric cooling schedule, so the chain can climb out of the local
+// minima a greedy restart is stuck with. Options.Trials independent
+// chains run from distinct seeds and the best routed circuit wins
+// (fewest added gates, ties by decomposed depth, then lowest seed).
+//
+// The router is deterministic for a fixed Options.Seed and honors ctx
+// cancellation at every annealing step.
+type AnnealRouter struct {
+	// Iterations is the annealing step count per chain (0 = 64).
+	Iterations int
+
+	// Chains overrides Options.Trials as the number of independent
+	// annealing chains (0 = Options.Trials).
+	Chains int
+}
+
+// defaultAnnealIterations balances search quality against the cost of
+// one full routing traversal per step.
+const defaultAnnealIterations = 64
+
+// Name implements core.Router.
+func (AnnealRouter) Name() string { return "anneal" }
+
+// Route implements core.Router.
+func (r AnnealRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, opts core.Options) (*core.Result, error) {
+	start := time.Now()
+	wide, dev, opts, err := widen(circ, dev, opts)
+	if err != nil {
+		return nil, err
+	}
+	iters := r.Iterations
+	if iters <= 0 {
+		iters = defaultAnnealIterations
+	}
+	chains := r.Chains
+	if chains <= 0 {
+		chains = opts.Trials
+	}
+	n := dev.NumQubits()
+
+	var best trialBest
+	for chain := 0; chain < chains; chain++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(opts.Seed + int64(chain)))
+		cur := mapping.Random(n, rng)
+		curPass := core.RoutePass(wide, dev, cur, opts, rng)
+		curCost := addedGates(curPass)
+		best.consider(curPass, curCost)
+
+		if n < 2 {
+			// No transposition exists on a single-qubit device; the
+			// chain is just its starting traversal.
+			continue
+		}
+		// Temperature is scaled to the chain's starting cost so the
+		// early acceptance rate is workload-independent; it then cools
+		// geometrically to ~2% of the start.
+		t0 := math.Max(1, float64(curCost)/3)
+		cooling := math.Pow(0.02, 1/math.Max(1, float64(iters-1)))
+		temp := t0
+		for i := 0; i < iters; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cand := cur.Clone()
+			a := rng.Intn(n)
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			cand.SwapPhysical(a, b)
+			candPass := core.RoutePass(wide, dev, cand, opts, rng)
+			candCost := addedGates(candPass)
+			if candCost <= curCost || rng.Float64() < math.Exp(float64(curCost-candCost)/temp) {
+				cur, curPass, curCost = cand, candPass, candCost
+				best.consider(curPass, curCost)
+			}
+			temp *= cooling
+		}
+	}
+	return best.result(chains, time.Since(start)), nil
+}
+
+// trialBest tracks the incumbent routed traversal across chains with
+// the deterministic comparator (cost, then decomposed depth, then
+// chain order). Depth is only computed on cost ties, keeping the hot
+// path to one routing pass per step.
+type trialBest struct {
+	pass  core.PassResult
+	cost  int
+	depth int
+	set   bool
+}
+
+func (b *trialBest) consider(pass core.PassResult, cost int) {
+	if b.set && cost > b.cost {
+		return
+	}
+	depth := pass.Circuit.DecomposeSwaps().Depth()
+	// Cost tie: later finds only win on strictly smaller depth, so the
+	// earliest chain keeps remaining ties (lowest-seed rule).
+	if b.set && cost == b.cost && depth >= b.depth {
+		return
+	}
+	b.pass = pass
+	b.cost = cost
+	b.depth = depth
+	b.set = true
+}
+
+func (b *trialBest) result(trials int, elapsed time.Duration) *core.Result {
+	return passToResult(b.pass, trials, elapsed)
+}
+
+// addedGates is the routing cost of one traversal: 3 gates per SWAP
+// and per bridge.
+func addedGates(p core.PassResult) int {
+	return 3 * (p.SwapCount + p.BridgeCount)
+}
+
+// passToResult lifts a single traversal's PassResult to the Router
+// result contract.
+func passToResult(p core.PassResult, trials int, elapsed time.Duration) *core.Result {
+	added := addedGates(p)
+	return &core.Result{
+		Circuit:             p.Circuit,
+		InitialLayout:       p.InitialLayout.LogicalToPhysical(),
+		FinalLayout:         p.FinalLayout.LogicalToPhysical(),
+		SwapCount:           p.SwapCount,
+		BridgeCount:         p.BridgeCount,
+		AddedGates:          added,
+		FirstTraversalAdded: added,
+		TrialsRun:           trials,
+		Stats:               p.Stats,
+		Elapsed:             elapsed,
+	}
+}
+
+// widen mirrors core.Prepare for routers that drive core.RoutePass
+// directly: it applies the noise-driven edge pruning of
+// Options.MaxEdgeError (so these backends honor the same
+// excluded-coupler contract as sabre), validates circ against the
+// effective device, and pads the circuit to the device width. It also
+// resolves the Trials default this package reads itself (RoutePass
+// normalizes the remaining knobs internally). Routing must happen on
+// the returned device.
+func widen(circ *circuit.Circuit, dev *arch.Device, opts core.Options) (*circuit.Circuit, *arch.Device, core.Options, error) {
+	if opts.Noise != nil && opts.MaxEdgeError > 0 {
+		dev = arch.PruneUnreliableEdges(dev, opts.Noise, opts.MaxEdgeError)
+	}
+	if circ.NumQubits() > dev.NumQubits() {
+		return nil, nil, opts, fmt.Errorf("route: circuit needs %d qubits but device %s has %d",
+			circ.NumQubits(), dev.Name(), dev.NumQubits())
+	}
+	if opts.Trials <= 0 {
+		opts.Trials = core.DefaultOptions().Trials
+	}
+	if circ.NumQubits() < dev.NumQubits() {
+		circ = circ.Widen(dev.NumQubits())
+	}
+	return circ, dev, opts, nil
+}

@@ -77,6 +77,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/pipeline"
 	"repro/internal/qasm"
+	"repro/internal/route"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/verify"
@@ -286,13 +287,45 @@ type (
 	PassMetric = pipeline.PassMetric
 	// TrialRunner is the bounded-pool best-of-N routing backend.
 	TrialRunner = pipeline.TrialRunner
-	// Router abstracts a routing backend (SABRE, greedy, A*).
+	// Router abstracts a routing backend (SABRE, greedy, A*,
+	// annealing, token swapping, or anything registered at runtime).
 	Router = core.Router
 )
 
+// --- Router registry ---
+
+// NewRouter resolves a routing backend by registry name: sabre,
+// greedy, astar, anneal, tokenswap, or any name added with
+// RegisterRouter. The empty name yields the default sabre backend;
+// unknown names return an error listing every registered router.
+func NewRouter(name string) (Router, error) { return route.New(name) }
+
+// RouterNames returns the registered routing-backend names, sorted.
+func RouterNames() []string { return route.Names() }
+
+// RegisterRouter adds a custom routing backend under name, making it
+// resolvable everywhere `route:<name>` strings are accepted: pipeline
+// construction, batch jobs, the sabred daemon, and the CLI flags. It
+// panics on a duplicate or empty name.
+func RegisterRouter(name string, factory func() Router) {
+	route.Register(name, route.Factory(factory))
+}
+
+// CompileAdaptive is CompileN with bandit-style early exit: trials
+// stop fanning out once patience consecutive seeds (in seed order)
+// fail to improve the incumbent best. The winner is selected over the
+// deterministic surviving prefix, so it is byte-identical at any
+// worker count and equals exhaustive selection over that same prefix;
+// Result.TrialsRun reports the population actually searched.
+func CompileAdaptive(ctx context.Context, circ *Circuit, dev *Device, opts Options, maxTrials, patience int) (*Result, error) {
+	tr := pipeline.TrialRunner{Trials: maxTrials, Patience: patience}
+	return tr.Route(ctx, circ, dev, opts)
+}
+
 // BuildPipeline composes a PassManager from pass names: parse, layout,
-// route (or route:sabre | route:greedy | route:astar), basis,
-// peephole, schedule, verify. Run it with its Compile method:
+// route (or route:<name> for any registered backend — sabre, greedy,
+// astar, anneal, tokenswap, ...), basis, peephole, schedule, verify.
+// Run it with its Compile method:
 //
 //	pm, _ := sabre.BuildPipeline("route", "peephole", "verify")
 //	pc, err := pm.Compile(ctx, circ, dev, opts)
