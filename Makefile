@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench bench-smoke clean
+.PHONY: check build test vet race bench bench-smoke bench-json clean
 
 check: vet build race
 
@@ -26,11 +26,22 @@ bench:
 # engine with a 4-trial fan-out and the verify pass in the job
 # pipeline, so any routing-validity error fails the target (exit 1),
 # plus one workload through each registry heuristic (anneal,
-# tokenswap) under the same verify gate.
+# tokenswap) under the same verify gate. The final step runs the
+# routing hot-path benchmarks once with allocation reporting — the
+# TestScoreRoundZeroAllocs guard in the same package fails the suite
+# if a heap allocation creeps back into the steady-state SWAP round.
 bench-smoke:
 	$(GO) run ./cmd/benchtab -batch -names 4mod5-v1_22,qft_10 -trials 4 -passes verify -rounds 1 -workers 2
 	$(GO) run ./cmd/benchtab -batch -names 4mod5-v1_22 -route anneal -trials 2 -passes verify -rounds 1 -workers 2
 	$(GO) run ./cmd/benchtab -batch -names 4mod5-v1_22 -route tokenswap -trials 4 -passes verify -rounds 1 -workers 2
+	$(GO) test ./internal/core -run TestScoreRoundZeroAllocs -count=1 \
+		-bench 'BenchmarkScoreRound|BenchmarkRoutePass/qft_20' -benchtime=1x -benchmem
+
+# Perf-trajectory snapshot: workload × router ns/op, allocs/op and
+# added gates, written as JSON so future PRs have a baseline to beat.
+# Compare against the committed BENCH_PR4.json.
+bench-json:
+	$(GO) run ./cmd/benchtab -json BENCH_PR4.json
 
 clean:
 	$(GO) clean ./...

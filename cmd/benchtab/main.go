@@ -7,6 +7,8 @@
 //	benchtab -batch               batch engine over the full suite
 //	benchtab -routers sabre,anneal,tokenswap -names qft_10
 //	                              cross-heuristic comparison table
+//	benchtab -json BENCH.json     perf-trajectory snapshot (workload ×
+//	                              router: ns/op, allocs/op, g_add)
 //
 // -quick reduces SABRE to 2 trials for a fast pass; -no-astar skips the
 // exponential baseline; -budget caps the A* node budget (the paper's
@@ -20,11 +22,14 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"repro/internal/arch"
@@ -32,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/internal/route"
 	"repro/internal/workloads"
 )
 
@@ -56,10 +62,11 @@ func main() {
 		rounds      = flag.Int("rounds", 2, "batch rounds (first cold, rest warm-cache)")
 		routeName   = flag.String("route", "", "routing backend for -batch jobs: sabre|greedy|astar|anneal|tokenswap")
 		routersFlag = flag.String("routers", "", "comma-separated routing backends to compare side by side (e.g. sabre,greedy,astar,anneal,tokenswap)")
+		jsonFile    = flag.String("json", "", "measure workload × router perf (ns/op, allocs/op, added gates) and write the JSON trajectory snapshot to this file")
 	)
 	flag.Parse()
 
-	if !*table2 && !*fig8 && !*scaling && !*searchspace && !*optimality && !*batchMode && *routersFlag == "" {
+	if !*table2 && !*fig8 && !*scaling && !*searchspace && !*optimality && !*batchMode && *routersFlag == "" && *jsonFile == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -129,8 +136,23 @@ func main() {
 		runBatch(selectBenches(*class, *maxGori, *names), cfg.Device, opts, *routeName, splitPasses(*passesFlag), *workers, *rounds, *seed)
 	}
 
-	if *routersFlag != "" {
+	if *routersFlag != "" && *jsonFile == "" {
 		runRouters(selectBenches(*class, *maxGori, *names), cfg.Device, cfg.SabreOpts, splitPasses(*routersFlag), splitPasses(*passesFlag), *workers, *seed)
+	}
+
+	if *jsonFile != "" {
+		benches := selectBenches(*class, *maxGori, *names)
+		if *names == "" && *class == "" && *maxGori == 0 {
+			// Default trajectory set: one row per workload class plus
+			// the scaling stress cases, capped so a snapshot stays
+			// around a minute.
+			benches = selectBenches("", 0, strings.Join(benchJSONDefault, ","))
+		}
+		routers := splitPasses(*routersFlag)
+		if len(routers) == 0 {
+			routers = []string{"sabre", "sabre-exhaustive", "greedy"}
+		}
+		runBenchJSON(*jsonFile, benches, cfg.Device, cfg.SabreOpts, routers)
 	}
 
 	if *optimality {
@@ -306,6 +328,117 @@ func runRouters(benches []workloads.Benchmark, dev *arch.Device, opts core.Optio
 		fmt.Printf(" %9d %6s", totals[ri], "")
 	}
 	fmt.Printf("\n%d jobs in %v\n", len(results), elapsed.Round(time.Millisecond))
+}
+
+// benchJSONDefault is the workload set a bare `benchtab -json FILE`
+// measures: one representative row per Table II class plus the largest
+// rows, so the trajectory tracks both the common case and the stress
+// case.
+var benchJSONDefault = []string{
+	"4mod5-v1_22", "ising_model_13", "qft_10", "qft_16", "qft_20",
+	"rd84_142", "rd84_253", "9symml_195",
+}
+
+// benchRow is one (workload, router) measurement of the perf
+// trajectory snapshot.
+type benchRow struct {
+	Workload    string  `json:"workload"`
+	Router      string  `json:"router"`
+	Gori        int     `json:"g_ori"`
+	NsPerOp     int64   `json:"ns_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	AddedGates  int     `json:"g_add"`
+	Depth       int     `json:"depth"`
+	TrialsRun   int     `json:"trials_run"`
+	AvgCands    float64 `json:"avg_candidates"`
+}
+
+// benchSnapshot is the file layout of BENCH_*.json: enough environment
+// detail to interpret a future diff, plus the rows.
+type benchSnapshot struct {
+	Device    string     `json:"device"`
+	GoVersion string     `json:"go_version"`
+	GoMaxProc int        `json:"gomaxprocs"`
+	Trials    int        `json:"trials"`
+	Rows      []benchRow `json:"rows"`
+}
+
+// runBenchJSON measures every workload × router combination with the
+// testing package's benchmark harness (so ns/op and allocs/op mean
+// exactly what `go test -bench` reports) and writes the snapshot to
+// file. The pseudo-router "sabre-exhaustive" is the sabre backend with
+// Options.ExhaustiveScoring set — the pre-delta-scoring reference —
+// kept in the trajectory so regressions of the incremental scorer show
+// up as a shrinking gap.
+func runBenchJSON(file string, benches []workloads.Benchmark, dev *arch.Device, opts core.Options, routers []string) {
+	snap := benchSnapshot{
+		Device:    dev.Name(),
+		GoVersion: runtime.Version(),
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		Trials:    opts.Trials,
+	}
+	if snap.Trials == 0 {
+		snap.Trials = core.DefaultOptions().Trials
+	}
+	fmt.Printf("== perf trajectory: %d workloads x %v -> %s ==\n", len(benches), routers, file)
+	for _, b := range benches {
+		circ := b.Build()
+		for _, rname := range routers {
+			ropts := opts
+			backend := rname
+			if rname == "sabre-exhaustive" {
+				backend = "sabre"
+				ropts.ExhaustiveScoring = true
+			}
+			router, err := route.New(backend)
+			if err != nil {
+				fatal(err)
+			}
+			var res *core.Result
+			var routeErr error
+			br := testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					res, routeErr = router.Route(context.Background(), circ, dev, ropts)
+					if routeErr != nil {
+						tb.Fatal(routeErr)
+					}
+				}
+			})
+			// tb.Fatal only aborts the benchmark function; surface the
+			// failure here instead of dereferencing a nil result.
+			if routeErr != nil {
+				fatal(fmt.Errorf("%s/%s: %w", b.Name, rname, routeErr))
+			}
+			if res == nil {
+				fatal(fmt.Errorf("%s/%s: benchmark produced no result", b.Name, rname))
+			}
+			row := benchRow{
+				Workload:    b.Name,
+				Router:      rname,
+				Gori:        circ.NumGates(),
+				NsPerOp:     br.NsPerOp(),
+				AllocsPerOp: br.AllocsPerOp(),
+				BytesPerOp:  br.AllocedBytesPerOp(),
+				AddedGates:  res.AddedGates,
+				Depth:       res.Circuit.DecomposeSwaps().Depth(),
+				TrialsRun:   res.TrialsRun,
+				AvgCands:    res.Stats.AvgCandidates(),
+			}
+			snap.Rows = append(snap.Rows, row)
+			fmt.Printf("%-16s %-17s %12d ns/op %8d allocs/op %7d g_add\n",
+				row.Workload, row.Router, row.NsPerOp, row.AllocsPerOp, row.AddedGates)
+		}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -86,8 +86,12 @@ func TestClientDisconnectCancelsJob(t *testing.T) {
 	ts, srv := newTestServer(t)
 
 	ctx, cancel := context.WithCancel(context.Background())
+	// Heavy enough that the compile is reliably still in flight when
+	// the client walks away 20ms in: the delta-scoring router finishes
+	// a qft_18 trial in well under a millisecond, so small trial
+	// counts complete before the cancellation can land.
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		ts.URL+"/compile?device=tokyo&trials=50&seed=99", strings.NewReader(qasm.Format(workloads.QFT(18))))
+		ts.URL+"/compile?device=tokyo&trials=10000&seed=99", strings.NewReader(qasm.Format(workloads.QFT(18))))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,189 @@
+// Golden determinism suite for the delta-scoring routing core: delta
+// scoring must route byte-identically to the exhaustive reference
+// scorer (the pre-optimization behavior) over the entire Table II
+// workload suite — same output circuits, same layouts, same pass
+// statistics — at any trial worker count, including under a noise
+// model (float-weighted distances) and with bridges enabled.
+package sabre_test
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+// assertSameResult fails unless a and b are byte-identical routing
+// outcomes: gate-for-gate equal circuits, equal layouts, and equal
+// instrumentation.
+func assertSameResult(t *testing.T, label string, a, b *core.Result) {
+	t.Helper()
+	if !a.Circuit.Equal(b.Circuit) {
+		t.Fatalf("%s: routed circuits differ (%d vs %d gates)", label, a.Circuit.NumGates(), b.Circuit.NumGates())
+	}
+	if len(a.InitialLayout) != len(b.InitialLayout) {
+		t.Fatalf("%s: initial layout sizes differ", label)
+	}
+	for i := range a.InitialLayout {
+		if a.InitialLayout[i] != b.InitialLayout[i] || a.FinalLayout[i] != b.FinalLayout[i] {
+			t.Fatalf("%s: layouts differ at qubit %d", label, i)
+		}
+	}
+	if a.SwapCount != b.SwapCount || a.BridgeCount != b.BridgeCount || a.AddedGates != b.AddedGates {
+		t.Fatalf("%s: counts differ: swaps %d/%d bridges %d/%d", label,
+			a.SwapCount, b.SwapCount, a.BridgeCount, b.BridgeCount)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("%s: pass stats differ: %+v vs %+v", label, a.Stats, b.Stats)
+	}
+}
+
+// TestGoldenDeltaMatchesExhaustiveFullSuite routes every Table II
+// benchmark twice — delta scoring and old-style exhaustive scoring —
+// and asserts byte-identical outputs.
+func TestGoldenDeltaMatchesExhaustiveFullSuite(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	for _, b := range workloads.All() {
+		circ := b.Build()
+		opts := core.DefaultOptions()
+		opts.Trials = 2 // keeps the full-suite sweep inside tier-1 budget
+
+		delta, err := core.Compile(circ, dev, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		opts.ExhaustiveScoring = true
+		exhaustive, err := core.Compile(circ, dev, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		assertSameResult(t, b.Name, delta, exhaustive)
+	}
+}
+
+// TestGoldenNoiseAndBridgeConfigs covers the two scoring paths the
+// plain suite does not reach: float-weighted distances (noise model +
+// coupler pruning) and the 4-CNOT bridge transformation.
+func TestGoldenNoiseAndBridgeConfigs(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	circ := workloads.RandomCircuit("golden", 14, 300, 0.6, 5)
+
+	for _, tc := range []struct {
+		name string
+		mut  func(*core.Options)
+	}{
+		{"bridge", func(o *core.Options) { o.UseBridge = true }},
+		{"noise", func(o *core.Options) {
+			o.Noise = arch.RandomNoise(dev, 1e-3, 1e-1, rand.New(rand.NewSource(7)))
+			o.MaxEdgeError = 0.05
+		}},
+		{"noise+bridge", func(o *core.Options) {
+			o.Noise = arch.RandomNoise(dev, 1e-3, 1e-1, rand.New(rand.NewSource(11)))
+			o.UseBridge = true
+		}},
+		{"basic", func(o *core.Options) { o.Heuristic = core.HeuristicBasic }},
+		{"lookahead", func(o *core.Options) { o.Heuristic = core.HeuristicLookahead }},
+	} {
+		opts := core.DefaultOptions()
+		opts.Trials = 2
+		tc.mut(&opts)
+
+		delta, err := core.Compile(circ, dev, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		opts.ExhaustiveScoring = true
+		exhaustive, err := core.Compile(circ, dev, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		assertSameResult(t, tc.name, delta, exhaustive)
+		if tc.name == "bridge" && delta.BridgeCount == 0 {
+			t.Fatal("bridge config routed zero bridges; the golden test is not exercising the bridge path")
+		}
+	}
+}
+
+// TestGoldenTrialRunnerWorkerInvariance runs the best-of-N trial
+// protocol at several worker counts, in both scoring modes, and
+// asserts every combination selects the byte-identical winner. This is
+// the "any worker count" half of the determinism contract: per-worker
+// scratch reuse must never leak state between trials.
+func TestGoldenTrialRunnerWorkerInvariance(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	workerCounts := []int{1, 3, runtime.GOMAXPROCS(0)}
+	for _, name := range []string{"qft_13", "rd84_142", "ising_model_13"} {
+		b, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %s", name)
+		}
+		circ := b.Build()
+		var ref *core.Result
+		for _, exhaustive := range []bool{false, true} {
+			opts := core.DefaultOptions()
+			opts.Trials = 6
+			opts.ExhaustiveScoring = exhaustive
+			for _, workers := range workerCounts {
+				tr := pipeline.TrialRunner{Trials: 6, Workers: workers}
+				res, err := tr.Route(context.Background(), circ, dev, opts)
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", name, workers, err)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				assertSameResult(t, name, ref, res)
+			}
+		}
+	}
+}
+
+// TestBridgeSharesExtendedSetPerRound is the regression test for the
+// double-computation bug: tryBridge used to build the extended set and
+// insertBestSwap immediately rebuilt it within the same round. With
+// the front-generation cache, one round triggers at most one rebuild,
+// so the rebuild count is bounded by the number of rounds that consult
+// the set (swap rounds + bridge executions); the old behavior was ~2×
+// the swap rounds and trips the bound.
+func TestBridgeSharesExtendedSetPerRound(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	circ := workloads.RandomCircuit("bridge-regress", 14, 300, 0.6, 5)
+	opts := core.DefaultOptions()
+	opts.Trials = 2
+	opts.UseBridge = true
+	res, err := core.Compile(circ, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SwapRounds == 0 || res.BridgeCount == 0 {
+		t.Fatalf("workload does not exercise bridge+swap rounds: %+v", res.Stats)
+	}
+	limit := res.Stats.SwapRounds + res.BridgeCount
+	if res.Stats.ExtendedRebuilds > limit {
+		t.Fatalf("extended set rebuilt %d times for %d swap rounds + %d bridges — recomputed more than once per round",
+			res.Stats.ExtendedRebuilds, res.Stats.SwapRounds, res.BridgeCount)
+	}
+}
+
+// TestRoutedOutputStillValid spot-checks that a delta-scored routing
+// remains hardware-compliant: every two-qubit gate of the decomposed
+// output acts on coupled physical qubits.
+func TestRoutedOutputStillValid(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	b, _ := workloads.ByName("qft_16")
+	res, err := core.Compile(b.Build(), dev, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range res.Circuit.DecomposeSwaps().Gates() {
+		if g.TwoQubit() && !dev.Connected(g.Q0, g.Q1) {
+			t.Fatalf("gate %d (%v %d,%d) on uncoupled qubits", i, g.Kind, g.Q0, g.Q1)
+		}
+	}
+}

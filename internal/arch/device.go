@@ -37,16 +37,27 @@ type Device struct {
 	name  string
 	n     int
 	edges []Edge
-	adj   [][]int       // adjacency lists, sorted
-	edge  map[Edge]bool // membership set
-	dist  [][]int       // all-pairs shortest path lengths
+	adj   [][]int // adjacency lists, sorted
+
+	// edgeID is a flat row-major n×n table: edgeID[a*n+b] is the index
+	// of edge {a,b} in edges, or -1 when the qubits are not coupled. It
+	// serves both Connected (no map lookup on the routing hot path) and
+	// EdgeIndex (dense edge ids for epoch-stamped router scratch).
+	edgeID []int32
+
+	// dist is the all-pairs shortest-path matrix, flat row-major:
+	// dist[a*n+b] is the hop count from a to b. Flat layout keeps the
+	// whole matrix in one allocation and turns the hot-path lookup into
+	// pure index arithmetic.
+	dist []int
 
 	// wdist memoizes reliability-weighted distance matrices per noise
 	// model, so parallel routing trials share one O(N³) computation
 	// instead of redoing it every traversal. Guarded by wdistMu; the
-	// matrices themselves are read-only once published.
+	// matrices themselves are read-only once published. Matrices are
+	// flat row-major like dist.
 	wdistMu sync.Mutex
-	wdist   map[*NoiseModel][][]float64
+	wdist   map[*NoiseModel][]float64
 }
 
 // New builds a device with n physical qubits and the given undirected
@@ -58,11 +69,15 @@ func New(name string, n int, edges []Edge) (*Device, error) {
 		return nil, fmt.Errorf("arch: device %q must have at least one qubit, got %d", name, n)
 	}
 	d := &Device{
-		name: name,
-		n:    n,
-		adj:  make([][]int, n),
-		edge: make(map[Edge]bool, len(edges)),
+		name:   name,
+		n:      n,
+		adj:    make([][]int, n),
+		edgeID: make([]int32, n*n),
 	}
+	for i := range d.edgeID {
+		d.edgeID[i] = -1
+	}
+	seen := make(map[Edge]bool, len(edges))
 	for _, e := range edges {
 		e = NewEdge(e.A, e.B)
 		if e.A == e.B {
@@ -71,10 +86,10 @@ func New(name string, n int, edges []Edge) (*Device, error) {
 		if e.A < 0 || e.B >= n {
 			return nil, fmt.Errorf("arch: device %q edge (%d,%d) out of range [0,%d)", name, e.A, e.B, n)
 		}
-		if d.edge[e] {
+		if seen[e] {
 			continue
 		}
-		d.edge[e] = true
+		seen[e] = true
 		d.edges = append(d.edges, e)
 		d.adj[e.A] = append(d.adj[e.A], e.B)
 		d.adj[e.B] = append(d.adj[e.B], e.A)
@@ -85,13 +100,17 @@ func New(name string, n int, edges []Edge) (*Device, error) {
 		}
 		return d.edges[i].B < d.edges[j].B
 	})
+	for i, e := range d.edges {
+		d.edgeID[e.A*n+e.B] = int32(i)
+		d.edgeID[e.B*n+e.A] = int32(i)
+	}
 	for _, a := range d.adj {
 		sort.Ints(a)
 	}
 	d.dist = floydWarshall(n, d.edges)
 	if n > 1 {
 		for i := 0; i < n; i++ {
-			if d.dist[0][i] >= unreachable {
+			if d.dist[i] >= unreachable {
 				return nil, fmt.Errorf("arch: device %q is disconnected (qubit %d unreachable from 0)", name, i)
 			}
 		}
@@ -129,14 +148,26 @@ func (d *Device) Degree(p int) int { return len(d.adj[p]) }
 // Connected reports whether physical qubits a and b share a coupler,
 // i.e. whether a CNOT can be applied directly between them.
 func (d *Device) Connected(a, b int) bool {
-	return d.edge[NewEdge(a, b)]
+	return d.edgeID[a*d.n+b] >= 0
 }
+
+// EdgeIndex returns the dense index of the coupling edge {a, b} in
+// Edges(), or -1 when a and b are not coupled. Routers use it to key
+// per-edge scratch state (epoch stamps) without map lookups.
+func (d *Device) EdgeIndex(a, b int) int { return int(d.edgeID[a*d.n+b]) }
 
 // Distance returns D[a][b], the length of the shortest coupling-graph
 // path between physical qubits a and b. Distance(a, a) == 0; adjacent
 // qubits have distance 1. The minimum number of SWAPs required to make
 // a and b adjacent is Distance(a, b) - 1.
-func (d *Device) Distance(a, b int) int { return d.dist[a][b] }
+func (d *Device) Distance(a, b int) int { return d.dist[a*d.n+b] }
+
+// Distances returns the flat row-major all-pairs shortest-path matrix:
+// entry a*NumQubits()+b is Distance(a, b). The returned slice is the
+// device's own matrix and must not be modified. Hot loops that already
+// hold the row stride can index it directly instead of calling
+// Distance per pair.
+func (d *Device) Distances() []int { return d.dist }
 
 // maxWeightedDistanceMemos bounds the per-device memo of weighted
 // distance matrices: on overflow an arbitrary old entry is evicted (a
@@ -145,16 +176,17 @@ func (d *Device) Distance(a, b int) int { return d.dist[a][b] }
 const maxWeightedDistanceMemos = 8
 
 // WeightedDistancesFor returns the all-pairs most-reliable-path cost
-// matrix of the device under m, computing it on first use and serving
-// the same read-only matrix afterwards. The model must not be mutated
-// after its first use here (memoization is by pointer identity).
-// Returns nil for a nil model so callers can branch on "no noise".
+// matrix of the device under m (flat row-major, like Distances),
+// computing it on first use and serving the same read-only matrix
+// afterwards. The model must not be mutated after its first use here
+// (memoization is by pointer identity). Returns nil for a nil model so
+// callers can branch on "no noise".
 //
 // The O(N³) computation runs outside the lock, so a memo miss never
 // blocks concurrent lookups of other models; two goroutines racing on
 // the same new model may both compute, and the first insert wins (both
 // then return the same matrix).
-func (d *Device) WeightedDistancesFor(m *NoiseModel) [][]float64 {
+func (d *Device) WeightedDistancesFor(m *NoiseModel) []float64 {
 	if m == nil {
 		return nil
 	}
@@ -173,7 +205,7 @@ func (d *Device) WeightedDistancesFor(m *NoiseModel) [][]float64 {
 		return prev // a concurrent computation published first
 	}
 	if d.wdist == nil {
-		d.wdist = make(map[*NoiseModel][][]float64)
+		d.wdist = make(map[*NoiseModel][]float64)
 	}
 	for len(d.wdist) >= maxWeightedDistanceMemos {
 		for k := range d.wdist { // evict an arbitrary entry
@@ -188,11 +220,9 @@ func (d *Device) WeightedDistancesFor(m *NoiseModel) [][]float64 {
 // Diameter returns the greatest pairwise distance on the device.
 func (d *Device) Diameter() int {
 	max := 0
-	for i := 0; i < d.n; i++ {
-		for j := i + 1; j < d.n; j++ {
-			if d.dist[i][j] > max {
-				max = d.dist[i][j]
-			}
+	for _, v := range d.dist {
+		if v > max {
+			max = v
 		}
 	}
 	return max
@@ -210,7 +240,7 @@ func (d *Device) ShortestPath(a, b int) []int {
 	for cur != b {
 		next := -1
 		for _, nb := range d.adj[cur] {
-			if d.dist[nb][b] == d.dist[cur][b]-1 {
+			if d.dist[nb*d.n+b] == d.dist[cur*d.n+b]-1 {
 				next = nb
 				break
 			}
@@ -233,32 +263,29 @@ func (d *Device) String() string {
 const unreachable = 1 << 29
 
 // floydWarshall computes all-pairs shortest paths exactly as the paper
-// prescribes (§IV-A, O(N³)); N is at most a few hundred in the NISQ era.
-func floydWarshall(n int, edges []Edge) [][]int {
-	dist := make([][]int, n)
-	backing := make([]int, n*n)
-	for i := range dist {
-		dist[i] = backing[i*n : (i+1)*n]
-		for j := range dist[i] {
-			if i == j {
-				dist[i][j] = 0
-			} else {
-				dist[i][j] = unreachable
+// prescribes (§IV-A, O(N³)); N is at most a few hundred in the NISQ
+// era. The result is flat row-major: entry i*n+j is dist(i, j).
+func floydWarshall(n int, edges []Edge) []int {
+	dist := make([]int, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				dist[i*n+j] = unreachable
 			}
 		}
 	}
 	for _, e := range edges {
-		dist[e.A][e.B] = 1
-		dist[e.B][e.A] = 1
+		dist[e.A*n+e.B] = 1
+		dist[e.B*n+e.A] = 1
 	}
 	for k := 0; k < n; k++ {
-		dk := dist[k]
+		dk := dist[k*n : k*n+n]
 		for i := 0; i < n; i++ {
-			dik := dist[i][k]
+			dik := dist[i*n+k]
 			if dik >= unreachable {
 				continue
 			}
-			di := dist[i]
+			di := dist[i*n : i*n+n]
 			for j := 0; j < n; j++ {
 				if v := dik + dk[j]; v < di[j] {
 					di[j] = v

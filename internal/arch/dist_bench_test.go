@@ -17,7 +17,7 @@ func BenchmarkWeightedDistancesRecompute(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if w := WeightedDistances(dev, noise); w[0][1] < 0 {
+		if w := WeightedDistances(dev, noise); w[1] < 0 {
 			b.Fatal("impossible")
 		}
 	}
@@ -30,7 +30,7 @@ func BenchmarkWeightedDistancesCached(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if w := dev.WeightedDistancesFor(noise); w[0][1] < 0 {
+		if w := dev.WeightedDistancesFor(noise); w[1] < 0 {
 			b.Fatal("impossible")
 		}
 	}
@@ -42,13 +42,11 @@ func TestWeightedDistancesForMatchesDirect(t *testing.T) {
 	direct := WeightedDistances(dev, noise)
 	cached := dev.WeightedDistancesFor(noise)
 	for i := range direct {
-		for j := range direct[i] {
-			if direct[i][j] != cached[i][j] {
-				t.Fatalf("matrix mismatch at (%d,%d): %g vs %g", i, j, direct[i][j], cached[i][j])
-			}
+		if direct[i] != cached[i] {
+			t.Fatalf("matrix mismatch at flat index %d: %g vs %g", i, direct[i], cached[i])
 		}
 	}
-	if again := dev.WeightedDistancesFor(noise); &again[0][0] != &cached[0][0] {
+	if again := dev.WeightedDistancesFor(noise); &again[0] != &cached[0] {
 		t.Fatal("second lookup did not return the memoized matrix")
 	}
 	if dev.WeightedDistancesFor(nil) != nil {

@@ -116,36 +116,35 @@ func connected(n int, edges []Edge) bool {
 
 // WeightedDistances computes all-pairs most-reliable-path costs on the
 // device under the noise model (Floyd–Warshall over -ln(1-err) edge
-// weights). D[i][j] is 0 on the diagonal and the summed weight of the
-// most reliable path otherwise. A noise-aware router substitutes this
+// weights). The matrix is flat row-major like Device.Distances: entry
+// i*n+j is 0 on the diagonal and the summed weight of the most
+// reliable path otherwise. A noise-aware router substitutes this
 // matrix for hop counts in its heuristic cost function.
-func WeightedDistances(d *Device, m *NoiseModel) [][]float64 {
+func WeightedDistances(d *Device, m *NoiseModel) []float64 {
 	n := d.NumQubits()
-	dist := make([][]float64, n)
-	backing := make([]float64, n*n)
-	for i := range dist {
-		dist[i] = backing[i*n : (i+1)*n]
-		for j := range dist[i] {
+	dist := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
 			if i != j {
-				dist[i][j] = math.Inf(1)
+				dist[i*n+j] = math.Inf(1)
 			}
 		}
 	}
 	for _, e := range d.Edges() {
 		w := m.EdgeWeight(e)
-		if w < dist[e.A][e.B] {
-			dist[e.A][e.B] = w
-			dist[e.B][e.A] = w
+		if w < dist[e.A*n+e.B] {
+			dist[e.A*n+e.B] = w
+			dist[e.B*n+e.A] = w
 		}
 	}
 	for k := 0; k < n; k++ {
-		dk := dist[k]
+		dk := dist[k*n : k*n+n]
 		for i := 0; i < n; i++ {
-			dik := dist[i][k]
+			dik := dist[i*n+k]
 			if math.IsInf(dik, 1) {
 				continue
 			}
-			di := dist[i]
+			di := dist[i*n : i*n+n]
 			for j := 0; j < n; j++ {
 				if v := dik + dk[j]; v < di[j] {
 					di[j] = v

@@ -70,8 +70,8 @@ func TestWeightedDistancesUniformMatchesHops(t *testing.T) {
 	for i := 0; i < 9; i++ {
 		for j := 0; j < 9; j++ {
 			want := float64(d.Distance(i, j)) * unit
-			if math.Abs(wd[i][j]-want) > 1e-12 {
-				t.Fatalf("wd[%d][%d] = %g, want %g", i, j, wd[i][j], want)
+			if math.Abs(wd[i*9+j]-want) > 1e-12 {
+				t.Fatalf("wd[%d][%d] = %g, want %g", i, j, wd[i*9+j], want)
 			}
 		}
 	}
@@ -91,8 +91,8 @@ func TestWeightedDistancesPrefersReliableDetour(t *testing.T) {
 	}
 	wd := WeightedDistances(d, m)
 	detour := 3 * m.EdgeWeight(NewEdge(1, 2))
-	if math.Abs(wd[0][1]-detour) > 1e-12 {
-		t.Fatalf("wd[0][1] = %g, want detour cost %g", wd[0][1], detour)
+	if math.Abs(wd[0*4+1]-detour) > 1e-12 {
+		t.Fatalf("wd[0][1] = %g, want detour cost %g", wd[0*4+1], detour)
 	}
 }
 
@@ -157,15 +157,15 @@ func TestWeightedDistancesMetricProperties(t *testing.T) {
 	wd := WeightedDistances(d, m)
 	n := d.NumQubits()
 	for i := 0; i < n; i++ {
-		if wd[i][i] != 0 {
+		if wd[i*n+i] != 0 {
 			t.Fatal("nonzero diagonal")
 		}
 		for j := 0; j < n; j++ {
-			if wd[i][j] != wd[j][i] {
+			if wd[i*n+j] != wd[j*n+i] {
 				t.Fatal("asymmetric")
 			}
 			for k := 0; k < n; k++ {
-				if wd[i][j] > wd[i][k]+wd[k][j]+1e-12 {
+				if wd[i*n+j] > wd[i*n+k]+wd[k*n+j]+1e-12 {
 					t.Fatal("triangle inequality violated")
 				}
 			}

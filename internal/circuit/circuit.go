@@ -74,6 +74,17 @@ func (c *Circuit) mustValidate(g Gate) {
 	}
 }
 
+// AppendTrusted appends gates without re-validating qubit ranges. For
+// hot paths whose gates are valid by construction — a router remapping
+// an already-validated circuit through a qubit bijection — where
+// re-validating tens of thousands of gates per traversal is
+// measurable. Callers must guarantee every gate references wires
+// inside the circuit.
+func (c *Circuit) AppendTrusted(gs ...Gate) *Circuit {
+	c.gates = append(c.gates, gs...)
+	return c
+}
+
 // Clone returns a deep copy.
 func (c *Circuit) Clone() *Circuit {
 	out := &Circuit{numQubits: c.numQubits, name: c.name, gates: make([]Gate, len(c.gates))}

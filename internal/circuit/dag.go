@@ -5,32 +5,73 @@ package circuit
 // can stream them to the output in order; only two-qubit nodes
 // constrain the mapping). Gate i depends on gate j when j is the most
 // recent earlier gate sharing a qubit with i.
+//
+// Adjacency is stored in CSR form — one flat edge array plus an offset
+// array per direction — so a whole traversal touches two contiguous
+// allocations instead of one slice header and backing array per node.
+// Successors/Predecessors return subslices of the flat arrays.
 type DAG struct {
-	circ  *Circuit
-	succs [][]int // successor gate indices
-	preds [][]int // predecessor gate indices
-	inDeg []int   // initial indegrees
+	circ    *Circuit
+	succOff []int32 // succOff[i]:succOff[i+1] bounds node i's successors in succ
+	succ    []int   // flat successor gate indices, grouped by node
+	predOff []int32 // predOff[i]:predOff[i+1] bounds node i's predecessors in pred
+	pred    []int   // flat predecessor gate indices, grouped by node
+	inDeg   []int   // initial indegrees
 }
 
-// BuildDAG constructs the dependency DAG in O(g) (paper §IV-A).
+// BuildDAG constructs the dependency DAG in O(g) (paper §IV-A): one
+// counting pass sizes the CSR arrays exactly, one fill pass populates
+// them.
 func BuildDAG(c *Circuit) *DAG {
 	g := c.NumGates()
 	d := &DAG{
-		circ:  c,
-		succs: make([][]int, g),
-		preds: make([][]int, g),
-		inDeg: make([]int, g),
+		circ:    c,
+		succOff: make([]int32, g+1),
+		predOff: make([]int32, g+1),
+		inDeg:   make([]int, g),
 	}
 	last := make([]int, c.NumQubits()) // last gate index seen per qubit
+	for i := range last {
+		last[i] = -1
+	}
+	// Pass 1: count edges per node. An edge p→i exists per qubit of i
+	// whose previous gate is p; both endpoint counts grow together.
+	edges := 0
+	for i, gate := range c.Gates() {
+		for _, q := range gate.Qubits() {
+			if p := last[q]; p >= 0 {
+				d.succOff[p+1]++
+				d.predOff[i+1]++
+				d.inDeg[i]++
+				edges++
+			}
+			last[q] = i
+		}
+	}
+	for i := 0; i < g; i++ {
+		d.succOff[i+1] += d.succOff[i]
+		d.predOff[i+1] += d.predOff[i]
+	}
+	// Pass 2: fill. Cursors walk each node's CSR range; because gates
+	// are scanned in program order, every node's successor (and
+	// predecessor) list comes out sorted ascending, matching the order
+	// the per-node append construction produced.
+	d.succ = make([]int, edges)
+	d.pred = make([]int, edges)
+	succCur := make([]int32, g)
+	predCur := make([]int32, g)
+	copy(succCur, d.succOff[:g])
+	copy(predCur, d.predOff[:g])
 	for i := range last {
 		last[i] = -1
 	}
 	for i, gate := range c.Gates() {
 		for _, q := range gate.Qubits() {
 			if p := last[q]; p >= 0 {
-				d.succs[p] = append(d.succs[p], i)
-				d.preds[i] = append(d.preds[i], p)
-				d.inDeg[i]++
+				d.succ[succCur[p]] = i
+				succCur[p]++
+				d.pred[predCur[i]] = p
+				predCur[i]++
 			}
 			last[q] = i
 		}
@@ -42,15 +83,17 @@ func BuildDAG(c *Circuit) *DAG {
 func (d *DAG) Circuit() *Circuit { return d.circ }
 
 // NumNodes returns the number of gate nodes.
-func (d *DAG) NumNodes() int { return len(d.succs) }
+func (d *DAG) NumNodes() int { return len(d.inDeg) }
 
-// Successors returns the gates that directly depend on gate i.
-// The returned slice must not be modified.
-func (d *DAG) Successors(i int) []int { return d.succs[i] }
+// Successors returns the gates that directly depend on gate i, as a
+// view into the flat CSR edge array. The returned slice must not be
+// modified.
+func (d *DAG) Successors(i int) []int { return d.succ[d.succOff[i]:d.succOff[i+1]] }
 
-// Predecessors returns the gates that gate i directly depends on.
-// The returned slice must not be modified.
-func (d *DAG) Predecessors(i int) []int { return d.preds[i] }
+// Predecessors returns the gates that gate i directly depends on, as a
+// view into the flat CSR edge array. The returned slice must not be
+// modified.
+func (d *DAG) Predecessors(i int) []int { return d.pred[d.predOff[i]:d.predOff[i+1]] }
 
 // InDegrees returns a fresh copy of the initial indegree array, ready
 // to be consumed by a scheduling traversal.
@@ -58,6 +101,19 @@ func (d *DAG) InDegrees() []int {
 	out := make([]int, len(d.inDeg))
 	copy(out, d.inDeg)
 	return out
+}
+
+// InDegreesInto copies the initial indegree array into dst, growing it
+// only when its capacity is short, and returns the sized slice. Reusing
+// one buffer across traversals keeps repeated routing passes off the
+// allocator.
+func (d *DAG) InDegreesInto(dst []int) []int {
+	if cap(dst) < len(d.inDeg) {
+		dst = make([]int, len(d.inDeg))
+	}
+	dst = dst[:len(d.inDeg)]
+	copy(dst, d.inDeg)
+	return dst
 }
 
 // FrontLayer returns the initial front layer F: indices of the
@@ -94,7 +150,7 @@ func (d *DAG) TopologicalOrder() []int {
 		i := ready[0]
 		ready = ready[1:]
 		order = append(order, i)
-		for _, s := range d.succs[i] {
+		for _, s := range d.Successors(i) {
 			deg[s]--
 			if deg[s] == 0 {
 				ready = append(ready, s)

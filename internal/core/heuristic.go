@@ -2,15 +2,219 @@ package core
 
 import (
 	"repro/internal/arch"
+	"repro/internal/mapping"
 )
 
+// This file implements the heuristic cost function H (Eq. 1 and Eq. 2)
+// with incremental delta scoring. The paper's §IV-C1 point is that the
+// candidate list is O(N); the remaining per-round cost was our own:
+// re-summing the whole front layer and extended set for every
+// candidate made a round O(|cand|·(|F|+|E|)). Instead, the base sums
+//
+//	Σ_{g∈F} D[π(q1)][π(q2)]   and   Σ_{g∈E} D[π(q1)][π(q2)]
+//
+// are computed once per round (buildRoundIndex), and a candidate SWAP
+// on edge (A, B) rescores as base + Δ, where Δ ranges only over the
+// gates touching the two swapped logical qubits — O(deg) per
+// candidate, found through a per-qubit gate index built in the same
+// pass as the sums.
+//
+// Determinism contract: with hop-count distances (the default and the
+// paper's configuration) every sum is an integer, accumulated in
+// int64 and converted to float64 only at the end, so base+Δ is
+// bit-identical to the from-scratch sum no matter the accumulation
+// order. The weighted (noise-model) sums accumulate in float64 in
+// front/extended order for the base, exactly as the exhaustive scorer
+// does, so bases match bit-for-bit; the delta then adds the (few)
+// changed terms at the end, which re-associates the accumulation and
+// can differ from the from-scratch sum by ~1 ulp (see
+// Options.ExhaustiveScoring for the resulting contract).
+// Options.ExhaustiveScoring keeps the O(|F|+|E|)-per-candidate
+// reference scorer selectable for validation; the golden determinism
+// suite asserts both scorers route the entire workload suite
+// byte-identically, including the noise configurations.
+
+// buildRoundIndex computes the front/extended base distance sums under
+// the current layout and (re)builds the per-logical-qubit index of
+// which front/extended gates touch each qubit. Each index entry stores
+// the gate's *other* logical qubit (encoded partner+1 for front gates,
+// -(partner+1) for extended), which is all the delta needs: the
+// distance change of gate (q, partner) is a two-row matrix lookup, no
+// gate fetch. Called once per SWAP round; everything it writes lives
+// in the Scratch.
+func (r *router) buildRoundIndex() {
+	s := r.s
+	for _, q := range s.qTouched {
+		s.qGates[q] = s.qGates[q][:0]
+	}
+	s.qTouched = s.qTouched[:0]
+
+	r.frontSumI, r.extSumI = 0, 0
+	r.frontSumF, r.extSumF = 0, 0
+	weighted := r.wdist != nil
+	for _, gi := range s.front {
+		g := r.circ.Gate(gi)
+		pa, pb := r.layout.Phys(g.Q0), r.layout.Phys(g.Q1)
+		if weighted {
+			r.frontSumF += r.wdist[pa*r.n+pb]
+		} else {
+			r.frontSumI += int64(r.dist[pa*r.n+pb])
+		}
+		r.indexGate(g.Q0, g.Q1, false)
+	}
+	if r.opts.Heuristic == HeuristicBasic {
+		return
+	}
+	for _, gi := range s.extended {
+		g := r.circ.Gate(gi)
+		pa, pb := r.layout.Phys(g.Q0), r.layout.Phys(g.Q1)
+		if weighted {
+			r.extSumF += r.wdist[pa*r.n+pb]
+		} else {
+			r.extSumI += int64(r.dist[pa*r.n+pb])
+		}
+		r.indexGate(g.Q0, g.Q1, true)
+	}
+}
+
+// indexGate records the gate under both of its logical qubits, each
+// entry encoding the opposite endpoint and the front/extended flag.
+func (r *router) indexGate(q0, q1 int, extended bool) {
+	s := r.s
+	c0, c1 := int32(q1+1), int32(q0+1)
+	if extended {
+		c0, c1 = -c0, -c1
+	}
+	if len(s.qGates[q0]) == 0 {
+		s.qTouched = append(s.qTouched, q0)
+	}
+	s.qGates[q0] = append(s.qGates[q0], c0)
+	if len(s.qGates[q1]) == 0 {
+		s.qTouched = append(s.qTouched, q1)
+	}
+	s.qGates[q1] = append(s.qGates[q1], c1)
+}
+
 // scoreSwap evaluates the heuristic cost function H for one candidate
-// SWAP under a temporarily-updated mapping π_temp (Algorithm 1 lines
-// 20-23). The layout is mutated and restored in place — cheaper than
-// cloning per candidate and equivalent to the paper's π.update(SWAP).
+// SWAP (Algorithm 1 lines 20-23) as base + Δ under the hypothetical
+// mapping π·SWAP, without mutating the layout.
 func (r *router) scoreSwap(e arch.Edge) float64 {
+	if r.opts.ExhaustiveScoring {
+		return r.scoreSwapExhaustive(e)
+	}
 	// Decay factor belongs to the logical qubits being swapped
 	// (Eq. 2: max(decay(SWAP.q1), decay(SWAP.q2))).
+	qa, qb := r.layout.Log(e.A), r.layout.Log(e.B)
+
+	var front, ext float64
+	if r.wdist != nil {
+		dF, dE := r.deltasWeighted(qa, qb, e.A, e.B)
+		front, ext = r.frontSumF+dF, r.extSumF+dE
+	} else {
+		dF, dE := r.deltasHops(qa, qb, e.A, e.B)
+		front, ext = float64(r.frontSumI+dF), float64(r.extSumI+dE)
+	}
+
+	switch r.opts.Heuristic {
+	case HeuristicBasic:
+		return front
+	case HeuristicLookahead:
+		return r.combine(front, ext)
+	default: // HeuristicDecay
+		d := r.s.decay[qa]
+		if r.s.decay[qb] > d {
+			d = r.s.decay[qb]
+		}
+		return d * r.combine(front, ext)
+	}
+}
+
+// combine is Eq. 2 without the decay factor: the size-normalized
+// front-layer term plus the W-weighted extended-set term. The operation
+// order mirrors the exhaustive scorer exactly so results stay
+// bit-identical.
+func (r *router) combine(front, ext float64) float64 {
+	score := front / float64(len(r.s.front))
+	if len(r.s.extended) > 0 {
+		score += r.opts.ExtendedSetWeight * ext / float64(len(r.s.extended))
+	}
+	return score
+}
+
+// deltasHops sums, in int64 hop units, the distance change of every
+// front (dF) and extended (dE) gate touching logical qubits qa or qb
+// when physical qubits A = π(qa) and B = π(qb) swap.
+//
+// A gate (qa, p) with p ≠ qb moves from D[A][π(p)] to D[B][π(p)]; a
+// gate (qb, p) with p ≠ qa moves from D[B][π(p)] to D[A][π(p)]. The
+// gate (qa, qb) itself moves from D[A][B] to D[B][A] — zero by
+// symmetry — so it is processed once (from qa's list) and skipped in
+// qb's, which also deduplicates it without any mark bookkeeping. The
+// iteration order (qa's gates, then qb's unshared gates) matches the
+// order the previous mark-based dedup produced, keeping weighted
+// accumulation bit-stable.
+func (r *router) deltasHops(qa, qb, A, B int) (dF, dE int64) {
+	f, e := deltas(r.s, r.layout, r.dist[A*r.n:A*r.n+r.n], r.dist[B*r.n:B*r.n+r.n], qa, qb)
+	return int64(f), int64(e)
+}
+
+// deltasWeighted is deltasHops over the noise-weighted matrix.
+func (r *router) deltasWeighted(qa, qb, A, B int) (dF, dE float64) {
+	return deltas(r.s, r.layout, r.wdist[A*r.n:A*r.n+r.n], r.wdist[B*r.n:B*r.n+r.n], qa, qb)
+}
+
+// deltas is the shared delta walk over the distance rows of the two
+// swapped physical qubits (rowA = D[π(qa)][·], rowB = D[π(qb)][·]),
+// generic over the matrix element type so the hop-count and weighted
+// paths compile to separate full-speed instantiations (int and
+// float64 have distinct underlying types, so gcshape stenciling does
+// not merge them). Hop deltas stay exact: they are small-integer
+// differences accumulated in int (well under overflow) and widened by
+// the caller.
+func deltas[D int | float64](s *Scratch, layout mapping.Layout, rowA, rowB []D, qa, qb int) (dF, dE D) {
+	for _, code := range s.qGates[qa] {
+		p := code
+		if p < 0 {
+			p = -p
+		}
+		partner := int(p) - 1
+		if partner == qb {
+			continue // D[A][B] → D[B][A]: no change
+		}
+		pp := layout.Phys(partner)
+		d := rowB[pp] - rowA[pp]
+		if code > 0 {
+			dF += d
+		} else {
+			dE += d
+		}
+	}
+	for _, code := range s.qGates[qb] {
+		p := code
+		if p < 0 {
+			p = -p
+		}
+		partner := int(p) - 1
+		if partner == qa {
+			continue // counted (as zero) from qa's side
+		}
+		pp := layout.Phys(partner)
+		d := rowA[pp] - rowB[pp]
+		if code > 0 {
+			dF += d
+		} else {
+			dE += d
+		}
+	}
+	return dF, dE
+}
+
+// scoreSwapExhaustive is the reference scorer: apply the SWAP to the
+// layout, re-sum every front/extended gate from scratch, undo the
+// SWAP. O(|F|+|E|) per candidate where the delta scorer is O(deg).
+// Kept selectable (Options.ExhaustiveScoring) as the oracle the golden
+// determinism suite compares delta scoring against.
+func (r *router) scoreSwapExhaustive(e arch.Edge) float64 {
 	qa, qb := r.layout.Log(e.A), r.layout.Log(e.B)
 
 	r.layout.SwapPhysical(e.A, e.B)
@@ -21,9 +225,9 @@ func (r *router) scoreSwap(e arch.Edge) float64 {
 	case HeuristicLookahead:
 		score = r.lookaheadScore()
 	case HeuristicDecay:
-		d := r.decay[qa]
-		if r.decay[qb] > d {
-			d = r.decay[qb]
+		d := r.s.decay[qa]
+		if r.s.decay[qb] > d {
+			d = r.s.decay[qb]
 		}
 		score = d * r.lookaheadScore()
 	}
@@ -36,9 +240,9 @@ func (r *router) scoreSwap(e arch.Edge) float64 {
 // matrix (§VI extension).
 func (r *router) frontDistanceSum() float64 {
 	sum := 0.0
-	for _, g := range r.front {
+	for _, g := range r.s.front {
 		gate := r.circ.Gate(g)
-		sum += r.dist(r.layout.Phys(gate.Q0), r.layout.Phys(gate.Q1))
+		sum += r.distAt(r.layout.Phys(gate.Q0), r.layout.Phys(gate.Q1))
 	}
 	return sum
 }
@@ -46,14 +250,14 @@ func (r *router) frontDistanceSum() float64 {
 // lookaheadScore is Eq. 2 without the decay factor: the size-normalized
 // front-layer distance sum plus the W-weighted extended-set term.
 func (r *router) lookaheadScore() float64 {
-	score := r.frontDistanceSum() / float64(len(r.front))
-	if len(r.extended) > 0 {
+	score := r.frontDistanceSum() / float64(len(r.s.front))
+	if len(r.s.extended) > 0 {
 		extSum := 0.0
-		for _, g := range r.extended {
+		for _, g := range r.s.extended {
 			gate := r.circ.Gate(g)
-			extSum += r.dist(r.layout.Phys(gate.Q0), r.layout.Phys(gate.Q1))
+			extSum += r.distAt(r.layout.Phys(gate.Q0), r.layout.Phys(gate.Q1))
 		}
-		score += r.opts.ExtendedSetWeight * extSum / float64(len(r.extended))
+		score += r.opts.ExtendedSetWeight * extSum / float64(len(r.s.extended))
 	}
 	return score
 }

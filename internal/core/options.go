@@ -104,6 +104,20 @@ type Options struct {
 	// disables pruning.
 	MaxEdgeError float64
 
+	// ExhaustiveScoring disables incremental delta scoring and rescores
+	// every front/extended gate from scratch for every candidate SWAP —
+	// the pre-optimization reference behavior. With hop-count distances
+	// (Noise == nil, the paper's configuration) the two scorers are
+	// provably bit-identical — sums are exact int64 — so routed outputs
+	// match byte for byte. Under a NoiseModel the float sums agree only
+	// to ~1 ulp (base+Δ re-associates the accumulation), which could in
+	// principle flip a score that lands within ~1e-16 of the 1e-12 tie
+	// band; the golden determinism suite verifies byte-identical
+	// outputs on the real noise configurations. This knob exists for
+	// validation and for benchmarking the delta scorer against its
+	// oracle. Leave false in production.
+	ExhaustiveScoring bool
+
 	// ParallelTrials runs the random restarts on separate goroutines.
 	// Results are bit-identical to the sequential path (each trial owns
 	// its PRNG and the winner is selected in trial order); only

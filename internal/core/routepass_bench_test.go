@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mapping"
+	"repro/internal/workloads"
+)
+
+// BenchmarkRoutePass measures one full routing traversal over real
+// Table II workloads (largest rows included), with delta scoring
+// against the exhaustive reference scorer. Both share the prepared
+// DAG and warm scratch, so the gap is purely the per-candidate scoring
+// complexity; allocs/op ≈ a handful per pass (output circuit + layout
+// clones), none of them per-round.
+func BenchmarkRoutePass(b *testing.B) {
+	dev := arch.IBMQ20Tokyo()
+	for _, name := range []string{"qft_16", "qft_20", "rd84_253", "9symml_195"} {
+		bench, ok := workloads.ByName(name)
+		if !ok {
+			b.Fatalf("unknown benchmark %s", name)
+		}
+		circ := bench.Build().Widen(dev.NumQubits())
+		for _, mode := range []struct {
+			name       string
+			exhaustive bool
+		}{{"delta", false}, {"exhaustive", true}} {
+			opts := DefaultOptions()
+			opts.ExhaustiveScoring = mode.exhaustive
+			pr := NewPassRunner(circ, dev, opts)
+			b.Run(name+"/"+mode.name, func(b *testing.B) {
+				scratch := NewScratch()
+				rng := rand.New(rand.NewSource(1))
+				init := mapping.Random(dev.NumQubits(), rng)
+				pr.Run(init, rng, scratch) // warm the scratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				var swaps int
+				for i := 0; i < b.N; i++ {
+					res := pr.Run(init, rand.New(rand.NewSource(1)), scratch)
+					swaps = res.SwapCount
+				}
+				b.ReportMetric(float64(swaps), "swaps")
+			})
+		}
+	}
+}

@@ -30,6 +30,14 @@ type PassStats struct {
 	MaxCandidates   int
 	MaxFront        int
 	ForcedRoutes    int
+
+	// ExtendedRebuilds counts how often the extended set was actually
+	// recomputed. The set only depends on the front layer, so across
+	// consecutive non-executing SWAP rounds (and between a bridge probe
+	// and the SWAP selection of the same round) it is served from
+	// cache; this stays well below the number of rounds that consult
+	// it.
+	ExtendedRebuilds int
 }
 
 // AvgCandidates returns the mean SWAP-candidate count per round.
@@ -40,73 +48,74 @@ func (s PassStats) AvgCandidates() float64 {
 	return float64(s.TotalCandidates) / float64(s.SwapRounds)
 }
 
-// router holds the mutable state of one traversal of Algorithm 1.
-type router struct {
-	dev  *arch.Device
-	opts Options
-	rng  *rand.Rand
-
-	circ *circuit.Circuit // logical circuit, width == device size
-	dag  *circuit.DAG
-
-	layout mapping.Layout
-	inDeg  []int
-	front  []int // two-qubit gate indices: dependencies met, not yet executable
-	ready  []int // gate indices with dependencies met, executability unchecked
-	done   int   // executed gate count
-
-	out     []circuit.Gate
-	swaps   int
-	bridges int
-	stats   PassStats
-
-	// wdist is the noise-weighted distance matrix (nil when routing by
-	// hop count); see Options.Noise.
-	wdist [][]float64
-
-	decay      []float64 // per logical qubit, 1.0 at rest
-	decaySteps int       // SWAP selections since last decay reset
-	stall      int       // consecutive SWAPs without executing a gate
-
-	// scratch buffers reused across SWAP-selection rounds.
-	extended   []int
-	candidates []arch.Edge
-	candSeen   map[arch.Edge]bool
+// PassRunner binds one (circuit, device, options) triple to the
+// trial-invariant state a traversal needs: the dependency DAG of the
+// circuit and the (possibly noise-weighted) flat distance matrix.
+// Construct once, then Run many times with different layouts and
+// seeds — restart trials, annealing chains and reverse traversals all
+// re-route the same circuit, and rebuilding the DAG per traversal was
+// pure waste. A PassRunner is immutable after construction and safe
+// for concurrent Run calls (each Run's mutable state lives in its
+// Scratch).
+type PassRunner struct {
+	circ  *circuit.Circuit
+	dag   *circuit.DAG
+	dev   *arch.Device
+	opts  Options
+	wdist []float64 // flat noise-weighted matrix, nil for hop counts
 }
 
-// RoutePass runs one traversal of SABRE's SWAP-based heuristic search
-// (Algorithm 1) over circ starting from the given layout. circ must
-// already be widened to the device's qubit count. The input layout is
-// not mutated.
-func RoutePass(circ *circuit.Circuit, dev *arch.Device, init mapping.Layout, opts Options, rng *rand.Rand) PassResult {
+// NewPassRunner prepares circ (already widened to the device size) for
+// repeated traversals on dev under opts.
+func NewPassRunner(circ *circuit.Circuit, dev *arch.Device, opts Options) *PassRunner {
 	opts = opts.normalized()
-	r := &router{
-		dev:      dev,
-		opts:     opts,
-		rng:      rng,
-		circ:     circ,
-		dag:      circuit.BuildDAG(circ),
-		layout:   init.Clone(),
-		decay:    make([]float64, dev.NumQubits()),
-		candSeen: make(map[arch.Edge]bool),
-	}
-	for i := range r.decay {
-		r.decay[i] = 1
+	pr := &PassRunner{
+		circ: circ,
+		dag:  circuit.BuildDAG(circ),
+		dev:  dev,
+		opts: opts,
 	}
 	if opts.Noise != nil {
 		// Memoized on the device: every traversal of every trial shares
 		// one read-only matrix instead of rerunning Floyd–Warshall.
-		r.wdist = dev.WeightedDistancesFor(opts.Noise)
+		pr.wdist = dev.WeightedDistancesFor(opts.Noise)
 	}
-	r.inDeg = r.dag.InDegrees()
-	for i, deg := range r.inDeg {
+	return pr
+}
+
+// Run performs one traversal of SABRE's SWAP-based heuristic search
+// (Algorithm 1) starting from init, using s for every mutable buffer
+// (nil allocates a private scratch). The input layout is not mutated.
+func (pr *PassRunner) Run(init mapping.Layout, rng *rand.Rand, s *Scratch) PassResult {
+	if s == nil {
+		s = NewScratch()
+	}
+	n := pr.dev.NumQubits()
+	s.reset(n, pr.circ.NumGates(), len(pr.dev.Edges()))
+	r := &router{
+		dev:    pr.dev,
+		n:      n,
+		opts:   pr.opts,
+		rng:    rng,
+		circ:   pr.circ,
+		dag:    pr.dag,
+		layout: init.Clone(),
+		s:      s,
+		dist:   pr.dev.Distances(),
+		wdist:  pr.wdist,
+		extGen: -1,
+	}
+	s.inDeg = r.dag.InDegreesInto(s.inDeg)
+	for i, deg := range s.inDeg {
 		if deg == 0 {
-			r.ready = append(r.ready, i)
+			s.ready = append(s.ready, i)
 		}
 	}
 	r.run()
-	out := circuit.NewNamed(circ.Name(), dev.NumQubits())
-	out.Append(r.out...)
+	out := circuit.NewNamed(pr.circ.Name(), n)
+	// Trusted: every emitted gate is a remap of a validated gate
+	// through the layout bijection, or a SWAP/CX on device edges.
+	out.AppendTrusted(s.out...)
 	return PassResult{
 		Circuit:       out,
 		InitialLayout: init.Clone(),
@@ -117,14 +126,75 @@ func RoutePass(circ *circuit.Circuit, dev *arch.Device, init mapping.Layout, opt
 	}
 }
 
-// dist returns the routing distance between physical qubits a and b:
+// RoutePass runs one traversal of SABRE's SWAP-based heuristic search
+// (Algorithm 1) over circ starting from the given layout. circ must
+// already be widened to the device's qubit count. The input layout is
+// not mutated. Callers that route the same circuit repeatedly should
+// construct a PassRunner once and reuse it (plus a Scratch) instead.
+func RoutePass(circ *circuit.Circuit, dev *arch.Device, init mapping.Layout, opts Options, rng *rand.Rand) PassResult {
+	return NewPassRunner(circ, dev, opts).Run(init, rng, nil)
+}
+
+// router holds the mutable state of one traversal of Algorithm 1.
+// Every slice it appends to lives in the Scratch so steady-state SWAP
+// rounds never touch the allocator.
+type router struct {
+	dev  *arch.Device
+	n    int // device qubit count = row stride of the flat matrices
+	opts Options
+	rng  *rand.Rand
+
+	circ *circuit.Circuit // logical circuit, width == device size
+	dag  *circuit.DAG
+
+	layout mapping.Layout
+	done   int // executed gate count
+
+	s *Scratch
+
+	swaps   int
+	bridges int
+	stats   PassStats
+
+	// dist is the device's flat hop-count matrix; wdist the flat
+	// noise-weighted matrix (nil when routing by hop count, see
+	// Options.Noise). Indexed a*n+b.
+	dist  []int
+	wdist []float64
+
+	decaySteps int // SWAP selections since last decay reset
+	stall      int // consecutive SWAPs without executing a gate
+
+	// frontGen increments whenever the front layer's contents change;
+	// extGen records the generation the extended set was computed at.
+	// The extended set is a pure function of the front layer (a DAG
+	// walk), so while the front is unchanged — consecutive
+	// non-executing SWAP rounds, or a bridge probe followed by SWAP
+	// selection in the same round — the cached set is served as-is.
+	frontGen int
+	extGen   int
+
+	// Per-round base sums of the scoring round's front/extended
+	// distances under the current layout (integer hops or weighted),
+	// computed once per round by buildRoundIndex; candidate scores are
+	// base + delta over the few gates touching the swapped qubits.
+	frontSumI int64
+	extSumI   int64
+	frontSumF float64
+	extSumF   float64
+}
+
+// hop returns the hop-count distance between physical qubits a and b.
+func (r *router) hop(a, b int) int { return r.dist[a*r.n+b] }
+
+// distAt returns the routing distance between physical qubits a and b:
 // coupling-graph hops by default, or the noise-weighted most-reliable-
 // path cost when a NoiseModel is configured.
-func (r *router) dist(a, b int) float64 {
+func (r *router) distAt(a, b int) float64 {
 	if r.wdist != nil {
-		return r.wdist[a][b]
+		return r.wdist[a*r.n+b]
 	}
-	return float64(r.dev.Distance(a, b))
+	return float64(r.dist[a*r.n+b])
 }
 
 // run is the main loop of Algorithm 1.
@@ -135,7 +205,7 @@ func (r *router) run() {
 	}
 	for {
 		r.drain()
-		if len(r.front) == 0 {
+		if len(r.s.front) == 0 {
 			return
 		}
 		if r.stall >= maxStall {
@@ -160,36 +230,31 @@ func (r *router) run() {
 // interact again soon (§VI's circuit-transformation direction; the
 // transformation the paper cites from Siraichi et al.).
 func (r *router) tryBridge() bool {
-	r.collectExtendedSet()
-	recurring := make(map[[2]int]bool, len(r.extended))
-	for _, gi := range r.extended {
-		g := r.circ.Gate(gi)
-		a, b := g.Q0, g.Q1
-		if a > b {
-			a, b = b, a
-		}
-		recurring[[2]int{a, b}] = true
-	}
-	for fi, gi := range r.front {
+	r.ensureExtended()
+	s := r.s
+	for fi, gi := range s.front {
 		g := r.circ.Gate(gi)
 		if g.Kind != circuit.KindCX {
 			continue
 		}
 		pa, pb := r.layout.Phys(g.Q0), r.layout.Phys(g.Q1)
-		if r.dev.Distance(pa, pb) != 2 {
+		if r.hop(pa, pb) != 2 {
 			continue
 		}
-		a, b := g.Q0, g.Q1
-		if a > b {
-			a, b = b, a
-		}
-		if recurring[[2]int{a, b}] {
+		if r.pairRecurs(g.Q0, g.Q1) {
 			continue
 		}
-		// Middle qubit on a shortest path.
-		path := r.dev.ShortestPath(pa, pb)
-		m := path[1]
-		r.out = append(r.out,
+		// Middle qubit on a shortest path: the first neighbour of pa
+		// adjacent to pb in sorted order — the same qubit the greedy
+		// shortest-path walk picks.
+		m := -1
+		for _, nb := range r.dev.Neighbors(pa) {
+			if r.hop(nb, pb) == 1 {
+				m = nb
+				break
+			}
+		}
+		s.out = append(s.out,
 			circuit.CX(pa, m), circuit.CX(m, pb),
 			circuit.CX(pa, m), circuit.CX(m, pb),
 		)
@@ -198,12 +263,13 @@ func (r *router) tryBridge() bool {
 		r.resetDecay()
 		// Retire the gate without the usual execute() remap (the bridge
 		// already realized it on physical wires).
-		r.front = append(r.front[:fi], r.front[fi+1:]...)
+		s.front = append(s.front[:fi], s.front[fi+1:]...)
+		r.frontGen++
 		r.done++
-		for _, s := range r.dag.Successors(gi) {
-			r.inDeg[s]--
-			if r.inDeg[s] == 0 {
-				r.ready = append(r.ready, s)
+		for _, succ := range r.dag.Successors(gi) {
+			s.inDeg[succ]--
+			if s.inDeg[succ] == 0 {
+				s.ready = append(s.ready, succ)
 			}
 		}
 		return true
@@ -211,35 +277,65 @@ func (r *router) tryBridge() bool {
 	return false
 }
 
+// pairRecurs reports whether the unordered logical pair {a, b} appears
+// among the extended-set gates. The extended set holds at most
+// ExtendedSetSize gates, so a linear scan beats building a set per
+// round (and allocates nothing).
+func (r *router) pairRecurs(a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	for _, gi := range r.s.extended {
+		g := r.circ.Gate(gi)
+		ga, gb := g.Q0, g.Q1
+		if ga > gb {
+			ga, gb = gb, ga
+		}
+		if ga == a && gb == b {
+			return true
+		}
+	}
+	return false
+}
+
 // drain executes every gate whose dependencies are met and whose
 // physical qubits (for two-qubit gates) are coupled, looping until no
-// further progress. It maintains the front layer F.
+// further progress. It maintains the front layer F and bumps frontGen
+// whenever F's contents change (which invalidates the extended-set
+// cache).
 func (r *router) drain() {
+	s := r.s
+	changed := false
 	for {
 		progress := false
 		// Newly-ready gates: execute or park in the front layer.
-		for len(r.ready) > 0 {
-			g := r.ready[len(r.ready)-1]
-			r.ready = r.ready[:len(r.ready)-1]
+		for len(s.ready) > 0 {
+			g := s.ready[len(s.ready)-1]
+			s.ready = s.ready[:len(s.ready)-1]
 			if r.executable(g) {
 				r.execute(g)
 				progress = true
 			} else {
-				r.front = append(r.front, g)
+				s.front = append(s.front, g)
+				changed = true
 			}
 		}
 		// Front-layer gates that a SWAP (or an executed gate) unlocked.
-		keep := r.front[:0]
-		for _, g := range r.front {
+		keep := s.front[:0]
+		for _, g := range s.front {
 			if r.executable(g) {
 				r.execute(g)
 				progress = true
+				changed = true
 			} else {
 				keep = append(keep, g)
 			}
 		}
-		r.front = keep
+		s.front = keep
 		if !progress {
+			if changed {
+				r.frontGen++
+			}
 			return
 		}
 	}
@@ -260,17 +356,17 @@ func (r *router) executable(g int) bool {
 // DAG and releases its successors.
 func (r *router) execute(g int) {
 	gate := r.circ.Gate(g)
-	r.out = append(r.out, gate.Remap(r.layout.Phys))
+	r.s.out = append(r.s.out, gate.Remap(r.layout.Phys))
 	r.done++
 	if gate.TwoQubit() {
 		// Paper §V: decay resets whenever a CNOT is executed.
 		r.resetDecay()
 		r.stall = 0
 	}
-	for _, s := range r.dag.Successors(g) {
-		r.inDeg[s]--
-		if r.inDeg[s] == 0 {
-			r.ready = append(r.ready, s)
+	for _, succ := range r.dag.Successors(g) {
+		r.s.inDeg[succ]--
+		if r.s.inDeg[succ] == 0 {
+			r.s.ready = append(r.s.ready, succ)
 		}
 	}
 }
@@ -279,26 +375,39 @@ func (r *router) execute(g int) {
 // layer qubit, §IV-C1) with the configured heuristic and applies the
 // best one.
 func (r *router) insertBestSwap() {
+	best := r.scoreRound()
+	r.applySwap(best)
+}
+
+// scoreRound runs one SWAP-selection round up to (but excluding) the
+// mutation: collect candidates, refresh the extended set, rebuild the
+// per-qubit index and base sums, and return the best-scoring candidate
+// edge with ties broken by reservoir sampling. Split from
+// insertBestSwap so tests and benchmarks can measure a steady-state
+// round in isolation.
+func (r *router) scoreRound() arch.Edge {
 	r.collectCandidates()
-	r.collectExtendedSet()
+	r.ensureExtended()
+	r.buildRoundIndex()
+	s := r.s
 	r.stats.SwapRounds++
-	r.stats.TotalCandidates += len(r.candidates)
-	if len(r.candidates) > r.stats.MaxCandidates {
-		r.stats.MaxCandidates = len(r.candidates)
+	r.stats.TotalCandidates += len(s.candidates)
+	if len(s.candidates) > r.stats.MaxCandidates {
+		r.stats.MaxCandidates = len(s.candidates)
 	}
-	if len(r.front) > r.stats.MaxFront {
-		r.stats.MaxFront = len(r.front)
+	if len(s.front) > r.stats.MaxFront {
+		r.stats.MaxFront = len(s.front)
 	}
 
-	best := r.candidates[0]
+	best := s.candidates[0]
 	bestScore := r.scoreSwap(best)
 	ties := 1
-	for _, e := range r.candidates[1:] {
-		s := r.scoreSwap(e)
+	for _, e := range s.candidates[1:] {
+		sc := r.scoreSwap(e)
 		switch {
-		case s < bestScore-1e-12:
-			best, bestScore, ties = e, s, 1
-		case s <= bestScore+1e-12:
+		case sc < bestScore-1e-12:
+			best, bestScore, ties = e, sc, 1
+		case sc <= bestScore+1e-12:
 			// Reservoir-sample among ties so the seeded search explores
 			// the plateau uniformly (the authors' artifact randomizes
 			// tie order the same way).
@@ -308,38 +417,48 @@ func (r *router) insertBestSwap() {
 			}
 		}
 	}
-	r.applySwap(best)
+	return best
 }
 
 // collectCandidates gathers the SWAP candidate list: every coupling
 // edge with at least one endpoint hosting a logical qubit of a front-
 // layer gate. SWAPs entirely between low-priority qubits cannot help
-// (paper Fig. 6) and are pruned.
+// (paper Fig. 6) and are pruned. Deduplication is by dense edge id
+// with an epoch stamp — no map, no clearing pass.
 func (r *router) collectCandidates() {
-	r.candidates = r.candidates[:0]
-	for e := range r.candSeen {
-		delete(r.candSeen, e)
-	}
-	for _, g := range r.front {
+	s := r.s
+	s.candidates = s.candidates[:0]
+	epoch := s.nextEdgeEpoch()
+	for _, g := range s.front {
 		gate := r.circ.Gate(g)
 		for _, q := range [2]int{gate.Q0, gate.Q1} {
 			p := r.layout.Phys(q)
 			for _, nb := range r.dev.Neighbors(p) {
-				e := arch.NewEdge(p, nb)
-				if !r.candSeen[e] {
-					r.candSeen[e] = true
-					r.candidates = append(r.candidates, e)
+				id := r.dev.EdgeIndex(p, nb)
+				if s.edgeMark[id] != epoch {
+					s.edgeMark[id] = epoch
+					s.candidates = append(s.candidates, arch.NewEdge(p, nb))
 				}
 			}
 		}
 	}
 }
 
-// collectExtendedSet fills r.extended with up to ExtendedSetSize
+// ensureExtended refreshes r.s.extended — up to ExtendedSetSize
 // two-qubit gates that follow the front layer in the DAG (BFS order),
-// giving the heuristic its look-ahead window (§IV-D).
-func (r *router) collectExtendedSet() {
-	r.extended = r.extended[:0]
+// the heuristic's look-ahead window (§IV-D) — unless the cached set is
+// still valid. The set is a pure function of the front layer, so it is
+// recomputed only when frontGen moved; bridge probe and SWAP scoring
+// within one round, and consecutive non-executing rounds, all share
+// one computation.
+func (r *router) ensureExtended() {
+	if r.extGen == r.frontGen {
+		return
+	}
+	r.extGen = r.frontGen
+	r.stats.ExtendedRebuilds++
+	s := r.s
+	s.extended = s.extended[:0]
 	if r.opts.Heuristic == HeuristicBasic {
 		return
 	}
@@ -347,41 +466,45 @@ func (r *router) collectExtendedSet() {
 	// BFS from the front layer through the DAG. Decremented indegree
 	// bookkeeping is not needed for an estimate: we walk successors
 	// breadth-first and take the first `limit` two-qubit gates.
-	queue := append([]int(nil), r.front...)
-	visited := make(map[int]bool, 4*limit)
+	// Visited tracking is an epoch stamp per gate; the queue is a
+	// reused buffer walked by index (no pop-front copying).
+	epoch := s.nextGateEpoch()
+	queue := s.bfsQueue[:0]
+	queue = append(queue, s.front...)
 	for _, g := range queue {
-		visited[g] = true
+		s.gateMark[g] = epoch
 	}
-	for len(queue) > 0 && len(r.extended) < limit {
-		g := queue[0]
-		queue = queue[1:]
-		for _, s := range r.dag.Successors(g) {
-			if visited[s] {
+	for head := 0; head < len(queue) && len(s.extended) < limit; head++ {
+		g := queue[head]
+		for _, succ := range r.dag.Successors(g) {
+			if s.gateMark[succ] == epoch {
 				continue
 			}
-			visited[s] = true
-			if r.circ.Gate(s).TwoQubit() {
-				r.extended = append(r.extended, s)
-				if len(r.extended) >= limit {
+			s.gateMark[succ] = epoch
+			if r.circ.Gate(succ).TwoQubit() {
+				s.extended = append(s.extended, succ)
+				if len(s.extended) >= limit {
 					break
 				}
 			}
-			queue = append(queue, s)
+			queue = append(queue, succ)
 		}
 	}
+	s.bfsQueue = queue
 }
 
 // applySwap emits a SWAP on the physical edge, updates the layout and
 // the decay bookkeeping.
 func (r *router) applySwap(e arch.Edge) {
-	r.out = append(r.out, circuit.Swap(e.A, e.B))
+	s := r.s
+	s.out = append(s.out, circuit.Swap(e.A, e.B))
 	qa, qb := r.layout.Log(e.A), r.layout.Log(e.B)
 	r.layout.SwapPhysical(e.A, e.B)
 	r.swaps++
 	r.stall++
 
-	r.decay[qa] += r.opts.DecayDelta
-	r.decay[qb] += r.opts.DecayDelta
+	s.decay[qa] += r.opts.DecayDelta
+	s.decay[qb] += r.opts.DecayDelta
 	r.decaySteps++
 	if r.decaySteps >= r.opts.DecayResetInterval {
 		r.resetDecay()
@@ -392,8 +515,8 @@ func (r *router) resetDecay() {
 	if r.decaySteps == 0 {
 		return
 	}
-	for i := range r.decay {
-		r.decay[i] = 1
+	for i := range r.s.decay {
+		r.s.decay[i] = 1
 	}
 	r.decaySteps = 0
 }
@@ -401,20 +524,29 @@ func (r *router) resetDecay() {
 // forceRoute deterministically routes the oldest front-layer gate by
 // swapping its control along a shortest path to its target. It is the
 // termination safeguard: bounded by the device diameter, it always
-// executes at least one gate.
+// executes at least one gate. The path is walked greedily downhill in
+// the distance matrix (the same walk ShortestPath performs) without
+// materializing it.
 func (r *router) forceRoute() {
-	g := r.front[0]
-	for _, fg := range r.front {
+	g := r.s.front[0]
+	for _, fg := range r.s.front {
 		if fg < g {
 			g = fg
 		}
 	}
 	gate := r.circ.Gate(g)
-	pa, pb := r.layout.Phys(gate.Q0), r.layout.Phys(gate.Q1)
-	path := r.dev.ShortestPath(pa, pb)
+	cur, pb := r.layout.Phys(gate.Q0), r.layout.Phys(gate.Q1)
 	// Swap the control forward until adjacent to the target.
-	for i := 0; i+2 < len(path); i++ {
-		r.applySwap(arch.NewEdge(path[i], path[i+1]))
+	for r.hop(cur, pb) > 1 {
+		next := -1
+		for _, nb := range r.dev.Neighbors(cur) {
+			if r.hop(nb, pb) == r.hop(cur, pb)-1 {
+				next = nb
+				break
+			}
+		}
+		r.applySwap(arch.NewEdge(cur, next))
+		cur = next
 	}
 	r.stall = 0
 	r.stats.ForcedRoutes++

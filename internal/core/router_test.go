@@ -9,9 +9,45 @@ import (
 	"repro/internal/mapping"
 )
 
-// newTestRouter builds a router mid-flight for white-box tests: the
-// Fig. 6 scenario — a 3×3 grid, front layer {CX(q0,q6), CX(q2,q7)},
-// identity layout.
+// newWhiteboxRouter builds a router mid-flight for white-box tests,
+// mirroring PassRunner.Run's setup.
+func newWhiteboxRouter(t *testing.T, dev *arch.Device, c *circuit.Circuit, layout mapping.Layout) *router {
+	t.Helper()
+	s := NewScratch()
+	s.reset(dev.NumQubits(), c.NumGates(), len(dev.Edges()))
+	r := &router{
+		dev:    dev,
+		n:      dev.NumQubits(),
+		opts:   DefaultOptions().normalized(),
+		rng:    rand.New(rand.NewSource(1)),
+		circ:   c,
+		dag:    circuit.BuildDAG(c),
+		layout: layout,
+		s:      s,
+		dist:   dev.Distances(),
+		extGen: -1,
+	}
+	s.inDeg = r.dag.InDegreesInto(s.inDeg)
+	return r
+}
+
+// refreshExtended forces an extended-set recomputation regardless of
+// the front-generation cache (tests mutate router state in ways the
+// cache cannot see).
+func (r *router) refreshExtended() {
+	r.frontGen++
+	r.ensureExtended()
+}
+
+// prepareRound refreshes everything scoreSwap's delta path relies on:
+// the extended set, the per-qubit gate index and the base sums.
+func (r *router) prepareRound() {
+	r.refreshExtended()
+	r.buildRoundIndex()
+}
+
+// newTestRouter builds the Fig. 6 scenario — a 3×3 grid, front layer
+// {CX(q0,q6), CX(q2,q7)}, identity layout.
 func newTestRouter(t *testing.T) *router {
 	t.Helper()
 	dev := arch.Grid(3, 3)
@@ -21,39 +57,26 @@ func newTestRouter(t *testing.T) *router {
 		circuit.CX(2, 7), // front (distance 2)
 		circuit.CX(1, 6), // successor, shares q6
 	)
-	r := &router{
-		dev:      dev,
-		opts:     DefaultOptions().normalized(),
-		rng:      rand.New(rand.NewSource(1)),
-		circ:     c,
-		dag:      circuit.BuildDAG(c),
-		layout:   mapping.Identity(9),
-		decay:    make([]float64, 9),
-		candSeen: make(map[arch.Edge]bool),
-	}
-	for i := range r.decay {
-		r.decay[i] = 1
-	}
-	r.inDeg = r.dag.InDegrees()
-	r.front = []int{0, 1}
+	r := newWhiteboxRouter(t, dev, c, mapping.Identity(9))
+	r.s.front = append(r.s.front, 0, 1)
 	return r
 }
 
 func TestCollectCandidatesOnlyFrontAdjacent(t *testing.T) {
 	r := newTestRouter(t)
 	r.collectCandidates()
-	if len(r.candidates) == 0 {
+	if len(r.s.candidates) == 0 {
 		t.Fatal("no candidates")
 	}
 	frontPhys := map[int]bool{0: true, 6: true, 2: true, 7: true}
-	for _, e := range r.candidates {
+	for _, e := range r.s.candidates {
 		if !frontPhys[e.A] && !frontPhys[e.B] {
 			t.Fatalf("candidate %v touches no front qubit (paper Fig. 6: low-priority SWAPs are pruned)", e)
 		}
 	}
 	// No duplicates.
 	seen := map[arch.Edge]bool{}
-	for _, e := range r.candidates {
+	for _, e := range r.s.candidates {
 		if seen[e] {
 			t.Fatalf("duplicate candidate %v", e)
 		}
@@ -63,16 +86,39 @@ func TestCollectCandidatesOnlyFrontAdjacent(t *testing.T) {
 
 func TestCollectExtendedSet(t *testing.T) {
 	r := newTestRouter(t)
-	r.collectExtendedSet()
+	r.refreshExtended()
 	// Gate 2 (CX(1,6)) is the lone successor.
-	if len(r.extended) != 1 || r.extended[0] != 2 {
-		t.Fatalf("extended = %v, want [2]", r.extended)
+	if len(r.s.extended) != 1 || r.s.extended[0] != 2 {
+		t.Fatalf("extended = %v, want [2]", r.s.extended)
 	}
 	// Basic heuristic skips the extended set entirely.
 	r.opts.Heuristic = HeuristicBasic
-	r.collectExtendedSet()
-	if len(r.extended) != 0 {
+	r.refreshExtended()
+	if len(r.s.extended) != 0 {
 		t.Fatal("basic heuristic should not build an extended set")
+	}
+}
+
+func TestExtendedSetCachedWhileFrontUnchanged(t *testing.T) {
+	r := newTestRouter(t)
+	r.refreshExtended()
+	rebuilds := r.stats.ExtendedRebuilds
+	// Same front generation: served from cache, no recomputation —
+	// this is what spares tryBridge+insertBestSwap the double walk.
+	r.ensureExtended()
+	r.ensureExtended()
+	if r.stats.ExtendedRebuilds != rebuilds {
+		t.Fatalf("extended set recomputed %d times for an unchanged front",
+			r.stats.ExtendedRebuilds-rebuilds)
+	}
+	if len(r.s.extended) != 1 || r.s.extended[0] != 2 {
+		t.Fatalf("cached extended = %v, want [2]", r.s.extended)
+	}
+	// Front change invalidates.
+	r.frontGen++
+	r.ensureExtended()
+	if r.stats.ExtendedRebuilds != rebuilds+1 {
+		t.Fatal("front change did not trigger a rebuild")
 	}
 }
 
@@ -82,17 +128,12 @@ func TestExtendedSetRespectsLimit(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		c.Append(circuit.CX(0, 1))
 	}
-	r := &router{
-		dev: dev, opts: DefaultOptions().normalized(), rng: rand.New(rand.NewSource(1)),
-		circ: c, dag: circuit.BuildDAG(c), layout: mapping.Identity(4),
-		decay: []float64{1, 1, 1, 1}, candSeen: map[arch.Edge]bool{},
-	}
+	r := newWhiteboxRouter(t, dev, c, mapping.Identity(4))
 	r.opts.ExtendedSetSize = 5
-	r.inDeg = r.dag.InDegrees()
-	r.front = []int{0}
-	r.collectExtendedSet()
-	if len(r.extended) > 5 {
-		t.Fatalf("extended set %d exceeds limit 5", len(r.extended))
+	r.s.front = append(r.s.front, 0)
+	r.refreshExtended()
+	if len(r.s.extended) > 5 {
+		t.Fatalf("extended set %d exceeds limit 5", len(r.s.extended))
 	}
 }
 
@@ -106,14 +147,17 @@ func TestFrontDistanceSumEq1(t *testing.T) {
 }
 
 func TestScoreSwapRestoresLayout(t *testing.T) {
-	r := newTestRouter(t)
-	before := r.layout.Clone()
-	for _, h := range []Heuristic{HeuristicBasic, HeuristicLookahead, HeuristicDecay} {
-		r.opts.Heuristic = h
-		r.collectExtendedSet()
-		_ = r.scoreSwap(arch.NewEdge(0, 3))
-		if !r.layout.Equal(before) {
-			t.Fatalf("%v: scoreSwap mutated the layout", h)
+	for _, exhaustive := range []bool{false, true} {
+		r := newTestRouter(t)
+		r.opts.ExhaustiveScoring = exhaustive
+		before := r.layout.Clone()
+		for _, h := range []Heuristic{HeuristicBasic, HeuristicLookahead, HeuristicDecay} {
+			r.opts.Heuristic = h
+			r.prepareRound()
+			_ = r.scoreSwap(arch.NewEdge(0, 3))
+			if !r.layout.Equal(before) {
+				t.Fatalf("%v (exhaustive=%v): scoreSwap mutated the layout", h, exhaustive)
+			}
 		}
 	}
 }
@@ -121,6 +165,7 @@ func TestScoreSwapRestoresLayout(t *testing.T) {
 func TestScoreSwapPrefersHelpfulSwap(t *testing.T) {
 	r := newTestRouter(t)
 	r.opts.Heuristic = HeuristicBasic
+	r.prepareRound()
 	// Swapping 0↔3 moves q0 one step toward q6: front sum 4 → 3.
 	helpful := r.scoreSwap(arch.NewEdge(0, 3))
 	// Swapping 0↔1 leaves both distances at best unchanged.
@@ -130,21 +175,93 @@ func TestScoreSwapPrefersHelpfulSwap(t *testing.T) {
 	}
 }
 
+// TestDeltaScoringMatchesExhaustive checks the core scoring invariant
+// candidate-by-candidate at several points mid-routing, for every
+// candidate edge and heuristic. With hop-count distances base+Δ must
+// equal the from-scratch sum bit-for-bit (int64-exact sums). Under a
+// noise model the delta re-associates the float accumulation, so the
+// contract is ~1 ulp agreement per score plus an identical best
+// candidate per round.
+func TestDeltaScoringMatchesExhaustive(t *testing.T) {
+	dev := arch.Grid(3, 3)
+	rng := rand.New(rand.NewSource(42))
+	c := circuit.New(9)
+	for i := 0; i < 40; i++ {
+		a := rng.Intn(9)
+		b := rng.Intn(8)
+		if b >= a {
+			b++
+		}
+		c.Append(circuit.CX(a, b))
+	}
+	noise := arch.RandomNoise(dev, 1e-3, 1e-1, rand.New(rand.NewSource(5)))
+	for _, weighted := range []bool{false, true} {
+		for _, h := range []Heuristic{HeuristicBasic, HeuristicLookahead, HeuristicDecay} {
+			r := newWhiteboxRouter(t, dev, c, mapping.Identity(9))
+			r.opts.Heuristic = h
+			if weighted {
+				r.opts.Noise = noise
+				r.wdist = dev.WeightedDistancesFor(noise)
+			}
+			for i, deg := range r.s.inDeg {
+				if deg == 0 {
+					r.s.ready = append(r.s.ready, i)
+				}
+			}
+			for rounds := 0; rounds < 12; rounds++ {
+				r.drain()
+				if len(r.s.front) == 0 {
+					break
+				}
+				r.collectCandidates()
+				r.ensureExtended()
+				r.buildRoundIndex()
+				bestD, bestE := 0, 0
+				for ci, e := range r.s.candidates {
+					delta := r.scoreSwap(e)
+					exhaustive := r.scoreSwapExhaustive(e)
+					if !weighted && delta != exhaustive {
+						t.Fatalf("%v round %d cand %v: delta %v != exhaustive %v",
+							h, rounds, e, delta, exhaustive)
+					}
+					if weighted {
+						if diff := delta - exhaustive; diff > 1e-12 || diff < -1e-12 {
+							t.Fatalf("%v round %d cand %v: weighted delta %v vs exhaustive %v",
+								h, rounds, e, delta, exhaustive)
+						}
+					}
+					if delta < r.scoreSwap(r.s.candidates[bestD]) {
+						bestD = ci
+					}
+					if exhaustive < r.scoreSwapExhaustive(r.s.candidates[bestE]) {
+						bestE = ci
+					}
+				}
+				if bestD != bestE {
+					t.Fatalf("%v round %d: scorers disagree on the best candidate (%d vs %d)",
+						h, rounds, bestD, bestE)
+				}
+				r.applySwap(r.s.candidates[0])
+			}
+		}
+	}
+}
+
 func TestDecayBiasesAgainstReusedQubits(t *testing.T) {
 	r := newTestRouter(t)
 	r.opts.Heuristic = HeuristicDecay
-	r.collectExtendedSet()
+	r.prepareRound()
 	base := r.scoreSwap(arch.NewEdge(0, 3))
 	// Mark logical q0 (on phys 0) as recently swapped.
-	r.decay[0] = 1.5
+	r.s.decay[0] = 1.5
 	biased := r.scoreSwap(arch.NewEdge(0, 3))
 	if biased <= base {
 		t.Fatalf("decay did not raise the score: %g vs %g", biased, base)
 	}
 	// An edge not touching q0 is unaffected.
-	r.collectExtendedSet()
+	r.prepareRound()
 	other := r.scoreSwap(arch.NewEdge(7, 8))
-	r.decay[0] = 1
+	r.s.decay[0] = 1
 	otherBase := r.scoreSwap(arch.NewEdge(7, 8))
 	if other != otherBase {
 		t.Fatalf("decay leaked to unrelated swap: %g vs %g", other, otherBase)
@@ -154,13 +271,13 @@ func TestDecayBiasesAgainstReusedQubits(t *testing.T) {
 func TestApplySwapUpdatesEverything(t *testing.T) {
 	r := newTestRouter(t)
 	r.applySwap(arch.NewEdge(0, 3))
-	if r.swaps != 1 || len(r.out) != 1 || r.out[0].Kind != circuit.KindSwap {
+	if r.swaps != 1 || len(r.s.out) != 1 || r.s.out[0].Kind != circuit.KindSwap {
 		t.Fatal("swap not recorded")
 	}
 	if r.layout.Phys(0) != 3 || r.layout.Phys(3) != 0 {
 		t.Fatal("layout not updated")
 	}
-	if r.decay[0] != 1+r.opts.DecayDelta || r.decay[3] != 1+r.opts.DecayDelta {
+	if r.s.decay[0] != 1+r.opts.DecayDelta || r.s.decay[3] != 1+r.opts.DecayDelta {
 		t.Fatal("decay not incremented for swapped logical qubits")
 	}
 }
@@ -169,11 +286,11 @@ func TestDecayResetAfterInterval(t *testing.T) {
 	r := newTestRouter(t)
 	r.opts.DecayResetInterval = 2
 	r.applySwap(arch.NewEdge(0, 3))
-	if r.decay[0] == 1 {
+	if r.s.decay[0] == 1 {
 		t.Fatal("decay should be raised after first swap")
 	}
 	r.applySwap(arch.NewEdge(0, 3)) // second swap hits the interval
-	for q, d := range r.decay {
+	for q, d := range r.s.decay {
 		if d != 1 {
 			t.Fatalf("decay[%d] = %g after reset interval", q, d)
 		}
@@ -184,15 +301,11 @@ func TestExecuteResetsDecayOnCNOT(t *testing.T) {
 	dev := arch.Line(2)
 	c := circuit.New(2)
 	c.Append(circuit.CX(0, 1))
-	r := &router{
-		dev: dev, opts: DefaultOptions().normalized(), rng: rand.New(rand.NewSource(1)),
-		circ: c, dag: circuit.BuildDAG(c), layout: mapping.Identity(2),
-		decay: []float64{1.5, 1.5}, candSeen: map[arch.Edge]bool{},
-	}
+	r := newWhiteboxRouter(t, dev, c, mapping.Identity(2))
+	r.s.decay[0], r.s.decay[1] = 1.5, 1.5
 	r.decaySteps = 3
-	r.inDeg = r.dag.InDegrees()
 	r.execute(0)
-	if r.decay[0] != 1 || r.decay[1] != 1 {
+	if r.s.decay[0] != 1 || r.s.decay[1] != 1 {
 		t.Fatal("executing a CNOT must reset decay (paper §V)")
 	}
 }
@@ -213,13 +326,8 @@ func TestForceRouteExecutesFrontGate(t *testing.T) {
 	dev := arch.Line(5)
 	c := circuit.New(5)
 	c.Append(circuit.CX(0, 4))
-	r := &router{
-		dev: dev, opts: DefaultOptions().normalized(), rng: rand.New(rand.NewSource(1)),
-		circ: c, dag: circuit.BuildDAG(c), layout: mapping.Identity(5),
-		decay: []float64{1, 1, 1, 1, 1}, candSeen: map[arch.Edge]bool{},
-	}
-	r.inDeg = r.dag.InDegrees()
-	r.front = []int{0}
+	r := newWhiteboxRouter(t, dev, c, mapping.Identity(5))
+	r.s.front = append(r.s.front, 0)
 	r.forceRoute()
 	// dist(0,4)=4 on a line → 3 swaps bring them adjacent.
 	if r.swaps != 3 {
@@ -227,5 +335,33 @@ func TestForceRouteExecutesFrontGate(t *testing.T) {
 	}
 	if !r.executable(0) {
 		t.Fatal("gate still not executable after force route")
+	}
+}
+
+// TestScratchReuseAcrossPasses routes two different circuits through
+// one Scratch and checks the results match fresh-scratch routing —
+// stale buffer contents must never leak between passes.
+func TestScratchReuseAcrossPasses(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	rng1 := rand.New(rand.NewSource(9))
+	rng2 := rand.New(rand.NewSource(9))
+	shared := NewScratch()
+	for _, gates := range []int{60, 25, 90} {
+		c := circuit.New(20)
+		mix := rand.New(rand.NewSource(int64(gates)))
+		for i := 0; i < gates; i++ {
+			a := mix.Intn(20)
+			b := mix.Intn(19)
+			if b >= a {
+				b++
+			}
+			c.Append(circuit.CX(a, b))
+		}
+		pr := NewPassRunner(c, dev, DefaultOptions())
+		got := pr.Run(mapping.Identity(20), rng1, shared)
+		want := pr.Run(mapping.Identity(20), rng2, nil)
+		if !got.Circuit.Equal(want.Circuit) || got.SwapCount != want.SwapCount {
+			t.Fatalf("gates=%d: shared-scratch pass diverged from fresh-scratch pass", gates)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -21,14 +22,21 @@ import (
 // inputs, and the device's cached distance matrices — read-only across
 // a worker pool.
 type Prepared struct {
-	dev      *arch.Device
-	opts     Options
-	wide     *circuit.Circuit
-	reversed *circuit.Circuit
+	dev  *arch.Device
+	opts Options
+
+	// fwd and rev hold the prepared (DAG-carrying) pass runners for the
+	// widened forward and reversed circuits. Both DAGs are
+	// trial-invariant; before they moved here, every traversal of every
+	// trial rebuilt them from scratch.
+	fwd *PassRunner
+	rev *PassRunner
 }
 
 // Prepare validates circ against dev and precomputes the shared
-// read-only state every trial needs. The returned value is safe for
+// read-only state every trial needs: the widened forward and reversed
+// circuits, their dependency DAGs, and the device's (possibly
+// noise-weighted) distance matrices. The returned value is safe for
 // concurrent RunTrial calls.
 func Prepare(circ *circuit.Circuit, dev *arch.Device, opts Options) (*Prepared, error) {
 	opts = opts.normalized()
@@ -46,7 +54,12 @@ func Prepare(circ *circuit.Circuit, dev *arch.Device, opts Options) (*Prepared, 
 		// concurrent traversals only ever read the memo.
 		dev.WeightedDistancesFor(opts.Noise)
 	}
-	return &Prepared{dev: dev, opts: opts, wide: wide, reversed: wide.Reverse()}, nil
+	return &Prepared{
+		dev:  dev,
+		opts: opts,
+		fwd:  NewPassRunner(wide, dev, opts),
+		rev:  NewPassRunner(wide.Reverse(), dev, opts),
+	}, nil
 }
 
 // Options returns the normalized options the trials run under.
@@ -60,8 +73,22 @@ func (p *Prepared) Device() *arch.Device { return p.dev }
 // forward/backward passes seeded by Seed+trial (the reverse-traversal
 // technique of §IV-C2), returning the final forward pass's result and
 // its decomposed depth (the deterministic tie-break key). Safe to call
-// concurrently for distinct trials.
+// concurrently for distinct trials. It allocates a private Scratch;
+// workers that run many trials should hold one Scratch each and use
+// RunTrialWith.
 func (p *Prepared) RunTrial(trial int) (*Result, int) {
+	return p.RunTrialWith(trial, nil)
+}
+
+// RunTrialWith is RunTrial routing through the caller's scratch
+// buffers. The scratch must not be shared between concurrent calls;
+// the per-worker ownership discipline (one Scratch per goroutine,
+// nothing mutable shared across the pool) is what keeps parallel
+// trials allocation- and contention-free.
+func (p *Prepared) RunTrialWith(trial int, s *Scratch) (*Result, int) {
+	if s == nil {
+		s = NewScratch() // shared by this trial's traversals at least
+	}
 	opts := p.opts
 	rng := rand.New(rand.NewSource(opts.Seed + int64(trial)))
 	layout := mapping.Random(p.dev.NumQubits(), rng)
@@ -69,11 +96,11 @@ func (p *Prepared) RunTrial(trial int) (*Result, int) {
 	var final PassResult
 	firstAdded := -1
 	for t := 0; t < opts.Traversals; t++ {
-		in := p.wide
+		runner := p.fwd
 		if t%2 == 1 {
-			in = p.reversed
+			runner = p.rev
 		}
-		final = RoutePass(in, p.dev, layout, opts, rng)
+		final = runner.Run(layout, rng, s)
 		layout = final.FinalLayout
 		if t == 0 {
 			firstAdded = 3 * (final.SwapCount + final.BridgeCount)
@@ -166,30 +193,52 @@ func CompileContext(ctx context.Context, circ *circuit.Circuit, dev *arch.Device
 	results := make([]*Result, opts.Trials)
 	depths := make([]int, opts.Trials)
 	if opts.ParallelTrials && opts.Trials > 1 {
-		var wg sync.WaitGroup
-		for trial := 0; trial < opts.Trials; trial++ {
-			wg.Add(1)
-			go func(trial int) {
-				defer wg.Done()
-				// Honor cancellation at the trial boundary: a trial
-				// not yet started when ctx dies is skipped, and the
-				// run as a whole fails below.
-				if ctx.Err() != nil {
-					return
-				}
-				results[trial], depths[trial] = p.RunTrial(trial)
-			}(trial)
+		// Bounded worker pool: GOMAXPROCS goroutines, each owning one
+		// Scratch for its whole share of the trials. One goroutine per
+		// trial would both oversubscribe the scheduler on large trial
+		// counts and waste a scratch warm-up per trial.
+		workers := runtime.GOMAXPROCS(0)
+		if workers > opts.Trials {
+			workers = opts.Trials
 		}
+		trials := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				s := NewScratch()
+				for trial := range trials {
+					// Honor cancellation at the trial boundary: a trial
+					// not yet started when ctx dies is skipped, and the
+					// run as a whole fails below.
+					if ctx.Err() != nil {
+						continue
+					}
+					results[trial], depths[trial] = p.RunTrialWith(trial, s)
+				}
+			}()
+		}
+	feed:
+		for trial := 0; trial < opts.Trials; trial++ {
+			select {
+			case trials <- trial:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(trials)
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 	} else {
+		s := NewScratch()
 		for trial := 0; trial < opts.Trials; trial++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			results[trial], depths[trial] = p.RunTrial(trial)
+			results[trial], depths[trial] = p.RunTrialWith(trial, s)
 		}
 	}
 
@@ -264,6 +313,9 @@ func InitialMapping(circ *circuit.Circuit, dev *arch.Device, opts Options) (mapp
 		wide = circ.Widen(dev.NumQubits())
 	}
 	reversed := wide.Reverse()
+	fwd := NewPassRunner(wide, dev, opts)
+	rev := NewPassRunner(reversed, dev, opts)
+	scratch := NewScratch()
 
 	bestSwaps := -1
 	var bestLayout mapping.Layout
@@ -272,10 +324,10 @@ func InitialMapping(circ *circuit.Circuit, dev *arch.Device, opts Options) (mapp
 		layout := mapping.Random(dev.NumQubits(), rng)
 		// Forward then backward: the backward pass's final mapping is
 		// the improved initial mapping for the original circuit.
-		f := RoutePass(wide, dev, layout, opts, rng)
-		b := RoutePass(reversed, dev, f.FinalLayout, opts, rng)
+		f := fwd.Run(layout, rng, scratch)
+		b := rev.Run(f.FinalLayout, rng, scratch)
 		// Score the candidate by one evaluation pass.
-		probe := RoutePass(wide, dev, b.FinalLayout, opts, rng)
+		probe := fwd.Run(b.FinalLayout, rng, scratch)
 		if bestSwaps < 0 || probe.SwapCount < bestSwaps {
 			bestSwaps = probe.SwapCount
 			bestLayout = b.FinalLayout

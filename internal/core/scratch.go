@@ -1,0 +1,124 @@
+package core
+
+import (
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+// Scratch owns every reusable buffer a routing traversal mutates, so a
+// worker that routes many passes (a trial worker, an annealing chain)
+// performs zero steady-state heap allocations inside the SWAP loop:
+// all per-round state lives here and is re-sliced, never reallocated,
+// once warm. A Scratch is single-goroutine state — per-worker, shared
+// with nobody — which is exactly the share-nothing discipline that
+// keeps parallel trials off each other's cache lines. The zero value
+// is not usable; construct with NewScratch. Passing nil where a
+// *Scratch is accepted makes the callee allocate a private one.
+//
+// Buffer-clearing convention: buffers indexed by gate or edge are
+// epoch-stamped ([]int32 marks compared against a monotonically
+// increasing epoch) so "clearing" a mark set is one integer increment,
+// not an O(n) wipe. On the rare epoch overflow the marks are zeroed
+// and the epoch restarts at 1.
+type Scratch struct {
+	// Traversal state, sized per pass.
+	inDeg []int           // working indegree copy, len = gate count
+	front []int           // front layer F
+	ready []int           // dependency-released, executability unchecked
+	out   []circuit.Gate  // routed output accumulator
+	decay []float64       // per logical qubit decay, len = device size
+
+	// SWAP-candidate collection: dense edge ids + epoch stamps replace
+	// the old map[arch.Edge]bool.
+	candidates []arch.Edge
+	edgeMark   []int32 // len = device edge count
+	edgeEpoch  int32
+
+	// Extended-set BFS: gate epoch stamps replace the old visited map,
+	// bfsQueue the old throwaway queue slice. (Delta scoring needs no
+	// marks: its only shared gate, the one touching both swapped
+	// qubits, is deduplicated by a partner-qubit skip.)
+	extended  []int
+	gateMark  []int32 // len = gate count; BFS visited set
+	gateEpoch int32
+	bfsQueue  []int
+
+	// Per-round delta-scoring index: for each logical qubit, the front
+	// and extended gates touching it (front gate gi encoded as gi+1,
+	// extended as -(gi+1)). qTouched lists the qubits with non-empty
+	// entries so resetting is O(touched), not O(n).
+	qGates   [][]int32
+	qTouched []int
+}
+
+// NewScratch returns an empty scratch. Buffers grow to the sizes of
+// whatever passes it serves and are then reused; keep one per worker.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// reset sizes the scratch for one traversal: n device qubits, gates
+// DAG nodes, edges coupling edges. Buffers are grown only when a
+// larger circuit or device arrives; otherwise they are re-sliced.
+func (s *Scratch) reset(n, gates, edges int) {
+	if cap(s.decay) < n {
+		s.decay = make([]float64, n)
+	}
+	s.decay = s.decay[:n]
+	for i := range s.decay {
+		s.decay[i] = 1
+	}
+	if cap(s.edgeMark) < edges {
+		s.edgeMark = make([]int32, edges)
+		s.edgeEpoch = 0
+	}
+	s.edgeMark = s.edgeMark[:edges]
+	if cap(s.gateMark) < gates {
+		s.gateMark = make([]int32, gates)
+		s.gateEpoch = 0
+	}
+	s.gateMark = s.gateMark[:gates]
+	if len(s.qGates) < n {
+		old := s.qGates
+		s.qGates = make([][]int32, n)
+		copy(s.qGates, old)
+	}
+	for _, q := range s.qTouched {
+		s.qGates[q] = s.qGates[q][:0]
+	}
+	s.qTouched = s.qTouched[:0]
+	s.front = s.front[:0]
+	s.ready = s.ready[:0]
+	s.out = s.out[:0]
+	s.extended = s.extended[:0]
+	s.candidates = s.candidates[:0]
+	s.bfsQueue = s.bfsQueue[:0]
+}
+
+// nextEdgeEpoch advances the edge epoch, wiping the marks on overflow.
+// The wipe covers the full capacity, not just the current slice: a
+// smaller device may be in service when the epoch wraps, and the
+// hidden tail must not hold marks a later, larger device would read.
+func (s *Scratch) nextEdgeEpoch() int32 {
+	s.edgeEpoch++
+	if s.edgeEpoch < 0 {
+		full := s.edgeMark[:cap(s.edgeMark)]
+		for i := range full {
+			full[i] = 0
+		}
+		s.edgeEpoch = 1
+	}
+	return s.edgeEpoch
+}
+
+// nextGateEpoch advances the gate epoch, wiping the marks (full
+// capacity, see nextEdgeEpoch) on overflow.
+func (s *Scratch) nextGateEpoch() int32 {
+	s.gateEpoch++
+	if s.gateEpoch < 0 {
+		full := s.gateMark[:cap(s.gateMark)]
+		for i := range full {
+			full[i] = 0
+		}
+		s.gateEpoch = 1
+	}
+	return s.gateEpoch
+}

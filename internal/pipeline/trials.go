@@ -108,8 +108,12 @@ func (tr TrialRunner) RunTrials(ctx context.Context, circ *circuit.Circuit, dev 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// One Scratch per worker: every trial this worker runs
+			// reuses the same warm buffers, and no mutable state is
+			// shared across the pool (the shared Prepared is read-only).
+			scratch := core.NewScratch()
 			for trial := range trials {
-				results[trial], depths[trial] = p.RunTrial(trial)
+				results[trial], depths[trial] = p.RunTrialWith(trial, scratch)
 				completions <- trial
 			}
 		}()

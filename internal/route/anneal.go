@@ -58,6 +58,13 @@ func (r AnnealRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arc
 	}
 	n := dev.NumQubits()
 
+	// One prepared runner + scratch for the whole search: every
+	// annealing step re-routes the same circuit, so the DAG is built
+	// once here instead of once per step, and all step traversals
+	// reuse the same warm buffers.
+	runner := core.NewPassRunner(wide, dev, opts)
+	scratch := core.NewScratch()
+
 	var best trialBest
 	for chain := 0; chain < chains; chain++ {
 		if err := ctx.Err(); err != nil {
@@ -65,7 +72,7 @@ func (r AnnealRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arc
 		}
 		rng := rand.New(rand.NewSource(opts.Seed + int64(chain)))
 		cur := mapping.Random(n, rng)
-		curPass := core.RoutePass(wide, dev, cur, opts, rng)
+		curPass := runner.Run(cur, rng, scratch)
 		curCost := addedGates(curPass)
 		best.consider(curPass, curCost)
 
@@ -91,7 +98,7 @@ func (r AnnealRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arc
 				b++
 			}
 			cand.SwapPhysical(a, b)
-			candPass := core.RoutePass(wide, dev, cand, opts, rng)
+			candPass := runner.Run(cand, rng, scratch)
 			candCost := addedGates(candPass)
 			if candCost <= curCost || rng.Float64() < math.Exp(float64(curCost-candCost)/temp) {
 				cur, curPass, curCost = cand, candPass, candCost
