@@ -3,12 +3,23 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench bench-smoke bench-json clean
+.PHONY: check build test vet lint race bench bench-smoke bench-json bench-guard sabred-smoke clean
 
-check: vet build race
+check: vet lint build race
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck is not vendored; the target
+# runs it when the binary is on PATH (CI installs a pinned version)
+# and skips with a notice otherwise, so `make check` works on a bare
+# toolchain.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -26,14 +37,17 @@ bench:
 # engine with a 4-trial fan-out and the verify pass in the job
 # pipeline, so any routing-validity error fails the target (exit 1),
 # plus one workload through each registry heuristic (anneal,
-# tokenswap) under the same verify gate. The final step runs the
-# routing hot-path benchmarks once with allocation reporting — the
-# TestScoreRoundZeroAllocs guard in the same package fails the suite
-# if a heap allocation creeps back into the steady-state SWAP round.
+# tokenswap) under the same verify gate, plus the async job queue
+# (submit/poll/webhook/cancel/drain) over the same workloads. The
+# final step runs the routing hot-path benchmarks once with allocation
+# reporting — the TestScoreRoundZeroAllocs guard in the same package
+# fails the suite if a heap allocation creeps back into the
+# steady-state SWAP round.
 bench-smoke:
 	$(GO) run ./cmd/benchtab -batch -names 4mod5-v1_22,qft_10 -trials 4 -passes verify -rounds 1 -workers 2
 	$(GO) run ./cmd/benchtab -batch -names 4mod5-v1_22 -route anneal -trials 2 -passes verify -rounds 1 -workers 2
 	$(GO) run ./cmd/benchtab -batch -names 4mod5-v1_22 -route tokenswap -trials 4 -passes verify -rounds 1 -workers 2
+	$(GO) run ./cmd/benchtab -async -names 4mod5-v1_22,qft_10 -passes verify -workers 2
 	$(GO) test ./internal/core -run TestScoreRoundZeroAllocs -count=1 \
 		-bench 'BenchmarkScoreRound|BenchmarkRoutePass/qft_20' -benchtime=1x -benchmem
 
@@ -42,6 +56,24 @@ bench-smoke:
 # Compare against the committed BENCH_PR4.json.
 bench-json:
 	$(GO) run ./cmd/benchtab -json BENCH_PR4.json
+
+# CI perf-regression gate: re-measure the committed baseline and fail
+# on >25% ns/op regression, any allocs/op growth on the zero-alloc
+# (sabre) rows, or added-gates drift. BENCH_GUARD_NAMES bounds the
+# wall-clock (empty = every baseline row, ~1 min + the two large
+# workloads); CI restricts it to the fast rows so the gate stays
+# snappy and scheduler noise on the big circuits doesn't flake it.
+BENCH_GUARD_NAMES ?=
+bench-guard:
+	$(GO) run ./cmd/benchtab -compare BENCH_PR4.json -tolerance 25 -names '$(BENCH_GUARD_NAMES)'
+
+# End-to-end daemon smoke: build sabred, boot it, submit an async job,
+# long-poll to completion, assert the verify pass succeeded and the
+# output is byte-identical to POST /compile, receive the webhook,
+# cancel a heavy job, and SIGTERM into a clean graceful drain.
+# SMOKE_RACE=1 builds the daemon with the race detector (CI does).
+sabred-smoke:
+	$(GO) run ./cmd/sabredsmoke $(if $(SMOKE_RACE),-race,)
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,79 @@
+package sabre_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	sabre "repro"
+)
+
+// TestAsyncEngineLifecycle drives the facade's async surface end to
+// end: submit, long-poll wait, result parity with the synchronous
+// engine path, cancel, stats.
+func TestAsyncEngineLifecycle(t *testing.T) {
+	ae := sabre.NewAsyncEngine(sabre.BatchConfig{Workers: 2}, sabre.JobQueueConfig{Workers: 2})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = ae.Close(ctx)
+	}()
+
+	dev := sabre.IBMQ20Tokyo()
+	job := sabre.BatchJob{Circuit: sabre.QFT(8), Device: dev, Tag: "qft8"}
+
+	snap, err := ae.SubmitAsync(job, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != sabre.JobQueued {
+		t.Fatalf("state after submit = %s", snap.State)
+	}
+	snap, err = ae.WaitJob(context.Background(), snap.ID, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != sabre.JobDone || snap.Result == nil {
+		t.Fatalf("job finished as %s (%s)", snap.State, snap.Err)
+	}
+
+	// Parity with the synchronous engine path for the identical job.
+	sync := <-ae.Batch().Submit(job)
+	if sync.Err != nil {
+		t.Fatal(sync.Err)
+	}
+	if sabre.FormatQASM(snap.Result.Final) != sabre.FormatQASM(sync.Final) {
+		t.Fatal("async result differs from synchronous result")
+	}
+
+	if _, err := ae.JobStatus(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ae.JobStatus("job-unknown"); err == nil {
+		t.Fatal("unknown job id must error")
+	}
+
+	// Cancel a fresh submission (it may finish first on a fast box;
+	// both terminal states are legal, hanging is not).
+	again, err := ae.SubmitAsync(job, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ae.CancelJob(again.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := ae.WaitJob(context.Background(), again.ID, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.State.Terminal() {
+		t.Fatalf("cancelled job stuck in %s", final.State)
+	}
+
+	if st := ae.JobStats(); st.Submitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := len(ae.Jobs()); got != 2 {
+		t.Fatalf("jobs list = %d entries, want 2", got)
+	}
+}

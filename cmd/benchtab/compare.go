@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/route"
+	"repro/internal/workloads"
+)
+
+// measureRow benchmarks one workload × router combination with the
+// testing package's harness (so ns/op and allocs/op mean exactly what
+// `go test -bench` reports). The pseudo-router "sabre-exhaustive" is
+// the sabre backend with Options.ExhaustiveScoring set — the
+// pre-delta-scoring reference kept in the trajectory so regressions
+// of the incremental scorer show up as a shrinking gap.
+func measureRow(b workloads.Benchmark, dev *arch.Device, opts core.Options, rname string) benchRow {
+	circ := b.Build()
+	ropts := opts
+	backend := rname
+	if rname == "sabre-exhaustive" {
+		backend = "sabre"
+		ropts.ExhaustiveScoring = true
+	}
+	router, err := route.New(backend)
+	if err != nil {
+		fatal(err)
+	}
+	var res *core.Result
+	var routeErr error
+	br := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			res, routeErr = router.Route(context.Background(), circ, dev, ropts)
+			if routeErr != nil {
+				tb.Fatal(routeErr)
+			}
+		}
+	})
+	// tb.Fatal only aborts the benchmark function; surface the
+	// failure here instead of dereferencing a nil result.
+	if routeErr != nil {
+		fatal(fmt.Errorf("%s/%s: %w", b.Name, rname, routeErr))
+	}
+	if res == nil {
+		fatal(fmt.Errorf("%s/%s: benchmark produced no result", b.Name, rname))
+	}
+	return benchRow{
+		Workload:    b.Name,
+		Router:      rname,
+		Gori:        circ.NumGates(),
+		NsPerOp:     br.NsPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		AddedGates:  res.AddedGates,
+		Depth:       res.Circuit.DecomposeSwaps().Depth(),
+		TrialsRun:   res.TrialsRun,
+		AvgCands:    res.Stats.AvgCandidates(),
+	}
+}
+
+// zeroAllocRouter reports whether a router's rows fall under the
+// strict no-allocation-growth gate. The sabre backends' allocs/op is
+// a fixed per-trial setup cost — the steady-state SWAP round is
+// zero-alloc (PR 4's TestScoreRoundZeroAllocs) — so any growth means
+// an allocation crept back into the loop and scales with circuit
+// size. The baselines (greedy, astar) allocate proportionally to
+// work and only get the ns/op tolerance.
+func zeroAllocRouter(name string) bool {
+	return name == "sabre" || name == "sabre-exhaustive"
+}
+
+// runCompare is the CI perf-regression gate: re-measure every row of
+// a committed BENCH_*.json baseline on this machine/toolchain and
+// fail (exit 1) when the perf trajectory regresses —
+//
+//   - ns/op above baseline by more than `tolerance` percent;
+//   - any allocs/op growth on the zero-alloc (sabre) rows;
+//   - any added-gates drift (routing is deterministic: a changed
+//     g_add means the algorithm's output changed, not just its speed).
+//
+// `names` optionally restricts the gate to a comma-separated workload
+// subset (CI uses this to keep the gate's wall-clock bounded).
+func runCompare(file string, tolerance float64, names string) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+	var base benchSnapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", file, err))
+	}
+	keep := map[string]bool{}
+	for _, name := range strings.Split(names, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			keep[name] = true
+		}
+	}
+
+	cfg := exp.DefaultConfig()
+	opts := cfg.SabreOpts
+	if base.Trials > 0 {
+		opts.Trials = base.Trials
+	}
+	if base.Device != cfg.Device.Name() {
+		fatal(fmt.Errorf("baseline device %q does not match gate device %q", base.Device, cfg.Device.Name()))
+	}
+
+	fmt.Printf("== perf gate: %s (captured on %s), tolerance %.0f%% ns/op, zero-alloc rows strict ==\n",
+		file, base.GoVersion, tolerance)
+	fmt.Printf("%-16s %-17s %13s %13s %7s %9s %9s  %s\n",
+		"workload", "router", "base ns/op", "now ns/op", "Δ%", "base a/op", "now a/op", "verdict")
+
+	failures := 0
+	rows := 0
+	for _, b := range base.Rows {
+		if len(keep) > 0 && !keep[b.Workload] {
+			continue
+		}
+		rows++
+		bench, ok := workloads.ByName(b.Workload)
+		if !ok {
+			fmt.Printf("%-16s %-17s baseline workload no longer exists\n", b.Workload, b.Router)
+			failures++
+			continue
+		}
+		now := measureRow(bench, cfg.Device, opts, b.Router)
+
+		deltaPct := 100 * (float64(now.NsPerOp) - float64(b.NsPerOp)) / float64(b.NsPerOp)
+		var problems []string
+		if deltaPct > tolerance {
+			problems = append(problems, fmt.Sprintf("ns/op +%.1f%% > %.0f%%", deltaPct, tolerance))
+		}
+		if zeroAllocRouter(b.Router) && now.AllocsPerOp > b.AllocsPerOp {
+			problems = append(problems, fmt.Sprintf("allocs/op %d > %d", now.AllocsPerOp, b.AllocsPerOp))
+		}
+		if now.AddedGates != b.AddedGates {
+			problems = append(problems, fmt.Sprintf("g_add %d != %d (output drift)", now.AddedGates, b.AddedGates))
+		}
+		verdict := "ok"
+		if len(problems) > 0 {
+			verdict = "FAIL: " + strings.Join(problems, "; ")
+			failures++
+		}
+		fmt.Printf("%-16s %-17s %13d %13d %+7.1f %9d %9d  %s\n",
+			b.Workload, b.Router, b.NsPerOp, now.NsPerOp, deltaPct, b.AllocsPerOp, now.AllocsPerOp, verdict)
+	}
+	if rows == 0 {
+		fatal(fmt.Errorf("no baseline rows matched -names %q", names))
+	}
+	if failures > 0 {
+		fatal(fmt.Errorf("perf gate: %d of %d rows regressed against %s", failures, rows, file))
+	}
+	fmt.Printf("perf gate: %d rows within tolerance\n", rows)
+}

@@ -9,6 +9,14 @@
 //	                              cross-heuristic comparison table
 //	benchtab -json BENCH.json     perf-trajectory snapshot (workload ×
 //	                              router: ns/op, allocs/op, g_add)
+//	benchtab -async               async job queue end to end: submit,
+//	                              long-poll, webhook, cancel, drain
+//	benchtab -compare BENCH_PR4.json -tolerance 25
+//	                              CI perf gate: re-measure the baseline
+//	                              rows and exit 1 on >25% ns/op
+//	                              regression, allocs/op growth on the
+//	                              zero-alloc (sabre) rows, or added-
+//	                              gates drift
 //
 // -quick reduces SABRE to 2 trials for a fast pass; -no-astar skips the
 // exponential baseline; -budget caps the A* node budget (the paper's
@@ -18,18 +26,16 @@
 // and -max-gori, and -route selects a registry routing backend for the
 // jobs. -routers compares registered backends side by side on the same
 // workloads through the batch engine; results are deterministic at any
-// -workers.
+// -workers. -compare honors -names to bound the gate's wall-clock.
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
-	"testing"
 	"time"
 
 	"repro/internal/arch"
@@ -37,7 +43,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/metrics"
-	"repro/internal/route"
 	"repro/internal/workloads"
 )
 
@@ -58,15 +63,18 @@ func main() {
 		trials      = flag.Int("trials", 0, "SABRE best-of-N trial count (0 = paper default; overrides -quick)")
 		passesFlag  = flag.String("passes", "", "post-routing pipeline passes for -batch jobs, comma-separated: basis|peephole|schedule|verify")
 		batchMode   = flag.Bool("batch", false, "drive the concurrent batch engine over the workload suite")
+		asyncMode   = flag.Bool("async", false, "drive the async job queue (submit/poll/webhook/cancel) over the workload suite")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "batch engine worker count")
 		rounds      = flag.Int("rounds", 2, "batch rounds (first cold, rest warm-cache)")
 		routeName   = flag.String("route", "", "routing backend for -batch jobs: sabre|greedy|astar|anneal|tokenswap")
 		routersFlag = flag.String("routers", "", "comma-separated routing backends to compare side by side (e.g. sabre,greedy,astar,anneal,tokenswap)")
 		jsonFile    = flag.String("json", "", "measure workload × router perf (ns/op, allocs/op, added gates) and write the JSON trajectory snapshot to this file")
+		compareFile = flag.String("compare", "", "re-measure the rows of this BENCH_*.json baseline and fail (exit 1) on regression — the CI perf gate")
+		tolerance   = flag.Float64("tolerance", 25, "-compare: max ns/op regression in percent before failing")
 	)
 	flag.Parse()
 
-	if !*table2 && !*fig8 && !*scaling && !*searchspace && !*optimality && !*batchMode && *routersFlag == "" && *jsonFile == "" {
+	if !*table2 && !*fig8 && !*scaling && !*searchspace && !*optimality && !*batchMode && !*asyncMode && *routersFlag == "" && *jsonFile == "" && *compareFile == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -136,8 +144,18 @@ func main() {
 		runBatch(selectBenches(*class, *maxGori, *names), cfg.Device, opts, *routeName, splitPasses(*passesFlag), *workers, *rounds, *seed)
 	}
 
+	if *asyncMode {
+		opts := cfg.SabreOpts
+		opts.Seed = 0
+		runAsync(selectBenches(*class, *maxGori, *names), cfg.Device, opts, *routeName, splitPasses(*passesFlag), *workers, *seed)
+	}
+
 	if *routersFlag != "" && *jsonFile == "" {
 		runRouters(selectBenches(*class, *maxGori, *names), cfg.Device, cfg.SabreOpts, splitPasses(*routersFlag), splitPasses(*passesFlag), *workers, *seed)
+	}
+
+	if *compareFile != "" {
+		runCompare(*compareFile, *tolerance, *names)
 	}
 
 	if *jsonFile != "" {
@@ -383,49 +401,8 @@ func runBenchJSON(file string, benches []workloads.Benchmark, dev *arch.Device, 
 	}
 	fmt.Printf("== perf trajectory: %d workloads x %v -> %s ==\n", len(benches), routers, file)
 	for _, b := range benches {
-		circ := b.Build()
 		for _, rname := range routers {
-			ropts := opts
-			backend := rname
-			if rname == "sabre-exhaustive" {
-				backend = "sabre"
-				ropts.ExhaustiveScoring = true
-			}
-			router, err := route.New(backend)
-			if err != nil {
-				fatal(err)
-			}
-			var res *core.Result
-			var routeErr error
-			br := testing.Benchmark(func(tb *testing.B) {
-				tb.ReportAllocs()
-				for i := 0; i < tb.N; i++ {
-					res, routeErr = router.Route(context.Background(), circ, dev, ropts)
-					if routeErr != nil {
-						tb.Fatal(routeErr)
-					}
-				}
-			})
-			// tb.Fatal only aborts the benchmark function; surface the
-			// failure here instead of dereferencing a nil result.
-			if routeErr != nil {
-				fatal(fmt.Errorf("%s/%s: %w", b.Name, rname, routeErr))
-			}
-			if res == nil {
-				fatal(fmt.Errorf("%s/%s: benchmark produced no result", b.Name, rname))
-			}
-			row := benchRow{
-				Workload:    b.Name,
-				Router:      rname,
-				Gori:        circ.NumGates(),
-				NsPerOp:     br.NsPerOp(),
-				AllocsPerOp: br.AllocsPerOp(),
-				BytesPerOp:  br.AllocedBytesPerOp(),
-				AddedGates:  res.AddedGates,
-				Depth:       res.Circuit.DecomposeSwaps().Depth(),
-				TrialsRun:   res.TrialsRun,
-				AvgCands:    res.Stats.AvgCandidates(),
-			}
+			row := measureRow(b, dev, opts, rname)
 			snap.Rows = append(snap.Rows, row)
 			fmt.Printf("%-16s %-17s %12d ns/op %8d allocs/op %7d g_add\n",
 				row.Workload, row.Router, row.NsPerOp, row.AllocsPerOp, row.AddedGates)

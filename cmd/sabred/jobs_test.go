@@ -1,0 +1,358 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/jobqueue"
+	"repro/internal/qasm"
+	"repro/internal/workloads"
+)
+
+// postJSON submits a JSON-envelope request to path and decodes a
+// jobResponse when the status is 2xx.
+func postJobJSON(t *testing.T, url string, req compileRequest) (*http.Response, jobResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out jobResponse
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+// pollJob GETs the job until it is terminal.
+func pollJob(t *testing.T, base, id string) jobResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id + "?wait=2s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out jobResponse
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.State.Terminal() {
+			return out
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, out.State)
+		}
+	}
+}
+
+// TestJobsAsyncMatchesSyncCompile is the v2 acceptance check: the
+// same request through POST /jobs (poll path) and POST /compile must
+// produce byte-identical QASM and identical metrics.
+func TestJobsAsyncMatchesSyncCompile(t *testing.T) {
+	ts, _ := newTestServer(t)
+	src := qasm.Format(workloads.QFT(8))
+	req := compileRequest{QASM: src, Device: "tokyo", Passes: []string{"verify"}, Options: optionsRequest{Seed: 11}}
+
+	resp, job := postJobJSON(t, ts.URL+"/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if job.ID == "" || job.State != jobqueue.StateQueued {
+		t.Fatalf("submit response: %+v", job)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/jobs/"+job.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	done := pollJob(t, ts.URL, job.ID)
+	if done.State != jobqueue.StateDone || done.Result == nil {
+		t.Fatalf("job finished as %s (%s)", done.State, done.Error)
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncResp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer syncResp.Body.Close()
+	var sync compileResponse
+	if err := json.NewDecoder(syncResp.Body).Decode(&sync); err != nil {
+		t.Fatal(err)
+	}
+
+	async := *done.Result
+	if async.QASM != sync.QASM {
+		t.Fatal("async QASM differs from synchronous QASM for the identical request")
+	}
+	if async.Gates != sync.Gates || async.Depth != sync.Depth || async.AddedGates != sync.AddedGates || async.Key != sync.Key {
+		t.Fatalf("async metrics differ: async={g:%d d:%d add:%d key:%s} sync={g:%d d:%d add:%d key:%s}",
+			async.Gates, async.Depth, async.AddedGates, async.Key,
+			sync.Gates, sync.Depth, sync.AddedGates, sync.Key)
+	}
+	if fmt.Sprint(async.InitialLayout) != fmt.Sprint(sync.InitialLayout) ||
+		fmt.Sprint(async.FinalLayout) != fmt.Sprint(sync.FinalLayout) {
+		t.Fatal("async layouts differ from synchronous layouts")
+	}
+}
+
+// TestJobsWebhookDelivery: the webhook body is the same jobResponse a
+// poller reads, with the full compile result embedded.
+func TestJobsWebhookDelivery(t *testing.T) {
+	got := make(chan jobResponse, 1)
+	var hits atomic.Int64
+	ws := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var jr jobResponse
+		if err := json.NewDecoder(r.Body).Decode(&jr); err != nil {
+			t.Errorf("webhook decode: %v", err)
+		}
+		if hits.Add(1) == 1 {
+			got <- jr
+		}
+	}))
+	defer ws.Close()
+
+	ts, _ := newTestServer(t)
+	src := qasm.Format(workloads.GHZ(6))
+	resp, job := postJobJSON(t, ts.URL+"/jobs", compileRequest{QASM: src, Device: "tokyo", Webhook: ws.URL})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	select {
+	case hook := <-got:
+		if hook.ID != job.ID || hook.State != jobqueue.StateDone {
+			t.Fatalf("webhook payload: id=%s state=%s", hook.ID, hook.State)
+		}
+		if hook.Result == nil || hook.Result.QASM == "" {
+			t.Fatal("webhook payload missing the compile result")
+		}
+		polled := pollJob(t, ts.URL, job.ID)
+		if polled.Result == nil || polled.Result.QASM != hook.Result.QASM {
+			t.Fatal("webhook QASM differs from polled QASM")
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("webhook never delivered")
+	}
+}
+
+// TestJobsCancel: DELETE cancels a running job promptly.
+func TestJobsCancel(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// A deliberately heavy job: big random circuit, many trials.
+	src := qasm.Format(workloads.RandomCircuit("heavy", 20, 8000, 0.9, 1))
+	resp, job := postJobJSON(t, ts.URL+"/jobs", compileRequest{QASM: src, Device: "tokyo", Trials: 40})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", dresp.StatusCode)
+	}
+	out := pollJob(t, ts.URL, job.ID)
+	if out.State != jobqueue.StateCancelled {
+		t.Fatalf("state after cancel = %s", out.State)
+	}
+	if out.Result != nil {
+		t.Fatal("cancelled job carries a result")
+	}
+}
+
+// TestJobsListAndStats: the collection endpoint reports jobs (QASM
+// trimmed) and counters.
+func TestJobsListAndStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+	src := qasm.Format(workloads.GHZ(5))
+	_, job := postJobJSON(t, ts.URL+"/jobs", compileRequest{QASM: src, Device: "tokyo"})
+	pollJob(t, ts.URL, job.ID)
+
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs  []jobResponse  `json:"jobs"`
+		Stats jobqueue.Stats `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 1 || out.Jobs[0].ID != job.ID {
+		t.Fatalf("list = %+v", out.Jobs)
+	}
+	if out.Jobs[0].Result == nil || out.Jobs[0].Result.QASM != "" {
+		t.Fatal("list must carry the result summary with QASM trimmed")
+	}
+	if out.Stats.Submitted != 1 || out.Stats.Done != 1 {
+		t.Fatalf("stats = %+v", out.Stats)
+	}
+
+	// /stats carries the queue block too.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stats["queue"]; !ok {
+		t.Fatal("/stats missing queue counters")
+	}
+}
+
+// TestJobsRejections: the async endpoint rejects exactly what the
+// synchronous one rejects, plus async-specific forms.
+func TestJobsRejections(t *testing.T) {
+	ts, _ := newTestServer(t)
+	src := qasm.Format(workloads.GHZ(4))
+
+	cases := []struct {
+		name string
+		req  compileRequest
+		want int
+	}{
+		{"bad route", compileRequest{QASM: src, Route: "warp-drive"}, http.StatusBadRequest},
+		{"bad pass", compileRequest{QASM: src, Passes: []string{"layout"}}, http.StatusBadRequest},
+		{"bad trials", compileRequest{QASM: src, Trials: -1}, http.StatusBadRequest},
+		{"bad webhook", compileRequest{QASM: src, Webhook: "ftp://nope"}, http.StatusBadRequest},
+		{"bad qasm", compileRequest{QASM: "not qasm"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, _ := postJobJSON(t, ts.URL+"/jobs", tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	// Unknown job: 404 on poll and cancel; bad wait: 400.
+	resp, err := http.Get(ts.URL + "/jobs/job-missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown poll status %d", resp.StatusCode)
+	}
+	del, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/job-missing", nil)
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown cancel status %d", dresp.StatusCode)
+	}
+	_, job := postJobJSON(t, ts.URL+"/jobs", compileRequest{QASM: src})
+	wresp, err := http.Get(ts.URL + "/jobs/" + job.ID + "?wait=never")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad wait status %d", wresp.StatusCode)
+	}
+}
+
+// TestJobsQueryFormSubmit: the raw-QASM + query-params form works on
+// /jobs exactly as on /compile.
+func TestJobsQueryFormSubmit(t *testing.T) {
+	ts, _ := newTestServer(t)
+	src := qasm.Format(workloads.GHZ(6))
+	resp, err := http.Post(ts.URL+"/jobs?device=tokyo&seed=5&passes=verify", "text/plain", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var job jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	done := pollJob(t, ts.URL, job.ID)
+	if done.State != jobqueue.StateDone || done.Result == nil {
+		t.Fatalf("job finished as %s (%s)", done.State, done.Error)
+	}
+	if _, err := qasm.Parse(done.Result.QASM); err != nil {
+		t.Fatalf("result QASM does not parse: %v", err)
+	}
+}
+
+// TestLongPollReleasedOnDrain: a parked ?wait= long-poll must return
+// its current snapshot the moment the daemon begins draining, instead
+// of pinning http.Shutdown for the rest of the wait window.
+func TestLongPollReleasedOnDrain(t *testing.T) {
+	ts, srv := newTestServer(t)
+	src := qasm.Format(workloads.RandomCircuit("heavy", 20, 8000, 0.9, 1))
+	resp, job := postJobJSON(t, ts.URL+"/jobs", compileRequest{QASM: src, Device: "tokyo", Trials: 40})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	type pollResult struct {
+		job jobResponse
+		err error
+	}
+	done := make(chan pollResult, 1)
+	go func() {
+		r, err := http.Get(ts.URL + "/jobs/" + job.ID + "?wait=60s")
+		if err != nil {
+			done <- pollResult{err: err}
+			return
+		}
+		defer r.Body.Close()
+		var out jobResponse
+		done <- pollResult{job: out, err: json.NewDecoder(r.Body).Decode(&out)}
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the poll park
+	start := time.Now()
+	close(srv.draining)
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("drained long-poll took %v to return", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("long-poll not released by drain signal")
+	}
+	// Unblock the worker so cleanup's queue.Close drains fast.
+	if _, err := srv.queue.Cancel(job.ID); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,7 +6,7 @@
 //
 //	sabred -addr :8037 -workers 8 -cache 4096
 //
-// Endpoints:
+// # Synchronous API (v1)
 //
 //	POST /compile?device=tokyo[&seed=7&trials=5&bridge=1&heuristic=decay&route=anneal&passes=peephole,basis]
 //	    Body: OpenQASM 2.0 source (or, with Content-Type
@@ -15,10 +15,62 @@
 //	    "passes": ["peephole"]}).
 //	    Returns routed QASM plus metrics, including per-pass
 //	    timing/gate/depth snapshots. Cancelled requests (client
-//	    disconnects) stop compiling at the next trial boundary.
+//	    disconnects) stop compiling within one SWAP round.
 //	GET  /devices    topology catalogue (incl. parameterized forms)
-//	GET  /stats      engine counters (jobs, cache hits, ...)
+//	GET  /stats      engine + job-queue counters
 //	GET  /healthz    liveness probe
+//
+// # Async job API (v2)
+//
+// Long compiles (Table II-scale circuits run for seconds) should not
+// be chained to a request lifetime; the v2 API parks them on the
+// async job queue (internal/jobqueue) instead:
+//
+//	POST   /jobs            submit — same body forms as /compile, plus
+//	                        "webhook" (JSON field or ?webhook= query
+//	                        param): an absolute http(s) URL POSTed the
+//	                        completion payload. Returns 202 Accepted,
+//	                        a Location header and the queued job:
+//	                        {"id": "job-1-ab12cd34ef56", "state":
+//	                        "queued", ...}. A full backlog returns 503.
+//	GET    /jobs/{id}       poll; ?wait=5s long-polls (capped at 60s)
+//	                        until the job is terminal or the window
+//	                        elapses, returning the current state
+//	                        either way.
+//	DELETE /jobs/{id}       cancel: a queued job dies immediately, a
+//	                        running one within one SWAP round.
+//	GET    /jobs            list retained jobs (results trimmed of
+//	                        QASM) plus queue stats.
+//
+// Job states: queued → running → done | failed | cancelled. Terminal
+// jobs (and their results) are retained -job-ttl for polling, then
+// garbage-collected.
+//
+// # Webhook payload schema
+//
+// The webhook body is exactly the jobResponse a poller reads from
+// GET /jobs/{id} — one schema for both delivery paths:
+//
+//	{
+//	  "id":       "job-1-ab12cd34ef56",
+//	  "state":    "done",                  // or "failed"/"cancelled"
+//	  "created":  "2026-07-26T12:00:00Z",
+//	  "started":  "...", "finished": "...",
+//	  "error":    "...",                   // failed/cancelled detail
+//	  "webhook":  {"url": "...", "attempts": 1, "delivered": false},
+//	  "result":   { ...same fields as POST /compile's response... }
+//	}
+//
+// Delivery is attempted up to 3 times with exponential backoff; any
+// 2xx settles it. Requests carry X-Sabre-Job and X-Sabre-Attempt
+// headers. The "result" object — including its "qasm" — is built by
+// the same code path as the synchronous response, so an async job is
+// byte-identical to POST /compile for the same request.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: in-flight HTTP
+// requests finish, accepted jobs run to completion (webhooks
+// included) within the -drain budget, then outstanding work is
+// cancelled.
 //
 // Devices: tokyo (ibmq20), qx5, falcon27, plus parameterized
 // line:<n>, ring:<n>, star:<n>, full:<n>, grid:<r>x<c>,
@@ -26,22 +78,30 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/batch"
+	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/jobqueue"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/qasm"
@@ -56,6 +116,10 @@ func main() {
 		cache        = flag.Int("cache", 4096, "result-cache entries (negative disables)")
 		seed         = flag.Int64("seed", 1, "base seed for derived per-job seeds")
 		patience     = flag.Int("patience", 0, "adaptive routing trials: stop after this many consecutive non-improving seeds (0 = exhaustive)")
+		jobWorkers   = flag.Int("job-workers", 0, "async jobs compiled concurrently (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue-depth", 1024, "async job backlog bound (submissions beyond it get 503)")
+		jobTTL       = flag.Duration("job-ttl", 15*time.Minute, "retention of finished async jobs for polling")
+		drainTimeout = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight work")
 	)
 	flag.Parse()
 
@@ -67,9 +131,50 @@ func main() {
 	eng := batch.NewEngine(batch.Config{Workers: *workers, CacheEntries: *cache, BaseSeed: *seed, TrialWorkers: *trialWorkers, TrialPatience: *patience})
 	defer eng.Close()
 
-	srv := newServer(eng)
-	log.Printf("sabred: listening on %s (%d workers, cache %d)", *addr, eng.Workers(), *cache)
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+	srv := newServer(eng, jobqueue.Config{
+		Workers:    *jobWorkers,
+		QueueDepth: *queueDepth,
+		TTL:        *jobTTL,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("sabred: listen: %v", err)
+	}
+	// The actual address matters when -addr asks for port 0 (tests,
+	// the CI smoke driver); log what the kernel granted.
+	log.Printf("sabred: listening on %s (%d workers, cache %d)", ln.Addr(), eng.Workers(), *cache)
+
+	hs := &http.Server{Handler: srv.routes()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	// Graceful drain: on SIGINT/SIGTERM stop accepting connections,
+	// finish in-flight requests, then drain the async job queue —
+	// accepted jobs complete (webhooks included) unless the drain
+	// budget expires, at which point outstanding compilations are
+	// cancelled (the router honors it within one SWAP round).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-done:
+		log.Fatalf("sabred: serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("sabred: shutting down (drain %v)", *drainTimeout)
+	// Release parked long-polls first: http.Shutdown waits for
+	// in-flight requests, and a ?wait= poller would otherwise hold it
+	// (and the shared drain budget) for up to a minute.
+	close(srv.draining)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("sabred: http shutdown: %v", err)
+	}
+	if err := srv.queue.Close(shutdownCtx); err != nil {
+		log.Printf("sabred: job-queue drain: %v", err)
+	}
+	log.Printf("sabred: drained")
 }
 
 // maxBodyBytes bounds a compile request body (large arithmetic
@@ -82,23 +187,39 @@ const maxBodyBytes = 16 << 20
 // useful restart schedule (the paper uses 5).
 const maxTrials = 10_000
 
-// server carries the shared engine and a construct-once device cache
-// (device construction runs Floyd–Warshall, worth amortizing).
+// server carries the shared engine, the async job queue, and a
+// construct-once device cache (device construction runs
+// Floyd–Warshall, worth amortizing).
 type server struct {
 	eng   *batch.Engine
+	queue *jobqueue.Queue
 	start time.Time
+
+	// draining is closed when graceful shutdown begins. Long-poll
+	// handlers select on it so parked ?wait= requests return their
+	// current snapshot immediately instead of pinning http.Shutdown
+	// for up to maxLongPoll and starving the queue drain of its
+	// budget.
+	draining chan struct{}
 
 	mu      sync.Mutex
 	devices map[string]*arch.Device
 }
 
-func newServer(eng *batch.Engine) *server {
-	return &server{eng: eng, start: time.Now(), devices: make(map[string]*arch.Device)}
+func newServer(eng *batch.Engine, qcfg jobqueue.Config) *server {
+	s := &server{eng: eng, start: time.Now(), devices: make(map[string]*arch.Device), draining: make(chan struct{})}
+	// The webhook body is the exact jobResponse a poller would read —
+	// one schema for both delivery paths.
+	qcfg.Payload = func(snap jobqueue.Snapshot) any { return jobResponseOf(snap, true) }
+	s.queue = jobqueue.New(eng, qcfg)
+	return s
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJobByID)
 	mux.HandleFunc("/devices", s.handleDevices)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -122,6 +243,11 @@ type compileRequest struct {
 	// Passes names post-routing pipeline passes to run in order:
 	// basis, peephole, schedule, verify.
 	Passes []string `json:"passes,omitempty"`
+
+	// Webhook, on the async /jobs endpoint, is an absolute http(s)
+	// URL POSTed the completion payload (the jobResponse schema) when
+	// the job reaches a terminal state. Ignored by /compile.
+	Webhook string `json:"webhook,omitempty"`
 }
 
 // optionsRequest exposes the result-affecting SABRE knobs; zero fields
@@ -179,15 +305,37 @@ func passMetrics(ms []pipeline.PassMetric) []passMetricJSON {
 	return out
 }
 
-func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
+// compileInput is the fully-validated form of a compile request —
+// what both the synchronous /compile handler and the async /jobs
+// handler hand to the engine. Because a single parser produces it, an
+// async job can never be built from a request the synchronous path
+// would have rejected, and both paths compile the identical batch.Job
+// (same cache key, same derived seed → byte-identical output).
+type compileInput struct {
+	circ    *circuit.Circuit
+	dev     *arch.Device
+	opts    core.Options
+	trials  int
+	route   string
+	passes  []string
+	webhook string
+}
+
+// batchJob lifts the parsed input to the engine's job form.
+func (in *compileInput) batchJob() batch.Job {
+	return batch.Job{
+		Circuit: in.circ, Device: in.dev, Options: in.opts,
+		Trials: in.trials, Route: in.route, Passes: in.passes,
 	}
+}
+
+// parseCompile reads and validates a compile request in either
+// encoding (raw QASM + query params, or the JSON envelope). Every
+// failure is the client's fault and maps to 400.
+func (s *server) parseCompile(w http.ResponseWriter, r *http.Request) (*compileInput, error) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
-		return
+		return nil, fmt.Errorf("read body: %w", err)
 	}
 
 	var (
@@ -197,52 +345,50 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		trials    int
 		routeName string
 		passes    []string
+		webhook   string
 	)
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		var req compileRequest
 		if err := json.Unmarshal(body, &req); err != nil {
-			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
-			return
+			return nil, fmt.Errorf("bad JSON: %w", err)
 		}
 		src, devName = req.QASM, req.Device
 		if devName == "" {
 			devName = r.URL.Query().Get("device")
 		}
 		if opts, err = req.Options.toCore(); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return nil, err
 		}
 		if req.Trials < 0 || req.Options.Trials < 0 {
-			http.Error(w, fmt.Sprintf("bad trials %d: must be non-negative (0 = default)", min(req.Trials, req.Options.Trials)), http.StatusBadRequest)
-			return
+			return nil, fmt.Errorf("bad trials %d: must be non-negative (0 = default)", min(req.Trials, req.Options.Trials))
 		}
 		if req.Trials > maxTrials || req.Options.Trials > maxTrials {
-			http.Error(w, fmt.Sprintf("bad trials %d: at most %d", max(req.Trials, req.Options.Trials), maxTrials), http.StatusBadRequest)
-			return
+			return nil, fmt.Errorf("bad trials %d: at most %d", max(req.Trials, req.Options.Trials), maxTrials)
 		}
-		trials, routeName, passes = req.Trials, req.Route, req.Passes
+		trials, routeName, passes, webhook = req.Trials, req.Route, req.Passes, req.Webhook
 	} else {
 		src = string(body)
 		devName = r.URL.Query().Get("device")
 		if opts, err = queryOptions(r); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return nil, err
 		}
 		routeName = r.URL.Query().Get("route")
 		if v := r.URL.Query().Get("passes"); v != "" {
 			passes = strings.Split(v, ",")
 		}
+		webhook = r.URL.Query().Get("webhook")
 	}
 	// Invalid requests are the client's fault: reject every bad
-	// trials/route/passes value with a 400 here, before the job can
-	// reach the engine (whose failures map to 422).
+	// trials/route/passes/webhook value with a 400 here, before the
+	// job can reach the engine (whose failures map to 422).
 	if err := pipeline.PostRouting(passes); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return nil, err
 	}
 	if _, err := route.Canonical(routeName); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return nil, err
+	}
+	if err := validWebhook(webhook); err != nil {
+		return nil, err
 	}
 	if devName == "" {
 		devName = "tokyo"
@@ -250,35 +396,52 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	dev, err := s.device(devName)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return nil, err
 	}
 	circ, err := qasm.Parse(src)
 	if err != nil {
-		http.Error(w, "parse QASM: "+err.Error(), http.StatusBadRequest)
-		return
+		return nil, fmt.Errorf("parse QASM: %w", err)
 	}
+	return &compileInput{
+		circ: circ, dev: dev, opts: opts,
+		trials: trials, route: routeName, passes: passes, webhook: webhook,
+	}, nil
+}
 
-	// The request context rides along: a disconnected client cancels
-	// the job, and an in-flight compile stops at its next trial
-	// boundary instead of burning a worker on a dead request.
-	res := <-s.eng.SubmitContext(r.Context(), batch.Job{
-		Circuit: circ, Device: dev, Options: opts, Trials: trials, Route: routeName, Passes: passes,
-	})
-	if res.Err != nil {
-		if r.Context().Err() != nil {
-			return // client is gone; nothing to write
-		}
-		http.Error(w, res.Err.Error(), http.StatusUnprocessableEntity)
-		return
+// validWebhook accepts empty or an absolute http(s) URL.
+func validWebhook(raw string) error {
+	if raw == "" {
+		return nil
 	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("bad webhook %q: %w", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("bad webhook %q: need an absolute http(s) URL", raw)
+	}
+	return nil
+}
 
-	rep := metrics.Compare(circ, res.Final)
-	orig := metrics.Measure(circ)
-	writeJSON(w, compileResponse{
-		Name:          circ.Name(),
-		Device:        dev.Name(),
-		DeviceQubits:  dev.NumQubits(),
+// buildCompileResponse renders an engine result exactly as /compile
+// always has; the async poll/webhook paths reuse it so their payloads
+// are byte-identical to the synchronous endpoint's.
+func buildCompileResponse(in *compileInput, res *batch.Result) compileResponse {
+	out := buildCompileSummary(in, res)
+	out.QASM = qasm.Format(res.Final)
+	return out
+}
+
+// buildCompileSummary is buildCompileResponse without the QASM
+// rendering — the job-list view, where serializing every retained
+// circuit per dashboard poll would be pure waste.
+func buildCompileSummary(in *compileInput, res *batch.Result) compileResponse {
+	rep := metrics.Compare(in.circ, res.Final)
+	orig := metrics.Measure(in.circ)
+	return compileResponse{
+		Name:          in.circ.Name(),
+		Device:        in.dev.Name(),
+		DeviceQubits:  in.dev.NumQubits(),
 		OriginalGates: orig.Gates,
 		OriginalDepth: orig.Depth,
 		Swaps:         res.SwapCount,
@@ -292,8 +455,32 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		Key:           hex.EncodeToString(res.Key[:8]),
 		ElapsedNS:     res.Elapsed.Nanoseconds(),
 		Passes:        passMetrics(res.PassMetrics),
-		QASM:          qasm.Format(res.Final),
-	})
+	}
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	in, err := s.parseCompile(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// The request context rides along: a disconnected client cancels
+	// the job, and an in-flight compile stops within one SWAP round
+	// instead of burning a worker on a dead request.
+	res := <-s.eng.SubmitContext(r.Context(), in.batchJob())
+	if res.Err != nil {
+		if r.Context().Err() != nil {
+			return // client is gone; nothing to write
+		}
+		http.Error(w, res.Err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, buildCompileResponse(in, &res))
 }
 
 func (s *server) handleDevices(w http.ResponseWriter, r *http.Request) {
@@ -315,6 +502,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cached":   st.Cached,
 		"workers":  s.eng.Workers(),
 		"uptime_s": int64(time.Since(s.start).Seconds()),
+		"queue":    s.queue.Stats(),
 	})
 }
 

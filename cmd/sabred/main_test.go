@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/batch"
+	"repro/internal/jobqueue"
 	"repro/internal/qasm"
 	"repro/internal/verify"
 	"repro/internal/workloads"
@@ -17,7 +20,12 @@ func newTestServer(t *testing.T) (*httptest.Server, *server) {
 	t.Helper()
 	eng := batch.NewEngine(batch.Config{Workers: 2})
 	t.Cleanup(eng.Close)
-	srv := newServer(eng)
+	srv := newServer(eng, jobqueue.Config{Workers: 2})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.queue.Close(ctx)
+	})
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	return ts, srv

@@ -1,0 +1,361 @@
+// Command sabredsmoke is the end-to-end daemon smoke test behind
+// `make sabred-smoke`: it builds cmd/sabred (optionally with -race),
+// boots it on an ephemeral port, and drives the full async lifecycle
+// over real HTTP — submit via POST /jobs, long-poll to completion,
+// assert the verify pass ran and the output is byte-identical to the
+// synchronous POST /compile, receive the webhook, cancel a heavy job,
+// list the queue, and finally SIGTERM the daemon and require a clean
+// graceful drain (exit 0). Any deviation exits non-zero, so CI can
+// run it as a step.
+//
+//	sabredsmoke [-race] [-timeout 120s]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/qasm"
+	"repro/internal/workloads"
+)
+
+var (
+	raceFlag = flag.Bool("race", false, "build the daemon with -race")
+	timeout  = flag.Duration("timeout", 3*time.Minute, "overall smoke budget")
+)
+
+func main() {
+	flag.Parse()
+	start := time.Now()
+	deadline := start.Add(*timeout)
+
+	tmp, err := os.MkdirTemp("", "sabredsmoke")
+	if err != nil {
+		fail("mkdtemp: %v", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "sabred")
+	buildArgs := []string{"build", "-o", bin}
+	if *raceFlag {
+		buildArgs = append(buildArgs, "-race")
+	}
+	buildArgs = append(buildArgs, "./cmd/sabred")
+	if out, err := exec.Command("go", buildArgs...).CombinedOutput(); err != nil {
+		fail("build sabred: %v\n%s", err, out)
+	}
+	step("built sabred (race=%v)", *raceFlag)
+
+	daemon := startDaemon(bin)
+	defer daemon.kill()
+
+	base := "http://" + daemon.addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Liveness.
+	if body := getOK(client, base+"/healthz"); !strings.Contains(string(body), "ok") {
+		daemon.fail("healthz = %q", body)
+	}
+	step("healthz ok at %s", daemon.addr)
+
+	// Webhook sink.
+	hookCh := make(chan jobView, 4)
+	sinkLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		daemon.fail("webhook listen: %v", err)
+	}
+	defer sinkLn.Close()
+	go func() {
+		_ = http.Serve(sinkLn, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			var jv jobView
+			if err := json.NewDecoder(r.Body).Decode(&jv); err == nil {
+				hookCh <- jv
+			}
+		}))
+	}()
+	sinkURL := "http://" + sinkLn.Addr().String()
+
+	// Async submit with verify pass + webhook.
+	src := qasm.Format(workloads.QFT(8))
+	req := map[string]any{
+		"qasm": src, "device": "tokyo", "passes": []string{"verify"},
+		"options": map[string]any{"seed": 7}, "webhook": sinkURL,
+	}
+	resp, body := postJSON(client, base+"/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		daemon.fail("POST /jobs status %d: %s", resp.StatusCode, body)
+	}
+	var job jobView
+	mustUnmarshal(body, &job, daemon)
+	if job.ID == "" || job.State != "queued" {
+		daemon.fail("submit response: %s", body)
+	}
+	step("submitted %s", job.ID)
+
+	// Long-poll to completion.
+	for !terminal(job.State) {
+		if time.Now().After(deadline) {
+			daemon.fail("job %s stuck in %s", job.ID, job.State)
+		}
+		b := getOK(client, base+"/jobs/"+job.ID+"?wait=2s")
+		mustUnmarshal(b, &job, daemon)
+	}
+	if job.State != "done" || job.Result == nil {
+		daemon.fail("job finished as %s (%s)", job.State, job.Error)
+	}
+	// The verify pass must have actually run inside the job: it aborts
+	// the pipeline on any routing-validity error, so its presence in
+	// the executed-pass metrics is the success assertion.
+	var sawVerify bool
+	for _, p := range job.Result.Passes {
+		if p.Pass == "verify" {
+			sawVerify = true
+		}
+	}
+	if !sawVerify {
+		daemon.fail("verify pass missing from executed passes: %+v", job.Result.Passes)
+	}
+	step("job done, verify pass ran (g_add=%d, depth=%d)", job.Result.AddedGates, job.Result.Depth)
+
+	// Byte-identical to the synchronous endpoint.
+	sresp, sbody := postJSON(client, base+"/compile", req)
+	if sresp.StatusCode != http.StatusOK {
+		daemon.fail("POST /compile status %d: %s", sresp.StatusCode, sbody)
+	}
+	var sync compileView
+	mustUnmarshal(sbody, &sync, daemon)
+	if sync.QASM != job.Result.QASM {
+		daemon.fail("async QASM differs from synchronous QASM")
+	}
+	step("async output byte-identical to POST /compile")
+
+	// Webhook delivery, same payload as the poll.
+	select {
+	case hook := <-hookCh:
+		if hook.ID != job.ID || hook.State != "done" || hook.Result == nil || hook.Result.QASM != job.Result.QASM {
+			daemon.fail("webhook payload mismatch: id=%s state=%s", hook.ID, hook.State)
+		}
+		step("webhook delivered")
+	case <-time.After(time.Until(deadline)):
+		daemon.fail("webhook never arrived")
+	}
+
+	// Cancel a heavy job.
+	heavy := qasm.Format(workloads.RandomCircuit("heavy", 20, 8000, 0.9, 1))
+	resp, body = postJSON(client, base+"/jobs", map[string]any{"qasm": heavy, "device": "tokyo", "trials": 64})
+	if resp.StatusCode != http.StatusAccepted {
+		daemon.fail("heavy submit status %d: %s", resp.StatusCode, body)
+	}
+	var heavyJob jobView
+	mustUnmarshal(body, &heavyJob, daemon)
+	dreq, _ := http.NewRequest(http.MethodDelete, base+"/jobs/"+heavyJob.ID, nil)
+	dresp, err := client.Do(dreq)
+	if err != nil {
+		daemon.fail("cancel: %v", err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		daemon.fail("cancel status %d", dresp.StatusCode)
+	}
+	for !terminal(heavyJob.State) {
+		if time.Now().After(deadline) {
+			daemon.fail("cancelled job %s stuck in %s", heavyJob.ID, heavyJob.State)
+		}
+		b := getOK(client, base+"/jobs/"+heavyJob.ID+"?wait=2s")
+		mustUnmarshal(b, &heavyJob, daemon)
+	}
+	if heavyJob.State != "cancelled" {
+		daemon.fail("heavy job finished as %s, want cancelled", heavyJob.State)
+	}
+	step("cancel honored (job %s)", heavyJob.ID)
+
+	// List + stats sanity.
+	var list struct {
+		Jobs  []jobView `json:"jobs"`
+		Stats struct {
+			Submitted int64 `json:"submitted"`
+			Done      int64 `json:"done"`
+			Cancelled int64 `json:"cancelled"`
+		} `json:"stats"`
+	}
+	mustUnmarshal(getOK(client, base+"/jobs"), &list, daemon)
+	if len(list.Jobs) != 2 || list.Stats.Submitted != 2 || list.Stats.Done != 1 || list.Stats.Cancelled != 1 {
+		daemon.fail("list/stats mismatch: %d jobs, stats %+v", len(list.Jobs), list.Stats)
+	}
+	step("list/stats consistent")
+
+	// Graceful drain: SIGTERM must exit 0 after draining.
+	if err := daemon.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		daemon.fail("signal: %v", err)
+	}
+	select {
+	case err := <-daemon.waitCh:
+		if err != nil {
+			daemon.fail("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(time.Until(deadline)):
+		daemon.fail("daemon did not drain after SIGTERM")
+	}
+	if !strings.Contains(daemon.logs(), "drained") {
+		daemon.fail("daemon log missing drain confirmation")
+	}
+	step("graceful drain clean")
+	fmt.Printf("sabredsmoke: PASS in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// jobView mirrors the daemon's jobResponse wire form.
+type jobView struct {
+	ID     string       `json:"id"`
+	State  string       `json:"state"`
+	Error  string       `json:"error"`
+	Result *compileView `json:"result"`
+}
+
+// compileView mirrors the fields of compileResponse the smoke asserts.
+type compileView struct {
+	AddedGates int    `json:"added_gates"`
+	Gates      int    `json:"gates"`
+	Depth      int    `json:"depth"`
+	QASM       string `json:"qasm"`
+	Passes     []struct {
+		Pass string `json:"pass"`
+	} `json:"passes"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "cancelled"
+}
+
+// daemon wraps the child process with log capture.
+type daemon struct {
+	cmd    *exec.Cmd
+	addr   string
+	waitCh chan error
+
+	mu  sync.Mutex
+	log bytes.Buffer
+}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// startDaemon launches the built binary on an ephemeral port and
+// scrapes the bound address from its log.
+func startDaemon(bin string) *daemon {
+	d := &daemon{waitCh: make(chan error, 1)}
+	d.cmd = exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-drain", "30s")
+	stderr, err := d.cmd.StderrPipe()
+	if err != nil {
+		fail("stderr pipe: %v", err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		fail("start sabred: %v", err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			d.log.WriteString(line + "\n")
+			d.mu.Unlock()
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	go func() { d.waitCh <- d.cmd.Wait() }()
+	select {
+	case d.addr = <-addrCh:
+	case err := <-d.waitCh:
+		fail("sabred exited before listening: %v\n%s", err, d.logs())
+	case <-time.After(30 * time.Second):
+		d.kill()
+		fail("sabred never reported its address\n%s", d.logs())
+	}
+	return d
+}
+
+func (d *daemon) logs() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.String()
+}
+
+func (d *daemon) kill() {
+	if d.cmd.Process != nil {
+		_ = d.cmd.Process.Kill()
+	}
+}
+
+// fail tears the daemon down, dumps its log, and exits non-zero.
+func (d *daemon) fail(format string, args ...any) {
+	d.kill()
+	fmt.Fprintf(os.Stderr, "sabredsmoke: FAIL: "+format+"\n", args...)
+	fmt.Fprintf(os.Stderr, "--- daemon log ---\n%s", d.logs())
+	os.Exit(1)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sabredsmoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func step(format string, args ...any) {
+	fmt.Printf("sabredsmoke: "+format+"\n", args...)
+}
+
+func getOK(client *http.Client, url string) []byte {
+	resp, err := client.Get(url)
+	if err != nil {
+		fail("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("GET %s: read: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fail("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func postJSON(client *http.Client, url string, v any) (*http.Response, []byte) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		fail("marshal: %v", err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		fail("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("POST %s: read: %v", url, err)
+	}
+	return resp, body
+}
+
+func mustUnmarshal(data []byte, v any, d *daemon) {
+	if err := json.Unmarshal(data, v); err != nil {
+		d.fail("unmarshal %q: %v", data, err)
+	}
+}

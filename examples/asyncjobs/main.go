@@ -1,0 +1,87 @@
+// Example asyncjobs: decouple long compilations from the caller with
+// the async job queue — submit returns a job ID immediately, results
+// arrive by long-poll or webhook, and in-flight jobs cancel promptly
+// (the signal reaches the router's SWAP loop at round granularity).
+//
+// This is the in-process form of cmd/sabred's v2 /jobs API; run the
+// daemon and `curl -X POST localhost:8037/jobs` for the HTTP form.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	sabre "repro"
+)
+
+func main() {
+	dev := sabre.IBMQ20Tokyo()
+
+	// A webhook receiver, standing in for the caller's own service.
+	delivered := make(chan map[string]any, 8)
+	sink := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var payload map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+			log.Fatalf("webhook payload: %v", err)
+		}
+		delivered <- payload
+	}))
+	defer sink.Close()
+
+	ae := sabre.NewAsyncEngine(sabre.BatchConfig{Workers: 2}, sabre.JobQueueConfig{Workers: 2})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = ae.Close(ctx) // graceful drain: accepted jobs finish first
+	}()
+
+	// Submit returns immediately — the compile runs in the background.
+	snap, err := ae.SubmitAsync(sabre.BatchJob{Circuit: sabre.QFT(16), Device: dev, Tag: "qft16"}, sink.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (state %s)\n", snap.ID, snap.State)
+
+	// Long-poll until terminal (a webhook will fire too).
+	snap, err = ae.WaitJob(context.Background(), snap.ID, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if snap.State != sabre.JobDone {
+		log.Fatalf("job finished as %s: %s", snap.State, snap.Err)
+	}
+	rep := sabre.CompareCircuits(snap.Request.Job.Circuit, snap.Result.Final)
+	fmt.Printf("done: g_add=%d depth=%d in %v\n", snap.Result.AddedGates, rep.Depth, snap.Result.Elapsed.Round(time.Millisecond))
+
+	hook := <-delivered
+	fmt.Printf("webhook: job %v -> %v\n", hook["job_id"], hook["state"])
+
+	// Cancellation: park a heavy job, then kill it mid-flight.
+	heavy := sabre.BatchJob{
+		Circuit: sabre.RandomCircuit("heavy", 20, 8000, 0.9, 1),
+		Device:  dev, Trials: 40, Tag: "heavy",
+	}
+	snap, err = ae.SubmitAsync(heavy, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let it start
+	if _, err := ae.CancelJob(snap.ID); err != nil {
+		log.Fatal(err)
+	}
+	snap, err = ae.WaitJob(context.Background(), snap.ID, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cancel: job %s -> %s after %v\n", snap.ID, snap.State,
+		snap.Finished.Sub(snap.Created).Round(time.Millisecond))
+
+	st := ae.JobStats()
+	fmt.Printf("queue: %d submitted, %d done, %d cancelled, %d webhooks delivered\n",
+		st.Submitted, st.Done, st.Cancelled, st.WebhooksDelivered)
+}

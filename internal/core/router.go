@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/arch"
@@ -87,6 +88,18 @@ func NewPassRunner(circ *circuit.Circuit, dev *arch.Device, opts Options) *PassR
 // (Algorithm 1) starting from init, using s for every mutable buffer
 // (nil allocates a private scratch). The input layout is not mutated.
 func (pr *PassRunner) Run(init mapping.Layout, rng *rand.Rand, s *Scratch) PassResult {
+	res, _ := pr.RunContext(context.Background(), init, rng, s)
+	return res
+}
+
+// RunContext is Run with intra-traversal cancellation: the SWAP loop
+// checks ctx between rounds, so even a single huge trial dies within
+// one round of cancellation instead of routing its whole gate list.
+// A cancelled traversal returns ctx.Err() and a zero PassResult — its
+// partial output is never observable. The check is a select-default on
+// ctx.Done() (no allocation, no lock), so the steady-state SWAP round
+// stays zero-alloc.
+func (pr *PassRunner) RunContext(ctx context.Context, init mapping.Layout, rng *rand.Rand, s *Scratch) (PassResult, error) {
 	if s == nil {
 		s = NewScratch()
 	}
@@ -104,6 +117,8 @@ func (pr *PassRunner) Run(init mapping.Layout, rng *rand.Rand, s *Scratch) PassR
 		dist:   pr.dev.Distances(),
 		wdist:  pr.wdist,
 		extGen: -1,
+
+		cancelled: ctx.Done(),
 	}
 	s.inDeg = r.dag.InDegreesInto(s.inDeg)
 	for i, deg := range s.inDeg {
@@ -111,7 +126,9 @@ func (pr *PassRunner) Run(init mapping.Layout, rng *rand.Rand, s *Scratch) PassR
 			s.ready = append(s.ready, i)
 		}
 	}
-	r.run()
+	if !r.run() {
+		return PassResult{}, ctx.Err()
+	}
 	out := circuit.NewNamed(pr.circ.Name(), n)
 	// Trusted: every emitted gate is a remap of a validated gate
 	// through the layout bijection, or a SWAP/CX on device edges.
@@ -123,7 +140,7 @@ func (pr *PassRunner) Run(init mapping.Layout, rng *rand.Rand, s *Scratch) PassR
 		SwapCount:     r.swaps,
 		BridgeCount:   r.bridges,
 		Stats:         r.stats,
-	}
+	}, nil
 }
 
 // RoutePass runs one traversal of SABRE's SWAP-based heuristic search
@@ -165,6 +182,11 @@ type router struct {
 	decaySteps int // SWAP selections since last decay reset
 	stall      int // consecutive SWAPs without executing a gate
 
+	// cancelled is the cancellation signal of the owning context (nil
+	// when the traversal is uncancellable); run polls it once per SWAP
+	// round.
+	cancelled <-chan struct{}
+
 	// frontGen increments whenever the front layer's contents change;
 	// extGen records the generation the extended set was computed at.
 	// The extended set is a pure function of the front layer (a DAG
@@ -197,8 +219,10 @@ func (r *router) distAt(a, b int) float64 {
 	return float64(r.dist[a*r.n+b])
 }
 
-// run is the main loop of Algorithm 1.
-func (r *router) run() {
+// run is the main loop of Algorithm 1. It reports false when the
+// traversal was cut short by cancellation — checked once per round, so
+// an abandoned trial stops within one SWAP selection of the signal.
+func (r *router) run() bool {
 	maxStall := r.opts.MaxStall
 	if maxStall <= 0 {
 		maxStall = 4*r.dev.Diameter() + 16
@@ -206,7 +230,12 @@ func (r *router) run() {
 	for {
 		r.drain()
 		if len(r.s.front) == 0 {
-			return
+			return true
+		}
+		select {
+		case <-r.cancelled:
+			return false
+		default:
 		}
 		if r.stall >= maxStall {
 			r.forceRoute()

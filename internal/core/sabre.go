@@ -86,6 +86,16 @@ func (p *Prepared) RunTrial(trial int) (*Result, int) {
 // nothing mutable shared across the pool) is what keeps parallel
 // trials allocation- and contention-free.
 func (p *Prepared) RunTrialWith(trial int, s *Scratch) (*Result, int) {
+	res, depth, _ := p.RunTrialCtx(context.Background(), trial, s)
+	return res, depth
+}
+
+// RunTrialCtx is RunTrialWith with intra-trial cancellation: every
+// traversal's SWAP loop polls ctx at round granularity, so even one
+// enormous trial dies within a round of the signal instead of routing
+// its whole gate list first. A cancelled trial returns ctx.Err() and a
+// nil Result.
+func (p *Prepared) RunTrialCtx(ctx context.Context, trial int, s *Scratch) (*Result, int, error) {
 	if s == nil {
 		s = NewScratch() // shared by this trial's traversals at least
 	}
@@ -100,7 +110,11 @@ func (p *Prepared) RunTrialWith(trial int, s *Scratch) (*Result, int) {
 		if t%2 == 1 {
 			runner = p.rev
 		}
-		final = runner.Run(layout, rng, s)
+		var err error
+		final, err = runner.RunContext(ctx, layout, rng, s)
+		if err != nil {
+			return nil, 0, err
+		}
 		layout = final.FinalLayout
 		if t == 0 {
 			firstAdded = 3 * (final.SwapCount + final.BridgeCount)
@@ -117,7 +131,7 @@ func (p *Prepared) RunTrialWith(trial int, s *Scratch) (*Result, int) {
 		TrialsRun:           trial + 1,
 		Stats:               final.Stats,
 	}
-	return res, final.Circuit.DecomposeSwaps().Depth()
+	return res, final.Circuit.DecomposeSwaps().Depth(), nil
 }
 
 // ErrNoTrials is returned by SelectBest when the trial population is
@@ -177,11 +191,12 @@ func Compile(circ *circuit.Circuit, dev *arch.Device, opts Options) (*Result, er
 	return CompileContext(context.Background(), circ, dev, opts)
 }
 
-// CompileContext is Compile with cancellation: the sequential path
-// checks ctx between trials, so a cancelled caller (a dropped HTTP
-// request, say) stops burning CPU at the next trial boundary instead
-// of finishing the whole restart schedule. Returns ctx.Err() when
-// cancelled before a winner exists.
+// CompileContext is Compile with cancellation, honored between trials
+// and — via RunTrialCtx — inside each trial's SWAP loop at round
+// granularity, so a cancelled caller (a dropped HTTP request, say)
+// stops burning CPU within one round even mid-way through a huge
+// single trial. Returns ctx.Err() when cancelled before a winner
+// exists.
 func CompileContext(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, opts Options) (*Result, error) {
 	start := time.Now()
 	p, err := Prepare(circ, dev, opts)
@@ -209,13 +224,15 @@ func CompileContext(ctx context.Context, circ *circuit.Circuit, dev *arch.Device
 				defer wg.Done()
 				s := NewScratch()
 				for trial := range trials {
-					// Honor cancellation at the trial boundary: a trial
-					// not yet started when ctx dies is skipped, and the
-					// run as a whole fails below.
-					if ctx.Err() != nil {
+					// Cancellation is honored both here (a trial not yet
+					// started when ctx dies is skipped) and inside the
+					// trial's SWAP loop at round granularity, so the run
+					// as a whole fails below within one round.
+					res, depth, err := p.RunTrialCtx(ctx, trial, s)
+					if err != nil {
 						continue
 					}
-					results[trial], depths[trial] = p.RunTrialWith(trial, s)
+					results[trial], depths[trial] = res, depth
 				}
 			}()
 		}
@@ -235,10 +252,11 @@ func CompileContext(ctx context.Context, circ *circuit.Circuit, dev *arch.Device
 	} else {
 		s := NewScratch()
 		for trial := 0; trial < opts.Trials; trial++ {
-			if err := ctx.Err(); err != nil {
+			res, depth, err := p.RunTrialCtx(ctx, trial, s)
+			if err != nil {
 				return nil, err
 			}
-			results[trial], depths[trial] = p.RunTrialWith(trial, s)
+			results[trial], depths[trial] = res, depth
 		}
 	}
 

@@ -1,0 +1,584 @@
+// Package jobqueue decouples long compilations from request
+// lifetimes: an async, durable-in-memory job subsystem on top of the
+// batch engine. Callers Submit a compilation and get back a job ID
+// immediately; a bounded worker pool drains the backlog onto
+// batch.Engine.SubmitContext; the job walks queued → running →
+// done/failed/cancelled; results are retained for a TTL and then
+// garbage-collected; completion can additionally be pushed to a
+// caller-supplied webhook URL with bounded retries.
+//
+// The queue is the daemon-mode chassis (cmd/sabred's v2 /jobs API):
+// synchronous POST /compile cannot serve Table II-scale workloads that
+// run for seconds, so the daemon parks them here and the client polls,
+// long-polls, or receives the webhook. Every job is individually
+// cancellable at any point — while queued (it is skipped before a
+// worker picks it up) and while running (its context propagates down
+// to the router's SWAP loop, which checks it at round granularity).
+//
+// A Queue is safe for concurrent use. Results served from a Snapshot
+// are shared with the engine's cache and must be treated as read-only.
+package jobqueue
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// The job lifecycle: queued → running → done | failed | cancelled.
+// Cancellation can also strike while queued (queued → cancelled).
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final (done, failed or
+// cancelled): the job will never transition again and its retention
+// TTL is ticking.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request is one async submission: the compilation itself plus
+// delivery options.
+type Request struct {
+	// Job is the compilation, exactly as the synchronous engine path
+	// takes it — same cache key, same deterministic seed derivation, so
+	// an async job compiles to a byte-identical result.
+	Job batch.Job
+
+	// Webhook, when non-empty, is POSTed the completion payload once
+	// the job reaches a terminal state, with bounded retries (see
+	// WebhookConfig).
+	Webhook string
+}
+
+// Snapshot is a point-in-time, caller-safe view of one job.
+type Snapshot struct {
+	ID      string
+	State   State
+	Request Request
+
+	Created  time.Time
+	Started  time.Time // zero until running
+	Finished time.Time // zero until terminal
+
+	// Err is the failure message (failed) or cancellation cause
+	// (cancelled); empty otherwise.
+	Err string
+
+	// Result is the engine outcome, set only in StateDone. It is
+	// shared with the engine's result cache: read-only.
+	Result *batch.Result
+
+	// Webhook reports delivery progress for jobs that requested one.
+	Webhook WebhookStatus
+}
+
+// WebhookStatus tracks completion-callback delivery for one job.
+type WebhookStatus struct {
+	URL       string `json:"url,omitempty"`
+	Attempts  int    `json:"attempts,omitempty"`
+	Delivered bool   `json:"delivered,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Stats is a snapshot of queue counters.
+type Stats struct {
+	Submitted int64 `json:"submitted"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Expired   int64 `json:"expired"` // terminal jobs GC'd after TTL
+
+	Queued  int `json:"queued"`  // waiting for a worker
+	Running int `json:"running"` // on the engine right now
+	Held    int `json:"held"`    // jobs currently retained (any state)
+
+	WebhooksDelivered int64 `json:"webhooks_delivered"`
+	WebhooksFailed    int64 `json:"webhooks_failed"` // retries exhausted
+}
+
+// WebhookConfig bounds completion-callback delivery.
+type WebhookConfig struct {
+	// MaxAttempts caps delivery tries per job (default 3). Anything
+	// but a 2xx response counts as a failed attempt.
+	MaxAttempts int
+
+	// Backoff is the delay before the second attempt, doubling per
+	// retry (default 250ms).
+	Backoff time.Duration
+
+	// Timeout bounds each POST (default 10s).
+	Timeout time.Duration
+
+	// Client overrides the HTTP client (default http.DefaultClient
+	// with Timeout applied per request context).
+	Client *http.Client
+}
+
+// Config configures a Queue; the zero value picks sensible defaults.
+type Config struct {
+	// Workers bounds concurrent jobs handed to the engine (default
+	// GOMAXPROCS). The engine has its own pool; queue workers mostly
+	// park in SubmitContext, so this is the async concurrency level,
+	// not extra CPU.
+	Workers int
+
+	// QueueDepth bounds the backlog of queued jobs (default 1024).
+	// Submit fails fast with ErrQueueFull beyond it — backpressure
+	// instead of unbounded memory.
+	QueueDepth int
+
+	// TTL is how long a terminal job (and its result) is retained for
+	// polling before garbage collection (default 15m).
+	TTL time.Duration
+
+	// GCInterval is the reaper period (default TTL/4, clamped to
+	// [1s, 1m]).
+	GCInterval time.Duration
+
+	// Webhook bounds completion-callback delivery.
+	Webhook WebhookConfig
+
+	// Payload, when non-nil, builds the webhook body for a terminal
+	// job (the daemon uses this to ship its full compile response).
+	// Nil selects the default payload: the snapshot's ID/state/error
+	// plus summary metrics.
+	Payload func(Snapshot) any
+}
+
+const (
+	defaultQueueDepth = 1024
+	defaultTTL        = 15 * time.Minute
+)
+
+// Errors reported by the queue.
+var (
+	ErrClosed    = errors.New("jobqueue: queue closed")
+	ErrQueueFull = errors.New("jobqueue: backlog full")
+	ErrNotFound  = errors.New("jobqueue: no such job")
+)
+
+// job is the internal mutable record; all fields are guarded by
+// Queue.mu except the immutable id/seq/req.
+type job struct {
+	id  string
+	seq int64
+	req Request
+
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	err      string
+	result   *batch.Result
+	webhook  WebhookStatus
+
+	// cancel aborts the running compilation (nil unless running);
+	// cancelRequested distinguishes a caller's cancel from an engine
+	// error once SubmitContext returns.
+	cancel          context.CancelFunc
+	cancelRequested bool
+
+	// done is closed on the terminal transition — the long-poll signal.
+	done chan struct{}
+}
+
+// Queue is the async job subsystem. Create with New, share freely,
+// Close when done.
+type Queue struct {
+	cfg Config
+	eng *batch.Engine
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	seq    int64
+	closed bool
+
+	pending chan *job
+	workers sync.WaitGroup
+	hooks   sync.WaitGroup
+
+	// hookCtx aborts in-flight webhook deliveries when a drain
+	// deadline expires.
+	hookCtx    context.Context
+	hookCancel context.CancelFunc
+
+	gcStop chan struct{}
+	gcDone chan struct{}
+
+	now func() time.Time // injected by tests
+
+	submitted, doneN, failedN, cancelledN, expiredN int64
+	hooksOK, hooksFailed                            int64
+}
+
+// New starts a queue draining onto eng. The engine is borrowed, not
+// owned: Close drains the queue but leaves eng running.
+func New(eng *batch.Engine, cfg Config) *Queue {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = defaultTTL
+	}
+	if cfg.GCInterval <= 0 {
+		cfg.GCInterval = cfg.TTL / 4
+		if cfg.GCInterval < time.Second {
+			cfg.GCInterval = time.Second
+		}
+		if cfg.GCInterval > time.Minute {
+			cfg.GCInterval = time.Minute
+		}
+	}
+	if cfg.Webhook.MaxAttempts <= 0 {
+		cfg.Webhook.MaxAttempts = 3
+	}
+	if cfg.Webhook.Backoff <= 0 {
+		cfg.Webhook.Backoff = 250 * time.Millisecond
+	}
+	if cfg.Webhook.Timeout <= 0 {
+		cfg.Webhook.Timeout = 10 * time.Second
+	}
+	hookCtx, hookCancel := context.WithCancel(context.Background())
+	q := &Queue{
+		cfg:        cfg,
+		eng:        eng,
+		jobs:       make(map[string]*job),
+		pending:    make(chan *job, cfg.QueueDepth),
+		hookCtx:    hookCtx,
+		hookCancel: hookCancel,
+		gcStop:     make(chan struct{}),
+		gcDone:     make(chan struct{}),
+		now:        time.Now,
+	}
+	q.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go q.worker()
+	}
+	go q.reaper()
+	return q
+}
+
+// Submit registers a compilation and returns its job snapshot
+// (StateQueued) immediately. It fails fast with ErrQueueFull when the
+// backlog is at QueueDepth and ErrClosed after Close.
+func (q *Queue) Submit(req Request) (Snapshot, error) {
+	if req.Job.Circuit == nil || req.Job.Device == nil {
+		return Snapshot{}, errors.New("jobqueue: job needs a non-nil Circuit and Device")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Snapshot{}, ErrClosed
+	}
+	q.seq++
+	j := &job{
+		id:      newID(q.seq),
+		seq:     q.seq,
+		req:     req,
+		state:   StateQueued,
+		created: q.now(),
+		done:    make(chan struct{}),
+		webhook: WebhookStatus{URL: req.Webhook},
+	}
+	select {
+	case q.pending <- j:
+	default:
+		return Snapshot{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, q.cfg.QueueDepth)
+	}
+	q.jobs[j.id] = j
+	q.submitted++
+	return j.snapshotLocked(), nil
+}
+
+// Get returns the job's current snapshot.
+func (q *Queue) Get(id string) (Snapshot, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return j.snapshotLocked(), nil
+}
+
+// Wait long-polls: it returns the job's snapshot as soon as it is
+// terminal, or after `wait` (or ctx cancellation), whichever comes
+// first — returning the then-current snapshot either way. wait <= 0
+// degenerates to Get.
+func (q *Queue) Wait(ctx context.Context, id string, wait time.Duration) (Snapshot, error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return Snapshot{}, ErrNotFound
+	}
+	snap := j.snapshotLocked()
+	done := j.done
+	q.mu.Unlock()
+	if wait <= 0 || snap.State.Terminal() {
+		return snap, nil
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	return q.Get(id)
+}
+
+// Cancel requests cancellation. A queued job transitions to
+// StateCancelled immediately (the worker will skip it); a running
+// job's context is cancelled, which the router honors within one SWAP
+// round — its terminal transition happens when the engine returns.
+// Cancelling an already-terminal job is a no-op. The returned snapshot
+// reflects the post-call state.
+func (q *Queue) Cancel(id string) (Snapshot, error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return Snapshot{}, ErrNotFound
+	}
+	q.cancelLocked(j, "cancelled by caller")
+	snap := j.snapshotLocked()
+	q.mu.Unlock()
+	return snap, nil
+}
+
+// cancelLocked implements Cancel for one job; the caller holds q.mu.
+func (q *Queue) cancelLocked(j *job, cause string) {
+	switch j.state {
+	case StateQueued:
+		j.cancelRequested = true
+		q.finishLocked(j, StateCancelled, cause, nil)
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+// List returns every retained job, newest first.
+func (q *Queue) List() []Snapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Snapshot, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		out = append(out, j.snapshotLocked())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Created.After(out[b].Created) })
+	return out
+}
+
+// Stats returns a snapshot of the queue counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := Stats{
+		Submitted:         q.submitted,
+		Done:              q.doneN,
+		Failed:            q.failedN,
+		Cancelled:         q.cancelledN,
+		Expired:           q.expiredN,
+		Held:              len(q.jobs),
+		WebhooksDelivered: q.hooksOK,
+		WebhooksFailed:    q.hooksFailed,
+	}
+	for _, j := range q.jobs {
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		}
+	}
+	return st
+}
+
+// Close drains the queue: no new submissions are accepted, jobs
+// already accepted (queued and running) run to completion, webhook
+// deliveries finish, then Close returns. If ctx expires first, every
+// outstanding job and in-flight webhook is cancelled and Close returns
+// once they settle (promptly — cancellation reaches the router's SWAP
+// loop). Close is idempotent; the borrowed engine stays open.
+func (q *Queue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	close(q.pending) // workers drain the backlog then exit
+	q.mu.Unlock()
+
+	close(q.gcStop)
+	<-q.gcDone
+
+	drained := make(chan struct{})
+	go func() {
+		q.workers.Wait()
+		q.hooks.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline: abort everything still outstanding, then wait for the
+	// (now fast) settle so no goroutine outlives Close.
+	q.mu.Lock()
+	for _, j := range q.jobs {
+		q.cancelLocked(j, "cancelled by shutdown")
+	}
+	q.mu.Unlock()
+	q.hookCancel()
+	<-drained
+	return ctx.Err()
+}
+
+// worker drains the backlog onto the engine.
+func (q *Queue) worker() {
+	defer q.workers.Done()
+	for j := range q.pending {
+		q.run(j)
+	}
+}
+
+// run executes one job end to end.
+func (q *Queue) run(j *job) {
+	q.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while waiting in the backlog.
+		q.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.state = StateRunning
+	j.started = q.now()
+	j.cancel = cancel
+	q.mu.Unlock()
+	defer cancel()
+
+	res := <-q.eng.SubmitContext(ctx, j.req.Job)
+
+	q.mu.Lock()
+	j.cancel = nil
+	switch {
+	case res.Err == nil:
+		q.finishLocked(j, StateDone, "", &res)
+	case j.cancelRequested:
+		q.finishLocked(j, StateCancelled, "cancelled while running", nil)
+	default:
+		q.finishLocked(j, StateFailed, res.Err.Error(), nil)
+	}
+	q.mu.Unlock()
+}
+
+// finishLocked performs the terminal transition: state, counters, the
+// long-poll signal, and webhook dispatch. The caller holds q.mu.
+func (q *Queue) finishLocked(j *job, s State, errMsg string, res *batch.Result) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	j.err = errMsg
+	j.result = res
+	j.finished = q.now()
+	switch s {
+	case StateDone:
+		q.doneN++
+	case StateFailed:
+		q.failedN++
+	case StateCancelled:
+		q.cancelledN++
+	}
+	close(j.done)
+	if j.req.Webhook != "" {
+		q.hooks.Add(1)
+		go q.deliver(j, j.snapshotLocked())
+	}
+}
+
+// reaper garbage-collects expired terminal jobs on a timer.
+func (q *Queue) reaper() {
+	defer close(q.gcDone)
+	tick := time.NewTicker(q.cfg.GCInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			q.gc(q.now())
+		case <-q.gcStop:
+			return
+		}
+	}
+}
+
+// gc drops terminal jobs whose TTL elapsed before now, returning how
+// many were expired. Exposed to tests; the reaper calls it on a timer.
+func (q *Queue) gc(now time.Time) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for id, j := range q.jobs {
+		if j.state.Terminal() && now.Sub(j.finished) >= q.cfg.TTL {
+			delete(q.jobs, id)
+			n++
+		}
+	}
+	q.expiredN += int64(n)
+	return n
+}
+
+// snapshotLocked copies the job into a caller-safe view; the caller
+// holds q.mu.
+func (j *job) snapshotLocked() Snapshot {
+	return Snapshot{
+		ID:       j.id,
+		State:    j.state,
+		Request:  j.req,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Err:      j.err,
+		Result:   j.result,
+		Webhook:  j.webhook,
+	}
+}
+
+// newID returns a collision-free job ID: a monotonic sequence number
+// (uniqueness) plus random bytes (unguessability across restarts).
+func newID(seq int64) string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; the sequence
+		// number alone still guarantees in-process uniqueness.
+		return fmt.Sprintf("job-%d", seq)
+	}
+	return fmt.Sprintf("job-%d-%s", seq, hex.EncodeToString(b[:]))
+}

@@ -1,0 +1,508 @@
+package jobqueue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/batch"
+	"repro/internal/workloads"
+)
+
+// newTestQueue builds a small engine + queue pair and tears both down.
+func newTestQueue(t *testing.T, cfg Config) (*Queue, *batch.Engine) {
+	t.Helper()
+	eng := batch.NewEngine(batch.Config{Workers: 2})
+	t.Cleanup(eng.Close)
+	q := New(eng, cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = q.Close(ctx)
+	})
+	return q, eng
+}
+
+func fastJob(tag string) batch.Job {
+	return batch.Job{Circuit: workloads.GHZ(6), Device: arch.IBMQ20Tokyo(), Tag: tag}
+}
+
+// slowJob takes long enough (hundreds of ms) that tests can observe
+// and interrupt the running state.
+func slowJob(tag string) batch.Job {
+	return batch.Job{
+		Circuit: workloads.RandomCircuit("slow", 20, 8000, 0.9, 1),
+		Device:  arch.IBMQ20Tokyo(),
+		Trials:  40,
+		Tag:     tag,
+	}
+}
+
+// waitState polls until the job reaches a terminal state.
+func waitState(t *testing.T, q *Queue, id string, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		snap, err := q.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		if snap.State == want {
+			return snap
+		}
+		if snap.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s: state %s (err %q), want %s", id, snap.State, snap.Err, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestLifecycleAndResultParity: an async job completes and its result
+// is byte-identical to the synchronous engine path for the same job —
+// the queue adds delivery semantics, never a different compilation.
+func TestLifecycleAndResultParity(t *testing.T) {
+	q, eng := newTestQueue(t, Config{Workers: 2})
+
+	snap, err := q.Submit(Request{Job: fastJob("ghz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateQueued || snap.ID == "" {
+		t.Fatalf("submit snapshot: %+v", snap)
+	}
+
+	got, err := q.Wait(context.Background(), snap.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || got.Result == nil {
+		t.Fatalf("state %s err %q", got.State, got.Err)
+	}
+	if got.Finished.Before(got.Started) || got.Started.Before(got.Created) {
+		t.Fatalf("timestamps out of order: %+v", got)
+	}
+
+	sync := <-eng.Submit(fastJob("ghz"))
+	if sync.Err != nil {
+		t.Fatal(sync.Err)
+	}
+	if !got.Result.Final.Equal(sync.Final) {
+		t.Fatal("async result differs from synchronous result for the identical job")
+	}
+}
+
+// TestCancelWhileQueued: with the lone worker occupied, a backlogged
+// job cancels instantly and never runs.
+func TestCancelWhileQueued(t *testing.T) {
+	q, _ := newTestQueue(t, Config{Workers: 1})
+
+	running, err := q.Submit(Request{Job: slowJob("hog")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, running.ID, StateRunning)
+
+	queued, err := q.Submit(Request{Job: fastJob("parked")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := q.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateCancelled {
+		t.Fatalf("cancel-while-queued state = %s", snap.State)
+	}
+	if !snap.Started.IsZero() {
+		t.Fatal("cancelled-while-queued job has a start time — it ran")
+	}
+	if _, err := q.Cancel(running.ID); err != nil { // unblock the worker
+		t.Fatal(err)
+	}
+	waitState(t, q, running.ID, StateCancelled)
+
+	st := q.Stats()
+	if st.Cancelled != 2 || st.Done != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCancelWhileRunning: cancellation reaches the router's SWAP loop,
+// so even a multi-second job settles promptly.
+func TestCancelWhileRunning(t *testing.T) {
+	q, _ := newTestQueue(t, Config{Workers: 1})
+	snap, err := q.Submit(Request{Job: slowJob("doomed")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, snap.ID, StateRunning)
+
+	start := time.Now()
+	if _, err := q.Cancel(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, q, snap.ID, StateCancelled)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("running job took %v to honor cancellation", elapsed)
+	}
+	if got.Result != nil {
+		t.Fatal("cancelled job carries a result")
+	}
+	// Cancelling a terminal job is a no-op.
+	again, err := q.Cancel(snap.ID)
+	if err != nil || again.State != StateCancelled {
+		t.Fatalf("re-cancel: %v / %s", err, again.State)
+	}
+}
+
+// TestTTLExpiry: terminal jobs outlive their TTL only until the
+// reaper passes; live jobs are never collected.
+func TestTTLExpiry(t *testing.T) {
+	q, _ := newTestQueue(t, Config{Workers: 2, TTL: time.Hour})
+
+	snap, err := q.Submit(Request{Job: fastJob("ephemeral")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, q, snap.ID, StateDone)
+
+	if n := q.gc(done.Finished.Add(30 * time.Minute)); n != 0 {
+		t.Fatalf("gc before TTL expired %d jobs", n)
+	}
+	if _, err := q.Get(snap.ID); err != nil {
+		t.Fatalf("job reaped before TTL: %v", err)
+	}
+	if n := q.gc(done.Finished.Add(2 * time.Hour)); n != 1 {
+		t.Fatalf("gc after TTL expired %d jobs, want 1", n)
+	}
+	if _, err := q.Get(snap.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired job still retrievable: %v", err)
+	}
+	if st := q.Stats(); st.Expired != 1 || st.Held != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// waitWebhook polls the job's webhook status until delivery settles.
+func waitWebhook(t *testing.T, q *Queue, id string, attempts int) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap, err := q.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Webhook.Delivered || snap.Webhook.Attempts >= attempts {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("webhook never settled: %+v", snap.Webhook)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestWebhookDelivery: a completed job POSTs its payload once to the
+// webhook URL.
+func TestWebhookDelivery(t *testing.T) {
+	var gotBody atomic.Value
+	var hits atomic.Int64
+	ws := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var m map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+			t.Errorf("webhook body: %v", err)
+		}
+		gotBody.Store(m)
+		hits.Add(1)
+	}))
+	defer ws.Close()
+
+	q, _ := newTestQueue(t, Config{Workers: 1})
+	snap, err := q.Submit(Request{Job: fastJob("hooked"), Webhook: ws.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, snap.ID, StateDone)
+	got := waitWebhook(t, q, snap.ID, 1)
+	if !got.Webhook.Delivered || got.Webhook.Attempts != 1 || got.Webhook.LastError != "" {
+		t.Fatalf("webhook status = %+v", got.Webhook)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("webhook hit %d times", hits.Load())
+	}
+	m := gotBody.Load().(map[string]any)
+	if m["job_id"] != snap.ID || m["state"] != string(StateDone) {
+		t.Fatalf("payload = %v", m)
+	}
+	if st := q.Stats(); st.WebhooksDelivered != 1 || st.WebhooksFailed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestWebhookRetryThenSuccess: transient 5xx responses are retried
+// with backoff until a 2xx lands.
+func TestWebhookRetryThenSuccess(t *testing.T) {
+	var hits atomic.Int64
+	ws := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			http.Error(w, "flaky", http.StatusBadGateway)
+		}
+	}))
+	defer ws.Close()
+
+	q, _ := newTestQueue(t, Config{
+		Workers: 1,
+		Webhook: WebhookConfig{MaxAttempts: 3, Backoff: time.Millisecond},
+	})
+	snap, err := q.Submit(Request{Job: fastJob("retry"), Webhook: ws.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, snap.ID, StateDone)
+	got := waitWebhook(t, q, snap.ID, 3)
+	if !got.Webhook.Delivered || got.Webhook.Attempts != 3 {
+		t.Fatalf("webhook status = %+v", got.Webhook)
+	}
+	if st := q.Stats(); st.WebhooksDelivered != 1 || st.WebhooksFailed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestWebhookExhaustion: a webhook that never answers 2xx is retried
+// exactly MaxAttempts times, the exhaustion is recorded on the job,
+// and the queue counts the failure — the job itself still completes.
+func TestWebhookExhaustion(t *testing.T) {
+	var hits atomic.Int64
+	ws := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ws.Close()
+
+	q, _ := newTestQueue(t, Config{
+		Workers: 1,
+		Webhook: WebhookConfig{MaxAttempts: 3, Backoff: time.Millisecond},
+	})
+	snap, err := q.Submit(Request{Job: fastJob("exhausted"), Webhook: ws.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitState(t, q, snap.ID, StateDone); got.Result == nil {
+		t.Fatal("job result lost to webhook failure")
+	}
+	got := waitWebhook(t, q, snap.ID, 3)
+	if got.Webhook.Delivered || got.Webhook.Attempts != 3 || got.Webhook.LastError == "" {
+		t.Fatalf("webhook status = %+v", got.Webhook)
+	}
+	// Counter settles after the last attempt's bookkeeping.
+	deadline := time.Now().Add(10 * time.Second)
+	for q.Stats().WebhooksFailed != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats = %+v", q.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("webhook hit %d times, want 3", hits.Load())
+	}
+}
+
+// TestBackpressure: a full backlog rejects new work instead of
+// growing without bound.
+func TestBackpressure(t *testing.T) {
+	q, _ := newTestQueue(t, Config{Workers: 1, QueueDepth: 1})
+
+	hog, err := q.Submit(Request{Job: slowJob("hog")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, hog.ID, StateRunning)
+
+	if _, err := q.Submit(Request{Job: fastJob("fills-depth")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(Request{Job: fastJob("overflow")}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+	if _, err := q.Cancel(hog.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitValidation: nil inputs and closed queues fail fast.
+func TestSubmitValidation(t *testing.T) {
+	eng := batch.NewEngine(batch.Config{Workers: 1})
+	defer eng.Close()
+	q := New(eng, Config{Workers: 1})
+	if _, err := q.Submit(Request{}); err == nil {
+		t.Fatal("nil-circuit submit accepted")
+	}
+	if err := q.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(Request{Job: fastJob("late")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if err := q.Close(context.Background()); err != nil {
+		t.Fatal("second close must be a no-op")
+	}
+}
+
+// TestGracefulDrain: Close with headroom lets accepted jobs finish.
+func TestGracefulDrain(t *testing.T) {
+	eng := batch.NewEngine(batch.Config{Workers: 2})
+	defer eng.Close()
+	q := New(eng, Config{Workers: 2})
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		snap, err := q.Submit(Request{Job: fastJob(fmt.Sprintf("drain-%d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	for _, id := range ids {
+		snap, err := q.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State != StateDone {
+			t.Fatalf("job %s drained to %s", id, snap.State)
+		}
+	}
+}
+
+// TestDrainDeadline: a Close deadline cancels outstanding work rather
+// than hanging; the in-flight job settles as cancelled.
+func TestDrainDeadline(t *testing.T) {
+	eng := batch.NewEngine(batch.Config{Workers: 1})
+	defer eng.Close()
+	q := New(eng, Config{Workers: 1})
+
+	snap, err := q.Submit(Request{Job: slowJob("immortal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, snap.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = q.Close(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline close took %v", elapsed)
+	}
+	got, err := q.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("state after deadline drain = %s", got.State)
+	}
+}
+
+// TestWaitLongPoll: Wait parks until the terminal transition instead
+// of busy-polling, and times out to the current snapshot.
+func TestWaitLongPoll(t *testing.T) {
+	q, _ := newTestQueue(t, Config{Workers: 1})
+
+	hog, err := q.Submit(Request{Job: slowJob("hog")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short wait on a busy job: returns non-terminal after the window.
+	snap, err := q.Wait(context.Background(), hog.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State.Terminal() {
+		t.Fatalf("short wait returned terminal state %s", snap.State)
+	}
+	if _, err := q.Cancel(hog.ID); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = q.Wait(context.Background(), hog.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateCancelled {
+		t.Fatalf("long wait state = %s", snap.State)
+	}
+	if _, err := q.Wait(context.Background(), "job-nope", time.Millisecond); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("wait on unknown job: %v", err)
+	}
+}
+
+// TestListStatsConcurrent hammers submit/list/stats/cancel/get from
+// many goroutines — the -race run of this test is the queue's
+// thread-safety gate.
+func TestListStatsConcurrent(t *testing.T) {
+	q, _ := newTestQueue(t, Config{Workers: 4, QueueDepth: 4096})
+
+	const perWorker = 8
+	var wg sync.WaitGroup
+	ids := make(chan string, 6*perWorker)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				snap, err := q.Submit(Request{Job: fastJob(fmt.Sprintf("c%d-%d", w, i))})
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				ids <- snap.ID
+				q.List()
+				q.Stats()
+				if i%3 == 0 {
+					_, _ = q.Cancel(snap.ID)
+				}
+				_, _ = q.Get(snap.ID)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(ids)
+
+	for id := range ids {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			snap, err := q.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.State.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", id, snap.State)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	st := q.Stats()
+	if st.Submitted != 48 || st.Done+st.Failed+st.Cancelled != 48 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := len(q.List()); got != 48 {
+		t.Fatalf("list returned %d jobs, want 48", got)
+	}
+}

@@ -1,0 +1,126 @@
+package jobqueue
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// defaultPayload is the webhook body when Config.Payload is nil: the
+// terminal facts of the job plus summary routing metrics. The daemon
+// overrides this with its full compile response so webhook consumers
+// see exactly what a poller sees.
+type defaultPayload struct {
+	JobID    string `json:"job_id"`
+	State    State  `json:"state"`
+	Tag      string `json:"tag,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Gates    int    `json:"gates,omitempty"`
+	Depth    int    `json:"depth,omitempty"`
+	AddedG   int    `json:"added_gates,omitempty"`
+	Elapsed  int64  `json:"elapsed_ns,omitempty"`
+	Finished string `json:"finished,omitempty"`
+}
+
+// buildPayload materializes the webhook body for one terminal job.
+func (q *Queue) buildPayload(snap Snapshot) any {
+	if q.cfg.Payload != nil {
+		return q.cfg.Payload(snap)
+	}
+	p := defaultPayload{
+		JobID:    snap.ID,
+		State:    snap.State,
+		Tag:      snap.Request.Job.Tag,
+		Error:    snap.Err,
+		Finished: snap.Finished.UTC().Format(time.RFC3339Nano),
+	}
+	if snap.Result != nil && snap.Result.Result != nil {
+		p.Gates = snap.Result.Final.NumGates()
+		p.Depth = snap.Result.Final.Depth()
+		p.AddedG = snap.Result.AddedGates
+		p.Elapsed = snap.Result.Elapsed.Nanoseconds()
+	}
+	return p
+}
+
+// deliver POSTs the completion payload to the job's webhook URL with
+// bounded retries and exponential backoff. Any 2xx response settles
+// delivery; after MaxAttempts non-2xx/transport failures the job's
+// WebhookStatus records the exhaustion and the queue counts it. The
+// queue's hook context aborts in-flight deliveries on drain deadline.
+func (q *Queue) deliver(j *job, snap Snapshot) {
+	defer q.hooks.Done()
+	body, err := json.Marshal(q.buildPayload(snap))
+	if err != nil {
+		q.recordDelivery(j, 0, false, fmt.Sprintf("encode payload: %v", err))
+		return
+	}
+	client := q.cfg.Webhook.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	backoff := q.cfg.Webhook.Backoff
+	var lastErr string
+	for attempt := 1; attempt <= q.cfg.Webhook.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			select {
+			case <-time.After(backoff):
+				backoff *= 2
+			case <-q.hookCtx.Done():
+				q.recordDelivery(j, attempt-1, false, "aborted by shutdown")
+				return
+			}
+		}
+		err := q.post(client, snap.Request.Webhook, body, snap.ID, attempt)
+		if err == nil {
+			q.recordDelivery(j, attempt, true, "")
+			return
+		}
+		lastErr = err.Error()
+		q.recordDelivery(j, attempt, false, lastErr)
+	}
+	q.mu.Lock()
+	q.hooksFailed++
+	q.mu.Unlock()
+}
+
+// post performs one delivery attempt.
+func (q *Queue) post(client *http.Client, url string, body []byte, id string, attempt int) error {
+	ctx, cancel := context.WithTimeout(q.hookCtx, q.cfg.Webhook.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Sabre-Job", id)
+	req.Header.Set("X-Sabre-Attempt", strconv.Itoa(attempt))
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("webhook status %s", resp.Status)
+	}
+	return nil
+}
+
+// recordDelivery updates the job's webhook bookkeeping after one
+// attempt (or final success).
+func (q *Queue) recordDelivery(j *job, attempts int, delivered bool, lastErr string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if attempts > j.webhook.Attempts {
+		j.webhook.Attempts = attempts
+	}
+	j.webhook.Delivered = delivered
+	j.webhook.LastError = lastErr
+	if delivered {
+		q.hooksOK++
+	}
+}

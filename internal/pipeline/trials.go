@@ -53,8 +53,9 @@ type TrialRunner struct {
 func (TrialRunner) Name() string { return "sabre" }
 
 // Route implements core.Router: it runs the trials and returns the
-// deterministic winner. Cancellation is honored at trial boundaries;
-// a cancelled run returns ctx.Err().
+// deterministic winner. Cancellation is honored at trial boundaries
+// and inside each trial's SWAP loop at round granularity; a cancelled
+// run returns ctx.Err().
 func (tr TrialRunner) Route(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, opts core.Options) (*core.Result, error) {
 	start := time.Now()
 	results, depths, err := tr.RunTrials(ctx, circ, dev, opts)
@@ -113,7 +114,19 @@ func (tr TrialRunner) RunTrials(ctx context.Context, circ *circuit.Circuit, dev 
 			// shared across the pool (the shared Prepared is read-only).
 			scratch := core.NewScratch()
 			for trial := range trials {
-				results[trial], depths[trial] = p.RunTrialWith(trial, scratch)
+				// RunTrialCtx polls ctx inside the SWAP loop at round
+				// granularity, so cancellation kills even one enormous
+				// in-flight trial promptly — the run as a whole then
+				// fails with ctx.Err() after the pool drains. A
+				// cancelled trial must NOT report completion: its
+				// results slot is nil, and the prefix watcher walking
+				// a "completed" nil entry would dereference it. The
+				// feeder still terminates via its ctx.Done case.
+				res, depth, err := p.RunTrialCtx(ctx, trial, scratch)
+				if err != nil {
+					continue
+				}
+				results[trial], depths[trial] = res, depth
 				completions <- trial
 			}
 		}()

@@ -72,7 +72,10 @@ func (r AnnealRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arc
 		}
 		rng := rand.New(rand.NewSource(opts.Seed + int64(chain)))
 		cur := mapping.Random(n, rng)
-		curPass := runner.Run(cur, rng, scratch)
+		curPass, err := runner.RunContext(ctx, cur, rng, scratch)
+		if err != nil {
+			return nil, err
+		}
 		curCost := addedGates(curPass)
 		best.consider(curPass, curCost)
 
@@ -98,7 +101,10 @@ func (r AnnealRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arc
 				b++
 			}
 			cand.SwapPhysical(a, b)
-			candPass := runner.Run(cand, rng, scratch)
+			candPass, err := runner.RunContext(ctx, cand, rng, scratch)
+			if err != nil {
+				return nil, err
+			}
 			candCost := addedGates(candPass)
 			if candCost <= curCost || rng.Float64() < math.Exp(float64(curCost-candCost)/temp) {
 				cur, curPass, curCost = cand, candPass, candCost

@@ -56,6 +56,25 @@
 // GET /stats exposes the engine counters. cmd/benchtab's -batch mode
 // drives the engine over the full Table II workload suite.
 //
+// # Async job queue
+//
+// Long compiles decouple from request lifetimes through the async job
+// queue: SubmitAsync returns a job ID immediately, a bounded worker
+// pool drains onto the engine, and completion is polled
+// (JobStatus/WaitJob), pushed to a webhook URL with bounded retries,
+// or both. Jobs cancel promptly at any point — the signal reaches the
+// router's SWAP loop at round granularity:
+//
+//	ae := sabre.NewAsyncEngine(sabre.BatchConfig{}, sabre.JobQueueConfig{})
+//	defer ae.Close(context.Background())
+//	snap, _ := ae.SubmitAsync(sabre.BatchJob{Circuit: circ, Device: dev}, "")
+//	snap, _ = ae.WaitJob(ctx, snap.ID, 30*time.Second) // long-poll
+//
+// cmd/sabred serves the same queue as its v2 API (POST /jobs,
+// GET /jobs/{id}?wait=, DELETE /jobs/{id}) with graceful drain on
+// shutdown; cmd/benchtab's -async mode exercises it over the workload
+// suite.
+//
 // The facade re-exports the internal packages' curated surface: circuit
 // construction, device topologies, OpenQASM 2.0 I/O, workload
 // generators, verification and metrics. Everything is pure Go with no
@@ -66,12 +85,14 @@ import (
 	"context"
 	"io"
 	"math/rand"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/baseline"
 	"repro/internal/batch"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/jobqueue"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/opt"
@@ -382,6 +403,115 @@ func CompileBatch(jobs []BatchJob) []BatchResult {
 
 // BatchKeyOf computes the canonical cache key of a job.
 func BatchKeyOf(job BatchJob) BatchKey { return batch.KeyOf(job) }
+
+// --- Async job queue ---
+
+// Job-queue types, re-exported by alias.
+type (
+	// JobQueue is the async job subsystem: Submit returns a job ID
+	// immediately, a bounded worker pool drains onto the batch engine,
+	// finished jobs are retained for a TTL, and completion can be
+	// pushed to a webhook URL with bounded retries.
+	JobQueue = jobqueue.Queue
+	// JobQueueConfig configures NewJobQueue (zero value = defaults).
+	JobQueueConfig = jobqueue.Config
+	// JobRequest is one async submission: a BatchJob plus delivery
+	// options.
+	JobRequest = jobqueue.Request
+	// JobSnapshot is a point-in-time view of one async job.
+	JobSnapshot = jobqueue.Snapshot
+	// JobState enumerates the job lifecycle
+	// (queued/running/done/failed/cancelled).
+	JobState = jobqueue.State
+	// JobQueueStats snapshots the queue counters.
+	JobQueueStats = jobqueue.Stats
+	// JobWebhookConfig bounds webhook delivery retries.
+	JobWebhookConfig = jobqueue.WebhookConfig
+)
+
+// Job lifecycle states: queued → running → done | failed | cancelled.
+const (
+	JobQueued    = jobqueue.StateQueued
+	JobRunning   = jobqueue.StateRunning
+	JobDone      = jobqueue.StateDone
+	JobFailed    = jobqueue.StateFailed
+	JobCancelled = jobqueue.StateCancelled
+)
+
+// Job-queue errors.
+var (
+	// ErrJobQueueClosed is reported by submissions after Close.
+	ErrJobQueueClosed = jobqueue.ErrClosed
+	// ErrJobQueueFull is reported when the backlog is at QueueDepth.
+	ErrJobQueueFull = jobqueue.ErrQueueFull
+	// ErrJobNotFound is reported for unknown (or TTL-expired) job IDs.
+	ErrJobNotFound = jobqueue.ErrNotFound
+)
+
+// NewJobQueue starts an async job queue draining onto eng. The engine
+// is borrowed: closing the queue leaves it running.
+func NewJobQueue(eng *Engine, cfg JobQueueConfig) *JobQueue { return jobqueue.New(eng, cfg) }
+
+// AsyncEngine couples a batch engine with an async job queue — the
+// in-process form of cmd/sabred's v2 API. Synchronous calls go
+// through Batch(); long compiles go through SubmitAsync and are
+// polled with JobStatus/WaitJob or pushed to a webhook:
+//
+//	ae := sabre.NewAsyncEngine(sabre.BatchConfig{}, sabre.JobQueueConfig{})
+//	defer ae.Close(context.Background())
+//	snap, _ := ae.SubmitAsync(sabre.BatchJob{Circuit: circ, Device: dev}, "")
+//	snap, _ = ae.WaitJob(ctx, snap.ID, 30*time.Second)
+type AsyncEngine struct {
+	eng   *Engine
+	queue *JobQueue
+}
+
+// NewAsyncEngine starts a batch engine plus a job queue draining onto
+// it. Close releases both.
+func NewAsyncEngine(cfg BatchConfig, qcfg JobQueueConfig) *AsyncEngine {
+	eng := batch.NewEngine(cfg)
+	return &AsyncEngine{eng: eng, queue: jobqueue.New(eng, qcfg)}
+}
+
+// Batch returns the underlying engine for synchronous compilation.
+func (e *AsyncEngine) Batch() *Engine { return e.eng }
+
+// Queue returns the underlying job queue.
+func (e *AsyncEngine) Queue() *JobQueue { return e.queue }
+
+// SubmitAsync parks a compilation on the job queue and returns its
+// queued snapshot (ID, state) immediately. webhook, when non-empty,
+// receives the completion payload via POST with bounded retries.
+func (e *AsyncEngine) SubmitAsync(job BatchJob, webhook string) (JobSnapshot, error) {
+	return e.queue.Submit(JobRequest{Job: job, Webhook: webhook})
+}
+
+// JobStatus returns the job's current snapshot.
+func (e *AsyncEngine) JobStatus(id string) (JobSnapshot, error) { return e.queue.Get(id) }
+
+// WaitJob long-polls: it returns as soon as the job is terminal or
+// after wait, whichever comes first, with the then-current snapshot.
+func (e *AsyncEngine) WaitJob(ctx context.Context, id string, wait time.Duration) (JobSnapshot, error) {
+	return e.queue.Wait(ctx, id, wait)
+}
+
+// CancelJob cancels a queued job immediately and a running job within
+// one SWAP round; terminal jobs are left untouched.
+func (e *AsyncEngine) CancelJob(id string) (JobSnapshot, error) { return e.queue.Cancel(id) }
+
+// Jobs lists every retained job, newest first.
+func (e *AsyncEngine) Jobs() []JobSnapshot { return e.queue.List() }
+
+// JobStats snapshots the queue counters.
+func (e *AsyncEngine) JobStats() JobQueueStats { return e.queue.Stats() }
+
+// Close drains the queue (accepted jobs finish unless ctx expires,
+// at which point they are cancelled) and then closes the engine.
+func (e *AsyncEngine) Close(ctx context.Context) error {
+	err := e.queue.Close(ctx)
+	e.eng.Close()
+	return err
+}
 
 // --- Baselines (for comparison studies) ---
 
