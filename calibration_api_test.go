@@ -1,0 +1,91 @@
+package sabre
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCalibrationFacade: the public calibration surface — apply a
+// snapshot, read it back, and see a calibration-aware batch job pick
+// it up with a fresh cache key.
+func TestCalibrationFacade(t *testing.T) {
+	dev := LineDevice(4)
+	if DeviceCalibration(dev) != nil {
+		t.Fatal("fresh device reports a calibration")
+	}
+
+	snap, err := ApplyCalibration(dev, UniformNoise(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 1 || DeviceCalibration(dev) != snap {
+		t.Fatalf("snapshot = %+v, want version 1 and readable back", snap)
+	}
+	if _, err := ApplyCalibration(dev, UniformNoise(1.5)); err == nil {
+		t.Fatal("out-of-range rate accepted")
+	}
+
+	eng := NewEngine(BatchConfig{Workers: 2})
+	defer eng.Close()
+	job := BatchJob{Circuit: QFT(4), Device: dev, UseCalibration: true}
+	res := <-eng.Submit(job)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.CalVersion != 1 {
+		t.Fatalf("CalVersion = %d, want 1", res.CalVersion)
+	}
+
+	key1 := BatchKeyOf(job)
+	if _, err := ApplyCalibration(dev, UniformNoise(0.04)); err != nil {
+		t.Fatal(err)
+	}
+	if key2 := BatchKeyOf(job); key2 == key1 {
+		t.Fatal("cache key unchanged after recalibration")
+	}
+}
+
+// TestFleetFacade: score a circuit across a fleet and dispatch through
+// the load-tracking scheduler.
+func TestFleetFacade(t *testing.T) {
+	line := LineDevice(6)
+	full := FullDevice(6)
+	if _, err := ApplyCalibration(line, UniformNoise(0.02)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyCalibration(full, UniformNoise(0.02)); err != nil {
+		t.Fatal(err)
+	}
+
+	circ := GHZ(6)
+	dec, err := ScheduleFleet(circ, []FleetCandidate{{Device: line}, {Device: full}}, FleetWeights{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-to-all coupling routes GHZ with zero SWAPs; it must beat the
+	// line on predicted error.
+	if dec.Device != full {
+		t.Fatalf("winner = %s, want %s (scores %+v)", dec.Winner.Device, full.Name(), dec.Scores)
+	}
+	if len(dec.Scores) != 2 || dec.Winner.CalVersion != 1 {
+		t.Fatalf("decision = %+v", dec)
+	}
+
+	eng := NewEngine(BatchConfig{Workers: 2})
+	defer eng.Close()
+	sched, err := NewFleetScheduler(eng, []*Device{line, full}, FleetWeights{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, dec2, err := sched.Compile(context.Background(), BatchJob{Circuit: circ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if dec2.Device != full || res.CalVersion != 1 {
+		t.Fatalf("scheduler compiled on %s at cal version %d, want %s at 1",
+			dec2.Winner.Device, res.CalVersion, full.Name())
+	}
+}

@@ -17,6 +17,12 @@
 //	                              regression, allocs/op growth on the
 //	                              zero-alloc (sabre) rows, or added-
 //	                              gates drift
+//	benchtab -fleet tokyo,grid:4x5,falcon27 -names qft_10
+//	                              fleet dispatch table: calibrate each
+//	                              device with seed-derived random noise,
+//	                              score every workload across the fleet
+//	                              (internal/fleet), compile on the
+//	                              winner under its live snapshot
 //
 // -quick reduces SABRE to 2 trials for a fast pass; -no-astar skips the
 // exponential baseline; -budget caps the A* node budget (the paper's
@@ -71,10 +77,11 @@ func main() {
 		jsonFile    = flag.String("json", "", "measure workload × router perf (ns/op, allocs/op, added gates) and write the JSON trajectory snapshot to this file")
 		compareFile = flag.String("compare", "", "re-measure the rows of this BENCH_*.json baseline and fail (exit 1) on regression — the CI perf gate")
 		tolerance   = flag.Float64("tolerance", 25, "-compare: max ns/op regression in percent before failing")
+		fleetFlag   = flag.String("fleet", "", "comma-separated device specs: calibrate each (seed-derived random noise), score every workload across the fleet, and compile on the winner (e.g. tokyo,grid:4x5,falcon27)")
 	)
 	flag.Parse()
 
-	if !*table2 && !*fig8 && !*scaling && !*searchspace && !*optimality && !*batchMode && !*asyncMode && *routersFlag == "" && *jsonFile == "" && *compareFile == "" {
+	if !*table2 && !*fig8 && !*scaling && !*searchspace && !*optimality && !*batchMode && !*asyncMode && *routersFlag == "" && *jsonFile == "" && *compareFile == "" && *fleetFlag == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -152,6 +159,11 @@ func main() {
 
 	if *routersFlag != "" && *jsonFile == "" {
 		runRouters(selectBenches(*class, *maxGori, *names), cfg.Device, cfg.SabreOpts, splitPasses(*routersFlag), splitPasses(*passesFlag), *workers, *seed)
+	}
+
+	if *fleetFlag != "" {
+		opts := cfg.SabreOpts
+		runFleet(selectBenches(*class, *maxGori, *names), splitPasses(*fleetFlag), opts, *workers, *seed)
 	}
 
 	if *compareFile != "" {

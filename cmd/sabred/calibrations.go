@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/arch"
+)
+
+// maxCalibrationBody bounds a calibration push (a device has at most
+// ~a few thousand couplers; 1 MB is ample).
+const maxCalibrationBody = 1 << 20
+
+// calibrationRequest is the POST /calibrations/{device} body: the new
+// noise data for the device. Unlisted couplers fall back to the
+// default rate.
+type calibrationRequest struct {
+	// Default is the error rate assumed for couplers not listed in
+	// Edges. Must be in [0, 1).
+	Default float64 `json:"default"`
+	// Edges lists per-coupler CNOT error rates.
+	Edges []calibrationEdge `json:"edges,omitempty"`
+}
+
+// calibrationEdge is one coupler's measured error rate.
+type calibrationEdge struct {
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+	Error float64 `json:"error"`
+}
+
+// calibrationResponse describes the installed (or current) snapshot.
+type calibrationResponse struct {
+	Device  string    `json:"device"`
+	Version uint64    `json:"version"`
+	Applied time.Time `json:"applied"`
+	Default float64   `json:"default"`
+	Edges   int       `json:"edges"`
+}
+
+func calibrationResponseOf(dev *arch.Device, snap *arch.CalSnapshot) calibrationResponse {
+	return calibrationResponse{
+		Device:  dev.Name(),
+		Version: snap.Version,
+		Applied: snap.Applied,
+		Default: snap.Model.Default,
+		Edges:   len(snap.Model.EdgeError),
+	}
+}
+
+// handleCalibration serves /calibrations/{device}: POST installs a new
+// calibration snapshot (bumping the version, which invalidates every
+// cached result routed under the old one), GET reports the current
+// snapshot (404 when the device was never calibrated).
+func (s *server) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	spec := strings.TrimPrefix(r.URL.Path, "/calibrations/")
+	if spec == "" || strings.Contains(spec, "/") {
+		http.Error(w, "bad calibration path: want /calibrations/{device}", http.StatusBadRequest)
+		return
+	}
+	dev, err := s.device(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		snap := dev.Calibration()
+		if snap == nil {
+			http.Error(w, fmt.Sprintf("device %q has no calibration", spec), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, calibrationResponseOf(dev, snap))
+	case http.MethodPost:
+		// A calibration is only useful on the retained device instance
+		// — the one compile requests resolve to. Past the device-cache
+		// cap the instance would be transient and the snapshot lost.
+		if !s.deviceRetained(spec) {
+			http.Error(w, "device cache full: cannot retain a calibration for this device", http.StatusServiceUnavailable)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCalibrationBody))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+			return
+		}
+		var req calibrationRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, fmt.Sprintf("bad JSON: %v", err), http.StatusBadRequest)
+			return
+		}
+		m := &arch.NoiseModel{Default: req.Default}
+		if len(req.Edges) > 0 {
+			m.EdgeError = make(map[arch.Edge]float64, len(req.Edges))
+			for _, e := range req.Edges {
+				edge := arch.NewEdge(e.A, e.B)
+				if _, dup := m.EdgeError[edge]; dup {
+					http.Error(w, fmt.Sprintf("duplicate edge (%d,%d) in calibration", edge.A, edge.B), http.StatusBadRequest)
+					return
+				}
+				m.EdgeError[edge] = e.Error
+			}
+		}
+		snap, err := dev.ApplyCalibration(m)
+		if err != nil {
+			// Validation failures (malformed rates, unknown couplers)
+			// name the offending entry.
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, calibrationResponseOf(dev, snap))
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+// deviceRetained reports whether the spec's device instance is held in
+// the server's memo (and so shared with compile requests).
+func (s *server) deviceRetained(spec string) bool {
+	key := strings.ToLower(strings.TrimSpace(spec))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.devices[key]
+	return ok
+}

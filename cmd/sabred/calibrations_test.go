@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/qasm"
+	"repro/internal/workloads"
+)
+
+// postCalibration POSTs a calibrationRequest and returns the response
+// plus its decoded body (on 200) or raw error text.
+func postCalibration(t *testing.T, url string, req calibrationRequest) (*http.Response, calibrationResponse, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var out calibrationResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("decode calibration response: %v (%s)", err, raw)
+		}
+	}
+	return resp, out, string(raw)
+}
+
+// TestParseWaitCap: ?wait= windows above maxLongPoll are rejected with
+// an error naming the cap — in both the duration and bare-seconds
+// forms — not silently clamped.
+func TestParseWaitCap(t *testing.T) {
+	for _, ok := range []string{"", "0", "5", "30s", "1m", "60"} {
+		if _, err := parseWait(ok); err != nil {
+			t.Errorf("parseWait(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, over := range []string{"90s", "2m", "61", "3600"} {
+		_, err := parseWait(over)
+		if err == nil {
+			t.Errorf("parseWait(%q) accepted a window above the cap", over)
+			continue
+		}
+		if !strings.Contains(err.Error(), maxLongPoll.String()) {
+			t.Errorf("parseWait(%q) error %q does not name the %s cap", over, err, maxLongPoll)
+		}
+	}
+}
+
+// TestJobWaitCapHTTP: the rejection surfaces as a 400 on the wire.
+func TestJobWaitCapHTTP(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, wait := range []string{"90s", "120"} {
+		resp, err := http.Get(ts.URL + "/jobs/job-0-deadbeef?wait=" + wait)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("wait=%s: status %d, want 400 (%s)", wait, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), maxLongPoll.String()) {
+			t.Fatalf("wait=%s: 400 body %q does not name the cap", wait, body)
+		}
+	}
+}
+
+// TestCalibrationEndpoint covers the /calibrations/{device} lifecycle:
+// 404 before any push, versions that count up, GET reflecting the
+// latest, and a 400 for every malformed push naming the problem.
+func TestCalibrationEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	url := ts.URL + "/calibrations/line:4"
+
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET before any calibration: status %d, want 404", resp.StatusCode)
+	}
+
+	good := calibrationRequest{Default: 0.01, Edges: []calibrationEdge{{A: 0, B: 1, Error: 0.04}}}
+	resp, out, raw := postCalibration(t, url, good)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("good POST: status %d (%s)", resp.StatusCode, raw)
+	}
+	if out.Version != 1 || out.Edges != 1 || out.Default != 0.01 {
+		t.Fatalf("first snapshot = %+v, want version 1 / 1 edge", out)
+	}
+	if out.Applied.IsZero() {
+		t.Fatal("snapshot has no applied timestamp")
+	}
+
+	resp, out, _ = postCalibration(t, url, calibrationRequest{Default: 0.02})
+	if resp.StatusCode != http.StatusOK || out.Version != 2 {
+		t.Fatalf("second POST: status %d version %d, want 200/2", resp.StatusCode, out.Version)
+	}
+
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got calibrationResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Version != 2 || got.Default != 0.02 {
+		t.Fatalf("GET after two pushes = %+v, want version 2 default 0.02", got)
+	}
+
+	bad := []struct {
+		name string
+		url  string
+		req  calibrationRequest
+		want string // substring of the 400 body
+	}{
+		{"rate at 1", url, calibrationRequest{Default: 1.0}, "outside [0, 1)"},
+		{"negative edge rate", url, calibrationRequest{Edges: []calibrationEdge{{A: 0, B: 1, Error: -0.1}}}, "outside [0, 1)"},
+		{"non-coupler edge", url, calibrationRequest{Edges: []calibrationEdge{{A: 0, B: 3, Error: 0.1}}}, "no coupler"},
+		{"duplicate edge", url, calibrationRequest{Edges: []calibrationEdge{{A: 0, B: 1, Error: 0.1}, {A: 1, B: 0, Error: 0.2}}}, "duplicate edge"},
+		{"unknown device", ts.URL + "/calibrations/warp-core", calibrationRequest{Default: 0.01}, "unknown device"},
+	}
+	for _, tc := range bad {
+		resp, _, raw := postCalibration(t, tc.url, tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, raw)
+			continue
+		}
+		if !strings.Contains(raw, tc.want) {
+			t.Errorf("%s: 400 body %q does not mention %q", tc.name, raw, tc.want)
+		}
+	}
+
+	// Malformed pushes must not have bumped the version.
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Version != 2 {
+		t.Fatalf("version %d after rejected pushes, want still 2", got.Version)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, url, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCompileRecalibrationCacheMiss is the end-to-end freshness check:
+// a cached compile must NOT be served after the device is recalibrated
+// — the new snapshot version changes the cache key.
+func TestCompileRecalibrationCacheMiss(t *testing.T) {
+	ts, _ := newTestServer(t)
+	src := qasm.Format(workloads.QFT(5))
+
+	resp, first := postQASM(t, ts.URL+"/compile?device=line:5&seed=3", src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if first.CacheHit || first.CalVersion != 0 {
+		t.Fatalf("first compile: cache_hit=%v cal_version=%d, want fresh/0", first.CacheHit, first.CalVersion)
+	}
+	if resp, again := postQASM(t, ts.URL+"/compile?device=line:5&seed=3", src); resp.StatusCode != http.StatusOK || !again.CacheHit {
+		t.Fatalf("resubmit before recalibration: status %d cache_hit=%v, want a hit", resp.StatusCode, again.CacheHit)
+	}
+
+	cal := calibrationRequest{Default: 0.001, Edges: []calibrationEdge{{A: 1, B: 2, Error: 0.3}}}
+	if resp, _, raw := postCalibration(t, ts.URL+"/calibrations/line:5", cal); resp.StatusCode != http.StatusOK {
+		t.Fatalf("calibration push: status %d (%s)", resp.StatusCode, raw)
+	}
+
+	resp, after := postQASM(t, ts.URL+"/compile?device=line:5&seed=3", src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if after.CacheHit {
+		t.Fatal("stale cached result served after recalibration")
+	}
+	if after.CalVersion != 1 {
+		t.Fatalf("cal_version = %d after first calibration, want 1", after.CalVersion)
+	}
+}
+
+// TestFleetCompile: a fleet request compiles on the scheduler's pick
+// and reports the full score table; device+fleet together is a 400.
+func TestFleetCompile(t *testing.T) {
+	ts, _ := newTestServer(t)
+	src := qasm.Format(workloads.GHZ(6))
+
+	// JSON form.
+	body := `{"qasm": "` + escaped(src) + `", "fleet": ["line:6", "full:6"]}`
+	resp, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out compileResponse
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("fleet compile: status %d (%s)", resp.StatusCode, raw)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.Fleet == nil {
+		t.Fatal("fleet compile response has no fleet field")
+	}
+	if len(out.Fleet.Scores) != 2 {
+		t.Fatalf("score table has %d rows, want 2", len(out.Fleet.Scores))
+	}
+	if out.Device != out.Fleet.Device {
+		t.Fatalf("compiled on %q but the fleet winner is %q", out.Device, out.Fleet.Device)
+	}
+	// GHZ(6) on a fully connected chip needs no SWAPs at all; the
+	// all-to-all candidate must beat the line on predicted error.
+	if !strings.Contains(out.Device, "full") {
+		t.Fatalf("winner %q, want the fully connected candidate (scores %+v)", out.Device, out.Fleet.Scores)
+	}
+	if out.Swaps != 0 || out.Bridges != 0 {
+		t.Fatalf("fleet winner needed %d swaps / %d bridges, want 0", out.Swaps, out.Bridges)
+	}
+
+	// Query form.
+	resp2, qout := postQASM(t, ts.URL+"/compile?fleet=line:6,full:6", src)
+	if resp2.StatusCode != http.StatusOK || qout.Fleet == nil || qout.Fleet.Device != out.Fleet.Device {
+		t.Fatalf("query-form fleet: status %d fleet %+v, want same winner as JSON form", resp2.StatusCode, qout.Fleet)
+	}
+
+	// Contradictory request: named device AND a fleet.
+	resp3, _ := postQASM(t, ts.URL+"/compile?device=tokyo&fleet=line:6", src)
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("device+fleet: status %d, want 400", resp3.StatusCode)
+	}
+
+	// Unknown candidate in the fleet.
+	resp4, _ := postQASM(t, ts.URL+"/compile?fleet=line:6,warp-core", src)
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown fleet member: status %d, want 400", resp4.StatusCode)
+	}
+}
+
+// TestFleetJob: async submissions carry the scheduling decision in
+// every /jobs view, and the job compiles on the winner.
+func TestFleetJob(t *testing.T) {
+	ts, _ := newTestServer(t)
+	src := qasm.Format(workloads.GHZ(5))
+
+	resp, job := postJobJSON(t, ts.URL+"/jobs", compileRequest{QASM: src, Fleet: []string{"line:5", "full:5"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if job.Fleet == nil || len(job.Fleet.Scores) != 2 {
+		t.Fatalf("queued job fleet = %+v, want a 2-row decision", job.Fleet)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var done jobResponse
+	for {
+		done = pollJob(t, ts.URL, job.ID)
+		if done.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", done)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if done.Fleet == nil || done.Fleet.Device != job.Fleet.Device {
+		t.Fatalf("done job fleet %+v, want the decision from submit (%+v)", done.Fleet, job.Fleet)
+	}
+	if done.Result == nil || done.Result.Device != done.Fleet.Device {
+		t.Fatalf("job compiled on %+v, want fleet winner %q", done.Result, done.Fleet.Device)
+	}
+	if done.Result.Fleet == nil || done.Result.Fleet.Device != done.Fleet.Device {
+		t.Fatalf("result fleet %+v, want the same decision", done.Result.Fleet)
+	}
+}

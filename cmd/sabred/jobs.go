@@ -38,6 +38,7 @@ type jobResponse struct {
 	Finished *time.Time              `json:"finished,omitempty"`
 	Error    string                  `json:"error,omitempty"`
 	Webhook  *jobqueue.WebhookStatus `json:"webhook,omitempty"`
+	Fleet    *fleetJSON              `json:"fleet,omitempty"`
 	Result   *compileResponse        `json:"result,omitempty"`
 }
 
@@ -68,8 +69,9 @@ func jobResponseOf(snap jobqueue.Snapshot, full bool) jobResponse {
 		wh := snap.Webhook
 		out.Webhook = &wh
 	}
+	out.Fleet = fleetJSONOf(snap.Request.Fleet)
 	if snap.State == jobqueue.StateDone && snap.Result != nil {
-		in := &compileInput{circ: snap.Request.Job.Circuit, dev: snap.Request.Job.Device}
+		in := &compileInput{circ: snap.Request.Job.Circuit, dev: snap.Request.Job.Device, fleet: snap.Request.Fleet}
 		var cr compileResponse
 		if full {
 			cr = buildCompileResponse(in, snap.Result)
@@ -102,7 +104,11 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	snap, err := s.queue.Submit(jobqueue.Request{Job: in.batchJob(), Webhook: in.webhook})
+	if err := s.scheduleFleet(in); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	snap, err := s.queue.Submit(jobqueue.Request{Job: in.batchJob(), Webhook: in.webhook, Fleet: in.fleet})
 	if err != nil {
 		// A full backlog or a draining daemon is load, not client
 		// error: 503 tells well-behaved clients to back off and retry.
@@ -175,7 +181,9 @@ func (s *server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 }
 
 // parseWait parses the ?wait= long-poll window: a Go duration
-// ("1.5s") or bare seconds ("2"), clamped to maxLongPoll.
+// ("1.5s") or bare seconds ("2"). Values above maxLongPoll are
+// rejected, not clamped — a silent clamp would let clients believe
+// they waited the full window when the daemon cut it short.
 func parseWait(raw string) (time.Duration, error) {
 	if raw == "" {
 		return 0, nil
@@ -192,7 +200,7 @@ func parseWait(raw string) (time.Duration, error) {
 		return 0, fmt.Errorf("bad wait %q: must be non-negative", raw)
 	}
 	if d > maxLongPoll {
-		d = maxLongPoll
+		return 0, fmt.Errorf("bad wait %q: exceeds the %s long-poll cap", raw, maxLongPoll)
 	}
 	return d, nil
 }

@@ -20,6 +20,37 @@
 //	GET  /stats      engine + job-queue counters
 //	GET  /healthz    liveness probe
 //
+// # Calibration API
+//
+// Devices carry versioned calibration snapshots (arch.CalSnapshot).
+// Every compile — sync or async — pins the device's current snapshot
+// and folds its version into the result-cache key, so pushing a new
+// calibration invalidates stale cached routes by construction:
+//
+//	POST /calibrations/{device}
+//	    Body: {"default": 0.01, "edges": [{"a": 0, "b": 1,
+//	    "error": 0.04}, ...]}. Installs the snapshot (version bump);
+//	    malformed rates or non-coupler edges are rejected with a 400
+//	    naming the offending entry. Returns {"device", "version",
+//	    "applied", "default", "edges"}.
+//	GET  /calibrations/{device}
+//	    The current snapshot, or 404 if never calibrated.
+//
+// Compile responses carry the snapshot version used as "cal_version"
+// (0 = uncalibrated).
+//
+// # Fleet scheduling
+//
+// Instead of naming one device, a request may offer a candidate fleet
+// and let the daemon pick: "fleet": ["tokyo", "grid:4x5"] in the JSON
+// body, or ?fleet=tokyo,grid:4x5 (mutually exclusive with "device").
+// The scheduler (internal/fleet) scores every candidate on predicted
+// error under its live calibration, a routing-depth estimate, and
+// current queue load, then compiles on the winner. The response's
+// "fleet" object reports the chosen device, its calibration version,
+// and the per-candidate score table; async jobs carry the same object
+// in every /jobs view.
+//
 // # Async job API (v2)
 //
 // Long compiles (Table II-scale circuits run for seconds) should not
@@ -33,10 +64,11 @@
 //	                        a Location header and the queued job:
 //	                        {"id": "job-1-ab12cd34ef56", "state":
 //	                        "queued", ...}. A full backlog returns 503.
-//	GET    /jobs/{id}       poll; ?wait=5s long-polls (capped at 60s)
-//	                        until the job is terminal or the window
-//	                        elapses, returning the current state
-//	                        either way.
+//	GET    /jobs/{id}       poll; ?wait=5s long-polls until the job is
+//	                        terminal or the window elapses, returning
+//	                        the current state either way. Windows over
+//	                        the 1m cap are rejected with a 400 (not
+//	                        silently clamped).
 //	DELETE /jobs/{id}       cancel: a queued job dies immediately, a
 //	                        running one within one SWAP round.
 //	GET    /jobs            list retained jobs (results trimmed of
@@ -101,6 +133,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/jobqueue"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
@@ -220,6 +253,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/jobs/", s.handleJobByID)
+	mux.HandleFunc("/calibrations/", s.handleCalibration)
 	mux.HandleFunc("/devices", s.handleDevices)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -248,6 +282,12 @@ type compileRequest struct {
 	// URL POSTed the completion payload (the jobResponse schema) when
 	// the job reaches a terminal state. Ignored by /compile.
 	Webhook string `json:"webhook,omitempty"`
+
+	// Fleet lists candidate device specs; the daemon scores each
+	// (predicted error under its current calibration snapshot, depth
+	// estimate, queue load) and compiles on the winner. Mutually
+	// exclusive with an explicit device.
+	Fleet []string `json:"fleet,omitempty"`
 }
 
 // optionsRequest exposes the result-affecting SABRE knobs; zero fields
@@ -280,6 +320,16 @@ type compileResponse struct {
 	CacheHit      bool   `json:"cache_hit"`
 	Key           string `json:"key"`
 	ElapsedNS     int64  `json:"elapsed_ns"`
+
+	// CalVersion is the device calibration snapshot the job compiled
+	// under (0 = uncalibrated). A recalibration bumps it — and changes
+	// the cache key, which is why the first compile after a
+	// recalibration reports cache_hit:false.
+	CalVersion uint64 `json:"cal_version"`
+
+	// Fleet reports the scheduling decision when the request offered
+	// candidate devices.
+	Fleet *fleetJSON `json:"fleet,omitempty"`
 
 	// Passes instruments the pipeline: one entry per executed pass
 	// (route plus any requested post-routing passes) with wall-clock
@@ -319,14 +369,66 @@ type compileInput struct {
 	route   string
 	passes  []string
 	webhook string
+
+	// fleetDevs holds the resolved fleet candidates (empty = no fleet
+	// request); scheduleFleet turns them into a decision and rebinds
+	// dev to the winner.
+	fleetDevs []*arch.Device
+	fleet     *fleet.Decision
 }
 
-// batchJob lifts the parsed input to the engine's job form.
+// batchJob lifts the parsed input to the engine's job form. Every
+// daemon job routes under the device's live calibration snapshot
+// (UseCalibration): a no-op until POST /calibrations/{device} installs
+// one, after which compiles are noise-aware and the snapshot version
+// joins the cache key.
 func (in *compileInput) batchJob() batch.Job {
 	return batch.Job{
 		Circuit: in.circ, Device: in.dev, Options: in.opts,
 		Trials: in.trials, Route: in.route, Passes: in.passes,
+		UseCalibration: true,
 	}
+}
+
+// scheduleFleet resolves a fleet request: score every candidate under
+// current calibration snapshots and queue loads, rebind in.dev to the
+// winner, and record the decision for the response. No-op without
+// candidates. Failures (e.g. the circuit fits no candidate) are the
+// client's fault: 400.
+func (s *server) scheduleFleet(in *compileInput) error {
+	if len(in.fleetDevs) == 0 {
+		return nil
+	}
+	loads := s.queue.Loads()
+	cands := make([]fleet.Candidate, len(in.fleetDevs))
+	for i, d := range in.fleetDevs {
+		cands[i] = fleet.Candidate{Device: d, Load: loads[d.Name()]}
+	}
+	dec, err := fleet.Schedule(in.circ, cands, fleet.Weights{})
+	if err != nil {
+		return err
+	}
+	in.dev = dec.Device
+	in.fleet = dec
+	return nil
+}
+
+// fleetJSON is the wire form of a fleet-scheduling decision.
+type fleetJSON struct {
+	// Device is the winning device's name.
+	Device string `json:"device"`
+	// CalVersion is the calibration snapshot the winner was scored
+	// under (0 = uncalibrated).
+	CalVersion uint64 `json:"cal_version"`
+	// Scores holds every candidate's scoring row, in request order.
+	Scores []fleet.Score `json:"scores"`
+}
+
+func fleetJSONOf(dec *fleet.Decision) *fleetJSON {
+	if dec == nil {
+		return nil
+	}
+	return &fleetJSON{Device: dec.Winner.Device, CalVersion: dec.Winner.CalVersion, Scores: dec.Scores}
 }
 
 // parseCompile reads and validates a compile request in either
@@ -339,13 +441,14 @@ func (s *server) parseCompile(w http.ResponseWriter, r *http.Request) (*compileI
 	}
 
 	var (
-		src       string
-		devName   string
-		opts      core.Options
-		trials    int
-		routeName string
-		passes    []string
-		webhook   string
+		src        string
+		devName    string
+		opts       core.Options
+		trials     int
+		routeName  string
+		passes     []string
+		webhook    string
+		fleetSpecs []string
 	)
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		var req compileRequest
@@ -366,6 +469,7 @@ func (s *server) parseCompile(w http.ResponseWriter, r *http.Request) (*compileI
 			return nil, fmt.Errorf("bad trials %d: at most %d", max(req.Trials, req.Options.Trials), maxTrials)
 		}
 		trials, routeName, passes, webhook = req.Trials, req.Route, req.Passes, req.Webhook
+		fleetSpecs = req.Fleet
 	} else {
 		src = string(body)
 		devName = r.URL.Query().Get("device")
@@ -377,6 +481,9 @@ func (s *server) parseCompile(w http.ResponseWriter, r *http.Request) (*compileI
 			passes = strings.Split(v, ",")
 		}
 		webhook = r.URL.Query().Get("webhook")
+		if v := r.URL.Query().Get("fleet"); v != "" {
+			fleetSpecs = strings.Split(v, ",")
+		}
 	}
 	// Invalid requests are the client's fault: reject every bad
 	// trials/route/passes/webhook value with a 400 here, before the
@@ -389,6 +496,22 @@ func (s *server) parseCompile(w http.ResponseWriter, r *http.Request) (*compileI
 	}
 	if err := validWebhook(webhook); err != nil {
 		return nil, err
+	}
+	// A fleet request delegates the device choice to the scheduler; an
+	// explicit device alongside it is contradictory.
+	var fleetDevs []*arch.Device
+	if len(fleetSpecs) > 0 {
+		if devName != "" {
+			return nil, fmt.Errorf("device %q and fleet are mutually exclusive: the scheduler picks the device", devName)
+		}
+		for _, spec := range fleetSpecs {
+			d, err := s.device(spec)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: %w", err)
+			}
+			fleetDevs = append(fleetDevs, d)
+		}
+		devName = fleetSpecs[0] // placeholder until scheduleFleet rebinds
 	}
 	if devName == "" {
 		devName = "tokyo"
@@ -405,6 +528,7 @@ func (s *server) parseCompile(w http.ResponseWriter, r *http.Request) (*compileI
 	return &compileInput{
 		circ: circ, dev: dev, opts: opts,
 		trials: trials, route: routeName, passes: passes, webhook: webhook,
+		fleetDevs: fleetDevs,
 	}, nil
 }
 
@@ -454,6 +578,8 @@ func buildCompileSummary(in *compileInput, res *batch.Result) compileResponse {
 		CacheHit:      res.CacheHit,
 		Key:           hex.EncodeToString(res.Key[:8]),
 		ElapsedNS:     res.Elapsed.Nanoseconds(),
+		CalVersion:    res.CalVersion,
+		Fleet:         fleetJSONOf(in.fleet),
 		Passes:        passMetrics(res.PassMetrics),
 	}
 }
@@ -465,6 +591,10 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	in, err := s.parseCompile(w, r)
 	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.scheduleFleet(in); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -545,73 +675,15 @@ func (s *server) device(spec string) (*arch.Device, error) {
 	return d, nil
 }
 
-// buildDevice constructs a device from its spec string.
+// buildDevice constructs a device from its spec string (the shared
+// vocabulary lives in arch.FromSpec; the daemon only adds the /devices
+// hint to errors).
 func buildDevice(spec string) (*arch.Device, error) {
-	switch spec {
-	case "tokyo", "ibmq20", "q20":
-		return arch.IBMQ20Tokyo(), nil
-	case "qx5", "ibmqx5":
-		return arch.IBMQX5(), nil
-	case "falcon", "falcon27":
-		return arch.IBMFalcon27(), nil
+	d, err := arch.FromSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%v (see /devices)", err)
 	}
-	kind, arg, ok := strings.Cut(spec, ":")
-	if !ok {
-		return nil, fmt.Errorf("unknown device %q (see /devices)", spec)
-	}
-	dims := func() (int, int, error) {
-		rs, cs, ok := strings.Cut(arg, "x")
-		if !ok {
-			return 0, 0, fmt.Errorf("device %q needs <rows>x<cols>", spec)
-		}
-		r, err1 := strconv.Atoi(rs)
-		c, err2 := strconv.Atoi(cs)
-		if err1 != nil || err2 != nil || r < 1 || c < 1 {
-			return 0, 0, fmt.Errorf("device %q: bad dimensions %q", spec, arg)
-		}
-		return r, c, nil
-	}
-	switch kind {
-	case "grid", "sycamore":
-		r, c, err := dims()
-		if err != nil {
-			return nil, err
-		}
-		if r*c > 1024 {
-			return nil, fmt.Errorf("device %q too large (max 1024 qubits)", spec)
-		}
-		if kind == "grid" {
-			return arch.Grid(r, c), nil
-		}
-		return arch.Sycamore(r, c), nil
-	case "line", "ring", "star", "full", "aspen":
-		n, err := strconv.Atoi(arg)
-		if err != nil || n < 1 || n > 1024 {
-			return nil, fmt.Errorf("device %q: bad size %q", spec, arg)
-		}
-		switch kind {
-		case "line":
-			return arch.Line(n), nil
-		case "ring":
-			if n < 3 {
-				return nil, fmt.Errorf("ring needs at least 3 qubits")
-			}
-			return arch.Ring(n), nil
-		case "star":
-			if n < 2 {
-				return nil, fmt.Errorf("star needs at least 2 qubits")
-			}
-			return arch.Star(n), nil
-		case "full":
-			return arch.FullyConnected(n), nil
-		default:
-			if n > 16 {
-				return nil, fmt.Errorf("aspen supports at most 16 octagons")
-			}
-			return arch.RigettiAspen(n), nil
-		}
-	}
-	return nil, fmt.Errorf("unknown device %q (see /devices)", spec)
+	return d, nil
 }
 
 // toCore converts the JSON options to core.Options, starting from the

@@ -3,10 +3,13 @@
 // boots it on an ephemeral port, and drives the full async lifecycle
 // over real HTTP — submit via POST /jobs, long-poll to completion,
 // assert the verify pass ran and the output is byte-identical to the
-// synchronous POST /compile, receive the webhook, cancel a heavy job,
-// list the queue, and finally SIGTERM the daemon and require a clean
-// graceful drain (exit 0). Any deviation exits non-zero, so CI can
-// run it as a step.
+// synchronous POST /compile, push a live calibration mid-run and
+// require the warm result cache to miss (and the re-route to report
+// the new snapshot version), dispatch a fleet compile and check the
+// job ran on the reported winner, receive the webhook, cancel a heavy
+// job, list the queue, and finally SIGTERM the daemon and require a
+// clean graceful drain (exit 0). Any deviation exits non-zero, so CI
+// can run it as a step.
 //
 //	sabredsmoke [-race] [-timeout 120s]
 package main
@@ -143,6 +146,67 @@ func main() {
 	}
 	step("async output byte-identical to POST /compile")
 
+	// Live recalibration: a warm cached result must NOT survive a
+	// calibration push — the new snapshot version changes the cache key
+	// and the re-route runs under the new weights. (Synchronous
+	// /compile requests create no jobs, so the list/stats assertions
+	// below stay exact.)
+	resp, body = postJSON(client, base+"/compile", req)
+	var warm compileView
+	mustUnmarshal(body, &warm, daemon)
+	if resp.StatusCode != http.StatusOK || !warm.CacheHit || warm.CalVersion != 0 {
+		daemon.fail("warm pre-calibration compile: status %d cache_hit=%v cal_version=%d, want hit at version 0",
+			resp.StatusCode, warm.CacheHit, warm.CalVersion)
+	}
+	calReq := map[string]any{
+		"default": 0.002,
+		"edges": []map[string]any{
+			{"a": 0, "b": 1, "error": 0.35},
+			{"a": 1, "b": 2, "error": 0.30},
+		},
+	}
+	resp, body = postJSON(client, base+"/calibrations/tokyo", calReq)
+	var cal struct {
+		Version uint64 `json:"version"`
+	}
+	mustUnmarshal(body, &cal, daemon)
+	if resp.StatusCode != http.StatusOK || cal.Version != 1 {
+		daemon.fail("calibration push: status %d version %d: %s", resp.StatusCode, cal.Version, body)
+	}
+	resp, body = postJSON(client, base+"/compile", req)
+	var recal compileView
+	mustUnmarshal(body, &recal, daemon)
+	if resp.StatusCode != http.StatusOK {
+		daemon.fail("post-calibration compile status %d: %s", resp.StatusCode, body)
+	}
+	if recal.CacheHit {
+		daemon.fail("stale cached result served after calibration push")
+	}
+	if recal.CalVersion != 1 {
+		daemon.fail("post-calibration cal_version = %d, want 1", recal.CalVersion)
+	}
+	step("calibration push invalidated the warm cache (cal_version %d)", recal.CalVersion)
+
+	// Fleet dispatch: the daemon picks the device and reports the
+	// decision; the compile must land on the reported winner.
+	fresp, fbody := postJSON(client, base+"/compile", map[string]any{
+		"qasm": src, "fleet": []string{"tokyo", "grid:4x5"},
+		"options": map[string]any{"seed": 7},
+	})
+	var fleetOut struct {
+		Device string `json:"device"`
+		Fleet  *struct {
+			Device string `json:"device"`
+			Scores []any  `json:"scores"`
+		} `json:"fleet"`
+	}
+	mustUnmarshal(fbody, &fleetOut, daemon)
+	if fresp.StatusCode != http.StatusOK || fleetOut.Fleet == nil ||
+		fleetOut.Device != fleetOut.Fleet.Device || len(fleetOut.Fleet.Scores) != 2 {
+		daemon.fail("fleet compile: status %d body %s", fresp.StatusCode, fbody)
+	}
+	step("fleet dispatch chose %s", fleetOut.Fleet.Device)
+
 	// Webhook delivery, same payload as the poll.
 	select {
 	case hook := <-hookCh:
@@ -231,6 +295,8 @@ type compileView struct {
 	Gates      int    `json:"gates"`
 	Depth      int    `json:"depth"`
 	QASM       string `json:"qasm"`
+	CacheHit   bool   `json:"cache_hit"`
+	CalVersion uint64 `json:"cal_version"`
 	Passes     []struct {
 		Pass string `json:"pass"`
 	} `json:"passes"`

@@ -1,0 +1,149 @@
+package arch
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// CalSnapshot is one immutable calibration of a device: a versioned,
+// privately-cloned noise model. Snapshots model what real backends
+// publish after each calibration cycle — routers and caches that key
+// on (device, Version) are invalidated by construction the moment a
+// newer snapshot is installed, which is how the stale weighted-distance
+// problem is fixed end to end (the batch cache key and the fleet
+// scheduler both carry Version).
+type CalSnapshot struct {
+	// Version increases by one per ApplyCalibration on the device,
+	// starting at 1. It is the identity downstream caches key on.
+	Version uint64
+	// Model is the calibration's noise model — a clone made at
+	// ApplyCalibration time, so no caller holds a reference that could
+	// mutate it underneath a memoized distance matrix. Treat as
+	// read-only.
+	Model *NoiseModel
+	// Applied is when the snapshot was installed.
+	Applied time.Time
+
+	// key is the precomputed memo digest of Model, so hot-path
+	// weighted-distance lookups under the live snapshot skip the hash.
+	key noiseKey
+}
+
+// Calibration returns the device's current calibration snapshot, or
+// nil when the device has never been calibrated. The read is a single
+// atomic load — safe and cheap on the routing hot path.
+func (d *Device) Calibration() *CalSnapshot { return d.cal.Load() }
+
+// ApplyCalibration validates m, clones it, and atomically installs the
+// clone as the device's current calibration snapshot, returning the
+// new snapshot. Readers racing the swap see either the old snapshot or
+// the new one, never a torn mix; writers are serialized so versions
+// install in increasing order. Rejected models (nil, malformed rates,
+// edges the device does not have) leave the current snapshot in place.
+func (d *Device) ApplyCalibration(m *NoiseModel) (*CalSnapshot, error) {
+	if m == nil {
+		return nil, fmt.Errorf("arch: nil calibration model for device %s", d.name)
+	}
+	if err := d.ValidateCalibration(m); err != nil {
+		return nil, err
+	}
+	clone := m.clone()
+	d.calMu.Lock()
+	defer d.calMu.Unlock()
+	version := uint64(1)
+	if cur := d.cal.Load(); cur != nil {
+		version = cur.Version + 1
+	}
+	snap := &CalSnapshot{
+		Version: version,
+		Model:   clone,
+		Applied: time.Now(),
+		key:     clone.digest(),
+	}
+	d.cal.Store(snap)
+	return snap, nil
+}
+
+// ValidateCalibration checks that m is a well-formed calibration for
+// this device: every error rate (default and per-edge) must be a
+// finite value in [0, 1), and every listed edge must be one of the
+// device's couplers. The returned error names the offending edge or
+// rate, so HTTP handlers can surface it verbatim as a 400.
+func (d *Device) ValidateCalibration(m *NoiseModel) error {
+	if err := validRate(m.Default); err != nil {
+		return fmt.Errorf("arch: device %s: default error rate %v", d.name, err)
+	}
+	for e, rate := range m.EdgeError {
+		e = NewEdge(e.A, e.B)
+		if e.A < 0 || e.B >= d.n || d.EdgeIndex(e.A, e.B) < 0 {
+			return fmt.Errorf("arch: device %s has no coupler (%d,%d)", d.name, e.A, e.B)
+		}
+		if err := validRate(rate); err != nil {
+			return fmt.Errorf("arch: device %s: edge (%d,%d) error rate %v", d.name, e.A, e.B, err)
+		}
+	}
+	return nil
+}
+
+// validRate checks one error rate: finite, 0 <= r < 1 (1 would make
+// every path through the edge infinitely costly and non-comparable).
+func validRate(r float64) error {
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return fmt.Errorf("%g is not finite", r)
+	}
+	if r < 0 || r >= 1 {
+		return fmt.Errorf("%g outside [0, 1)", r)
+	}
+	return nil
+}
+
+// clone deep-copies the model (the edge map is the only reference).
+func (m *NoiseModel) clone() *NoiseModel {
+	c := &NoiseModel{Default: m.Default}
+	if m.EdgeError != nil {
+		c.EdgeError = make(map[Edge]float64, len(m.EdgeError))
+		for e, v := range m.EdgeError {
+			c.EdgeError[e] = v
+		}
+	}
+	return c
+}
+
+// noiseKey is the content digest a weighted-distance memo entry is
+// keyed by: equal models hash equal, and any in-place mutation of a
+// model changes its key, so a stale matrix can never be served for
+// edited noise data.
+type noiseKey [16]byte
+
+// digest canonically hashes the model's content: the default rate plus
+// every edge rate in sorted edge order.
+func (m *NoiseModel) digest() noiseKey {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(math.Float64bits(m.Default))
+	edges := make([]Edge, 0, len(m.EdgeError))
+	for e := range m.EdgeError {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	for _, e := range edges {
+		put(uint64(uint32(e.A))<<32 | uint64(uint32(e.B)))
+		put(math.Float64bits(m.EdgeError[e]))
+	}
+	var k noiseKey
+	copy(k[:], h.Sum(nil))
+	return k
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Edge is an undirected coupling between two physical qubits.
@@ -51,13 +52,37 @@ type Device struct {
 	// pure index arithmetic.
 	dist []int
 
-	// wdist memoizes reliability-weighted distance matrices per noise
-	// model, so parallel routing trials share one O(N³) computation
-	// instead of redoing it every traversal. Guarded by wdistMu; the
-	// matrices themselves are read-only once published. Matrices are
-	// flat row-major like dist.
-	wdistMu sync.Mutex
-	wdist   map[*NoiseModel][]float64
+	// wdist memoizes reliability-weighted distance matrices, so
+	// parallel routing trials share one O(N³) computation instead of
+	// redoing it every traversal. Entries are keyed by the noise
+	// model's content digest (never pointer identity, so an in-place
+	// model edit can only ever produce a fresh matrix, not resurrect a
+	// stale one) and evicted in least-recently-used order via
+	// wdistOrder. Guarded by wdistMu; each entry's matrix is computed
+	// exactly once (entry.once) outside the lock and is read-only
+	// thereafter. Matrices are flat row-major like dist.
+	wdistMu    sync.Mutex
+	wdist      map[noiseKey]*wdistEntry
+	wdistOrder []noiseKey // keys of wdist, least recently used first
+
+	// cal is the device's live calibration: an atomic pointer to an
+	// immutable snapshot, so the routing hot path pays one atomic load
+	// to observe the current noise data while writers
+	// (ApplyCalibration) pay the clone, validation and version bump —
+	// the reader-mostly asymmetric-lock discipline. calMu serializes
+	// writers so snapshot versions install in order.
+	cal   atomic.Pointer[CalSnapshot]
+	calMu sync.Mutex
+}
+
+// wdistEntry is one memoized weighted-distance matrix. The entry is
+// registered in the memo under the lock, but its O(N³) computation
+// runs in once.Do outside it — per-key single-flight: concurrent cold
+// lookups of the same model block only each other (on the once), never
+// lookups of other models, and exactly one of them computes.
+type wdistEntry struct {
+	once sync.Once
+	w    []float64
 }
 
 // New builds a device with n physical qubits and the given undirected
@@ -170,51 +195,86 @@ func (d *Device) Distance(a, b int) int { return d.dist[a*d.n+b] }
 func (d *Device) Distances() []int { return d.dist }
 
 // maxWeightedDistanceMemos bounds the per-device memo of weighted
-// distance matrices: on overflow an arbitrary old entry is evicted (a
-// service cycling through thousands of ad-hoc models must not pin
-// O(N²) memory for each, but recent models must keep hitting).
+// distance matrices: on overflow the least recently used entry is
+// evicted (a service cycling through thousands of ad-hoc models must
+// not pin O(N²) memory for each, but hot models must keep hitting).
 const maxWeightedDistanceMemos = 8
+
+// wdistComputeHook, when non-nil, observes every actual O(N³)
+// weighted-distance computation (not memo hits). Tests use it to
+// assert single-flight: N concurrent cold lookups of one model must
+// trigger exactly one call.
+var wdistComputeHook func(d *Device, m *NoiseModel)
 
 // WeightedDistancesFor returns the all-pairs most-reliable-path cost
 // matrix of the device under m (flat row-major, like Distances),
 // computing it on first use and serving the same read-only matrix
-// afterwards. The model must not be mutated after its first use here
-// (memoization is by pointer identity). Returns nil for a nil model so
-// callers can branch on "no noise".
+// afterwards. Returns nil for a nil model so callers can branch on
+// "no noise".
 //
-// The O(N³) computation runs outside the lock, so a memo miss never
-// blocks concurrent lookups of other models; two goroutines racing on
-// the same new model may both compute, and the first insert wins (both
-// then return the same matrix).
+// Memoization is by the model's content digest, not pointer identity:
+// mutating a model in place changes its digest, so the next lookup
+// computes a fresh matrix instead of serving a stale one. When m is
+// the current calibration snapshot's model, the snapshot's
+// precomputed digest is reused and the lookup does not rehash.
+//
+// The O(N³) computation runs outside the memo lock with per-key
+// single-flight: concurrent cold lookups of the same model compute
+// once and block only each other, never lookups of other models.
+// Eviction on overflow is least-recently-used.
 func (d *Device) WeightedDistancesFor(m *NoiseModel) []float64 {
 	if m == nil {
 		return nil
 	}
+	key := d.noiseKeyOf(m)
+
 	d.wdistMu.Lock()
-	if w, ok := d.wdist[m]; ok {
-		d.wdistMu.Unlock()
-		return w
+	e, ok := d.wdist[key]
+	if ok {
+		d.touchMemoLocked(key)
+	} else {
+		if d.wdist == nil {
+			d.wdist = make(map[noiseKey]*wdistEntry, maxWeightedDistanceMemos)
+		}
+		e = new(wdistEntry)
+		d.wdist[key] = e
+		d.wdistOrder = append(d.wdistOrder, key)
+		for len(d.wdist) > maxWeightedDistanceMemos {
+			evicted := d.wdistOrder[0]
+			d.wdistOrder = append(d.wdistOrder[:0], d.wdistOrder[1:]...)
+			delete(d.wdist, evicted)
+		}
 	}
 	d.wdistMu.Unlock()
 
-	w := WeightedDistances(d, m)
+	e.once.Do(func() {
+		if wdistComputeHook != nil {
+			wdistComputeHook(d, m)
+		}
+		e.w = WeightedDistances(d, m)
+	})
+	return e.w
+}
 
-	d.wdistMu.Lock()
-	defer d.wdistMu.Unlock()
-	if prev, ok := d.wdist[m]; ok {
-		return prev // a concurrent computation published first
+// noiseKeyOf resolves the memo key for m, reusing the current
+// calibration snapshot's precomputed digest when m is its model.
+func (d *Device) noiseKeyOf(m *NoiseModel) noiseKey {
+	if cur := d.cal.Load(); cur != nil && cur.Model == m {
+		return cur.key
 	}
-	if d.wdist == nil {
-		d.wdist = make(map[*NoiseModel][]float64)
-	}
-	for len(d.wdist) >= maxWeightedDistanceMemos {
-		for k := range d.wdist { // evict an arbitrary entry
-			delete(d.wdist, k)
-			break
+	return m.digest()
+}
+
+// touchMemoLocked marks key as most recently used. Caller holds
+// wdistMu.
+func (d *Device) touchMemoLocked(key noiseKey) {
+	for i, k := range d.wdistOrder {
+		if k == key {
+			copy(d.wdistOrder[i:], d.wdistOrder[i+1:])
+			d.wdistOrder[len(d.wdistOrder)-1] = key
+			return
 		}
 	}
-	d.wdist[m] = w
-	return w
 }
 
 // Diameter returns the greatest pairwise distance on the device.

@@ -1,0 +1,149 @@
+package batch
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// calScenario runs the recalibration freshness scenario on a fresh
+// device/engine pair and returns the fingerprints of the routed
+// circuits before and after the calibration swap (for cross-worker
+// determinism checks), plus the device for further probing.
+func calScenario(t *testing.T, workers int) (before, after uint64) {
+	t.Helper()
+	dev := arch.Ring(4)
+	c := circuit.New(4)
+	for i := 0; i < 6; i++ {
+		c.Append(circuit.CX(0, 2))
+	}
+	eng := NewEngine(Config{Workers: workers, BaseSeed: 42})
+	defer eng.Close()
+	job := Job{Circuit: c, Device: dev, UseCalibration: true}
+
+	// Uncalibrated: UseCalibration is a no-op, CalVersion stays zero.
+	r0 := <-eng.Submit(job)
+	if r0.Err != nil {
+		t.Fatalf("uncalibrated route: %v", r0.Err)
+	}
+	if r0.CalVersion != 0 {
+		t.Fatalf("uncalibrated CalVersion = %d, want 0", r0.CalVersion)
+	}
+	// Identical resubmission hits the cache.
+	if r := <-eng.Submit(job); !r.CacheHit {
+		t.Fatal("identical resubmission missed the cache")
+	}
+
+	// Recalibrate: edge (0,1) degrades catastrophically, all others
+	// are near-perfect — a noise-aware route must go around it.
+	snap, err := dev.ApplyCalibration(&arch.NoiseModel{EdgeError: map[arch.Edge]float64{
+		arch.NewEdge(0, 1): 0.4,
+		arch.NewEdge(1, 2): 0.001,
+		arch.NewEdge(2, 3): 0.001,
+		arch.NewEdge(0, 3): 0.001,
+	}})
+	if err != nil {
+		t.Fatalf("ApplyCalibration: %v", err)
+	}
+
+	r1 := <-eng.Submit(job)
+	if r1.Err != nil {
+		t.Fatalf("post-calibration route: %v", r1.Err)
+	}
+	if r1.CacheHit {
+		t.Fatal("stale cache entry served after recalibration")
+	}
+	if r1.CalVersion != snap.Version {
+		t.Fatalf("CalVersion = %d, want %d", r1.CalVersion, snap.Version)
+	}
+	if r1.Key == r0.Key {
+		t.Fatal("cache key unchanged by recalibration")
+	}
+	// The new result actually reflects the new weights: the degraded
+	// edge is avoided entirely.
+	for _, g := range r1.Final.DecomposeSwaps().Gates() {
+		if g.TwoQubit() && arch.NewEdge(g.Q0, g.Q1) == arch.NewEdge(0, 1) {
+			t.Fatalf("post-calibration route used the degraded edge: %v", g)
+		}
+	}
+	// Byte-identical to an explicit compile under the snapshot's model
+	// — UseCalibration is pure plumbing, not a different code path.
+	explicit := job
+	explicit.UseCalibration = false
+	explicit.CalVersion = snap.Version
+	explicit.Options = core.DefaultOptions()
+	explicit.Options.Seed = 0
+	explicit.Options.Noise = snap.Model
+	re := <-eng.Submit(explicit)
+	if re.Err != nil {
+		t.Fatalf("explicit-noise route: %v", re.Err)
+	}
+	if re.Key != r1.Key {
+		t.Fatal("resolved job and explicit-noise job must share a cache key")
+	}
+	if !re.CacheHit {
+		t.Fatal("explicit-noise job should hit the calibrated job's cache entry")
+	}
+	if Fingerprint(re.Final) != Fingerprint(r1.Final) {
+		t.Fatal("calibrated and explicit-noise results differ")
+	}
+
+	// And the calibrated entry itself is served on resubmission.
+	if r := <-eng.Submit(job); !r.CacheHit || r.CalVersion != snap.Version {
+		t.Fatalf("calibrated resubmission: hit=%v version=%d", r.CacheHit, r.CalVersion)
+	}
+	return Fingerprint(r0.Final), Fingerprint(r1.Final)
+}
+
+// TestRecalibrationFreshness is the PR's acceptance test: route, apply
+// a degraded calibration, re-route — the new result reflects the new
+// weights, the old cached entry is not served, and the whole scenario
+// is byte-deterministic at any worker count (run with -race).
+func TestRecalibrationFreshness(t *testing.T) {
+	b1, a1 := calScenario(t, 1)
+	for _, workers := range []int{2, 4, 8} {
+		b, a := calScenario(t, workers)
+		if b != b1 || a != a1 {
+			t.Fatalf("results differ at %d workers: (%x,%x) vs (%x,%x)", workers, b, a, b1, a1)
+		}
+	}
+}
+
+func TestResolveCalibration(t *testing.T) {
+	dev := arch.Line(3)
+	c := circuit.New(3)
+	c.Append(circuit.CX(0, 2))
+	job := Job{Circuit: c, Device: dev, UseCalibration: true}
+
+	// No snapshot: flag consumed, nothing pinned.
+	r := job.ResolveCalibration()
+	if r.UseCalibration || r.CalVersion != 0 || r.Options.Noise != nil {
+		t.Fatal("resolution on an uncalibrated device must be a no-op")
+	}
+
+	snap, err := dev.ApplyCalibration(arch.UniformNoise(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = job.ResolveCalibration()
+	if r.UseCalibration {
+		t.Fatal("flag must be consumed")
+	}
+	if r.CalVersion != snap.Version || r.Options.Noise != snap.Model {
+		t.Fatal("resolution did not pin the snapshot")
+	}
+
+	// KeyOf resolves defensively: hashing the unresolved job equals
+	// hashing the resolved one.
+	if KeyOf(job) != KeyOf(r) {
+		t.Fatal("KeyOf must resolve calibration before hashing")
+	}
+	// And differs from the uncalibrated key.
+	plain := job
+	plain.UseCalibration = false
+	if KeyOf(job) == KeyOf(plain) {
+		t.Fatal("calibrated and uncalibrated jobs must not share keys")
+	}
+}

@@ -61,6 +61,44 @@ type Job struct {
 	// Tag is an optional caller label carried into the Result. It is
 	// not part of the cache key.
 	Tag string
+
+	// UseCalibration routes the job under the device's live calibration
+	// snapshot (arch.Device.Calibration): the engine resolves the
+	// snapshot once per job, substitutes its noise model for
+	// Options.Noise, and records the snapshot version in CalVersion —
+	// which joins the cache key, so cached results stop being served
+	// the moment the device is recalibrated. On a never-calibrated
+	// device this is a no-op. Mutually overriding with an explicit
+	// Options.Noise: the snapshot wins.
+	UseCalibration bool
+
+	// CalVersion is the calibration snapshot version the job is pinned
+	// to (zero = no calibration). It joins the cache key. Callers
+	// normally leave it zero and set UseCalibration; the fleet
+	// scheduler sets it (with Options.Noise) to pin a job to the exact
+	// snapshot it scored.
+	CalVersion uint64
+}
+
+// ResolveCalibration pins the job to its device's current calibration
+// snapshot: when UseCalibration is set and the device has one, the
+// snapshot's noise model replaces Options.Noise and CalVersion records
+// the version. The flag is consumed so resolution is idempotent — the
+// engine resolves once per job, before hashing, and KeyOf resolves
+// defensively for callers hashing jobs themselves.
+func (j Job) ResolveCalibration() Job {
+	if !j.UseCalibration {
+		return j
+	}
+	j.UseCalibration = false
+	if j.Device == nil {
+		return j
+	}
+	if snap := j.Device.Calibration(); snap != nil {
+		j.Options.Noise = snap.Model
+		j.CalVersion = snap.Version
+	}
+	return j
 }
 
 // Result is the outcome of one Job. On cache or single-flight hits the
@@ -82,6 +120,9 @@ type Result struct {
 	Tag string
 	// Key is the job's canonical cache key.
 	Key Key
+	// CalVersion is the calibration snapshot version the job compiled
+	// under (zero = no calibration pinned).
+	CalVersion uint64
 	// CacheHit reports that the result was served from the cache or
 	// joined an identical in-flight compilation.
 	CacheHit bool
@@ -359,6 +400,11 @@ func (e *Engine) process(t task) {
 	if job.Trials > 0 {
 		job.Options.Trials = job.Trials
 	}
+	// Pin the job to the device's live calibration before hashing: the
+	// snapshot version joins the cache key, so a recalibrated device
+	// can never serve results routed under old noise data.
+	job = job.ResolveCalibration()
+	t.out.CalVersion = job.CalVersion
 	job.Passes = normalizePasses(job.Passes)
 	if err := pipeline.PostRouting(job.Passes); err != nil {
 		t.out.Err = err

@@ -23,8 +23,10 @@ type Key [sha256.Size]byte
 // keyVersion is bumped whenever the encoding below changes, so stale
 // digests can never alias across engine versions (relevant once keys
 // are persisted or exchanged between processes). Version 2 added the
-// post-routing pass list; version 3 added the routing-backend name.
-const keyVersion = 3
+// post-routing pass list; version 3 added the routing-backend name;
+// version 4 added the calibration snapshot version, so results routed
+// under one calibration are never served after a recalibration.
+const keyVersion = 4
 
 // KeyOf computes the cache key of a job. The encoding is canonical:
 // field order is fixed, floats are encoded by their IEEE-754 bits, and
@@ -33,6 +35,9 @@ const keyVersion = 3
 // parallel trial paths return bit-identical results, so they must
 // share cache entries.
 func KeyOf(job Job) Key {
+	// Defensive for callers hashing unresolved jobs directly; inside
+	// the engine this is a no-op (process resolves before hashing).
+	job = job.ResolveCalibration()
 	h := sha256.New()
 	var buf [8]byte
 	u64 := func(v uint64) {
@@ -95,6 +100,11 @@ func KeyOf(job Job) Key {
 	}
 	f64(o.MaxEdgeError)
 	hashNoise(h, u64, f64, o.Noise)
+	// Calibration snapshot version: distinguishes results routed under
+	// successive recalibrations even beyond the noise content above
+	// (and is what lets a service observe the expected cache miss after
+	// a recalibration lands).
+	u64(job.CalVersion)
 
 	// Routing backend, in canonical registry form so aliases (bka,
 	// trials) and the implicit default ("" = sabre) share cache

@@ -1,0 +1,289 @@
+// Package fleet schedules compilation jobs across a heterogeneous
+// fleet of devices under live calibration. Real installations expose
+// several chips with different topologies and hourly-refreshed noise
+// data; picking the device and the mapping together is the natural
+// extension of the paper's variability-aware routing (§VI): a
+// reliability-weighted router is only as good as the chip it was
+// pointed at.
+//
+// Schedule is the pure scoring core: given a circuit and K candidate
+// devices with their current calibration snapshots and queue loads, it
+// predicts per-device error and depth from the same weighted-distance
+// matrices the router uses, folds in the load, and picks the winner
+// deterministically. Scheduler wraps it with live load tracking and
+// dispatch through a batch.Engine; the daemon instead feeds Schedule
+// its own job-queue loads.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/batch"
+	"repro/internal/circuit"
+)
+
+// DefaultErrorRate is the uniform per-CNOT error assumed for a device
+// with no calibration snapshot, so calibrated and uncalibrated
+// candidates stay comparable (a chip that never published noise data
+// is assumed mediocre, not perfect).
+const DefaultErrorRate = 0.005
+
+// Candidate is one device offered to the scheduler.
+type Candidate struct {
+	// Device is the candidate chip; its current calibration snapshot
+	// is read at scoring time.
+	Device *arch.Device
+	// Load is the number of jobs already bound to the device (queued
+	// plus running) — the congestion signal.
+	Load int
+}
+
+// Weights tunes the scheduler's scoring terms. Zero fields select the
+// defaults; a negative weight disables its term.
+type Weights struct {
+	// Error scales the predicted-error term (default 1).
+	Error float64
+	// Depth scales the predicted-depth term (default 0.01 — depth is
+	// a tie-breaker between chips of comparable fidelity, not the
+	// headline).
+	Depth float64
+	// Load scales the queue-load term (default 0.25 per queued job).
+	Load float64
+}
+
+func (w Weights) normalized() Weights {
+	if w.Error == 0 {
+		w.Error = 1
+	}
+	if w.Depth == 0 {
+		w.Depth = 0.01
+	}
+	if w.Load == 0 {
+		w.Load = 0.25
+	}
+	if w.Error < 0 {
+		w.Error = 0
+	}
+	if w.Depth < 0 {
+		w.Depth = 0
+	}
+	if w.Load < 0 {
+		w.Load = 0
+	}
+	return w
+}
+
+// Score is one candidate's scoring row — serialized as-is into daemon
+// responses and benchtab tables.
+type Score struct {
+	// Device is the candidate's name.
+	Device string `json:"device"`
+	// Qubits is the candidate's size.
+	Qubits int `json:"qubits"`
+	// Fits reports whether the circuit fits on the device at all;
+	// when false the prediction fields are zero and the candidate is
+	// out of the running.
+	Fits bool `json:"fits"`
+	// CalVersion is the calibration snapshot version the row was
+	// scored under (zero = uncalibrated).
+	CalVersion uint64 `json:"cal_version"`
+	// PredictedError is the expected routing cost in -ln(success)
+	// units: two-qubit gate count × mean pairwise weighted distance.
+	PredictedError float64 `json:"predicted_error"`
+	// PredictedDepth estimates the routed depth: logical depth plus 3
+	// CNOTs per expected SWAP of communication overhead.
+	PredictedDepth float64 `json:"predicted_depth"`
+	// Load echoes the candidate's queue load.
+	Load int `json:"load"`
+	// Total is the weighted sum the winner minimizes.
+	Total float64 `json:"total"`
+}
+
+// Decision is the outcome of one scheduling pass.
+type Decision struct {
+	// Device is the winner.
+	Device *arch.Device `json:"-"`
+	// Snapshot is the winner's calibration snapshot at scoring time
+	// (nil when uncalibrated). Dispatchers route under the device's
+	// live snapshot, so a recalibration landing between scoring and
+	// compile means the job runs under the newer data — the decision
+	// records what was known when the choice was made.
+	Snapshot *arch.CalSnapshot `json:"-"`
+	// Winner is the winning score row.
+	Winner Score `json:"winner"`
+	// Scores holds every candidate's row, in input order.
+	Scores []Score `json:"scores"`
+}
+
+// Schedule scores every candidate for the circuit and returns the
+// decision. Candidates too small for the circuit are kept in the score
+// table (Fits=false) but never win; an error is returned when no
+// candidate fits. The choice is deterministic: lowest Total, ties
+// broken by device name, then input order.
+func Schedule(circ *circuit.Circuit, cands []Candidate, w Weights) (*Decision, error) {
+	if circ == nil {
+		return nil, errors.New("fleet: nil circuit")
+	}
+	if len(cands) == 0 {
+		return nil, errors.New("fleet: no candidate devices")
+	}
+	w = w.normalized()
+	g2 := 0
+	for _, g := range circ.Gates() {
+		if g.TwoQubit() {
+			g2++
+		}
+	}
+	depth := circ.Depth()
+
+	dec := &Decision{Scores: make([]Score, 0, len(cands))}
+	best := -1
+	var bestSnap *arch.CalSnapshot
+	for i, c := range cands {
+		if c.Device == nil {
+			return nil, fmt.Errorf("fleet: candidate %d has a nil device", i)
+		}
+		s := Score{Device: c.Device.Name(), Qubits: c.Device.NumQubits(), Load: c.Load}
+		if circ.NumQubits() > c.Device.NumQubits() {
+			dec.Scores = append(dec.Scores, s)
+			continue
+		}
+		s.Fits = true
+		snap := c.Device.Calibration()
+		if snap != nil {
+			s.CalVersion = snap.Version
+		}
+		meanW, meanHop := pairMeans(c.Device, snap)
+		s.PredictedError = float64(g2) * meanW
+		s.PredictedDepth = float64(depth) + 3*float64(g2)*math.Max(0, meanHop-1)
+		s.Total = w.Error*s.PredictedError + w.Depth*s.PredictedDepth + w.Load*float64(c.Load)
+		dec.Scores = append(dec.Scores, s)
+		if best < 0 || less(s, dec.Scores[best]) {
+			best = len(dec.Scores) - 1
+			dec.Device = c.Device
+			bestSnap = snap
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("fleet: no candidate fits %d qubits", circ.NumQubits())
+	}
+	dec.Snapshot = bestSnap
+	dec.Winner = dec.Scores[best]
+	return dec, nil
+}
+
+// less orders score rows: lower Total wins, ties break by device name
+// and finally by input order (a strictly-earlier row wins a full tie,
+// so less is false then).
+func less(a, b Score) bool {
+	if a.Total != b.Total {
+		return a.Total < b.Total
+	}
+	return a.Device < b.Device
+}
+
+// pairMeans returns the mean pairwise (i≠j) weighted distance and hop
+// distance of the device. Uncalibrated devices get the hop matrix
+// scaled by the uniform DefaultErrorRate edge weight, so weighted
+// means stay comparable across the fleet.
+func pairMeans(d *arch.Device, snap *arch.CalSnapshot) (meanW, meanHop float64) {
+	n := d.NumQubits()
+	pairs := n * (n - 1)
+	if pairs == 0 {
+		return 0, 0
+	}
+	var hops float64
+	for _, v := range d.Distances() {
+		hops += float64(v)
+	}
+	meanHop = hops / float64(pairs)
+	if snap == nil {
+		uniform := -math.Log(1 - DefaultErrorRate)
+		return meanHop * uniform, meanHop
+	}
+	var sum float64
+	for _, v := range d.WeightedDistancesFor(snap.Model) {
+		sum += v
+	}
+	return sum / float64(pairs), meanHop
+}
+
+// Scheduler tracks a fixed fleet and its in-flight load and dispatches
+// jobs through a batch engine: each Compile schedules against live
+// loads and calibration snapshots, routes on the winner under its
+// snapshot, and releases the load when the job settles.
+type Scheduler struct {
+	eng *batch.Engine
+	w   Weights
+
+	mu   sync.Mutex
+	devs []*arch.Device
+	load map[*arch.Device]int
+}
+
+// NewScheduler builds a scheduler over the fleet. The engine is shared,
+// not owned: closing it is the caller's business.
+func NewScheduler(eng *batch.Engine, devs []*arch.Device, w Weights) (*Scheduler, error) {
+	if eng == nil {
+		return nil, errors.New("fleet: nil engine")
+	}
+	if len(devs) == 0 {
+		return nil, errors.New("fleet: empty fleet")
+	}
+	for i, d := range devs {
+		if d == nil {
+			return nil, fmt.Errorf("fleet: fleet device %d is nil", i)
+		}
+	}
+	return &Scheduler{
+		eng:  eng,
+		w:    w,
+		devs: append([]*arch.Device(nil), devs...),
+		load: make(map[*arch.Device]int),
+	}, nil
+}
+
+// Candidates returns the fleet with its current loads.
+func (s *Scheduler) Candidates() []Candidate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Candidate, len(s.devs))
+	for i, d := range s.devs {
+		out[i] = Candidate{Device: d, Load: s.load[d]}
+	}
+	return out
+}
+
+// Schedule scores the fleet for circ under current loads without
+// dispatching.
+func (s *Scheduler) Schedule(circ *circuit.Circuit) (*Decision, error) {
+	return Schedule(circ, s.Candidates(), s.w)
+}
+
+// Compile schedules job.Circuit onto the fleet and compiles it on the
+// winner under the winner's live calibration snapshot (job.Device is
+// overridden). The winner's load is held for the duration of the
+// compile, so concurrent Compiles spread across the fleet.
+func (s *Scheduler) Compile(ctx context.Context, job batch.Job) (batch.Result, *Decision, error) {
+	dec, err := s.Schedule(job.Circuit)
+	if err != nil {
+		return batch.Result{Err: err}, nil, err
+	}
+	job.Device = dec.Device
+	job.UseCalibration = true
+
+	s.mu.Lock()
+	s.load[dec.Device]++
+	s.mu.Unlock()
+	res := <-s.eng.SubmitContext(ctx, job)
+	s.mu.Lock()
+	s.load[dec.Device]--
+	s.mu.Unlock()
+
+	return res, dec, res.Err
+}

@@ -1,0 +1,176 @@
+package fleet
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/batch"
+	"repro/internal/circuit"
+)
+
+func bell(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i+1 < n; i++ {
+		c.Append(circuit.CX(i, i+1))
+	}
+	return c
+}
+
+func TestSchedulePrefersReliableDevice(t *testing.T) {
+	good := arch.Grid(2, 3)
+	bad := arch.Grid(2, 3)
+	if _, err := good.ApplyCalibration(arch.UniformNoise(0.001)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.ApplyCalibration(arch.UniformNoise(0.2)); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Schedule(bell(4), []Candidate{{Device: bad}, {Device: good}}, Weights{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Device != good {
+		t.Fatalf("scheduler picked the noisy device (scores %+v)", dec.Scores)
+	}
+	if dec.Snapshot == nil || dec.Snapshot.Version != 1 {
+		t.Fatal("decision must carry the winner's snapshot")
+	}
+	if dec.Winner.CalVersion != 1 || !dec.Winner.Fits {
+		t.Fatalf("winner row malformed: %+v", dec.Winner)
+	}
+	if len(dec.Scores) != 2 {
+		t.Fatalf("want a score row per candidate, got %d", len(dec.Scores))
+	}
+}
+
+func TestScheduleSkipsTooSmallDevices(t *testing.T) {
+	small := arch.Line(2)
+	big := arch.Line(8)
+	dec, err := Schedule(bell(5), []Candidate{{Device: small}, {Device: big}}, Weights{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Device != big {
+		t.Fatal("only the big device fits")
+	}
+	if dec.Scores[0].Fits {
+		t.Fatal("2-qubit device cannot fit a 5-qubit circuit")
+	}
+	if _, err := Schedule(bell(5), []Candidate{{Device: small}}, Weights{}); err == nil {
+		t.Fatal("no fitting candidate must be an error")
+	} else if !strings.Contains(err.Error(), "no candidate fits") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestScheduleLoadBreaksSymmetry(t *testing.T) {
+	// Two identical calibrated chips: the idle one must win, with the
+	// name tie-break deciding a full tie deterministically.
+	a := arch.Ring(5)
+	b := arch.Ring(5)
+	for _, d := range []*arch.Device{a, b} {
+		if _, err := d.ApplyCalibration(arch.UniformNoise(0.01)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := Schedule(bell(4), []Candidate{{Device: a, Load: 3}, {Device: b, Load: 0}}, Weights{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Device != b {
+		t.Fatalf("loaded device won: %+v", dec.Scores)
+	}
+	// Full tie: equal loads, equal devices — deterministic winner.
+	d1, err := Schedule(bell(4), []Candidate{{Device: a}, {Device: b}}, Weights{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Schedule(bell(4), []Candidate{{Device: a}, {Device: b}}, Weights{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Device != d2.Device {
+		t.Fatal("tie-break is not deterministic")
+	}
+}
+
+func TestScheduleInputValidation(t *testing.T) {
+	if _, err := Schedule(nil, []Candidate{{Device: arch.Line(2)}}, Weights{}); err == nil {
+		t.Fatal("nil circuit accepted")
+	}
+	if _, err := Schedule(bell(2), nil, Weights{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := Schedule(bell(2), []Candidate{{}}, Weights{}); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestSchedulerCompile(t *testing.T) {
+	eng := batch.NewEngine(batch.Config{Workers: 2, BaseSeed: 7})
+	defer eng.Close()
+	good := arch.Grid(2, 3)
+	bad := arch.Grid(2, 3)
+	snapGood, err := good.ApplyCalibration(arch.UniformNoise(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.ApplyCalibration(arch.UniformNoise(0.3)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(eng, []*arch.Device{bad, good}, Weights{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, dec, err := s.Compile(context.Background(), batch.Job{Circuit: bell(4)})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if dec.Device != good {
+		t.Fatal("dispatch did not pick the reliable device")
+	}
+	if res.CalVersion != snapGood.Version {
+		t.Fatalf("job routed under calibration v%d, want v%d", res.CalVersion, snapGood.Version)
+	}
+	if res.Final == nil || res.Final.NumGates() == 0 {
+		t.Fatal("empty result")
+	}
+
+	// Loads drain back to zero after dispatch.
+	for _, c := range s.Candidates() {
+		if c.Load != 0 {
+			t.Fatalf("leaked load on %s: %d", c.Device.Name(), c.Load)
+		}
+	}
+
+	// Concurrent dispatches are safe (run with -race).
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.Compile(context.Background(), batch.Job{Circuit: bell(4)}); err != nil {
+				t.Errorf("concurrent Compile: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNewSchedulerValidation(t *testing.T) {
+	eng := batch.NewEngine(batch.Config{Workers: 1})
+	defer eng.Close()
+	if _, err := NewScheduler(nil, []*arch.Device{arch.Line(2)}, Weights{}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewScheduler(eng, nil, Weights{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := NewScheduler(eng, []*arch.Device{nil}, Weights{}); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}

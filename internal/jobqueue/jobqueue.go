@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/fleet"
 )
 
 // State is a job's lifecycle position.
@@ -66,6 +67,12 @@ type Request struct {
 	// the job reaches a terminal state, with bounded retries (see
 	// WebhookConfig).
 	Webhook string
+
+	// Fleet, when non-nil, records the fleet-scheduling decision that
+	// chose Job.Device. The queue carries it through snapshots so
+	// status responses can report how the device was picked; it does
+	// not act on it.
+	Fleet *fleet.Decision
 }
 
 // Snapshot is a point-in-time, caller-safe view of one job.
@@ -417,6 +424,21 @@ func (q *Queue) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// Loads returns the number of non-terminal jobs (queued plus running)
+// per device name — the queue-congestion signal the fleet scheduler
+// folds into its per-device score.
+func (q *Queue) Loads() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int)
+	for _, j := range q.jobs {
+		if (j.state == StateQueued || j.state == StateRunning) && j.req.Job.Device != nil {
+			out[j.req.Job.Device.Name()]++
+		}
+	}
+	return out
 }
 
 // Close drains the queue: no new submissions are accepted, jobs

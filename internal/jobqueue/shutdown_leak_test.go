@@ -1,0 +1,143 @@
+package jobqueue
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/batch"
+	"repro/internal/workloads"
+)
+
+// TestWebhookShutdownNoLeak: a delivery goroutine parked in a retry
+// backoff must exit promptly when Close's deadline expires — not sleep
+// out the rest of its (long) backoff, and not outlive Close.
+func TestWebhookShutdownNoLeak(t *testing.T) {
+	eng := batch.NewEngine(batch.Config{Workers: 2})
+	defer eng.Close()
+	// Every attempt fails, forcing the retry path.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	baseline := runtime.NumGoroutine()
+
+	q := New(eng, Config{
+		Workers: 1,
+		Webhook: WebhookConfig{
+			MaxAttempts: 5,
+			Backoff:     time.Minute, // far longer than the test: exit must come from cancellation
+			Timeout:     time.Second,
+			// Keep-alive connection goroutines (client and server side)
+			// would pollute the goroutine count; the leak under test is
+			// the retry loop, not the HTTP transport.
+			Client: &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		},
+	})
+	snap, err := q.Submit(Request{Job: fastJob("hooked"), Webhook: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, snap.ID, StateDone)
+
+	// Wait for the first (failing) attempt so the delivery goroutine is
+	// parked in its backoff sleep.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got, err := q.Get(snap.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Webhook.Attempts >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first webhook attempt never recorded")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := q.Close(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Close = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v: the retry goroutine slept out its backoff instead of aborting", elapsed)
+	}
+
+	got, err := q.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Webhook.Delivered || !strings.Contains(got.Webhook.LastError, "aborted by shutdown") {
+		t.Fatalf("webhook status after shutdown: %+v", got.Webhook)
+	}
+
+	// No goroutine outlives Close: the count settles back to (at most)
+	// what it was before the queue existed, modulo unrelated runtime
+	// noise.
+	settle := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(settle) {
+			t.Fatalf("goroutines leaked: %d now vs %d baseline", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestLoads: the per-device congestion signal counts queued + running
+// jobs and forgets terminal ones.
+func TestLoads(t *testing.T) {
+	q, _ := newTestQueue(t, Config{Workers: 1})
+	tokyo := arch.IBMQ20Tokyo()
+	line := arch.Line(8)
+
+	running, err := q.Submit(Request{Job: slowJob("hog")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, running.ID, StateRunning)
+	q1, err := q.Submit(Request{Job: batch.Job{Circuit: workloads.GHZ(6), Device: line}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := q.Submit(Request{Job: batch.Job{Circuit: workloads.GHZ(6), Device: line}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loads := q.Loads()
+	if loads[tokyo.Name()] != 1 {
+		t.Fatalf("running load on %s = %d, want 1 (%v)", tokyo.Name(), loads[tokyo.Name()], loads)
+	}
+	if loads[line.Name()] != 2 {
+		t.Fatalf("queued load on %s = %d, want 2 (%v)", line.Name(), loads[line.Name()], loads)
+	}
+
+	for _, id := range []string{running.ID, q1.ID, q2.ID} {
+		if _, err := q.Cancel(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if len(q.Loads()) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("loads never drained: %v", q.Loads())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -31,6 +31,29 @@ func (ParsePass) Run(pc *Ctx) error {
 	return nil
 }
 
+// CalibratePass pins the pipeline to the device's live calibration
+// snapshot: when the device has one, the snapshot's noise model
+// replaces pc.Options.Noise for every later pass (layout and routing
+// become reliability-weighted automatically) and pc.CalVersion records
+// the version. Devices without a calibration make it a no-op, so the
+// pass is safe to include unconditionally ahead of layout/route.
+type CalibratePass struct{}
+
+// Name implements Pass.
+func (CalibratePass) Name() string { return "calibrate" }
+
+// Run implements Pass.
+func (CalibratePass) Run(pc *Ctx) error {
+	if pc.Device == nil {
+		return errors.New("no device in context")
+	}
+	if snap := pc.Device.Calibration(); snap != nil {
+		pc.Options.Noise = snap.Model
+		pc.CalVersion = snap.Version
+	}
+	return nil
+}
+
 // LayoutPass runs SABRE's reverse-traversal initial-mapping search
 // (the role SabreLayout plays in production compilers) and records the
 // improved layout in pc.Layout for a subsequent RoutePass.

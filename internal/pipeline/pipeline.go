@@ -55,6 +55,10 @@ type Ctx struct {
 	// seed root.
 	Options core.Options
 
+	// CalVersion records the device calibration snapshot version a
+	// preceding CalibratePass pinned (zero = no calibration pinned).
+	CalVersion uint64
+
 	// Layout, when set (Size > 0), is the initial layout routing must
 	// start from (produced by LayoutPass or supplied by the caller).
 	Layout mapping.Layout
@@ -178,11 +182,12 @@ func (m *Manager) Compile(ctx context.Context, circ *circuit.Circuit, dev *arch.
 }
 
 // Build composes a Manager from pass names — the form the -passes
-// flags and the daemon's JSON accept. Recognized names: parse, layout,
-// route (optionally route:<name> for any backend in the router
-// registry — sabre, greedy, astar, anneal, tokenswap, plus anything
-// registered at runtime), basis, peephole, schedule, verify. Names are
-// case-insensitive; empty names (from trailing commas) are skipped.
+// flags and the daemon's JSON accept. Recognized names: parse,
+// calibrate, layout, route (optionally route:<name> for any backend in
+// the router registry — sabre, greedy, astar, anneal, tokenswap, plus
+// anything registered at runtime), basis, peephole, schedule, verify.
+// Names are case-insensitive; empty names (from trailing commas) are
+// skipped.
 func Build(names ...string) (*Manager, error) {
 	var passes []Pass
 	for _, name := range names {
@@ -207,6 +212,8 @@ func ByName(name string) (Pass, error) {
 	switch kind {
 	case "parse":
 		return ParsePass{}, nil
+	case "calibrate":
+		return CalibratePass{}, nil
 	case "layout":
 		return LayoutPass{}, nil
 	case "route":
@@ -232,7 +239,7 @@ func ByName(name string) (Pass, error) {
 	case "verify":
 		return VerifyPass{}, nil
 	}
-	return nil, fmt.Errorf("pipeline: unknown pass %q (parse|layout|route[:<router>]|basis|peephole|schedule|verify)", name)
+	return nil, fmt.Errorf("pipeline: unknown pass %q (parse|calibrate|layout|route[:<router>]|basis|peephole|schedule|verify)", name)
 }
 
 // PostRouting reports whether every name designates a pass that is

@@ -245,3 +245,39 @@ func TestBuildRejectsUnknownPass(t *testing.T) {
 		t.Fatal("route must not be accepted as a post-routing pass")
 	}
 }
+
+func TestCalibratePassPinsSnapshot(t *testing.T) {
+	dev := arch.Ring(4)
+	circ := cxCircuit(4, 12, 3)
+
+	// Uncalibrated device: the pass is a no-op.
+	m, err := Build("calibrate", "route", "verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := m.Compile(context.Background(), circ, dev, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.CalVersion != 0 || pc.Options.Noise != nil {
+		t.Fatal("calibrate pass must be a no-op on an uncalibrated device")
+	}
+
+	snap, err := dev.ApplyCalibration(arch.UniformNoise(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err = m.Compile(context.Background(), circ, dev, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.CalVersion != snap.Version {
+		t.Fatalf("CalVersion = %d, want %d", pc.CalVersion, snap.Version)
+	}
+	if pc.Options.Noise != snap.Model {
+		t.Fatal("calibrate pass did not substitute the snapshot's noise model")
+	}
+	if pc.Metrics[0].Pass != "calibrate" {
+		t.Fatalf("first metric is %q, want calibrate", pc.Metrics[0].Pass)
+	}
+}

@@ -92,6 +92,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/jobqueue"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
@@ -206,6 +207,15 @@ func RingDevice(n int) *Device { return arch.Ring(n) }
 // GridDevice returns a rows×cols 2-D lattice.
 func GridDevice(rows, cols int) *Device { return arch.Grid(rows, cols) }
 
+// FullDevice returns an all-to-all coupled topology on n qubits.
+func FullDevice(n int) *Device { return arch.FullyConnected(n) }
+
+// DeviceFromSpec resolves a textual device spec — a catalogue name
+// ("tokyo", "qx5", "falcon27") or a parameterized form ("line:16",
+// "ring:12", "star:8", "full:6", "grid:4x5", "sycamore:3x3",
+// "aspen:2") — the same grammar the sabred daemon accepts.
+func DeviceFromSpec(spec string) (*Device, error) { return arch.FromSpec(spec) }
+
 // IBMFalcon27 returns the 27-qubit heavy-hexagon IBM Falcon topology.
 func IBMFalcon27() *Device { return arch.IBMFalcon27() }
 
@@ -237,6 +247,60 @@ func UniformNoise(e float64) *NoiseModel { return arch.UniformNoise(e) }
 // RandomNoise draws per-edge error rates log-uniformly from [lo, hi].
 func RandomNoise(dev *Device, lo, hi float64, rng *rand.Rand) *NoiseModel {
 	return arch.RandomNoise(dev, lo, hi, rng)
+}
+
+// --- Calibration snapshots ---
+
+// CalSnapshot is one immutable, versioned device calibration; see
+// ApplyCalibration.
+type CalSnapshot = arch.CalSnapshot
+
+// ApplyCalibration validates the noise model and installs it as the
+// device's current calibration snapshot, bumping the version. Routing
+// that opts into the live calibration (BatchJob.UseCalibration, the
+// "calibrate" pipeline pass, fleet scheduling) picks up the new
+// snapshot immediately, and the version is part of the batch cache
+// key — results routed under an older snapshot are never served.
+func ApplyCalibration(dev *Device, m *NoiseModel) (*CalSnapshot, error) {
+	return dev.ApplyCalibration(m)
+}
+
+// DeviceCalibration returns the device's current calibration snapshot,
+// or nil if it was never calibrated.
+func DeviceCalibration(dev *Device) *CalSnapshot { return dev.Calibration() }
+
+// --- Fleet scheduling ---
+
+// Fleet-scheduler types, re-exported by alias.
+type (
+	// FleetCandidate is one device offered to the scheduler, with its
+	// current queue load.
+	FleetCandidate = fleet.Candidate
+	// FleetDecision is the outcome of one scheduling pass: the winning
+	// device plus every candidate's score row.
+	FleetDecision = fleet.Decision
+	// FleetScore is one candidate's scoring row.
+	FleetScore = fleet.Score
+	// FleetWeights tunes the scheduler's error/depth/load terms (zero
+	// value = defaults).
+	FleetWeights = fleet.Weights
+	// FleetScheduler dispatches jobs across a device fleet over a
+	// shared batch engine, tracking in-flight load per device.
+	FleetScheduler = fleet.Scheduler
+)
+
+// ScheduleFleet scores the circuit against every candidate — predicted
+// error under each device's live calibration, a routed-depth estimate,
+// and queue load — and returns the decision. Deterministic: lowest
+// total score wins, ties break by device name then input order.
+func ScheduleFleet(circ *Circuit, cands []FleetCandidate, w FleetWeights) (*FleetDecision, error) {
+	return fleet.Schedule(circ, cands, w)
+}
+
+// NewFleetScheduler builds a load-tracking dispatcher over the fleet.
+// The engine is shared, not owned: closing it is the caller's business.
+func NewFleetScheduler(eng *Engine, devs []*Device, w FleetWeights) (*FleetScheduler, error) {
+	return fleet.NewScheduler(eng, devs, w)
 }
 
 // --- Compilation ---
