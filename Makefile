@@ -52,20 +52,22 @@ bench-smoke:
 		-bench 'BenchmarkScoreRound|BenchmarkRoutePass/qft_20' -benchtime=1x -benchmem
 
 # Perf-trajectory snapshot: workload × router ns/op, allocs/op and
-# added gates, written as JSON so future PRs have a baseline to beat.
-# Compare against the committed BENCH_PR4.json.
+# added gates, plus the score_round microbenchmark rows (one per
+# scoring engine), written as JSON so future PRs have a baseline to
+# beat. Compare against the committed BENCH_PR7.json.
 bench-json:
-	$(GO) run ./cmd/benchtab -json BENCH_PR4.json
+	$(GO) run ./cmd/benchtab -json BENCH_PR7.json
 
 # CI perf-regression gate: re-measure the committed baseline and fail
-# on >25% ns/op regression, any allocs/op growth on the zero-alloc
-# (sabre) rows, or added-gates drift. BENCH_GUARD_NAMES bounds the
-# wall-clock (empty = every baseline row, ~1 min + the two large
-# workloads); CI restricts it to the fast rows so the gate stays
-# snappy and scheduler noise on the big circuits doesn't flake it.
+# on ns/op regression (>25% on baseline routers, >15% on the strict
+# sabre/score_round rows), any allocs/op growth on the strict rows, or
+# added-gates drift. BENCH_GUARD_NAMES bounds the wall-clock (empty =
+# every baseline row, ~1 min + the two large workloads); CI restricts
+# it to the fast rows so the gate stays snappy and scheduler noise on
+# the big circuits doesn't flake it.
 BENCH_GUARD_NAMES ?=
 bench-guard:
-	$(GO) run ./cmd/benchtab -compare BENCH_PR4.json -tolerance 25 -names '$(BENCH_GUARD_NAMES)'
+	$(GO) run ./cmd/benchtab -compare BENCH_PR7.json -tolerance 25 -sabre-tolerance 15 -names '$(BENCH_GUARD_NAMES)'
 
 # End-to-end daemon smoke: build sabred, boot it, submit an async job,
 # long-poll to completion, assert the verify pass succeeded and the

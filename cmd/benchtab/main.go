@@ -11,12 +11,19 @@
 //	                              router: ns/op, allocs/op, g_add)
 //	benchtab -async               async job queue end to end: submit,
 //	                              long-poll, webhook, cancel, drain
-//	benchtab -compare BENCH_PR4.json -tolerance 25
+//	benchtab -compare BENCH_PR7.json -tolerance 25 -sabre-tolerance 15
 //	                              CI perf gate: re-measure the baseline
-//	                              rows and exit 1 on >25% ns/op
-//	                              regression, allocs/op growth on the
-//	                              zero-alloc (sabre) rows, or added-
-//	                              gates drift
+//	                              rows and exit 1 on ns/op regression
+//	                              (the tighter -sabre-tolerance applies
+//	                              to the zero-alloc sabre and
+//	                              score_round rows), allocs/op growth
+//	                              on those same rows, or added-gates
+//	                              drift
+//	benchtab -json BENCH.json -cpuprofile cpu.out -memprofile mem.out
+//	                              write pprof profiles of whatever work
+//	                              the run performed; flushed even when
+//	                              a gate fails, so a regressing row can
+//	                              be profiled directly
 //	benchtab -fleet tokyo,grid:4x5,falcon27 -names qft_10
 //	                              fleet dispatch table: calibrate each
 //	                              device with seed-derived random noise,
@@ -41,6 +48,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -77,6 +85,9 @@ func main() {
 		jsonFile    = flag.String("json", "", "measure workload × router perf (ns/op, allocs/op, added gates) and write the JSON trajectory snapshot to this file")
 		compareFile = flag.String("compare", "", "re-measure the rows of this BENCH_*.json baseline and fail (exit 1) on regression — the CI perf gate")
 		tolerance   = flag.Float64("tolerance", 25, "-compare: max ns/op regression in percent before failing")
+		sabreTol    = flag.Float64("sabre-tolerance", 15, "-compare: tighter ns/op tolerance (percent) for the zero-alloc sabre and score_round rows")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected work to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file when the run finishes")
 		fleetFlag   = flag.String("fleet", "", "comma-separated device specs: calibrate each (seed-derived random noise), score every workload across the fleet, and compile on the winner (e.g. tokyo,grid:4x5,falcon27)")
 	)
 	flag.Parse()
@@ -85,6 +96,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	flushProfiles = startProfiles(*cpuProfile, *memProfile)
+	defer flushProfiles()
 
 	cfg := exp.DefaultConfig()
 	cfg.SabreOpts.Seed = *seed
@@ -167,7 +181,7 @@ func main() {
 	}
 
 	if *compareFile != "" {
-		runCompare(*compareFile, *tolerance, *names)
+		runCompare(*compareFile, *tolerance, *sabreTol, *names)
 	}
 
 	if *jsonFile != "" {
@@ -395,12 +409,15 @@ type benchSnapshot struct {
 }
 
 // runBenchJSON measures every workload × router combination with the
-// testing package's benchmark harness (so ns/op and allocs/op mean
-// exactly what `go test -bench` reports) and writes the snapshot to
-// file. The pseudo-router "sabre-exhaustive" is the sabre backend with
+// testing package's benchmark harness (best of several runs, per-metric
+// minima — see sampleMin) and writes the snapshot to file. The pseudo-router "sabre-exhaustive" is the sabre backend with
 // Options.ExhaustiveScoring set — the pre-delta-scoring reference —
 // kept in the trajectory so regressions of the incremental scorer show
-// up as a shrinking gap.
+// up as a shrinking gap. Every snapshot additionally carries one
+// "score_round" pseudo-workload row per scoring engine — the isolated
+// SWAP-selection round of core.ScoreRoundProbe, the same fixture
+// BenchmarkScoreRound uses — so the hot path is gated at microbenchmark
+// granularity, not only through whole-compilation rows.
 func runBenchJSON(file string, benches []workloads.Benchmark, dev *arch.Device, opts core.Options, routers []string) {
 	snap := benchSnapshot{
 		Device:    dev.Name(),
@@ -420,6 +437,12 @@ func runBenchJSON(file string, benches []workloads.Benchmark, dev *arch.Device, 
 				row.Workload, row.Router, row.NsPerOp, row.AllocsPerOp, row.AddedGates)
 		}
 	}
+	for _, engine := range scoreRoundEngines {
+		row := measureScoreRound(engine)
+		snap.Rows = append(snap.Rows, row)
+		fmt.Printf("%-16s %-17s %12d ns/op %8d allocs/op %7d g_add\n",
+			row.Workload, row.Router, row.NsPerOp, row.AllocsPerOp, row.AddedGates)
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -430,7 +453,51 @@ func runBenchJSON(file string, benches []workloads.Benchmark, dev *arch.Device, 
 	}
 }
 
+// flushProfiles stops the CPU profile and writes the heap profile, if
+// either was requested. fatal routes through it so an exit-1 path — a
+// failing perf gate is exactly the run one wants to profile — still
+// yields complete profiles.
+var flushProfiles = func() {}
+
+// startProfiles starts the optional CPU profile and returns the
+// idempotent flush that stops it and writes the optional heap profile.
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return
+		}
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+		}
+		f.Close()
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	flushProfiles()
 	os.Exit(1)
 }

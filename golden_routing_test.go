@@ -1,9 +1,12 @@
-// Golden determinism suite for the delta-scoring routing core: delta
-// scoring must route byte-identically to the exhaustive reference
-// scorer (the pre-optimization behavior) over the entire Table II
-// workload suite — same output circuits, same layouts, same pass
-// statistics — at any trial worker count, including under a noise
-// model (float-weighted distances) and with bridges enabled.
+// Golden determinism suite for the routing core's scoring engines:
+// the branch-free bitset engine (the default), the delta oracle, and
+// the exhaustive reference must route byte-identically over the
+// entire Table II workload suite — same output circuits, same
+// layouts, same pass statistics — at any trial worker count,
+// including under a noise model (float-weighted distances) and with
+// bridges enabled. All three share one candidate order (ascending
+// dense edge id) and one tie-break comparison sequence, so they
+// consume the same RNG stream; this suite is the proof.
 package sabre_test
 
 import (
@@ -43,26 +46,46 @@ func assertSameResult(t *testing.T, label string, a, b *core.Result) {
 	}
 }
 
-// TestGoldenDeltaMatchesExhaustiveFullSuite routes every Table II
-// benchmark twice — delta scoring and old-style exhaustive scoring —
-// and asserts byte-identical outputs.
-func TestGoldenDeltaMatchesExhaustiveFullSuite(t *testing.T) {
+// goldenEngines is the three-way engine set every golden test sweeps.
+var goldenEngines = []struct {
+	name    string
+	scoring core.Scoring
+}{
+	{"bitset", core.ScoringBitset},
+	{"delta", core.ScoringDelta},
+	{"exhaustive", core.ScoringExhaustive},
+}
+
+// TestGoldenScoringEnginesFullSuite routes every Table II benchmark
+// under all three scoring engines at trial worker counts 1, 2, 4 and
+// 8, and asserts every combination produces the byte-identical result
+// (circuits, layouts, pass statistics). This is the full determinism
+// contract in one sweep: engine-independence (shared candidate order
+// and tie-break RNG stream) and worker-count-independence (per-worker
+// scratch isolation) at once.
+func TestGoldenScoringEnginesFullSuite(t *testing.T) {
 	dev := arch.IBMQ20Tokyo()
+	workerCounts := []int{1, 2, 4, 8}
 	for _, b := range workloads.All() {
 		circ := b.Build()
-		opts := core.DefaultOptions()
-		opts.Trials = 2 // keeps the full-suite sweep inside tier-1 budget
-
-		delta, err := core.Compile(circ, dev, opts)
-		if err != nil {
-			t.Fatalf("%s: %v", b.Name, err)
+		var ref *core.Result
+		for _, eng := range goldenEngines {
+			opts := core.DefaultOptions()
+			opts.Trials = 2 // keeps the full-suite sweep inside tier-1 budget
+			opts.Scoring = eng.scoring
+			for _, workers := range workerCounts {
+				tr := pipeline.TrialRunner{Trials: 2, Workers: workers}
+				res, err := tr.Route(context.Background(), circ, dev, opts)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", b.Name, eng.name, workers, err)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				assertSameResult(t, b.Name+"/"+eng.name, ref, res)
+			}
 		}
-		opts.ExhaustiveScoring = true
-		exhaustive, err := core.Compile(circ, dev, opts)
-		if err != nil {
-			t.Fatalf("%s: %v", b.Name, err)
-		}
-		assertSameResult(t, b.Name, delta, exhaustive)
 	}
 }
 
@@ -89,30 +112,34 @@ func TestGoldenNoiseAndBridgeConfigs(t *testing.T) {
 		{"basic", func(o *core.Options) { o.Heuristic = core.HeuristicBasic }},
 		{"lookahead", func(o *core.Options) { o.Heuristic = core.HeuristicLookahead }},
 	} {
-		opts := core.DefaultOptions()
-		opts.Trials = 2
-		tc.mut(&opts)
+		var ref *core.Result
+		for _, eng := range goldenEngines {
+			opts := core.DefaultOptions()
+			opts.Trials = 2
+			opts.Scoring = eng.scoring
+			tc.mut(&opts)
 
-		delta, err := core.Compile(circ, dev, opts)
-		if err != nil {
-			t.Fatalf("%s: %v", tc.name, err)
+			res, err := core.Compile(circ, dev, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, eng.name, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			assertSameResult(t, tc.name+"/"+eng.name, ref, res)
 		}
-		opts.ExhaustiveScoring = true
-		exhaustive, err := core.Compile(circ, dev, opts)
-		if err != nil {
-			t.Fatalf("%s: %v", tc.name, err)
-		}
-		assertSameResult(t, tc.name, delta, exhaustive)
-		if tc.name == "bridge" && delta.BridgeCount == 0 {
+		if tc.name == "bridge" && ref.BridgeCount == 0 {
 			t.Fatal("bridge config routed zero bridges; the golden test is not exercising the bridge path")
 		}
 	}
 }
 
 // TestGoldenTrialRunnerWorkerInvariance runs the best-of-N trial
-// protocol at several worker counts, in both scoring modes, and
-// asserts every combination selects the byte-identical winner. This is
-// the "any worker count" half of the determinism contract: per-worker
+// protocol at several worker counts (including an odd count and the
+// machine's own GOMAXPROCS) with a deeper trial budget than the
+// full-suite sweep, across all three scoring engines, and asserts
+// every combination selects the byte-identical winner: per-worker
 // scratch reuse must never leak state between trials.
 func TestGoldenTrialRunnerWorkerInvariance(t *testing.T) {
 	dev := arch.IBMQ20Tokyo()
@@ -124,21 +151,21 @@ func TestGoldenTrialRunnerWorkerInvariance(t *testing.T) {
 		}
 		circ := b.Build()
 		var ref *core.Result
-		for _, exhaustive := range []bool{false, true} {
+		for _, eng := range goldenEngines {
 			opts := core.DefaultOptions()
 			opts.Trials = 6
-			opts.ExhaustiveScoring = exhaustive
+			opts.Scoring = eng.scoring
 			for _, workers := range workerCounts {
 				tr := pipeline.TrialRunner{Trials: 6, Workers: workers}
 				res, err := tr.Route(context.Background(), circ, dev, opts)
 				if err != nil {
-					t.Fatalf("%s workers=%d: %v", name, workers, err)
+					t.Fatalf("%s/%s workers=%d: %v", name, eng.name, workers, err)
 				}
 				if ref == nil {
 					ref = res
 					continue
 				}
-				assertSameResult(t, name, ref, res)
+				assertSameResult(t, name+"/"+eng.name, ref, res)
 			}
 		}
 	}

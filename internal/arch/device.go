@@ -46,6 +46,21 @@ type Device struct {
 	// EdgeIndex (dense edge ids for epoch-stamped router scratch).
 	edgeID []int32
 
+	// edgeEnds is the dense-edge→endpoints reverse table, flat: entries
+	// 2*id and 2*id+1 are the endpoints (A < B) of edge id. Bitset
+	// iteration over dense edge ids (bits.TrailingZeros64) recovers the
+	// physical pair with two int32 loads instead of indexing []Edge
+	// structs.
+	edgeEnds []int32
+
+	// incWords holds one incident-edge bitset per physical qubit, flat:
+	// row p is incWords[p*edgeWords:(p+1)*edgeWords], and bit id of the
+	// row is set iff edge id touches p. OR-ing the rows of a set of
+	// qubits yields the bitset of all edges touching any of them — the
+	// branch-free form of SWAP-candidate collection.
+	incWords  []uint64
+	edgeWords int
+
 	// dist is the all-pairs shortest-path matrix, flat row-major:
 	// dist[a*n+b] is the hop count from a to b. Flat layout keeps the
 	// whole matrix in one allocation and turns the hot-path lookup into
@@ -132,6 +147,16 @@ func New(name string, n int, edges []Edge) (*Device, error) {
 	for _, a := range d.adj {
 		sort.Ints(a)
 	}
+	d.edgeWords = (len(d.edges) + 63) / 64
+	d.edgeEnds = make([]int32, 2*len(d.edges))
+	d.incWords = make([]uint64, n*d.edgeWords)
+	for i, e := range d.edges {
+		d.edgeEnds[2*i] = int32(e.A)
+		d.edgeEnds[2*i+1] = int32(e.B)
+		word, bit := i/64, uint(i%64)
+		d.incWords[e.A*d.edgeWords+word] |= 1 << bit
+		d.incWords[e.B*d.edgeWords+word] |= 1 << bit
+	}
 	d.dist = floydWarshall(n, d.edges)
 	if n > 1 {
 		for i := 0; i < n; i++ {
@@ -180,6 +205,26 @@ func (d *Device) Connected(a, b int) bool {
 // Edges(), or -1 when a and b are not coupled. Routers use it to key
 // per-edge scratch state (epoch stamps) without map lookups.
 func (d *Device) EdgeIndex(a, b int) int { return int(d.edgeID[a*d.n+b]) }
+
+// EdgeEndpoints returns the flat dense-edge→endpoints reverse table:
+// entries 2*id and 2*id+1 are the endpoints (A < B) of Edges()[id].
+// It is the inverse of EdgeIndex in a gather-friendly layout, so
+// bitset iteration over edge ids recovers physical pairs with two
+// int32 loads. The returned slice must not be modified.
+func (d *Device) EdgeEndpoints() []int32 { return d.edgeEnds }
+
+// EdgeWords returns the number of uint64 words needed for a bitset
+// over the dense edge-id space: ceil(len(Edges())/64). It is the row
+// stride of IncidentEdgeWords.
+func (d *Device) EdgeWords() int { return d.edgeWords }
+
+// IncidentEdgeWords returns the per-qubit incident-edge bitsets, flat
+// with row stride EdgeWords(): bit id of row p (word id/64, bit id%64
+// of incWords[p*EdgeWords():...]) is set iff Edges()[id] touches
+// physical qubit p. OR-ing rows of several qubits yields the bitset
+// of all edges touching any of them — the branch-free form of SWAP
+// candidate collection. The returned slice must not be modified.
+func (d *Device) IncidentEdgeWords() []uint64 { return d.incWords }
 
 // Distance returns D[a][b], the length of the shortest coupling-graph
 // path between physical qubits a and b. Distance(a, a) == 0; adjacent

@@ -285,3 +285,63 @@ func TestErrorModelValues(t *testing.T) {
 		t.Fatal("coherence times do not match Fig. 2")
 	}
 }
+
+// The dense-edge tables added for bitset routing must agree with the
+// canonical edge list and adjacency on every catalogue device: the
+// endpoints table is the inverse of EdgeIndex, and bit id of incident
+// row p is set exactly when edge id touches p.
+func TestEdgeBitsetTables(t *testing.T) {
+	devices := []*Device{
+		IBMQ20Tokyo(),
+		Line(5),
+		Ring(8),
+		Grid(4, 5),
+		FullyConnected(6),
+		Star(7),
+		HeavyHex(2, 2),
+		MustNew("single", 1, nil),
+	}
+	for _, d := range devices {
+		wantWords := (len(d.Edges()) + 63) / 64
+		if d.EdgeWords() != wantWords {
+			t.Errorf("%s: EdgeWords=%d, want %d", d.Name(), d.EdgeWords(), wantWords)
+		}
+		ends := d.EdgeEndpoints()
+		if len(ends) != 2*len(d.Edges()) {
+			t.Fatalf("%s: endpoints table has %d entries, want %d", d.Name(), len(ends), 2*len(d.Edges()))
+		}
+		for id, e := range d.Edges() {
+			if int(ends[2*id]) != e.A || int(ends[2*id+1]) != e.B {
+				t.Errorf("%s: edge %d endpoints (%d,%d), want (%d,%d)",
+					d.Name(), id, ends[2*id], ends[2*id+1], e.A, e.B)
+			}
+			if e.A >= e.B {
+				t.Errorf("%s: edge %d not canonical: (%d,%d)", d.Name(), id, e.A, e.B)
+			}
+		}
+		inc := d.IncidentEdgeWords()
+		if len(inc) != d.NumQubits()*d.EdgeWords() {
+			t.Fatalf("%s: incident table has %d words, want %d", d.Name(), len(inc), d.NumQubits()*d.EdgeWords())
+		}
+		for p := 0; p < d.NumQubits(); p++ {
+			row := inc[p*d.EdgeWords() : (p+1)*d.EdgeWords()]
+			for id, e := range d.Edges() {
+				got := row[id/64]&(1<<uint(id%64)) != 0
+				want := e.A == p || e.B == p
+				if got != want {
+					t.Errorf("%s: qubit %d edge %d: bit=%v, touches=%v", d.Name(), p, id, got, want)
+				}
+			}
+			// Bit population of the row equals the qubit's degree.
+			pop := 0
+			for _, w := range row {
+				for ; w != 0; w &= w - 1 {
+					pop++
+				}
+			}
+			if pop != d.Degree(p) {
+				t.Errorf("%s: qubit %d row popcount %d, want degree %d", d.Name(), p, pop, d.Degree(p))
+			}
+		}
+	}
+}

@@ -1,91 +1,67 @@
 package core
 
 import (
-	"math/rand"
+	"fmt"
 	"testing"
-
-	"repro/internal/arch"
-	"repro/internal/circuit"
-	"repro/internal/mapping"
 )
 
-// steadyStateRouter routes a hard random workload on the Tokyo chip up
-// to its first SWAP-selection round and returns the router parked
-// there: front layer populated, nothing executable, buffers warm. Used
-// by the alloc guard and BenchmarkScoreRound.
-func steadyStateRouter(tb testing.TB, exhaustive bool) *router {
+// steadyStateRouter returns a router parked at its first SWAP-selection
+// round of the probe workload (see ScoreRoundProbe): front layer
+// populated, nothing executable, buffers warm. Used by the alloc guard
+// and BenchmarkScoreRound.
+func steadyStateRouter(tb testing.TB, scoring Scoring) *router {
 	tb.Helper()
-	dev := arch.IBMQ20Tokyo()
-	mix := rand.New(rand.NewSource(17))
-	c := circuit.New(20)
-	for i := 0; i < 400; i++ {
-		a := mix.Intn(20)
-		b := mix.Intn(19)
-		if b >= a {
-			b++
-		}
-		c.Append(circuit.CX(a, b))
-	}
-	opts := DefaultOptions()
-	opts.ExhaustiveScoring = exhaustive
-	pr := NewPassRunner(c, dev, opts)
-	s := NewScratch()
-	s.reset(dev.NumQubits(), c.NumGates(), len(dev.Edges()))
-	r := &router{
-		dev:    dev,
-		n:      dev.NumQubits(),
-		opts:   pr.opts,
-		rng:    rand.New(rand.NewSource(1)),
-		circ:   c,
-		dag:    pr.dag,
-		layout: mapping.Identity(20),
-		s:      s,
-		dist:   dev.Distances(),
-		extGen: -1,
-	}
-	s.inDeg = r.dag.InDegreesInto(s.inDeg)
-	for i, deg := range s.inDeg {
-		if deg == 0 {
-			s.ready = append(s.ready, i)
-		}
-	}
-	r.drain()
-	if len(s.front) == 0 {
-		tb.Fatal("workload drained completely; no SWAP round to measure")
-	}
-	return r
+	return NewScoreRoundProbe(scoring).r
 }
 
 // TestScoreRoundZeroAllocs is the hot-loop allocation guard: once the
 // scratch is warm, a steady-state SWAP-selection round — candidate
 // collection, extended-set lookup, index + base-sum rebuild, and
-// delta-scoring every candidate — must not touch the heap at all. If
-// an allocation creeps back into the round (a map, a fresh slice, a
-// closure capture), this fails loudly.
+// scoring every candidate — must not touch the heap at all, under any
+// of the three scoring engines. If an allocation creeps back into the
+// round (a map, a fresh slice, a closure capture), this fails loudly.
 func TestScoreRoundZeroAllocs(t *testing.T) {
-	r := steadyStateRouter(t, false)
-	// Warm every buffer: one full round grows candidates/extended/
-	// qGates to their steady sizes.
-	_ = r.scoreRound()
-	allocs := testing.AllocsPerRun(200, func() {
-		_ = r.scoreRound()
-	})
-	if allocs != 0 {
-		t.Fatalf("steady-state SWAP round performs %v allocs/round, want 0", allocs)
+	for _, scoring := range []Scoring{ScoringBitset, ScoringDelta, ScoringExhaustive} {
+		t.Run(scoring.String(), func(t *testing.T) {
+			r := steadyStateRouter(t, scoring)
+			allocs := testing.AllocsPerRun(200, func() {
+				_ = r.scoreRound()
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state %s SWAP round performs %v allocs/round, want 0", scoring, allocs)
+			}
+		})
 	}
 }
 
-// BenchmarkScoreRound measures one SWAP-selection round in isolation:
-// delta scoring (base + O(deg) per candidate) against the exhaustive
-// reference (O(|F|+|E|) per candidate), same state, same winner.
+// The bitset engine is the default: a zero-value Scoring (or
+// DefaultOptions) must resolve to it, and the legacy ExhaustiveScoring
+// flag must still select the exhaustive oracle after normalization.
+func TestScoringModeResolution(t *testing.T) {
+	if got := DefaultOptions().normalized().Scoring; got != ScoringBitset {
+		t.Fatalf("default scoring = %v, want bitset", got)
+	}
+	o := DefaultOptions()
+	o.ExhaustiveScoring = true
+	if got := o.normalized().Scoring; got != ScoringExhaustive {
+		t.Fatalf("ExhaustiveScoring normalized to %v, want exhaustive", got)
+	}
+	o = DefaultOptions()
+	o.ExhaustiveScoring = true
+	o.Scoring = ScoringDelta
+	if got := o.normalized().Scoring; got != ScoringDelta {
+		t.Fatalf("explicit Scoring lost to legacy flag: got %v, want delta", got)
+	}
+}
+
+// BenchmarkScoreRound measures one SWAP-selection round in isolation
+// under each engine: branch-free bitset gather (the default), delta
+// scoring (base + O(deg) per candidate), and the exhaustive reference
+// (O(|F|+|E|) per candidate). Same state, same winner.
 func BenchmarkScoreRound(b *testing.B) {
-	for _, mode := range []struct {
-		name       string
-		exhaustive bool
-	}{{"delta", false}, {"exhaustive", true}} {
-		b.Run(mode.name, func(b *testing.B) {
-			r := steadyStateRouter(b, mode.exhaustive)
-			_ = r.scoreRound()
+	for _, scoring := range []Scoring{ScoringBitset, ScoringDelta, ScoringExhaustive} {
+		b.Run(fmt.Sprint(scoring), func(b *testing.B) {
+			r := steadyStateRouter(b, scoring)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

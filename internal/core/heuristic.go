@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"repro/internal/arch"
 	"repro/internal/mapping"
 )
@@ -44,6 +46,7 @@ import (
 // in the Scratch.
 func (r *router) buildRoundIndex() {
 	s := r.s
+	r.setRoundScale()
 	for _, q := range s.qTouched {
 		s.qGates[q] = s.qGates[q][:0]
 	}
@@ -95,6 +98,188 @@ func (r *router) indexGate(q0, q1 int, extended bool) {
 	s.qGates[q1] = append(s.qGates[q1], c1)
 }
 
+// buildRoundIndexBitset computes the same front/extended base sums as
+// buildRoundIndex but builds the per-qubit index in two flat
+// structures instead of per-qubit slices. Front gates are
+// vertex-disjoint (two gates sharing a qubit are DAG-ordered, so at
+// most one is ever in F), which collapses the front index to one slot
+// per qubit: fpart[q] = the physical qubit of q's front partner, or
+// -1. The extended set is not disjoint, so it gets a CSR array — one
+// counting pass, a prefix-sum, then a fill pass that resolves each
+// gate's *other* endpoint to its physical qubit and writes it into
+// the qubit's segment. Segments are filled in extended-list order —
+// the same order indexGate appends — which is what keeps the weighted
+// float accumulation of the bitset scorer bit-identical to the delta
+// scorer's.
+func (r *router) buildRoundIndexBitset() {
+	s := r.s
+	n := r.n
+	q2 := r.q2
+	fpart, cnt, off := s.fpart, s.extCnt, s.extOff
+	if r.idxGen != r.frontGen {
+		// Layout-independent half, recomputed only when the front layer
+		// (and with it the extended set) changed: wipe fpart — the
+		// occupied slots of the previous front are unknown, so clear
+		// all n — and rebuild extOff by counting + prefix-summing the
+		// extended gates' qubit occurrences. While the front is stable
+		// (consecutive non-executing rounds) both survive as-is; only
+		// the cursors and the partner/sum fill below run per round.
+		r.idxGen = r.frontGen
+		for i := 0; i < n; i++ {
+			fpart[i] = -1
+			cnt[i] = 0
+		}
+		for _, gi := range s.extended {
+			cnt[q2[2*gi]]++
+			cnt[q2[2*gi+1]]++
+		}
+		total := int32(0)
+		for q := 0; q < n; q++ {
+			off[q] = total
+			total += cnt[q]
+		}
+		off[n] = total
+		if cap(s.extPhys) < int(total) {
+			s.extPhys = make([]int32, total)
+		}
+		s.extPhys = s.extPhys[:total]
+	}
+	// Per-round: reset the fill cursors to the segment starts, then
+	// resolve every partner endpoint under the *current* layout and
+	// accumulate the base sums (both change on every applied SWAP).
+	copy(cnt, off[:n])
+	phys := s.extPhys
+
+	r.frontSumI, r.extSumI = 0, 0
+	r.frontSumF, r.extSumF = 0, 0
+	weighted := r.wdist != nil
+	for _, gi := range s.front {
+		q0, q1 := q2[2*gi], q2[2*gi+1]
+		pa, pb := r.layout.Phys(int(q0)), r.layout.Phys(int(q1))
+		if weighted {
+			r.frontSumF += r.wdist[pa*n+pb]
+		} else {
+			r.frontSumI += int64(r.dist[pa*n+pb])
+		}
+		fpart[q0] = int32(pb)
+		fpart[q1] = int32(pa)
+	}
+	for _, gi := range s.extended {
+		q0, q1 := q2[2*gi], q2[2*gi+1]
+		pa, pb := r.layout.Phys(int(q0)), r.layout.Phys(int(q1))
+		if weighted {
+			r.extSumF += r.wdist[pa*n+pb]
+		} else {
+			r.extSumI += int64(r.dist[pa*n+pb])
+		}
+		phys[cnt[q0]] = int32(pb)
+		cnt[q0]++
+		phys[cnt[q1]] = int32(pa)
+		cnt[q1]++
+	}
+}
+
+// scoreCandidatesBitset scores every candidate from the bitset round
+// index and returns the winning candidate's index, dispatching once
+// per round (not per candidate) on the distance-matrix type.
+func (r *router) scoreCandidatesBitset() int {
+	if r.wdist != nil {
+		return scoreBitset(r, r.wdist, r.frontSumF, r.extSumF)
+	}
+	return scoreBitset(r, r.dist, int(r.frontSumI), int(r.extSumI))
+}
+
+// scoreBitset is the branch-free candidate scoring loop. For each
+// candidate edge (A, B) it reads the two swapped logical qubits' front
+// partners from the single-slot fpart index and their extended
+// partners from the CSR segments, accumulating rowB[p]-rowA[p]
+// (negated for qb's terms) over pre-resolved partner physical qubits:
+// no gate fetch, no membership decode, no layout lookup inside the
+// loop. The only data-dependent branch left is the pair-gate skip
+// (partner == other swapped qubit), whose distance term D[A][B] →
+// D[B][A] is zero by symmetry and must not be accumulated — on the
+// weighted path adding-then-subtracting it would still perturb the
+// float stream. The accumulation visits exactly the entries the delta
+// scorer visits, in the same order per accumulator (qa's front term
+// then qb's into dF; qa's extended then qb's into dE), so weighted
+// scores are bit-identical to ScoringDelta's, and integer scores are
+// exact.
+//
+// Winner selection is fused into the same pass instead of a second
+// sweep over a score buffer: the reservoir tie-break below performs
+// exactly the comparisons, in exactly the order, of selectBest — the
+// same strict-improvement threshold, the same 1e-12 tie band, the
+// same rng.Intn(ties) draw per tie — so the RNG stream, and with it
+// the routed output, stays byte-identical to the oracle engines
+// (asserted by the golden three-way suite). Returns the winning
+// candidate's index.
+func scoreBitset[D int | float64](r *router, dist []D, baseF, baseE D) int {
+	s := r.s
+	n := r.n
+	fpart, off, phys := s.fpart, s.extOff, s.extPhys
+	decay := s.decay
+	ends := r.ends
+	invF, invE := r.invF, r.invE
+	heur := r.opts.Heuristic
+	rng := r.rng
+	// +Inf sentinel: the first candidate takes the strict-improvement
+	// branch (score < Inf), initializing best/ties without an RNG draw —
+	// exactly what selectBest's explicit first-element init does.
+	best, bestScore, ties := 0, math.Inf(1), 0
+	for ci, id := range s.candIDs {
+		A, B := int(ends[2*id]), int(ends[2*id+1])
+		rowA := dist[A*n : A*n+n]
+		rowB := dist[B*n : B*n+n]
+		qa, qb := r.layout.Log(A), r.layout.Log(B)
+
+		var dF, dE D
+		if pp := fpart[qa]; pp >= 0 && int(pp) != B {
+			dF += rowB[pp] - rowA[pp]
+		}
+		if pp := fpart[qb]; pp >= 0 && int(pp) != A {
+			dF += rowA[pp] - rowB[pp]
+		}
+		for _, pp := range phys[off[qa]:off[qa+1]] {
+			if int(pp) == B {
+				continue
+			}
+			dE += rowB[pp] - rowA[pp]
+		}
+		for _, pp := range phys[off[qb]:off[qb+1]] {
+			if int(pp) == A {
+				continue
+			}
+			dE += rowA[pp] - rowB[pp]
+		}
+
+		front := float64(baseF + dF)
+		var score float64
+		switch heur {
+		case HeuristicBasic:
+			score = front
+		case HeuristicLookahead:
+			score = front*invF + float64(baseE+dE)*invE
+		default: // HeuristicDecay
+			d := decay[qa]
+			if decay[qb] > d {
+				d = decay[qb]
+			}
+			score = d * (front*invF + float64(baseE+dE)*invE)
+		}
+
+		switch {
+		case score < bestScore-1e-12:
+			best, bestScore, ties = ci, score, 1
+		case score <= bestScore+1e-12:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = ci
+			}
+		}
+	}
+	return best
+}
+
 // scoreSwap evaluates the heuristic cost function H for one candidate
 // SWAP (Algorithm 1 lines 20-23) as base + Δ under the hypothetical
 // mapping π·SWAP, without mutating the layout.
@@ -130,15 +315,13 @@ func (r *router) scoreSwap(e arch.Edge) float64 {
 }
 
 // combine is Eq. 2 without the decay factor: the size-normalized
-// front-layer term plus the W-weighted extended-set term. The operation
-// order mirrors the exhaustive scorer exactly so results stay
-// bit-identical.
+// front-layer term plus the W-weighted extended-set term, computed as
+// multiplications by the per-round reciprocals (setRoundScale). Every
+// scoring engine funnels through this formula — the bitset scorer
+// inlines the identical expression — so the floating-point rounding,
+// and therefore the tie-break stream, is engine-independent.
 func (r *router) combine(front, ext float64) float64 {
-	score := front / float64(len(r.s.front))
-	if len(r.s.extended) > 0 {
-		score += r.opts.ExtendedSetWeight * ext / float64(len(r.s.extended))
-	}
-	return score
+	return front*r.invF + ext*r.invE
 }
 
 // deltasHops sums, in int64 hop units, the distance change of every
@@ -248,16 +431,13 @@ func (r *router) frontDistanceSum() float64 {
 }
 
 // lookaheadScore is Eq. 2 without the decay factor: the size-normalized
-// front-layer distance sum plus the W-weighted extended-set term.
+// front-layer distance sum plus the W-weighted extended-set term,
+// combined with the same per-round reciprocals as every other engine.
 func (r *router) lookaheadScore() float64 {
-	score := r.frontDistanceSum() / float64(len(r.s.front))
-	if len(r.s.extended) > 0 {
-		extSum := 0.0
-		for _, g := range r.s.extended {
-			gate := r.circ.Gate(g)
-			extSum += r.distAt(r.layout.Phys(gate.Q0), r.layout.Phys(gate.Q1))
-		}
-		score += r.opts.ExtendedSetWeight * extSum / float64(len(r.s.extended))
+	extSum := 0.0
+	for _, g := range r.s.extended {
+		gate := r.circ.Gate(g)
+		extSum += r.distAt(r.layout.Phys(gate.Q0), r.layout.Phys(gate.Q1))
 	}
-	return score
+	return r.combine(r.frontDistanceSum(), extSum)
 }

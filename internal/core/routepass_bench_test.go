@@ -10,11 +10,12 @@ import (
 )
 
 // BenchmarkRoutePass measures one full routing traversal over real
-// Table II workloads (largest rows included), with delta scoring
-// against the exhaustive reference scorer. Both share the prepared
-// DAG and warm scratch, so the gap is purely the per-candidate scoring
-// complexity; allocs/op ≈ a handful per pass (output circuit + layout
-// clones), none of them per-round.
+// Table II workloads (largest rows included), under each scoring
+// engine: the branch-free bitset default, the delta oracle, and the
+// exhaustive reference. All share the prepared DAG and warm scratch,
+// so the gaps are purely the per-round scoring machinery; allocs/op ≈
+// a handful per pass (output circuit + layout clones), none of them
+// per-round.
 func BenchmarkRoutePass(b *testing.B) {
 	dev := arch.IBMQ20Tokyo()
 	for _, name := range []string{"qft_16", "qft_20", "rd84_253", "9symml_195"} {
@@ -24,11 +25,11 @@ func BenchmarkRoutePass(b *testing.B) {
 		}
 		circ := bench.Build().Widen(dev.NumQubits())
 		for _, mode := range []struct {
-			name       string
-			exhaustive bool
-		}{{"delta", false}, {"exhaustive", true}} {
+			name    string
+			scoring Scoring
+		}{{"bitset", ScoringBitset}, {"delta", ScoringDelta}, {"exhaustive", ScoringExhaustive}} {
 			opts := DefaultOptions()
-			opts.ExhaustiveScoring = mode.exhaustive
+			opts.Scoring = mode.scoring
 			pr := NewPassRunner(circ, dev, opts)
 			b.Run(name+"/"+mode.name, func(b *testing.B) {
 				scratch := NewScratch()

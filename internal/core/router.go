@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/arch"
@@ -64,6 +65,14 @@ type PassRunner struct {
 	dev   *arch.Device
 	opts  Options
 	wdist []float64 // flat noise-weighted matrix, nil for hop counts
+
+	// q2 is the flat per-gate qubit-pair table: entries 2*gi and
+	// 2*gi+1 are gate gi's logical qubits (-1, -1 for single-qubit
+	// gates, which never reach the round loops — drain executes them
+	// unconditionally). The round hot paths read pairs from here with
+	// two int32 loads instead of copying a circuit.Gate (whose Params
+	// slice header alone is wider than both entries).
+	q2 []int32
 }
 
 // NewPassRunner prepares circ (already widened to the device size) for
@@ -75,6 +84,17 @@ func NewPassRunner(circ *circuit.Circuit, dev *arch.Device, opts Options) *PassR
 		dag:  circuit.BuildDAG(circ),
 		dev:  dev,
 		opts: opts,
+		q2:   make([]int32, 2*circ.NumGates()),
+	}
+	for gi := 0; gi < circ.NumGates(); gi++ {
+		g := circ.Gate(gi)
+		if g.TwoQubit() {
+			pr.q2[2*gi] = int32(g.Q0)
+			pr.q2[2*gi+1] = int32(g.Q1)
+		} else {
+			pr.q2[2*gi] = -1
+			pr.q2[2*gi+1] = -1
+		}
 	}
 	if opts.Noise != nil {
 		// Memoized on the device: every traversal of every trial shares
@@ -100,6 +120,30 @@ func (pr *PassRunner) Run(init mapping.Layout, rng *rand.Rand, s *Scratch) PassR
 // ctx.Done() (no allocation, no lock), so the steady-state SWAP round
 // stays zero-alloc.
 func (pr *PassRunner) RunContext(ctx context.Context, init mapping.Layout, rng *rand.Rand, s *Scratch) (PassResult, error) {
+	r := pr.newRouter(init, rng, s, ctx.Done())
+	if !r.run() {
+		return PassResult{}, ctx.Err()
+	}
+	out := circuit.NewNamed(pr.circ.Name(), r.n)
+	// Trusted: every emitted gate is a remap of a validated gate
+	// through the layout bijection, or a SWAP/CX on device edges.
+	out.AppendTrusted(r.s.out...)
+	return PassResult{
+		Circuit:       out,
+		InitialLayout: init.Clone(),
+		FinalLayout:   r.layout,
+		SwapCount:     r.swaps,
+		BridgeCount:   r.bridges,
+		Stats:         r.stats,
+	}, nil
+}
+
+// newRouter resets s (allocating a private scratch for nil) and wires
+// up the mutable state of one traversal: the cloned layout, the ready
+// list seeded from the DAG sources, and the flat read-only tables the
+// round hot loops gather from (distance matrices, per-gate qubit
+// pairs, dense edge endpoints, incident-edge bitsets).
+func (pr *PassRunner) newRouter(init mapping.Layout, rng *rand.Rand, s *Scratch, cancelled <-chan struct{}) *router {
 	if s == nil {
 		s = NewScratch()
 	}
@@ -116,9 +160,14 @@ func (pr *PassRunner) RunContext(ctx context.Context, init mapping.Layout, rng *
 		s:      s,
 		dist:   pr.dev.Distances(),
 		wdist:  pr.wdist,
+		q2:     pr.q2,
+		ends:   pr.dev.EdgeEndpoints(),
+		inc:    pr.dev.IncidentEdgeWords(),
+		incW:   pr.dev.EdgeWords(),
 		extGen: -1,
+		idxGen: -1,
 
-		cancelled: ctx.Done(),
+		cancelled: cancelled,
 	}
 	s.inDeg = r.dag.InDegreesInto(s.inDeg)
 	for i, deg := range s.inDeg {
@@ -126,21 +175,7 @@ func (pr *PassRunner) RunContext(ctx context.Context, init mapping.Layout, rng *
 			s.ready = append(s.ready, i)
 		}
 	}
-	if !r.run() {
-		return PassResult{}, ctx.Err()
-	}
-	out := circuit.NewNamed(pr.circ.Name(), n)
-	// Trusted: every emitted gate is a remap of a validated gate
-	// through the layout bijection, or a SWAP/CX on device edges.
-	out.AppendTrusted(s.out...)
-	return PassResult{
-		Circuit:       out,
-		InitialLayout: init.Clone(),
-		FinalLayout:   r.layout,
-		SwapCount:     r.swaps,
-		BridgeCount:   r.bridges,
-		Stats:         r.stats,
-	}, nil
+	return r
 }
 
 // RoutePass runs one traversal of SABRE's SWAP-based heuristic search
@@ -179,6 +214,15 @@ type router struct {
 	dist  []int
 	wdist []float64
 
+	// Flat read-only gather tables for the round hot loops: q2 is the
+	// PassRunner's per-gate qubit-pair table; ends the device's dense
+	// edge-id→endpoints table; inc its per-qubit incident-edge bitsets
+	// with row stride incW.
+	q2   []int32
+	ends []int32
+	inc  []uint64
+	incW int
+
 	decaySteps int // SWAP selections since last decay reset
 	stall      int // consecutive SWAPs without executing a gate
 
@@ -193,8 +237,12 @@ type router struct {
 	// walk), so while the front is unchanged — consecutive
 	// non-executing SWAP rounds, or a bridge probe followed by SWAP
 	// selection in the same round — the cached set is served as-is.
+	// idxGen plays the same role for the layout-independent half of
+	// the bitset round index (extOff and the fpart occupancy pattern,
+	// see buildRoundIndexBitset).
 	frontGen int
 	extGen   int
+	idxGen   int
 
 	// Per-round base sums of the scoring round's front/extended
 	// distances under the current layout (integer hops or weighted),
@@ -204,6 +252,27 @@ type router struct {
 	extSumI   int64
 	frontSumF float64
 	extSumF   float64
+
+	// Per-round reciprocals of Eq. 2's size normalizations, set by
+	// setRoundScale: invF = 1/|F| and invE = W/|E| (0 when the extended
+	// set is empty). combine multiplies by these instead of dividing
+	// per candidate; every scoring engine shares them, so the rounding
+	// is engine-independent.
+	invF float64
+	invE float64
+}
+
+// setRoundScale recomputes the per-round combine reciprocals from the
+// current front/extended sets. Called once per scoring round (and from
+// buildRoundIndex, so white-box tests that drive the scorers directly
+// get consistent scales).
+func (r *router) setRoundScale() {
+	r.invF = 1 / float64(len(r.s.front))
+	if len(r.s.extended) > 0 {
+		r.invE = r.opts.ExtendedSetWeight / float64(len(r.s.extended))
+	} else {
+		r.invE = 0
+	}
 }
 
 // hop returns the hop-count distance between physical qubits a and b.
@@ -409,68 +478,134 @@ func (r *router) insertBestSwap() {
 }
 
 // scoreRound runs one SWAP-selection round up to (but excluding) the
-// mutation: collect candidates, refresh the extended set, rebuild the
-// per-qubit index and base sums, and return the best-scoring candidate
-// edge with ties broken by reservoir sampling. Split from
-// insertBestSwap so tests and benchmarks can measure a steady-state
-// round in isolation.
+// mutation: collect candidates, refresh the extended set, fill the
+// per-candidate score buffer with the configured engine, and return
+// the best-scoring candidate edge with ties broken by reservoir
+// sampling. All engines see the same candidate order (ascending dense
+// edge id) and feed the same selection loop, so the tie-break RNG
+// stream — and therefore the routed output — is engine-independent.
+// Split from insertBestSwap so tests and benchmarks can measure a
+// steady-state round in isolation.
 func (r *router) scoreRound() arch.Edge {
 	r.collectCandidates()
 	r.ensureExtended()
-	r.buildRoundIndex()
+	r.setRoundScale()
 	s := r.s
 	r.stats.SwapRounds++
-	r.stats.TotalCandidates += len(s.candidates)
-	if len(s.candidates) > r.stats.MaxCandidates {
-		r.stats.MaxCandidates = len(s.candidates)
+	r.stats.TotalCandidates += len(s.candIDs)
+	if len(s.candIDs) > r.stats.MaxCandidates {
+		r.stats.MaxCandidates = len(s.candIDs)
 	}
 	if len(s.front) > r.stats.MaxFront {
 		r.stats.MaxFront = len(s.front)
 	}
 
-	best := s.candidates[0]
-	bestScore := r.scoreSwap(best)
+	mode := r.scoringMode()
+	if mode == ScoringBitset {
+		// The bitset engine fuses winner selection into its scoring
+		// pass (same comparisons and RNG draws as selectBest, see
+		// scoreBitset), so it skips the score buffer entirely.
+		r.buildRoundIndexBitset()
+		return r.candidate(r.scoreCandidatesBitset())
+	}
+	if cap(s.scores) < len(s.candIDs) {
+		s.scores = make([]float64, len(s.candIDs))
+	}
+	s.scores = s.scores[:len(s.candIDs)]
+	if mode == ScoringDelta {
+		r.buildRoundIndex()
+		for i := range s.candIDs {
+			s.scores[i] = r.scoreSwap(r.candidate(i))
+		}
+	} else { // ScoringExhaustive
+		for i := range s.candIDs {
+			s.scores[i] = r.scoreSwapExhaustive(r.candidate(i))
+		}
+	}
+	return r.selectBest()
+}
+
+// scoringMode resolves the effective scoring engine, honoring the
+// legacy ExhaustiveScoring flag even when toggled after construction
+// (white-box tests flip it on a live router).
+func (r *router) scoringMode() Scoring {
+	if r.opts.ExhaustiveScoring && r.opts.Scoring == ScoringBitset {
+		return ScoringExhaustive
+	}
+	return r.opts.Scoring
+}
+
+// selectBest scans the filled score buffer and returns the lowest-
+// scoring candidate, reservoir-sampling among ties (within a 1e-12
+// band) so the seeded search explores plateaus uniformly — the
+// authors' artifact randomizes tie order the same way. This loop is
+// the only RNG consumer in a round; the oracle engines share it, and
+// the bitset engine fuses the identical comparison/draw sequence into
+// its scoring pass (scoreBitset), so every engine consumes the same
+// RNG stream and routes byte-identically.
+func (r *router) selectBest() arch.Edge {
+	s := r.s
+	best := 0
+	bestScore := s.scores[0]
 	ties := 1
-	for _, e := range s.candidates[1:] {
-		sc := r.scoreSwap(e)
+	for i := 1; i < len(s.scores); i++ {
+		sc := s.scores[i]
 		switch {
 		case sc < bestScore-1e-12:
-			best, bestScore, ties = e, sc, 1
+			best, bestScore, ties = i, sc, 1
 		case sc <= bestScore+1e-12:
-			// Reservoir-sample among ties so the seeded search explores
-			// the plateau uniformly (the authors' artifact randomizes
-			// tie order the same way).
 			ties++
 			if r.rng.Intn(ties) == 0 {
-				best = e
+				best = i
 			}
 		}
 	}
-	return best
+	return r.candidate(best)
 }
 
 // collectCandidates gathers the SWAP candidate list: every coupling
 // edge with at least one endpoint hosting a logical qubit of a front-
 // layer gate. SWAPs entirely between low-priority qubits cannot help
-// (paper Fig. 6) and are pruned. Deduplication is by dense edge id
-// with an epoch stamp — no map, no clearing pass.
+// (paper Fig. 6) and are pruned. The list is built branch-free: the
+// incident-edge bitset rows of every front qubit are OR-ed into one
+// accumulator (duplicates cost nothing — OR is idempotent, which is
+// the whole dedup), then drained in ascending dense edge id by
+// trailing-zero iteration. Draining zeroes each word after reading
+// it, restoring the Scratch's all-zero invariant for the next round.
+// Ascending edge id is the canonical candidate order every scoring
+// engine and the tie-break RNG stream depend on.
 func (r *router) collectCandidates() {
 	s := r.s
-	s.candidates = s.candidates[:0]
-	epoch := s.nextEdgeEpoch()
+	w := s.candWords
+	stride := r.incW
 	for _, g := range s.front {
-		gate := r.circ.Gate(g)
-		for _, q := range [2]int{gate.Q0, gate.Q1} {
-			p := r.layout.Phys(q)
-			for _, nb := range r.dev.Neighbors(p) {
-				id := r.dev.EdgeIndex(p, nb)
-				if s.edgeMark[id] != epoch {
-					s.edgeMark[id] = epoch
-					s.candidates = append(s.candidates, arch.NewEdge(p, nb))
-				}
-			}
+		pa := r.layout.Phys(int(r.q2[2*g]))
+		pb := r.layout.Phys(int(r.q2[2*g+1]))
+		ra := r.inc[pa*stride : (pa+1)*stride]
+		rb := r.inc[pb*stride : (pb+1)*stride]
+		for i := range w {
+			w[i] |= ra[i] | rb[i]
 		}
 	}
+	cands := s.candIDs[:0]
+	for wi, word := range w {
+		if word == 0 {
+			continue
+		}
+		w[wi] = 0
+		base := int32(wi * 64)
+		for ; word != 0; word &= word - 1 {
+			cands = append(cands, base+int32(bits.TrailingZeros64(word)))
+		}
+	}
+	s.candIDs = cands
+}
+
+// candidate materializes candidate i as a physical edge through the
+// device's dense edge-endpoint table.
+func (r *router) candidate(i int) arch.Edge {
+	id := r.s.candIDs[i]
+	return arch.Edge{A: int(r.ends[2*id]), B: int(r.ends[2*id+1])}
 }
 
 // ensureExtended refreshes r.s.extended — up to ExtendedSetSize

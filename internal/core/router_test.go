@@ -10,25 +10,12 @@ import (
 )
 
 // newWhiteboxRouter builds a router mid-flight for white-box tests,
-// mirroring PassRunner.Run's setup.
+// through the same PassRunner setup real traversals use (the ready
+// list comes seeded with the DAG sources).
 func newWhiteboxRouter(t *testing.T, dev *arch.Device, c *circuit.Circuit, layout mapping.Layout) *router {
 	t.Helper()
-	s := NewScratch()
-	s.reset(dev.NumQubits(), c.NumGates(), len(dev.Edges()))
-	r := &router{
-		dev:    dev,
-		n:      dev.NumQubits(),
-		opts:   DefaultOptions().normalized(),
-		rng:    rand.New(rand.NewSource(1)),
-		circ:   c,
-		dag:    circuit.BuildDAG(c),
-		layout: layout,
-		s:      s,
-		dist:   dev.Distances(),
-		extGen: -1,
-	}
-	s.inDeg = r.dag.InDegreesInto(s.inDeg)
-	return r
+	pr := NewPassRunner(c, dev, DefaultOptions())
+	return pr.newRouter(layout, rand.New(rand.NewSource(1)), nil, nil)
 }
 
 // refreshExtended forces an extended-set recomputation regardless of
@@ -65,18 +52,20 @@ func newTestRouter(t *testing.T) *router {
 func TestCollectCandidatesOnlyFrontAdjacent(t *testing.T) {
 	r := newTestRouter(t)
 	r.collectCandidates()
-	if len(r.s.candidates) == 0 {
+	if len(r.s.candIDs) == 0 {
 		t.Fatal("no candidates")
 	}
 	frontPhys := map[int]bool{0: true, 6: true, 2: true, 7: true}
-	for _, e := range r.s.candidates {
+	for i := range r.s.candIDs {
+		e := r.candidate(i)
 		if !frontPhys[e.A] && !frontPhys[e.B] {
 			t.Fatalf("candidate %v touches no front qubit (paper Fig. 6: low-priority SWAPs are pruned)", e)
 		}
 	}
 	// No duplicates.
 	seen := map[arch.Edge]bool{}
-	for _, e := range r.s.candidates {
+	for i := range r.s.candIDs {
+		e := r.candidate(i)
 		if seen[e] {
 			t.Fatalf("duplicate candidate %v", e)
 		}
@@ -203,11 +192,6 @@ func TestDeltaScoringMatchesExhaustive(t *testing.T) {
 				r.opts.Noise = noise
 				r.wdist = dev.WeightedDistancesFor(noise)
 			}
-			for i, deg := range r.s.inDeg {
-				if deg == 0 {
-					r.s.ready = append(r.s.ready, i)
-				}
-			}
 			for rounds := 0; rounds < 12; rounds++ {
 				r.drain()
 				if len(r.s.front) == 0 {
@@ -217,7 +201,8 @@ func TestDeltaScoringMatchesExhaustive(t *testing.T) {
 				r.ensureExtended()
 				r.buildRoundIndex()
 				bestD, bestE := 0, 0
-				for ci, e := range r.s.candidates {
+				for ci := range r.s.candIDs {
+					e := r.candidate(ci)
 					delta := r.scoreSwap(e)
 					exhaustive := r.scoreSwapExhaustive(e)
 					if !weighted && delta != exhaustive {
@@ -230,10 +215,10 @@ func TestDeltaScoringMatchesExhaustive(t *testing.T) {
 								h, rounds, e, delta, exhaustive)
 						}
 					}
-					if delta < r.scoreSwap(r.s.candidates[bestD]) {
+					if delta < r.scoreSwap(r.candidate(bestD)) {
 						bestD = ci
 					}
-					if exhaustive < r.scoreSwapExhaustive(r.s.candidates[bestE]) {
+					if exhaustive < r.scoreSwapExhaustive(r.candidate(bestE)) {
 						bestE = ci
 					}
 				}
@@ -241,7 +226,7 @@ func TestDeltaScoringMatchesExhaustive(t *testing.T) {
 					t.Fatalf("%v round %d: scorers disagree on the best candidate (%d vs %d)",
 						h, rounds, bestD, bestE)
 				}
-				r.applySwap(r.s.candidates[0])
+				r.applySwap(r.candidate(0))
 			}
 		}
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/arch"
 	"repro/internal/circuit"
 )
 
@@ -15,24 +14,43 @@ import (
 // is not usable; construct with NewScratch. Passing nil where a
 // *Scratch is accepted makes the callee allocate a private one.
 //
-// Buffer-clearing convention: buffers indexed by gate or edge are
+// Buffer-clearing convention: gate-indexed mark buffers are
 // epoch-stamped ([]int32 marks compared against a monotonically
 // increasing epoch) so "clearing" a mark set is one integer increment,
-// not an O(n) wipe. On the rare epoch overflow the marks are zeroed
-// and the epoch restarts at 1.
+// not an O(n) wipe; on the rare epoch overflow the marks are zeroed
+// and the epoch restarts at 1. The candidate bitset uses the stronger
+// consume-to-zero convention instead: extraction zeroes every word it
+// reads, so the buffer is all-zero (across its full capacity) between
+// rounds and needs no epoch at all.
 type Scratch struct {
 	// Traversal state, sized per pass.
-	inDeg []int           // working indegree copy, len = gate count
-	front []int           // front layer F
-	ready []int           // dependency-released, executability unchecked
-	out   []circuit.Gate  // routed output accumulator
-	decay []float64       // per logical qubit decay, len = device size
+	inDeg []int          // working indegree copy, len = gate count
+	front []int          // front layer F
+	ready []int          // dependency-released, executability unchecked
+	out   []circuit.Gate // routed output accumulator
+	decay []float64      // per logical qubit decay, len = device size
 
-	// SWAP-candidate collection: dense edge ids + epoch stamps replace
-	// the old map[arch.Edge]bool.
-	candidates []arch.Edge
-	edgeMark   []int32 // len = device edge count
-	edgeEpoch  int32
+	// SWAP-candidate collection: a bitset over the dense edge-id space
+	// (len = arch.Device.EdgeWords), filled by OR-ing the incident-edge
+	// rows of the front-layer qubits and drained in ascending edge id
+	// by trailing-zero iteration. Invariant: all-zero between rounds,
+	// across the slice's full capacity — extraction consumes the words
+	// it touched back to zero, and words beyond a small device's length
+	// were never set, so a later, larger device starts clean.
+	// candIDs is the drained list of dense edge ids, in ascending
+	// order — the canonical candidate order every scoring engine and
+	// the tie-break RNG stream depend on. It stays ids (4 bytes, one
+	// store per candidate) rather than materialized edges; consumers
+	// resolve endpoints through the device's edge-endpoint table
+	// (router.candidate), which the scorers load anyway.
+	candWords []uint64
+	candIDs   []int32
+
+	// scores holds the per-candidate heuristic scores of one round,
+	// filled by the configured scoring engine and consumed by one
+	// shared selection loop — which is what keeps the RNG stream of the
+	// reservoir tie-break identical across engines.
+	scores []float64
 
 	// Extended-set BFS: gate epoch stamps replace the old visited map,
 	// bfsQueue the old throwaway queue slice. (Delta scoring needs no
@@ -46,9 +64,24 @@ type Scratch struct {
 	// Per-round delta-scoring index: for each logical qubit, the front
 	// and extended gates touching it (front gate gi encoded as gi+1,
 	// extended as -(gi+1)). qTouched lists the qubits with non-empty
-	// entries so resetting is O(touched), not O(n).
+	// entries so resetting is O(touched), not O(n). Used only by the
+	// ScoringDelta oracle; the bitset engine uses the CSR index below.
 	qGates   [][]int32
 	qTouched []int
+
+	// Per-round bitset-scoring index. Front-layer gates are
+	// vertex-disjoint (two gates sharing a qubit are DAG-ordered, so at
+	// most one can be in F), which collapses the front index to a single
+	// slot per qubit: fpart[q] is the *physical* qubit of q's front
+	// partner, or -1. The extended set is not disjoint, so it keeps a
+	// CSR layout: qubit q's extended partners (again physical,
+	// pre-resolved so the scoring loop is a pure gather) live in
+	// extPhys[extOff[q]:extOff[q+1]]; extCnt is the counting pass's
+	// buffer, reused as the fill cursor.
+	fpart   []int32 // len n, -1 = no front partner
+	extCnt  []int32
+	extOff  []int32 // len n+1
+	extPhys []int32
 }
 
 // NewScratch returns an empty scratch. Buffers grow to the sizes of
@@ -58,6 +91,9 @@ func NewScratch() *Scratch { return &Scratch{} }
 // reset sizes the scratch for one traversal: n device qubits, gates
 // DAG nodes, edges coupling edges. Buffers are grown only when a
 // larger circuit or device arrives; otherwise they are re-sliced.
+// Growing candWords allocates a zeroed buffer and shrinking merely
+// re-slices, so the all-zero-across-capacity invariant survives any
+// sequence of devices.
 func (s *Scratch) reset(n, gates, edges int) {
 	if cap(s.decay) < n {
 		s.decay = make([]float64, n)
@@ -66,11 +102,11 @@ func (s *Scratch) reset(n, gates, edges int) {
 	for i := range s.decay {
 		s.decay[i] = 1
 	}
-	if cap(s.edgeMark) < edges {
-		s.edgeMark = make([]int32, edges)
-		s.edgeEpoch = 0
+	words := (edges + 63) / 64
+	if cap(s.candWords) < words {
+		s.candWords = make([]uint64, words)
 	}
-	s.edgeMark = s.edgeMark[:edges]
+	s.candWords = s.candWords[:words]
 	if cap(s.gateMark) < gates {
 		s.gateMark = make([]int32, gates)
 		s.gateEpoch = 0
@@ -85,32 +121,26 @@ func (s *Scratch) reset(n, gates, edges int) {
 		s.qGates[q] = s.qGates[q][:0]
 	}
 	s.qTouched = s.qTouched[:0]
+	if cap(s.fpart) < n {
+		s.fpart = make([]int32, n)
+		s.extCnt = make([]int32, n)
+		s.extOff = make([]int32, n+1)
+	}
+	s.fpart = s.fpart[:n]
+	s.extCnt = s.extCnt[:n]
+	s.extOff = s.extOff[:n+1]
 	s.front = s.front[:0]
 	s.ready = s.ready[:0]
 	s.out = s.out[:0]
 	s.extended = s.extended[:0]
-	s.candidates = s.candidates[:0]
+	s.candIDs = s.candIDs[:0]
 	s.bfsQueue = s.bfsQueue[:0]
 }
 
-// nextEdgeEpoch advances the edge epoch, wiping the marks on overflow.
+// nextGateEpoch advances the gate epoch, wiping the marks on overflow.
 // The wipe covers the full capacity, not just the current slice: a
-// smaller device may be in service when the epoch wraps, and the
-// hidden tail must not hold marks a later, larger device would read.
-func (s *Scratch) nextEdgeEpoch() int32 {
-	s.edgeEpoch++
-	if s.edgeEpoch < 0 {
-		full := s.edgeMark[:cap(s.edgeMark)]
-		for i := range full {
-			full[i] = 0
-		}
-		s.edgeEpoch = 1
-	}
-	return s.edgeEpoch
-}
-
-// nextGateEpoch advances the gate epoch, wiping the marks (full
-// capacity, see nextEdgeEpoch) on overflow.
+// smaller circuit may be in service when the epoch wraps, and the
+// hidden tail must not hold marks a later, larger circuit would read.
 func (s *Scratch) nextGateEpoch() int32 {
 	s.gateEpoch++
 	if s.gateEpoch < 0 {

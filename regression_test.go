@@ -6,7 +6,10 @@ import "testing"
 // configuration. math/rand's top-level generator sequence is frozen by
 // the Go 1 compatibility promise, so these values are stable; a change
 // here means the algorithm's behaviour changed and EXPERIMENTS.md needs
-// re-measuring.
+// re-measuring. (Last re-pinned for the bitset round-scoring PR, which
+// switched candidate iteration to ascending dense edge id and thereby
+// re-rolled the tie-break stream: qft_8 went 21→18 added gates, qft_10
+// 36→30.)
 func TestRegressionPinnedResults(t *testing.T) {
 	dev := IBMQ20Tokyo()
 	cases := []struct {
@@ -15,8 +18,8 @@ func TestRegressionPinnedResults(t *testing.T) {
 		swaps int
 	}{
 		{6, 6, 2},
-		{8, 21, 7},
-		{10, 36, 12},
+		{8, 18, 6},
+		{10, 30, 10},
 	}
 	for _, tc := range cases {
 		res, err := Compile(QFT(tc.n), dev, DefaultOptions())
