@@ -1,25 +1,26 @@
 # Tier-1 verification plus the race-enabled suite. `make check` is the
-# gate CI runs on every push.
+# gate CI runs on every push. `make help` lists every target.
 
 GO ?= go
 
-.PHONY: check build test vet lint race bench bench-smoke bench-json bench-guard sabred-smoke clean
+.PHONY: check build test vet lint race bench bench-smoke bench-json bench-guard sabred-smoke clean help
 
 check: vet lint build race
 
 vet:
 	$(GO) vet ./...
 
-# Static analysis beyond vet. staticcheck is not vendored; the target
-# runs it when the binary is on PATH (CI installs a pinned version)
-# and skips with a notice otherwise, so `make check` works on a bare
-# toolchain.
+# Static analysis beyond vet: the sabrelint multichecker (see
+# internal/analysis and ARCHITECTURE.md § Static analysis) proves the
+# repo's determinism, zero-alloc, and calibration-snapshot invariants
+# and folds in staticcheck when the pinned binary is on PATH (CI
+# installs honnef.co/go/tools/cmd/staticcheck@2025.1; a bare toolchain
+# still lints). `make vet` covers go vet, so sabrelint's own vet stage
+# is skipped here. LINT_JSON=file.json additionally writes the
+# machine-readable report CI uploads as an artifact.
+LINT_JSON ?=
 lint:
-	@if command -v staticcheck >/dev/null 2>&1; then \
-		echo staticcheck ./...; staticcheck ./...; \
-	else \
-		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; \
-	fi
+	$(GO) run ./cmd/sabrelint -novet $(if $(LINT_JSON),-json $(LINT_JSON),) ./...
 
 build:
 	$(GO) build ./...
@@ -79,3 +80,18 @@ sabred-smoke:
 
 clean:
 	$(GO) clean ./...
+
+help:
+	@echo "check        tier-1 gate CI runs per push: vet + lint + build + race"
+	@echo "vet          go vet ./..."
+	@echo "lint         sabrelint multichecker: determinism / zero-alloc / snapshot"
+	@echo "             invariant analyzers + staticcheck (LINT_JSON=f writes a report)"
+	@echo "build        go build ./..."
+	@echo "test         go test ./..."
+	@echo "race         go test -race ./..."
+	@echo "bench        batch-compile benchmark, 2 rounds"
+	@echo "bench-smoke  end-to-end routing smoke incl. the zero-alloc guard"
+	@echo "bench-json   write the perf baseline (BENCH_PR7.json)"
+	@echo "bench-guard  fail on perf regression vs the committed baseline"
+	@echo "sabred-smoke daemon end-to-end smoke (SMOKE_RACE=1 for -race)"
+	@echo "clean        go clean ./..."

@@ -1,0 +1,178 @@
+// Command sabrelint is the repo's multichecker: one entrypoint that
+// proves the determinism, zero-alloc, and snapshot invariants at
+// compile time and folds the stock toolchain checks under the same
+// exit code. `sabrelint ./...` runs
+//
+//  1. the five sabre analyzers (detrange, hotalloc, seedrand,
+//     calatomic, keyfields — see internal/analysis), each scoped to
+//     the packages whose invariants it proves;
+//  2. `go vet` over the same patterns;
+//  3. staticcheck, when the pinned binary is on PATH (CI installs
+//     honnef.co/go/tools/cmd/staticcheck@2025.1; locally the step is
+//     skipped with a notice so a bare toolchain still lints).
+//
+// Any diagnostic from any stage fails the run. -json FILE
+// additionally writes a machine-readable report (uploaded as a CI
+// artifact), and -only narrows to a comma-separated analyzer subset.
+//
+// Findings are suppressed in place with source directives — see
+// internal/analysis/lint for //sabre:nondeterm-ok, //sabre:alloc-ok,
+// //sabre:nokey, and the //sabre:hotpath marker that opts a function
+// into hotalloc.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lint"
+)
+
+type report struct {
+	Patterns    []string          `json:"patterns"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	Vet         *toolResult       `json:"vet,omitempty"`
+	Staticcheck *toolResult       `json:"staticcheck,omitempty"`
+}
+
+type toolResult struct {
+	Ran    bool   `json:"ran"`
+	Passed bool   `json:"passed"`
+	Output string `json:"output,omitempty"`
+	Note   string `json:"note,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("sabrelint", flag.ExitOnError)
+	jsonPath := fs.String("json", "", "write a machine-readable report to this `file`")
+	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	noVet := fs.Bool("novet", false, "skip the go vet stage")
+	noStaticcheck := fs.Bool("nostaticcheck", false, "skip the staticcheck stage")
+	dir := fs.String("C", ".", "run as if launched from `dir`")
+	fs.Parse(args)
+
+	suite := analysis.All()
+	if *list {
+		for _, c := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Analyzer.Name, c.Analyzer.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		filtered := suite[:0]
+		for _, c := range suite {
+			if keep[c.Analyzer.Name] {
+				delete(keep, c.Analyzer.Name)
+				filtered = append(filtered, c)
+			}
+		}
+		if len(keep) > 0 {
+			fmt.Fprintf(stderr, "sabrelint: unknown analyzer(s) in -only: %s\n", strings.Join(mapKeysSorted(keep), ", "))
+			return 2
+		}
+		suite = filtered
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "sabrelint: %v\n", err)
+		return 2
+	}
+
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		for _, c := range suite {
+			if !c.Applies(pkg.ImportPath) {
+				continue
+			}
+			found, err := lint.RunAnalyzer(c.Analyzer, pkg)
+			if err != nil {
+				fmt.Fprintf(stderr, "sabrelint: %v\n", err)
+				return 2
+			}
+			diags = append(diags, found...)
+		}
+	}
+	lint.SortDiagnostics(diags)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+
+	rep := report{Patterns: patterns, Diagnostics: diags}
+	failed := len(diags) > 0
+
+	if !*noVet {
+		rep.Vet = runTool(stdout, *dir, "go", append([]string{"vet", "--"}, patterns...)...)
+		failed = failed || !rep.Vet.Passed
+	}
+	if !*noStaticcheck {
+		if _, err := exec.LookPath("staticcheck"); err != nil {
+			rep.Staticcheck = &toolResult{Ran: false, Passed: true,
+				Note: "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@2025.1)"}
+			fmt.Fprintf(stdout, "sabrelint: %s\n", rep.Staticcheck.Note)
+		} else {
+			rep.Staticcheck = runTool(stdout, *dir, "staticcheck", patterns...)
+			failed = failed || !rep.Staticcheck.Passed
+		}
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "sabrelint: writing %s: %v\n", *jsonPath, err)
+			return 2
+		}
+	}
+
+	if failed {
+		fmt.Fprintf(stderr, "sabrelint: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	fmt.Fprintf(stdout, "sabrelint: ok (%d packages, %d analyzers)\n", len(pkgs), len(suite))
+	return 0
+}
+
+// runTool shells out to a toolchain check, streaming its (combined)
+// output through ours; a nonzero exit is a failed stage.
+func runTool(stdout *os.File, dir, name string, args ...string) *toolResult {
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if len(out) > 0 {
+		stdout.Write(out)
+	}
+	return &toolResult{Ran: true, Passed: err == nil, Output: string(out)}
+}
+
+func mapKeysSorted(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	//sabre:nondeterm-ok sorted below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

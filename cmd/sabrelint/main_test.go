@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/lint"
+)
+
+// capture gives run() a real *os.File to write to and hands the
+// contents back.
+func capture(t *testing.T) (*os.File, func() string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "sabrelint-out-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, func() string {
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+}
+
+// TestSeededViolationsFail is the end-to-end proof the suite demands:
+// running the real driver over testdata/src/broken — one deliberate
+// violation per analyzer — must exit nonzero with every analyzer
+// represented, which is exactly what the CI lint gate relies on.
+func TestSeededViolationsFail(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	stdout, _ := capture(t)
+	stderr, errOut := capture(t)
+
+	code := run([]string{"-novet", "-nostaticcheck", "-json", jsonPath, "./testdata/src/broken"}, stdout, stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d over the seeded-violation package, want 1 (stderr: %s)", code, errOut())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("-json wrote invalid JSON: %v", err)
+	}
+
+	byAnalyzer := map[string]int{}
+	for _, d := range rep.Diagnostics {
+		byAnalyzer[d.Analyzer]++
+	}
+	for _, name := range []string{"detrange", "hotalloc", "seedrand", "calatomic", "keyfields"} {
+		if byAnalyzer[name] == 0 {
+			t.Errorf("analyzer %s did not fire on its seeded violation (got %v)", name, byAnalyzer)
+		}
+	}
+	if got := len(rep.Diagnostics); got != 6 {
+		t.Errorf("%d diagnostics over the seeded package, want 6: %+v", got, rep.Diagnostics)
+	}
+
+	// The report must be self-describing enough to act on: every
+	// diagnostic carries a position inside the fixture.
+	for _, d := range rep.Diagnostics {
+		if d.File == "" || d.Line <= 0 {
+			t.Errorf("diagnostic missing position: %+v", d)
+		}
+	}
+}
+
+// TestCleanPackagePasses: the green path exits 0.
+func TestCleanPackagePasses(t *testing.T) {
+	stdout, out := capture(t)
+	stderr, errOut := capture(t)
+	if code := run([]string{"-novet", "-nostaticcheck", "./testdata/src/clean"}, stdout, stderr); code != 0 {
+		t.Fatalf("exit code %d over the clean package, want 0\nstdout: %s\nstderr: %s", code, out(), errOut())
+	}
+}
+
+// TestOnlyUnknownAnalyzer: a typo in -only is an internal error (2),
+// not a silent no-op.
+func TestOnlyUnknownAnalyzer(t *testing.T) {
+	stdout, _ := capture(t)
+	stderr, errOut := capture(t)
+	if code := run([]string{"-only", "detrange,nosuch", "./testdata/src/clean"}, stdout, stderr); code != 2 {
+		t.Fatalf("exit code %d for unknown -only analyzer, want 2 (stderr: %s)", code, errOut())
+	}
+}
+
+// TestOnlySubset: -only narrows the suite — the broken package's
+// seedrand findings are the only ones reported.
+func TestOnlySubset(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	stdout, _ := capture(t)
+	stderr, errOut := capture(t)
+	if code := run([]string{"-novet", "-nostaticcheck", "-only", "seedrand", "-json", jsonPath, "./testdata/src/broken"}, stdout, stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1 (stderr: %s)", code, errOut())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diagnostics) != 2 {
+		t.Fatalf("%d diagnostics with -only seedrand, want 2: %+v", len(rep.Diagnostics), rep.Diagnostics)
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Analyzer != "seedrand" {
+			t.Fatalf("-only seedrand leaked a %s diagnostic: %+v", d.Analyzer, d)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package broken seeds one violation per sabrelint analyzer. The
+// driver's integration test runs the real multichecker over this
+// package and asserts every analyzer fires — the end-to-end proof
+// that a freshly introduced violation fails CI.
+package broken
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/arch"
+)
+
+// Job mirrors batch.Job in miniature; Knob deliberately never reaches
+// KeyOf and carries no annotation, so keyfields must object.
+type Job struct {
+	Circuit string
+	Knob    int
+}
+
+// KeyOf forgets Knob.
+func KeyOf(job Job) string { return job.Circuit }
+
+type parked struct {
+	snap *arch.CalSnapshot
+}
+
+// Park caches a calibration snapshot in a field: calatomic bait.
+func Park(p *parked, d *arch.Device) {
+	p.snap = d.Calibration()
+}
+
+// Names leaks map iteration order into its output: detrange bait.
+func Names(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Hot allocates on an annotated hot path: hotalloc bait.
+//
+//sabre:hotpath
+func Hot(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// Jitter consults the wall clock and the global RNG: seedrand bait,
+// twice over.
+func Jitter() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(3))
+}

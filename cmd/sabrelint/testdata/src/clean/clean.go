@@ -1,0 +1,16 @@
+// Package clean is the green-path fixture: code that obeys every
+// sabrelint invariant, so the driver must exit 0 on it.
+package clean
+
+import "sort"
+
+// SortedKeys drains a map deterministically.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//sabre:nondeterm-ok keys collected then sorted below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

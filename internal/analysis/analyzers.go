@@ -1,0 +1,106 @@
+// Package analysis registers the repo's static-analysis suite: the
+// five sabrelint analyzers plus the package-applicability policy that
+// scopes each one to the layers whose invariants it proves. The
+// cmd/sabrelint multichecker is the driver; the analyzers themselves
+// live one package each under this directory, and the framework they
+// are written against is internal/analysis/lint.
+package analysis
+
+import (
+	"strings"
+
+	"repro/internal/analysis/calatomic"
+	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/keyfields"
+	"repro/internal/analysis/lint"
+	"repro/internal/analysis/seedrand"
+)
+
+// Configured pairs an analyzer with the packages it applies to.
+type Configured struct {
+	Analyzer *lint.Analyzer
+
+	// Applies reports whether the analyzer runs on the package. The
+	// policy lives here, not in the analyzers, so each analyzer stays
+	// a pure rule and fixtures can exercise it anywhere.
+	Applies func(importPath string) bool
+}
+
+// deterministicPkgs are the packages whose outputs must be
+// byte-identical across runs, worker counts, and engine versions:
+// the routing core and everything that constructs its inputs or
+// orders its outputs.
+var deterministicPkgs = []string{
+	"repro/internal/core",
+	"repro/internal/route",
+	"repro/internal/pipeline",
+	"repro/internal/batch",
+	"repro/internal/circuit",
+	"repro/internal/mapping",
+	"repro/internal/baseline",
+}
+
+// orderedOutputPkgs additionally surface ordered views to callers
+// (job listings, stats tables) — map-order leaks there break API
+// stability even where routing determinism is not at stake.
+var orderedOutputPkgs = append([]string{
+	"repro/internal/jobqueue",
+	"repro/internal/fleet",
+	"repro/internal/arch",
+	"repro/internal/workloads",
+}, deterministicPkgs...)
+
+// All returns the suite in reporting order.
+func All() []Configured {
+	return []Configured{
+		{detrange.Analyzer, anyOf(orderedOutputPkgs...)},
+		{hotalloc.Analyzer, everywhere},
+		{seedrand.Analyzer, anyOf(deterministicPkgs...)},
+		{calatomic.Analyzer, allBut("repro/internal/arch")},
+		{keyfields.Analyzer, anyOf("repro/internal/batch")},
+	}
+}
+
+// Analyzers returns just the analyzer list (for -list and tests).
+func Analyzers() []*lint.Analyzer {
+	all := All()
+	out := make([]*lint.Analyzer, len(all))
+	for i, c := range all {
+		out[i] = c.Analyzer
+	}
+	return out
+}
+
+// inTestdata opts fixture packages into every analyzer: seeded-
+// violation packages under testdata prove the suite fires end to end.
+func inTestdata(path string) bool {
+	return strings.Contains(path, "/testdata/") || strings.HasPrefix(path, "testdata/")
+}
+
+func everywhere(string) bool { return true }
+
+func anyOf(pkgs ...string) func(string) bool {
+	return func(path string) bool {
+		if inTestdata(path) {
+			return true
+		}
+		for _, p := range pkgs {
+			if path == p {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func allBut(pkgs ...string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range pkgs {
+			if path == p {
+				return false
+			}
+		}
+		return true
+	}
+}

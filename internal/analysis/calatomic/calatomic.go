@@ -1,0 +1,148 @@
+// Package calatomic implements the calibration-snapshot analyzer.
+// arch.Device publishes calibration as an atomically-swapped pointer
+// to an immutable CalSnapshot; the whole concurrency story rests on
+// two rules this analyzer enforces outside the arch package itself:
+//
+//  1. Post-publish immutability: no field reachable through a
+//     CalSnapshot is ever assigned — not Version, not Model, not an
+//     entry of Model's maps. A consumer mutating a snapshot would race
+//     every concurrently-routing trial and corrupt the weighted-
+//     distance memo keyed on the model's content.
+//
+//  2. No caching across round boundaries: a *CalSnapshot is read via
+//     Device.Calibration() at point of use and may live in locals for
+//     one coherent decision, but is never stored into struct fields,
+//     package variables, or composite literals — a parked pointer
+//     silently pins a stale calibration across recalibrations. (Pin a
+//     job to a snapshot by copying Version and Model into the job,
+//     the way batch.Job.ResolveCalibration does — versions are values
+//     and models are immutable; the snapshot pointer itself is the
+//     thing that must not be parked.)
+//
+// The arch package is exempt (it constructs snapshots pre-publish);
+// the sabrelint driver encodes that policy.
+package calatomic
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lint"
+)
+
+// Analyzer enforces CalSnapshot immutability and no-caching.
+var Analyzer = &lint.Analyzer{
+	Name: "calatomic",
+	Doc: "enforces that calibration snapshots are read via Device.Calibration() at " +
+		"point of use, never mutated post-publish and never cached in fields or " +
+		"globals across round boundaries",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkMutation(pass, lhs)
+			}
+			if n.Tok == token.ASSIGN {
+				for i, rhs := range n.Rhs {
+					if len(n.Lhs) == len(n.Rhs) {
+						checkCaching(pass, n.Lhs[i], rhs)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			checkMutation(pass, n.X)
+		case *ast.CompositeLit:
+			checkLiteralCaching(pass, n)
+		case *ast.GenDecl:
+			checkGlobalDecl(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// isSnapshot reports whether t is (a pointer to) arch.CalSnapshot.
+func isSnapshot(t types.Type) bool {
+	return lint.IsNamed(t, "arch", "CalSnapshot")
+}
+
+// checkMutation flags an assignment target whose access path passes
+// through a CalSnapshot: snap.Version = v, snap.Model.Default = e,
+// snap.Model.EdgeError[k] = e, ...
+func checkMutation(pass *lint.Pass, lhs ast.Expr) {
+	var through bool
+	ast.Inspect(lhs, func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isSnapshot(tv.Type) {
+			through = true
+		}
+		return true
+	})
+	if through {
+		pass.Reportf(lhs.Pos(), "assignment through *arch.CalSnapshot: snapshots are immutable after publish; build a new model and ApplyCalibration it")
+	}
+}
+
+// checkCaching flags storing a *CalSnapshot anywhere that outlives
+// the current round: struct fields and package-level variables.
+// Locals are legal — one coherent read per decision is the pattern.
+func checkCaching(pass *lint.Pass, lhs, rhs ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[rhs]
+	if !ok || !isSnapshot(tv.Type) {
+		return
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		// Selector targets are fields (or captured state); either way
+		// the pointer outlives the expression.
+		pass.Reportf(lhs.Pos(), "*arch.CalSnapshot stored into a field: caching the snapshot pins a stale calibration across rounds; store Version/Model and re-read Calibration() at point of use")
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[l].(*types.Var); ok && obj.Parent() == pass.Pkg.Scope() {
+			pass.Reportf(lhs.Pos(), "*arch.CalSnapshot stored into package variable %s: caching the snapshot pins a stale calibration; re-read Calibration() at point of use", l.Name)
+		}
+	case *ast.IndexExpr:
+		pass.Reportf(lhs.Pos(), "*arch.CalSnapshot stored into a container: caching the snapshot pins a stale calibration; re-read Calibration() at point of use")
+	}
+}
+
+// checkLiteralCaching flags composite literals embedding a snapshot
+// pointer (struct fields, slices, maps of snapshots).
+func checkLiteralCaching(pass *lint.Pass, lit *ast.CompositeLit) {
+	for _, el := range lit.Elts {
+		v := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		if tv, ok := pass.TypesInfo.Types[v]; ok && isSnapshot(tv.Type) {
+			pass.Reportf(v.Pos(), "*arch.CalSnapshot embedded in a composite literal: caching the snapshot pins a stale calibration; store Version/Model instead")
+		}
+	}
+}
+
+// checkGlobalDecl flags package-level variables declared with a
+// snapshot value (var cached = dev.Calibration()).
+func checkGlobalDecl(pass *lint.Pass, decl *ast.GenDecl) {
+	if decl.Tok != token.VAR {
+		return
+	}
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if ok && obj.Parent() == pass.Pkg.Scope() && isSnapshot(obj.Type()) {
+				pass.Reportf(name.Pos(), "package-level *arch.CalSnapshot %s: a global snapshot pins one calibration forever; read Calibration() at point of use", name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package calatomic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/calatomic"
+	"repro/internal/analysis/lint/linttest"
+)
+
+func TestCalatomic(t *testing.T) {
+	linttest.Run(t, calatomic.Analyzer, "calatomic")
+}

@@ -1,0 +1,23 @@
+// Package arch is the fixture stand-in for repro/internal/arch: just
+// enough surface for the calatomic rules to bind against.
+package arch
+
+// NoiseModel mirrors the real package's error-rate model.
+type NoiseModel struct {
+	Default   float64
+	EdgeError map[[2]int]float64
+}
+
+// CalSnapshot mirrors the real immutable calibration snapshot.
+type CalSnapshot struct {
+	Version uint64
+	Model   *NoiseModel
+}
+
+// Device carries the atomically-published snapshot.
+type Device struct {
+	cal *CalSnapshot
+}
+
+// Calibration returns the live snapshot.
+func (d *Device) Calibration() *CalSnapshot { return d.cal }

@@ -1,0 +1,44 @@
+// Package calatomic is the analyzer's fixture: every way a consumer
+// can break snapshot immutability or pin a stale snapshot, plus the
+// sanctioned read-at-point-of-use patterns.
+package calatomic
+
+import "arch"
+
+// cachedSnap is the global-pin bug.
+var cachedSnap *arch.CalSnapshot // want `package-level \*arch\.CalSnapshot cachedSnap`
+
+type scheduler struct {
+	snap *arch.CalSnapshot
+	ver  uint64
+}
+
+// mutate breaks post-publish immutability at every depth.
+func mutate(d *arch.Device) {
+	snap := d.Calibration()
+	snap.Version = 7                         // want `assignment through \*arch\.CalSnapshot`
+	snap.Model.Default = 0.5                 // want `assignment through \*arch\.CalSnapshot`
+	snap.Model.EdgeError[[2]int{0, 1}] = 0.1 // want `assignment through \*arch\.CalSnapshot`
+	snap.Version++                           // want `assignment through \*arch\.CalSnapshot`
+}
+
+// cache parks the pointer where it outlives the round.
+func cache(s *scheduler, d *arch.Device) {
+	s.snap = d.Calibration()     // want `\*arch\.CalSnapshot stored into a field`
+	cachedSnap = d.Calibration() // want `\*arch\.CalSnapshot stored into package variable cachedSnap`
+	byName := map[string]*arch.CalSnapshot{}
+	byName["tokyo"] = d.Calibration()    // want `\*arch\.CalSnapshot stored into a container`
+	_ = scheduler{snap: d.Calibration()} // want `\*arch\.CalSnapshot embedded in a composite literal`
+}
+
+// legal reads the snapshot once per decision into locals and copies
+// out the value parts — the batch.Job.ResolveCalibration pattern.
+func legal(s *scheduler, d *arch.Device) float64 {
+	if snap := d.Calibration(); snap != nil {
+		s.ver = snap.Version // version is a value: pinning it is the sanctioned form
+		return snap.Model.Default
+	}
+	local := d.Calibration()
+	_ = local
+	return 0
+}

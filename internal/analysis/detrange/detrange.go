@@ -1,0 +1,63 @@
+// Package detrange implements the determinism analyzer for map
+// iteration: in determinism-critical packages (routing core, router
+// registry, pipeline, batch key construction, jobqueue views), a
+// `range` over a map is a latent nondeterminism bug — Go randomizes
+// iteration order per run, so anything order-sensitive downstream
+// (output accumulation, hashing, tie-breaking, JSON arrays) silently
+// loses the byte-identical-results contract the golden suites pin.
+//
+// Order-insensitive folds (counting, summing, cancel-all) are legal
+// but must say so: annotate the range statement with
+// //sabre:nondeterm-ok and a reason, on the same line or the line
+// above. Ranges that feed ordered output must sort instead.
+package detrange
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/lint"
+)
+
+// Analyzer flags range statements over map-typed expressions.
+var Analyzer = &lint.Analyzer{
+	Name: "detrange",
+	Doc: "flags range over maps in determinism-critical packages; " +
+		"map iteration order is randomized, so order-sensitive consumers break " +
+		"byte-identical routing (annotate order-insensitive folds //sabre:nondeterm-ok)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok || !lint.IsMap(tv.Type) {
+			return true
+		}
+		if pass.Allowed(rng.Pos(), "nondeterm-ok") {
+			return true
+		}
+		pass.Reportf(rng.Pos(),
+			"range over map %s iterates in randomized order; sort the keys (or annotate //sabre:nondeterm-ok if the fold is order-insensitive)",
+			types(rng.X))
+		return true
+	})
+	return nil
+}
+
+// types renders the ranged expression compactly for the message.
+func types(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return types(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return types(e.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

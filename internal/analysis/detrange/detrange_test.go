@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/lint/linttest"
+)
+
+func TestDetrange(t *testing.T) {
+	linttest.Run(t, detrange.Analyzer, "detrange")
+}

@@ -1,0 +1,74 @@
+// Package detrange is the analyzer's fixture: every way a map range
+// can leak nondeterministic order, plus the sanctioned escapes.
+package detrange
+
+import "sort"
+
+type registry struct {
+	entries map[string]int
+}
+
+// Names leaks map order straight into a slice: the classic bug.
+func (r *registry) Names() []string {
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries { // want `range over map r\.entries iterates in randomized order`
+		out = append(out, name)
+	}
+	return out
+}
+
+// NamesSorted does the same walk but is annotated: the append feeds a
+// sort, so the fold is order-insensitive.
+func (r *registry) NamesSorted() []string {
+	out := make([]string, 0, len(r.entries))
+	//sabre:nondeterm-ok sorted below
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count is order-insensitive but unannotated — still flagged: the
+// analyzer cannot prove the fold commutes, the author must.
+func Count(m map[int]bool) int {
+	n := 0
+	for range m { // want `range over map m iterates in randomized order`
+		n++
+	}
+	return n
+}
+
+// CountOK is the annotated twin (same-line form).
+func CountOK(m map[int]bool) int {
+	n := 0
+	for range m { //sabre:nondeterm-ok pure counter
+		n++
+	}
+	return n
+}
+
+// Named map types and map-returning calls are still maps.
+type loadMap map[string]int
+
+func drain(f func() loadMap) {
+	for k, v := range f() { // want `range over map f\(\.\.\.\) iterates in randomized order`
+		_ = k
+		_ = v
+	}
+}
+
+// Slices, channels, and strings range deterministically: no findings.
+func fine(s []int, ch chan int, str string) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	for v := range ch {
+		n += v
+	}
+	for _, r := range str {
+		n += int(r)
+	}
+	return n
+}

@@ -1,0 +1,295 @@
+// Package hotalloc implements the zero-alloc analyzer for the SWAP
+// round: functions annotated //sabre:hotpath (the scoring round and
+// everything it calls) must not contain allocation-inducing
+// constructs. The dynamic guard (TestScoreRoundZeroAllocs) proves the
+// steady state allocates nothing at run time; this analyzer proves it
+// at compile time, catching the construct the moment it is written —
+// including on paths the probe workload never exercises.
+//
+// Flagged inside a hotpath function:
+//
+//   - defer statements (defer records allocate, and a deferred call
+//     delays buffer reuse past the round boundary)
+//   - closure literals (captured variables escape to the heap)
+//   - map and slice composite literals
+//   - make and new calls
+//   - append, unless in the self-append form `x = append(x, ...)` /
+//     `x = append(x[:0], ...)` — the sanctioned reuse idiom for
+//     pre-sized scratch buffers, amortized-zero once warm
+//   - fmt.* calls (variadic any boxes every operand)
+//   - interface boxing: explicit conversion to an interface type,
+//     concrete arguments to interface parameters, concrete values
+//     assigned or returned as interfaces
+//
+// Deliberate, amortized allocation sites (grow-once buffer resizing)
+// are annotated //sabre:alloc-ok with a reason on the offending line
+// or the line above.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lint"
+)
+
+// Analyzer flags allocation-inducing constructs in //sabre:hotpath
+// functions.
+var Analyzer = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags allocation-inducing constructs (append growth, closures, interface " +
+		"boxing, fmt, map/slice literals, make/new, defer) in //sabre:hotpath functions; " +
+		"deliberate grow-only sites are annotated //sabre:alloc-ok",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !lint.HasDirective(fn.Doc, "hotpath") {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, fn *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if !pass.Allowed(pos, "alloc-ok") {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	var results *types.Tuple
+	if sig, ok := pass.TypesInfo.Defs[fn.Name].Type().(*types.Signature); ok {
+		results = sig.Results()
+	}
+
+	// First pass: find appends in the sanctioned self-append position
+	// `x = append(x, ...)` / `x = append(x[:0], ...)` — the reuse idiom
+	// for pre-sized scratch buffers, exempt below.
+	selfAppend := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltin(pass, call, "append") && len(call.Args) > 0 {
+				if sameRef(pass, baseOf(asg.Lhs[i]), baseOf(call.Args[0])) {
+					selfAppend[call] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer in hotpath %s allocates a defer record and delays buffer reuse", fn.Name.Name)
+
+		case *ast.FuncLit:
+			report(n.Pos(), "closure literal in hotpath %s: captured variables escape to the heap", fn.Name.Name)
+			return false // the literal is the finding; don't double-report its body
+
+		case *ast.CompositeLit:
+			tv := pass.TypesInfo.Types[n]
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal allocates in hotpath %s", fn.Name.Name)
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates in hotpath %s", fn.Name.Name)
+			}
+			return false // elements of a flagged literal need no second finding
+
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN {
+				for i, rhs := range n.Rhs {
+					if len(n.Lhs) == len(n.Rhs) {
+						if lt, ok := pass.TypesInfo.Types[n.Lhs[i]]; ok {
+							checkBox(pass, report, fn, rhs, lt.Type, "assigned")
+						}
+					}
+				}
+			}
+
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				for _, v := range n.Values {
+					checkBox(pass, report, fn, v, pass.TypesInfo.Types[n.Type].Type, "declared")
+				}
+			}
+
+		case *ast.ReturnStmt:
+			if results != nil && len(n.Results) == results.Len() {
+				for i, v := range n.Results {
+					checkBox(pass, report, fn, v, results.At(i).Type(), "returned")
+				}
+			}
+
+		case *ast.CallExpr:
+			checkCall(pass, report, fn, n, selfAppend[n])
+		}
+		return true
+	})
+}
+
+func checkCall(pass *lint.Pass, report func(token.Pos, string, ...any), fn *ast.FuncDecl, call *ast.CallExpr, appendExempt bool) {
+	// Conversion, not a call: T(x) boxing into an interface type.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && isIface(tv.Type) && !isIfaceOrNil(pass, call.Args[0]) {
+			report(call.Pos(), "conversion to interface %s boxes a concrete value in hotpath %s",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), fn.Name.Name)
+		}
+		return
+	}
+
+	switch {
+	case isBuiltin(pass, call, "append"):
+		if !appendExempt {
+			report(call.Pos(), "append outside the self-append reuse idiom `x = append(x, ...)` may grow a fresh backing array in hotpath %s", fn.Name.Name)
+		}
+		return
+	case isBuiltin(pass, call, "make"):
+		report(call.Pos(), "make allocates in hotpath %s; hoist the buffer into the Scratch", fn.Name.Name)
+		return
+	case isBuiltin(pass, call, "new"):
+		report(call.Pos(), "new allocates in hotpath %s; hoist the value into the Scratch", fn.Name.Name)
+		return
+	}
+
+	if obj := calleeFunc(pass, call); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt.%s in hotpath %s allocates (variadic any boxes every operand)", obj.Name(), fn.Name.Name)
+		return
+	}
+
+	// Concrete arguments landing in interface parameters box.
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // arg is already the slice
+			} else if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt != nil && isIface(pt) && !isIfaceOrNil(pass, arg) {
+			report(arg.Pos(), "argument boxes a concrete value into interface parameter %s in hotpath %s",
+				types.TypeString(pt, types.RelativeTo(pass.Pkg)), fn.Name.Name)
+		}
+	}
+}
+
+// checkBox reports v if it is a concrete (non-interface, non-nil)
+// value flowing into an interface-typed slot.
+func checkBox(pass *lint.Pass, report func(token.Pos, string, ...any), fn *ast.FuncDecl, v ast.Expr, dst types.Type, how string) {
+	if dst == nil || !isIface(dst) || isIfaceOrNil(pass, v) {
+		return
+	}
+	report(v.Pos(), "concrete value %s as interface %s boxes (allocates) in hotpath %s",
+		how, types.TypeString(dst, types.RelativeTo(pass.Pkg)), fn.Name.Name)
+}
+
+// isIface is lint.IsInterface minus type parameters: a type
+// parameter's underlying type is its constraint interface, but a
+// generic hot function instantiated at int or float64 boxes nothing.
+func isIface(t types.Type) bool {
+	if _, ok := types.Unalias(t).(*types.TypeParam); ok {
+		return false
+	}
+	return lint.IsInterface(t)
+}
+
+func isIfaceOrNil(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return true // be conservative on missing info
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	return isIface(tv.Type)
+}
+
+func isBuiltin(pass *lint.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// calleeFunc resolves the called function object, unwrapping
+// selectors (pkg.F, recv.M).
+func calleeFunc(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// baseOf strips slicing and parens: append(x[:0], ...) reuses x.
+func baseOf(e ast.Expr) ast.Expr {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = v.X
+		default:
+			return ast.Unparen(e)
+		}
+	}
+}
+
+// sameRef reports whether two expressions statically denote the same
+// storage location: identical identifiers (same object), selectors
+// over the same base, or index expressions with the same base and
+// identical index identifiers/literals.
+func sameRef(pass *lint.Pass, a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao := pass.TypesInfo.Uses[a]
+		bo := pass.TypesInfo.Uses[b]
+		if ao != nil && bo != nil {
+			return ao == bo
+		}
+		return a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameRef(pass, baseOf(a.X), baseOf(b.X))
+	case *ast.IndexExpr:
+		b, ok := b.(*ast.IndexExpr)
+		return ok && sameRef(pass, baseOf(a.X), baseOf(b.X)) && sameIndex(pass, a.Index, b.Index)
+	}
+	return false
+}
+
+func sameIndex(pass *lint.Pass, a, b ast.Expr) bool {
+	if ai, ok := a.(*ast.BasicLit); ok {
+		bi, ok := b.(*ast.BasicLit)
+		return ok && ai.Value == bi.Value
+	}
+	return sameRef(pass, a, b)
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "hotalloc")
+}

@@ -1,0 +1,101 @@
+// Package hotalloc is the analyzer's fixture: one function per
+// allocation-inducing construct, annotated //sabre:hotpath, plus the
+// sanctioned idioms that must stay silent.
+package hotalloc
+
+import "fmt"
+
+type scratch struct {
+	buf   []int
+	marks []int32
+	cells [][]int32
+}
+
+// deferred shows the defer finding.
+//
+//sabre:hotpath
+func deferred(release func()) {
+	defer release() // want `defer in hotpath deferred allocates`
+}
+
+// closes shows the closure finding.
+//
+//sabre:hotpath
+func closes(n int) func() int {
+	inc := func() int { // want `closure literal in hotpath closes`
+		n++
+		return n
+	}
+	return inc
+}
+
+// literals shows map and slice composite literals.
+//
+//sabre:hotpath
+func literals(k string) int {
+	m := map[string]int{k: 1} // want `map literal allocates in hotpath literals`
+	s := []int{1, 2, 3}       // want `slice literal allocates in hotpath literals`
+	return m[k] + s[0]
+}
+
+// growing appends to a fresh destination: flagged. The self-append
+// reuse idiom and the annotated grow-path are not.
+//
+//sabre:hotpath
+func growing(s *scratch, vals []int) []int {
+	out := append(vals, 1) // want `append outside the self-append reuse idiom`
+	s.buf = append(s.buf, 2)
+	s.buf = append(s.buf[:0], vals...)
+	s.cells[0] = append(s.cells[0], 3)
+	if cap(s.marks) < len(vals) {
+		//sabre:alloc-ok grow-only resize, amortized across rounds
+		s.marks = make([]int32, len(vals))
+	}
+	return out
+}
+
+// making shows make/new findings.
+//
+//sabre:hotpath
+func making(n int) *scratch {
+	m := make(map[int]int, n) // want `make allocates in hotpath making`
+	_ = m
+	return new(scratch) // want `new allocates in hotpath making`
+}
+
+// printing shows the fmt finding.
+//
+//sabre:hotpath
+func printing(x int) string {
+	return fmt.Sprintf("x=%d", x) // want `fmt.Sprintf in hotpath printing allocates`
+}
+
+// boxing shows interface-boxing findings: conversion, argument,
+// assignment, return.
+//
+//sabre:hotpath
+func boxing(x int, sink func(any)) any {
+	v := any(x) // want `conversion to interface any boxes a concrete value in hotpath boxing`
+	sink(x)     // want `argument boxes a concrete value into interface parameter any in hotpath boxing`
+	v = x       // want `concrete value assigned as interface any boxes \(allocates\) in hotpath boxing`
+	_ = v
+	return x // want `concrete value returned as interface any boxes \(allocates\) in hotpath boxing`
+}
+
+// generic is instantiated at int/float64 only: the type parameter's
+// constraint interface is not boxing, and self-appends stay exempt.
+//
+//sabre:hotpath
+func generic[D int | float64](dst []D, rows []D) []D {
+	for _, v := range rows {
+		dst = append(dst, v+1)
+	}
+	return dst
+}
+
+// cold has every construct above but no annotation: silent.
+func cold(k string) any {
+	defer func() {}()
+	m := map[string]int{k: 1}
+	return fmt.Sprint(m)
+}

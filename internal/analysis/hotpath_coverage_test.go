@@ -1,0 +1,183 @@
+package analysis
+
+// The hotpath-coverage meta-test closes the loop between the hotalloc
+// analyzer and the runtime alloc guards: every function annotated
+// //sabre:hotpath must live in a package whose tests actually measure
+// it with testing.AllocsPerRun (TestScoreRoundZeroAllocs and
+// siblings). hotalloc proves the *shape* of the code cannot allocate;
+// the guard proves the compiled code does not; this test proves no
+// annotated function silently escapes the second check.
+//
+// Coverage is established statically: the callees inside every
+// AllocsPerRun closure in the package's tests are the roots of a
+// same-package call-graph walk, and each annotated function must be
+// reachable from some root. Name-based edges are precise enough here —
+// the hot path has no same-name method pairs — and keep the test
+// dependency-free.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lint"
+)
+
+func TestEveryHotpathFunctionHasAnAllocGuard(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+
+	pkgDirs := map[string]bool{}
+	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			pkgDirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	totalHot := 0
+	for dir := range pkgDirs {
+		hot, roots, calls := scanPackageDir(t, dir)
+		if len(hot) == 0 {
+			continue
+		}
+		totalHot += len(hot)
+		rel, _ := filepath.Rel(root, dir)
+		if len(roots) == 0 {
+			t.Errorf("%s: %d //sabre:hotpath functions but no testing.AllocsPerRun guard in its tests", rel, len(hot))
+			continue
+		}
+		covered := reachable(roots, calls)
+		for _, name := range hot {
+			if !covered[name] {
+				t.Errorf("%s: //sabre:hotpath function %s is not reachable from any AllocsPerRun guard (roots: %v)", rel, name, roots)
+			}
+		}
+	}
+	if totalHot == 0 {
+		t.Fatal("no //sabre:hotpath functions found anywhere — the annotations or this scan are broken")
+	}
+}
+
+// scanPackageDir parses every .go file in dir and returns the
+// hotpath-annotated function names, the guard roots (callees inside
+// testing.AllocsPerRun closures in _test.go files), and the package's
+// name-based call graph over non-test function declarations.
+func scanPackageDir(t *testing.T, dir string) (hot, roots []string, calls map[string][]string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	calls = map[string][]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		isTest := strings.HasSuffix(e.Name(), "_test.go")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isTest {
+				roots = append(roots, allocsPerRunCallees(fd.Body)...)
+				continue
+			}
+			if lint.HasDirective(fd.Doc, "hotpath") {
+				hot = append(hot, fd.Name.Name)
+			}
+			calls[fd.Name.Name] = append(calls[fd.Name.Name], calleeNames(fd.Body)...)
+		}
+	}
+	return hot, roots, calls
+}
+
+// allocsPerRunCallees returns the names called inside the closure
+// argument of each testing.AllocsPerRun call in body.
+func allocsPerRunCallees(body *ast.BlockStmt) []string {
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "AllocsPerRun" || len(call.Args) != 2 {
+			return true
+		}
+		if fn, ok := call.Args[1].(*ast.FuncLit); ok {
+			out = append(out, calleeNames(fn.Body)...)
+		}
+		return true
+	})
+	return out
+}
+
+// calleeNames lists every function or method name invoked in body
+// (unqualified: same-package resolution is by name).
+func calleeNames(body *ast.BlockStmt) []string {
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			out = append(out, fun.Name)
+		case *ast.SelectorExpr:
+			out = append(out, fun.Sel.Name)
+		case *ast.IndexExpr: // generic instantiation f[T](...)
+			if id, ok := fun.X.(*ast.Ident); ok {
+				out = append(out, id.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// reachable walks the name-based call graph from the roots.
+func reachable(roots []string, calls map[string][]string) map[string]bool {
+	seen := map[string]bool{}
+	stack := append([]string(nil), roots...)
+	for len(stack) > 0 {
+		name := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		stack = append(stack, calls[name]...)
+	}
+	return seen
+}

@@ -1,0 +1,146 @@
+// Package keyfields implements the cache-key completeness analyzer
+// for the batch engine. The canonical cache key (batch.KeyOf) must
+// cover every exported batch.Job field that can change the compile
+// result: a Job knob added without a key update makes two different
+// compilations alias one cache entry — the worst kind of cache bug,
+// wrong results served silently and deterministically.
+//
+// The analyzer compares the exported fields of the package's Job
+// struct against the fields the key-builder function (KeyOf) actually
+// reads — directly, or through one level of same-package helper calls
+// (KeyOf pins calibration via Job.ResolveCalibration before hashing,
+// so fields consumed there count as covered). Fields that genuinely
+// do not affect output (reporting metadata, flags consumed before
+// hashing) must be annotated //sabre:nokey with a reason; everything
+// else unhashed is a build error.
+package keyfields
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/lint"
+)
+
+// Analyzer asserts KeyOf hashes every result-affecting Job field.
+var Analyzer = &lint.Analyzer{
+	Name: "keyfields",
+	Doc: "asserts every exported field of batch.Job is either hashed by the " +
+		"canonical key builder (KeyOf) or annotated //sabre:nokey; adding a Job " +
+		"knob without bumping the key becomes a lint failure",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	jobSpec, jobStruct := findStruct(pass, "Job")
+	keyOf := findFunc(pass, "KeyOf")
+	if jobSpec == nil || keyOf == nil {
+		// Not the key-construction package (or a fixture without the
+		// pair); nothing to prove here.
+		return nil
+	}
+
+	// Fields the key builder reads, transitively through one level of
+	// same-package calls (ResolveCalibration, helpers).
+	read := make(map[string]bool)
+	collectJobFieldReads(pass, keyOf.Body, read)
+	ast.Inspect(keyOf.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := calleeDecl(pass, call); callee != nil && callee.Body != nil {
+			collectJobFieldReads(pass, callee.Body, read)
+		}
+		return true
+	})
+
+	for i := 0; i < jobStruct.Fields.NumFields(); i++ {
+		field := jobStruct.Fields.List[i]
+		for _, name := range field.Names {
+			if !name.IsExported() || read[name.Name] {
+				continue
+			}
+			if lint.HasDirective(field.Doc, "nokey") || lint.HasDirective(field.Comment, "nokey") {
+				continue
+			}
+			pass.Reportf(name.Pos(), "exported Job field %s is not hashed into the canonical cache key (KeyOf): jobs differing only in %s would alias one cache entry; hash it or annotate //sabre:nokey with why it cannot affect output", name.Name, name.Name)
+		}
+	}
+	return nil
+}
+
+// collectJobFieldReads records every selector field read off a
+// Job-typed value inside body.
+func collectJobFieldReads(pass *lint.Pass, body *ast.BlockStmt, read map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && lint.IsNamed(tv.Type, pass.Pkg.Path(), "Job") {
+			read[sel.Sel.Name] = true
+		}
+		return true
+	})
+}
+
+// findStruct locates the named struct type declared in this package.
+func findStruct(pass *lint.Pass, name string) (*ast.TypeSpec, *ast.StructType) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return ts, st
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// findFunc locates the named top-level function.
+func findFunc(pass *lint.Pass, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name && fd.Body != nil {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// calleeDecl resolves a call to its same-package declaration
+// (function or method), or nil for externals and builtins.
+func calleeDecl(pass *lint.Pass, call *ast.CallExpr) *ast.FuncDecl {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == fn.Name() {
+				if pass.TypesInfo.Defs[fd.Name] == fn {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}

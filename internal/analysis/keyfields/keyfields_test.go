@@ -1,0 +1,12 @@
+package keyfields_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/keyfields"
+	"repro/internal/analysis/lint/linttest"
+)
+
+func TestKeyfields(t *testing.T) {
+	linttest.Run(t, keyfields.Analyzer, "keyfields", "keyfields_complete")
+}

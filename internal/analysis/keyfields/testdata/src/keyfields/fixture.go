@@ -1,0 +1,48 @@
+// Package keyfields is the analyzer's fixture: a miniature batch
+// package whose key builder misses one knob.
+package keyfields
+
+import "hash/fnv"
+
+// Job mirrors the real batch.Job shape: hashed fields, a helper-
+// consumed field, annotated metadata, and one forgotten knob.
+type Job struct {
+	Circuit string
+	Device  string
+	Trials  int
+
+	// Patience is the forgotten knob: it changes the result but KeyOf
+	// never hashes it.
+	Patience int // want `exported Job field Patience is not hashed into the canonical cache key`
+
+	// UseLive is consumed by ResolveLive before hashing; the helper
+	// read counts as coverage.
+	UseLive bool
+
+	// Tag is reporting metadata and never affects compilation.
+	//sabre:nokey reporting metadata only
+	Tag string
+
+	// internal fields are invisible to the cache-key contract.
+	scratch []byte
+}
+
+// ResolveLive consumes UseLive, the way the real engine pins
+// calibration before hashing.
+func (j Job) ResolveLive() Job {
+	if j.UseLive {
+		j.UseLive = false
+		j.Device = j.Device + "@live"
+	}
+	return j
+}
+
+// KeyOf is the canonical key builder.
+func KeyOf(job Job) uint64 {
+	job = job.ResolveLive()
+	h := fnv.New64a()
+	h.Write([]byte(job.Circuit))
+	h.Write([]byte(job.Device))
+	h.Write([]byte{byte(job.Trials)})
+	return h.Sum64()
+}

@@ -1,0 +1,22 @@
+// Package keyfields_complete is the green-path fixture: every
+// exported Job field hashed or annotated — no findings.
+package keyfields_complete
+
+import "hash/fnv"
+
+// Job with full key coverage.
+type Job struct {
+	Circuit string
+	Trials  int
+
+	//sabre:nokey caller label, carried into the result untouched
+	Tag string
+}
+
+// KeyOf hashes everything that matters.
+func KeyOf(job Job) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(job.Circuit))
+	h.Write([]byte{byte(job.Trials)})
+	return h.Sum64()
+}

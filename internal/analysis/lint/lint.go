@@ -1,0 +1,247 @@
+// Package lint is the repo's static-analysis framework: a minimal,
+// dependency-free reimplementation of the golang.org/x/tools
+// go/analysis surface (Analyzer, Pass, Diagnostic) on top of the
+// standard library's go/ast and go/types. The toolchain ships no
+// network access and the module cache holds no x/tools, so the
+// framework loads packages through `go list -export -deps -json` and
+// type-checks targets from source against the build cache's export
+// data (load.go) — the same data the compiler itself just produced,
+// so a package that builds is a package that lints.
+//
+// Analyzers prove the repo's load-bearing invariants at compile time
+// instead of test time: determinism (no map-order dependence, no
+// unseeded randomness), zero-alloc hot paths, calibration-snapshot
+// immutability, and cache-key completeness. Each analyzer lives in
+// its own package under internal/analysis and is registered with its
+// package-applicability policy in internal/analysis/analyzers.go; the
+// cmd/sabrelint multichecker drives them all.
+//
+// Escape hatches are source directives, scanned from comments:
+//
+//	//sabre:hotpath          marks a function whose body must not allocate
+//	//sabre:nondeterm-ok     allows a flagged nondeterministic construct
+//	//sabre:alloc-ok         allows a flagged allocation in a hotpath
+//	//sabre:nokey            exempts a batch.Job field from the cache key
+//
+// An allow-directive applies to the source line it sits on or the
+// line directly below it (i.e. write it on the offending line or
+// immediately above).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single type-checked
+// package through its Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+
+	// Doc is the one-paragraph description `sabrelint -list` prints.
+	Doc string
+
+	// Run executes the check over one package. Returning an error
+	// aborts the whole lint run (reserved for internal failures, not
+	// findings — findings are diagnostics).
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package: the syntax trees,
+// the type information, and the directive index.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      *[]Diagnostic
+	directives map[string]map[int][]string // filename -> line -> directive names
+}
+
+// Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Package  string         `json:"package"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Package:  p.Pkg.Path(),
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Column:   position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether an allow-directive named name (e.g.
+// "nondeterm-ok") annotates the line of pos: the directive comment
+// sits on the same line or the line directly above.
+func (p *Pass) Allowed(pos token.Pos, name string) bool {
+	position := p.Fset.Position(pos)
+	lines := p.directives[position.Filename]
+	for _, l := range []int{position.Line, position.Line - 1} {
+		for _, d := range lines[l] {
+			if d == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasDirective reports whether the comment group carries the
+// directive //sabre:<name> (with or without a trailing reason).
+// Directive comments are ordinary comment lines, so they survive in
+// doc groups; this is how //sabre:hotpath marks a function.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//sabre:" + name
+	for _, c := range doc.List {
+		if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveIndex scans every comment in the package for //sabre:
+// directives and indexes them by file and line.
+func directiveIndex(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	idx := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//sabre:")
+				if !ok {
+					continue
+				}
+				name, _, _ := strings.Cut(rest, " ")
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], name)
+			}
+		}
+	}
+	return idx
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns
+// its findings sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.Info,
+		diags:      &diags,
+		directives: directiveIndex(pkg.Fset, pkg.Files),
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Inspect walks every file in the pass in depth-first order, calling
+// fn for each node; fn returning false prunes the subtree. A nil-safe
+// convenience over ast.Inspect for multi-file packages.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// IsInterface reports whether t is a non-nil interface type after
+// unwrapping named types and aliases.
+func IsInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// IsMap reports whether t's underlying type is a map.
+func IsMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// NamedFrom unwraps pointers and aliases and returns the *types.Named
+// beneath t, or nil.
+func NamedFrom(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (possibly behind a pointer) is the named
+// type pkgSuffix.typeName, where pkgSuffix matches the full package
+// path or a trailing path segment ("arch" matches repro/internal/arch
+// and any fixture package named arch).
+func IsNamed(t types.Type, pkgSuffix, typeName string) bool {
+	n := NamedFrom(t)
+	if n == nil || n.Obj().Name() != typeName || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix) || n.Obj().Pkg().Name() == pkgSuffix
+}

@@ -1,0 +1,237 @@
+// Package linttest is the fixture harness for the repo's analyzers —
+// the role analysistest plays for x/tools analyzers. A fixture is a
+// small package under the analyzer's testdata/src/<name>/ directory;
+// offending lines carry `// want "regexp"` comments declaring the
+// diagnostics the analyzer must report there (several per line
+// allowed). The harness type-checks the fixture (resolving fixture-
+// local imports from testdata/src and everything else from the build
+// cache's export data), runs the analyzer, and fails the test on any
+// missing, surplus, or mispositioned diagnostic.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis/lint"
+)
+
+// Run loads each named fixture package from testdata/src relative to
+// the test's working directory, applies the analyzer, and checks the
+// diagnostics against the fixtures' `// want` expectations.
+func Run(t *testing.T, a *lint.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			t.Helper()
+			root, err := filepath.Abs(filepath.Join("testdata", "src"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ld := &fixtureLoader{
+				root:  root,
+				fset:  token.NewFileSet(),
+				local: make(map[string]*fixturePackage),
+			}
+			pkg, err := ld.load(name)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", name, err)
+			}
+			diags, err := lint.RunAnalyzer(a, &lint.Package{
+				ImportPath: name,
+				Dir:        filepath.Join(root, name),
+				Fset:       ld.fset,
+				Files:      pkg.files,
+				Types:      pkg.types,
+				Info:       pkg.info,
+			})
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, name, err)
+			}
+			checkExpectations(t, ld.fset, pkg.files, diags)
+		})
+	}
+}
+
+type fixturePackage struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// fixtureLoader resolves fixture packages and their imports: paths
+// with a directory under testdata/src are fixture-local (loaded from
+// source, so fixtures can exercise cross-package rules like calatomic
+// against a stand-in arch package); everything else comes from the
+// shared stdlib export-data importer.
+type fixtureLoader struct {
+	root  string
+	fset  *token.FileSet
+	local map[string]*fixturePackage
+}
+
+func (l *fixtureLoader) load(path string) (*fixturePackage, error) {
+	if pkg, ok := l.local[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files in %s", path, dir)
+	}
+	tpkg, info, err := lint.Check(l.fset, path, files, &fixtureImporter{loader: l})
+	if err != nil {
+		return nil, err
+	}
+	pkg := &fixturePackage{files: files, types: tpkg, info: info}
+	l.local[path] = pkg
+	return pkg, nil
+}
+
+type fixtureImporter struct{ loader *fixtureLoader }
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(i.loader.root, path)); err == nil && st.IsDir() {
+		pkg, err := i.loader.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.types, nil
+	}
+	return stdImport(i.loader.fset, path)
+}
+
+// Shared stdlib importer state. Export-data files are discovered with
+// `go list -export -deps` (one exec per new package root, results
+// cached process-wide); the gc importers themselves are per-FileSet,
+// since imported positions are interned into the fset.
+var std struct {
+	sync.Mutex
+	exports   map[string]string
+	importers map[*token.FileSet]types.Importer
+}
+
+func stdImport(fset *token.FileSet, path string) (*types.Package, error) {
+	std.Lock()
+	defer std.Unlock()
+	if std.exports == nil {
+		std.exports = make(map[string]string)
+		std.importers = make(map[*token.FileSet]types.Importer)
+	}
+	if _, ok := std.exports[path]; !ok {
+		out, err := exec.Command("go", "list", "-export", "-deps", "-f",
+			"{{if .Export}}{{.ImportPath}}={{.Export}}{{end}}", "--", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v", path, err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			if p, e, ok := strings.Cut(line, "="); ok {
+				std.exports[p] = e
+			}
+		}
+	}
+	imp, ok := std.importers[fset]
+	if !ok {
+		imp = importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
+			file, ok := std.exports[p]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(file)
+		})
+		std.importers[fset] = imp
+	}
+	return imp.Import(path)
+}
+
+// wantRE extracts the quoted regexps of a `// want "..." "..."`
+// comment; both double-quoted and backquoted forms are accepted
+// (backquotes spare regexps a double layer of escaping).
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, spec, ok := strings.Cut(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(spec, -1) {
+					raw, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/lint/linttest"
+	"repro/internal/analysis/seedrand"
+)
+
+func TestSeedrand(t *testing.T) {
+	linttest.Run(t, seedrand.Analyzer, "seedrand")
+}

@@ -1,0 +1,41 @@
+// Package seedrand is the analyzer's fixture: illegal entropy draws
+// next to the sanctioned seeded forms.
+package seedrand
+
+import (
+	crand "crypto/rand" // want `crypto/rand imported in a deterministic package`
+	"math/rand"
+	"time"
+)
+
+// globalDraws use the process-global source: every call flagged.
+func globalDraws(n int) int {
+	v := rand.Intn(n)                  // want `rand.Intn draws from the process-global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand.Shuffle draws from the process-global source`
+	return v + int(rand.Int63())       // want `rand.Int63 draws from the process-global source`
+}
+
+// seeded is the legal form: constructors plus methods on the stream.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n) + rng.Perm(n)[0]
+}
+
+// clock braids wall time into a seed: flagged.
+func clock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a deterministic package`
+}
+
+// timed is the annotated metrics-only form.
+func timed(f func()) time.Duration {
+	start := time.Now() //sabre:nondeterm-ok metrics only
+	f()
+	//sabre:nondeterm-ok metrics only
+	return time.Since(start) - time.Until(time.Now())
+}
+
+// entropy reads crypto randomness; the import is the finding, the
+// call site needs no second one.
+func entropy(buf []byte) {
+	_, _ = crand.Read(buf)
+}

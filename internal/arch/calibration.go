@@ -72,13 +72,23 @@ func (d *Device) ApplyCalibration(m *NoiseModel) (*CalSnapshot, error) {
 // this device: every error rate (default and per-edge) must be a
 // finite value in [0, 1), and every listed edge must be one of the
 // device's couplers. The returned error names the offending edge or
-// rate, so HTTP handlers can surface it verbatim as a 400.
+// rate, so HTTP handlers can surface it verbatim as a 400. Edges are
+// checked in sorted order so a model with several problems always
+// yields the same error (ranging the map directly made the 400 body
+// nondeterministic across identical requests).
 func (d *Device) ValidateCalibration(m *NoiseModel) error {
 	if err := validRate(m.Default); err != nil {
 		return fmt.Errorf("arch: device %s: default error rate %v", d.name, err)
 	}
-	for e, rate := range m.EdgeError {
-		e = NewEdge(e.A, e.B)
+	edges := make([]Edge, 0, len(m.EdgeError))
+	//sabre:nondeterm-ok keys collected then sorted below
+	for e := range m.EdgeError {
+		edges = append(edges, e)
+	}
+	sortEdges(edges)
+	for _, e0 := range edges {
+		rate := m.EdgeError[e0]
+		e := NewEdge(e0.A, e0.B)
 		if e.A < 0 || e.B >= d.n || d.EdgeIndex(e.A, e.B) < 0 {
 			return fmt.Errorf("arch: device %s has no coupler (%d,%d)", d.name, e.A, e.B)
 		}
@@ -101,11 +111,23 @@ func validRate(r float64) error {
 	return nil
 }
 
+// sortEdges orders edges (A, then B) — the canonical edge order every
+// deterministic walk over an EdgeError map uses.
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+}
+
 // clone deep-copies the model (the edge map is the only reference).
 func (m *NoiseModel) clone() *NoiseModel {
 	c := &NoiseModel{Default: m.Default}
 	if m.EdgeError != nil {
 		c.EdgeError = make(map[Edge]float64, len(m.EdgeError))
+		//sabre:nondeterm-ok plain map copy; insertion order is invisible
 		for e, v := range m.EdgeError {
 			c.EdgeError[e] = v
 		}
@@ -130,15 +152,11 @@ func (m *NoiseModel) digest() noiseKey {
 	}
 	put(math.Float64bits(m.Default))
 	edges := make([]Edge, 0, len(m.EdgeError))
+	//sabre:nondeterm-ok keys collected then sorted below
 	for e := range m.EdgeError {
 		edges = append(edges, e)
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].A != edges[j].A {
-			return edges[i].A < edges[j].A
-		}
-		return edges[i].B < edges[j].B
-	})
+	sortEdges(edges)
 	for _, e := range edges {
 		put(uint64(uint32(e.A))<<32 | uint64(uint32(e.B)))
 		put(math.Float64bits(m.EdgeError[e]))

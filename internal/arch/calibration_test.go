@@ -84,6 +84,29 @@ func TestApplyCalibrationValidation(t *testing.T) {
 	}
 }
 
+// TestValidateCalibrationDeterministicError pins the validation walk
+// to sorted edge order: the checker used to range the EdgeError map
+// directly, so a model with several problems produced a randomly
+// chosen error message — the same bad request could 400 with
+// different bodies on consecutive submissions.
+func TestValidateCalibrationDeterministicError(t *testing.T) {
+	dev := Line(4)
+	m := &NoiseModel{EdgeError: map[Edge]float64{
+		NewEdge(0, 2): 0.1,
+		NewEdge(1, 3): 0.1,
+		NewEdge(0, 3): 0.1,
+	}}
+	for i := 0; i < 32; i++ {
+		err := dev.ValidateCalibration(m)
+		if err == nil {
+			t.Fatal("model with three unknown couplers accepted")
+		}
+		if !strings.Contains(err.Error(), "no coupler (0,2)") {
+			t.Fatalf("round %d: error %q must name the first offending edge in sorted order, (0,2)", i, err)
+		}
+	}
+}
+
 // TestWeightedDistancesFreshAfterMutation is the stale-memo regression:
 // memoization used to key on *NoiseModel, so editing a model in place
 // kept serving the matrix of its old contents. Content-digest keys make
@@ -127,7 +150,7 @@ func TestWeightedDistancesMemoLRU(t *testing.T) {
 	for _, m := range models[:maxWeightedDistanceMemos] {
 		dev.WeightedDistancesFor(m) // fill the memo to capacity
 	}
-	dev.WeightedDistancesFor(models[0]) // touch: most recently used now
+	dev.WeightedDistancesFor(models[0])                        // touch: most recently used now
 	dev.WeightedDistancesFor(models[maxWeightedDistanceMemos]) // overflow
 
 	before := computes.Load()

@@ -65,6 +65,7 @@ func (d *Device) DegreeHistogram() map[int]int {
 func (d *Device) Degrees() []int {
 	h := d.DegreeHistogram()
 	out := make([]int, 0, len(h))
+	//sabre:nondeterm-ok keys collected then sorted below
 	for deg := range h {
 		out = append(out, deg)
 	}

@@ -88,6 +88,7 @@ type AStarResult struct {
 // placed greedily), with no global lookahead — the weakness SABRE's
 // reverse traversal addresses.
 func AStarCompile(circ *circuit.Circuit, dev *arch.Device, opts AStarOptions) (*AStarResult, error) {
+	//sabre:nondeterm-ok wall-clock elapsed metric; never feeds routing decisions
 	start := time.Now()
 	if circ.NumQubits() > dev.NumQubits() {
 		return nil, fmt.Errorf("baseline: circuit needs %d qubits but device %s has %d",

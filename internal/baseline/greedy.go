@@ -30,6 +30,7 @@ type GreedyResult struct {
 // far more SWAPs than SABRE; the gap quantifies what SABRE's search
 // and initial mapping buy.
 func GreedyCompile(circ *circuit.Circuit, dev *arch.Device) (*GreedyResult, error) {
+	//sabre:nondeterm-ok wall-clock elapsed metric; never feeds routing decisions
 	start := time.Now()
 	if circ.NumQubits() > dev.NumQubits() {
 		return nil, fmt.Errorf("baseline: circuit needs %d qubits but device %s has %d",
@@ -73,6 +74,7 @@ func GreedyCompile(circ *circuit.Circuit, dev *arch.Device) (*GreedyResult, erro
 func degreeMatchedLayout(c *circuit.Circuit, dev *arch.Device) mapping.Layout {
 	n := dev.NumQubits()
 	interact := make([]int, n)
+	//sabre:nondeterm-ok commutative sum per qubit; iteration order cancels out
 	for pair, count := range c.InteractionPairs() {
 		interact[pair[0]] += count
 		interact[pair[1]] += count

@@ -23,6 +23,7 @@ func (GreedyRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arch.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	//sabre:nondeterm-ok wall-clock elapsed metric; never feeds routing decisions
 	start := time.Now()
 	g, err := GreedyCompile(circ, dev)
 	if err != nil {
@@ -59,6 +60,7 @@ func (r AStarRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arch
 	if opts == (AStarOptions{}) {
 		opts = DefaultAStarOptions()
 	}
+	//sabre:nondeterm-ok wall-clock elapsed metric; never feeds routing decisions
 	start := time.Now()
 	a, err := AStarCompile(circ, dev, opts)
 	if err != nil {

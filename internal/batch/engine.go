@@ -60,6 +60,7 @@ type Job struct {
 
 	// Tag is an optional caller label carried into the Result. It is
 	// not part of the cache key.
+	//sabre:nokey caller label echoed into Result; never affects compilation
 	Tag string
 
 	// UseCalibration routes the job under the device's live calibration

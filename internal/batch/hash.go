@@ -145,6 +145,7 @@ func hashNoise(h interface{ Write([]byte) (int, error) }, u64 func(uint64), f64 
 	f64(m.Default)
 	u64(uint64(len(m.EdgeError)))
 	edges := make([]arch.Edge, 0, len(m.EdgeError))
+	//sabre:nondeterm-ok keys collected then sorted below
 	for e := range m.EdgeError {
 		edges = append(edges, e)
 	}

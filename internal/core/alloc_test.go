@@ -34,6 +34,31 @@ func TestScoreRoundZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestApplySwapZeroAllocs guards the apply side of a round: emitting
+// the winning SWAP, updating the layout, and the decay bookkeeping
+// must stay off the heap once the output buffer is warm. Applying the
+// same edge twice restores the layout (SWAP is an involution), so the
+// round-trip measures steady state without drifting the router.
+func TestApplySwapZeroAllocs(t *testing.T) {
+	r := steadyStateRouter(t, ScoringBitset)
+	e := r.candidate(0)
+	n := len(r.s.out)
+	r.applySwap(e)
+	r.applySwap(e) // warm the output buffer past the append growth
+	r.s.out = r.s.out[:n]
+	allocs := testing.AllocsPerRun(200, func() {
+		r.applySwap(e)
+		r.applySwap(e)
+		if r.hop(e.A, e.B) != 1 {
+			t.Fatal("candidate edge is not a coupler")
+		}
+		r.s.out = r.s.out[:n]
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SWAP application performs %v allocs, want 0", allocs)
+	}
+}
+
 // The bitset engine is the default: a zero-value Scoring (or
 // DefaultOptions) must resolve to it, and the legacy ExhaustiveScoring
 // flag must still select the exhaustive oracle after normalization.

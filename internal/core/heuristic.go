@@ -44,6 +44,8 @@ import (
 // distance change of gate (q, partner) is a two-row matrix lookup, no
 // gate fetch. Called once per SWAP round; everything it writes lives
 // in the Scratch.
+//
+//sabre:hotpath
 func (r *router) buildRoundIndex() {
 	s := r.s
 	r.setRoundScale()
@@ -82,6 +84,8 @@ func (r *router) buildRoundIndex() {
 
 // indexGate records the gate under both of its logical qubits, each
 // entry encoding the opposite endpoint and the front/extended flag.
+//
+//sabre:hotpath
 func (r *router) indexGate(q0, q1 int, extended bool) {
 	s := r.s
 	c0, c1 := int32(q1+1), int32(q0+1)
@@ -111,6 +115,8 @@ func (r *router) indexGate(q0, q1 int, extended bool) {
 // the same order indexGate appends — which is what keeps the weighted
 // float accumulation of the bitset scorer bit-identical to the delta
 // scorer's.
+//
+//sabre:hotpath
 func (r *router) buildRoundIndexBitset() {
 	s := r.s
 	n := r.n
@@ -140,6 +146,7 @@ func (r *router) buildRoundIndexBitset() {
 		}
 		off[n] = total
 		if cap(s.extPhys) < int(total) {
+			//sabre:alloc-ok amortized Scratch grow; steady-state rounds reuse the buffer
 			s.extPhys = make([]int32, total)
 		}
 		s.extPhys = s.extPhys[:total]
@@ -182,6 +189,8 @@ func (r *router) buildRoundIndexBitset() {
 // scoreCandidatesBitset scores every candidate from the bitset round
 // index and returns the winning candidate's index, dispatching once
 // per round (not per candidate) on the distance-matrix type.
+//
+//sabre:hotpath
 func (r *router) scoreCandidatesBitset() int {
 	if r.wdist != nil {
 		return scoreBitset(r, r.wdist, r.frontSumF, r.extSumF)
@@ -213,6 +222,8 @@ func (r *router) scoreCandidatesBitset() int {
 // the routed output, stays byte-identical to the oracle engines
 // (asserted by the golden three-way suite). Returns the winning
 // candidate's index.
+//
+//sabre:hotpath
 func scoreBitset[D int | float64](r *router, dist []D, baseF, baseE D) int {
 	s := r.s
 	n := r.n
@@ -283,6 +294,8 @@ func scoreBitset[D int | float64](r *router, dist []D, baseF, baseE D) int {
 // scoreSwap evaluates the heuristic cost function H for one candidate
 // SWAP (Algorithm 1 lines 20-23) as base + Δ under the hypothetical
 // mapping π·SWAP, without mutating the layout.
+//
+//sabre:hotpath
 func (r *router) scoreSwap(e arch.Edge) float64 {
 	if r.opts.ExhaustiveScoring {
 		return r.scoreSwapExhaustive(e)
@@ -320,6 +333,8 @@ func (r *router) scoreSwap(e arch.Edge) float64 {
 // scoring engine funnels through this formula — the bitset scorer
 // inlines the identical expression — so the floating-point rounding,
 // and therefore the tie-break stream, is engine-independent.
+//
+//sabre:hotpath
 func (r *router) combine(front, ext float64) float64 {
 	return front*r.invF + ext*r.invE
 }
@@ -336,12 +351,16 @@ func (r *router) combine(front, ext float64) float64 {
 // iteration order (qa's gates, then qb's unshared gates) matches the
 // order the previous mark-based dedup produced, keeping weighted
 // accumulation bit-stable.
+//
+//sabre:hotpath
 func (r *router) deltasHops(qa, qb, A, B int) (dF, dE int64) {
 	f, e := deltas(r.s, r.layout, r.dist[A*r.n:A*r.n+r.n], r.dist[B*r.n:B*r.n+r.n], qa, qb)
 	return int64(f), int64(e)
 }
 
 // deltasWeighted is deltasHops over the noise-weighted matrix.
+//
+//sabre:hotpath
 func (r *router) deltasWeighted(qa, qb, A, B int) (dF, dE float64) {
 	return deltas(r.s, r.layout, r.wdist[A*r.n:A*r.n+r.n], r.wdist[B*r.n:B*r.n+r.n], qa, qb)
 }
@@ -354,6 +373,8 @@ func (r *router) deltasWeighted(qa, qb, A, B int) (dF, dE float64) {
 // not merge them). Hop deltas stay exact: they are small-integer
 // differences accumulated in int (well under overflow) and widened by
 // the caller.
+//
+//sabre:hotpath
 func deltas[D int | float64](s *Scratch, layout mapping.Layout, rowA, rowB []D, qa, qb int) (dF, dE D) {
 	for _, code := range s.qGates[qa] {
 		p := code
@@ -397,6 +418,8 @@ func deltas[D int | float64](s *Scratch, layout mapping.Layout, rowA, rowB []D, 
 // SWAP. O(|F|+|E|) per candidate where the delta scorer is O(deg).
 // Kept selectable (Options.ExhaustiveScoring) as the oracle the golden
 // determinism suite compares delta scoring against.
+//
+//sabre:hotpath
 func (r *router) scoreSwapExhaustive(e arch.Edge) float64 {
 	qa, qb := r.layout.Log(e.A), r.layout.Log(e.B)
 
@@ -421,6 +444,8 @@ func (r *router) scoreSwapExhaustive(e arch.Edge) float64 {
 // frontDistanceSum is Eq. 1: Σ_{gate∈F} D[π(q1)][π(q2)], with D the
 // hop-count matrix or, under a noise model, the reliability-weighted
 // matrix (§VI extension).
+//
+//sabre:hotpath
 func (r *router) frontDistanceSum() float64 {
 	sum := 0.0
 	for _, g := range r.s.front {
@@ -433,6 +458,8 @@ func (r *router) frontDistanceSum() float64 {
 // lookaheadScore is Eq. 2 without the decay factor: the size-normalized
 // front-layer distance sum plus the W-weighted extended-set term,
 // combined with the same per-round reciprocals as every other engine.
+//
+//sabre:hotpath
 func (r *router) lookaheadScore() float64 {
 	extSum := 0.0
 	for _, g := range r.s.extended {

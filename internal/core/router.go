@@ -266,6 +266,8 @@ type router struct {
 // current front/extended sets. Called once per scoring round (and from
 // buildRoundIndex, so white-box tests that drive the scorers directly
 // get consistent scales).
+//
+//sabre:hotpath
 func (r *router) setRoundScale() {
 	r.invF = 1 / float64(len(r.s.front))
 	if len(r.s.extended) > 0 {
@@ -276,11 +278,15 @@ func (r *router) setRoundScale() {
 }
 
 // hop returns the hop-count distance between physical qubits a and b.
+//
+//sabre:hotpath
 func (r *router) hop(a, b int) int { return r.dist[a*r.n+b] }
 
 // distAt returns the routing distance between physical qubits a and b:
 // coupling-graph hops by default, or the noise-weighted most-reliable-
 // path cost when a NoiseModel is configured.
+//
+//sabre:hotpath
 func (r *router) distAt(a, b int) float64 {
 	if r.wdist != nil {
 		return r.wdist[a*r.n+b]
@@ -486,6 +492,8 @@ func (r *router) insertBestSwap() {
 // stream — and therefore the routed output — is engine-independent.
 // Split from insertBestSwap so tests and benchmarks can measure a
 // steady-state round in isolation.
+//
+//sabre:hotpath
 func (r *router) scoreRound() arch.Edge {
 	r.collectCandidates()
 	r.ensureExtended()
@@ -509,6 +517,7 @@ func (r *router) scoreRound() arch.Edge {
 		return r.candidate(r.scoreCandidatesBitset())
 	}
 	if cap(s.scores) < len(s.candIDs) {
+		//sabre:alloc-ok amortized Scratch grow; steady-state rounds reuse the buffer
 		s.scores = make([]float64, len(s.candIDs))
 	}
 	s.scores = s.scores[:len(s.candIDs)]
@@ -543,6 +552,8 @@ func (r *router) scoringMode() Scoring {
 // the bitset engine fuses the identical comparison/draw sequence into
 // its scoring pass (scoreBitset), so every engine consumes the same
 // RNG stream and routes byte-identically.
+//
+//sabre:hotpath
 func (r *router) selectBest() arch.Edge {
 	s := r.s
 	best := 0
@@ -574,6 +585,8 @@ func (r *router) selectBest() arch.Edge {
 // it, restoring the Scratch's all-zero invariant for the next round.
 // Ascending edge id is the canonical candidate order every scoring
 // engine and the tie-break RNG stream depend on.
+//
+//sabre:hotpath
 func (r *router) collectCandidates() {
 	s := r.s
 	w := s.candWords
@@ -603,6 +616,8 @@ func (r *router) collectCandidates() {
 
 // candidate materializes candidate i as a physical edge through the
 // device's dense edge-endpoint table.
+//
+//sabre:hotpath
 func (r *router) candidate(i int) arch.Edge {
 	id := r.s.candIDs[i]
 	return arch.Edge{A: int(r.ends[2*id]), B: int(r.ends[2*id+1])}
@@ -615,6 +630,8 @@ func (r *router) candidate(i int) arch.Edge {
 // recomputed only when frontGen moved; bridge probe and SWAP scoring
 // within one round, and consecutive non-executing rounds, all share
 // one computation.
+//
+//sabre:hotpath
 func (r *router) ensureExtended() {
 	if r.extGen == r.frontGen {
 		return
@@ -659,6 +676,8 @@ func (r *router) ensureExtended() {
 
 // applySwap emits a SWAP on the physical edge, updates the layout and
 // the decay bookkeeping.
+//
+//sabre:hotpath
 func (r *router) applySwap(e arch.Edge) {
 	s := r.s
 	s.out = append(s.out, circuit.Swap(e.A, e.B))

@@ -198,6 +198,7 @@ func Compile(circ *circuit.Circuit, dev *arch.Device, opts Options) (*Result, er
 // single trial. Returns ctx.Err() when cancelled before a winner
 // exists.
 func CompileContext(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, opts Options) (*Result, error) {
+	//sabre:nondeterm-ok wall-clock elapsed metric; never feeds routing decisions
 	start := time.Now()
 	p, err := Prepare(circ, dev, opts)
 	if err != nil {
@@ -274,6 +275,7 @@ func CompileContext(ctx context.Context, circ *circuit.Circuit, dev *arch.Device
 // when a good initial mapping is already known (e.g. produced by a
 // previous Compile on a related circuit).
 func CompileWithLayout(circ *circuit.Circuit, dev *arch.Device, init mapping.Layout, opts Options) (*Result, error) {
+	//sabre:nondeterm-ok wall-clock elapsed metric; never feeds routing decisions
 	start := time.Now()
 	opts = opts.normalized()
 	dev = effectiveDevice(dev, opts)

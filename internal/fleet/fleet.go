@@ -108,12 +108,6 @@ type Score struct {
 type Decision struct {
 	// Device is the winner.
 	Device *arch.Device `json:"-"`
-	// Snapshot is the winner's calibration snapshot at scoring time
-	// (nil when uncalibrated). Dispatchers route under the device's
-	// live snapshot, so a recalibration landing between scoring and
-	// compile means the job runs under the newer data — the decision
-	// records what was known when the choice was made.
-	Snapshot *arch.CalSnapshot `json:"-"`
 	// Winner is the winning score row.
 	Winner Score `json:"winner"`
 	// Scores holds every candidate's row, in input order.
@@ -143,7 +137,6 @@ func Schedule(circ *circuit.Circuit, cands []Candidate, w Weights) (*Decision, e
 
 	dec := &Decision{Scores: make([]Score, 0, len(cands))}
 	best := -1
-	var bestSnap *arch.CalSnapshot
 	for i, c := range cands {
 		if c.Device == nil {
 			return nil, fmt.Errorf("fleet: candidate %d has a nil device", i)
@@ -166,13 +159,11 @@ func Schedule(circ *circuit.Circuit, cands []Candidate, w Weights) (*Decision, e
 		if best < 0 || less(s, dec.Scores[best]) {
 			best = len(dec.Scores) - 1
 			dec.Device = c.Device
-			bestSnap = snap
 		}
 	}
 	if best < 0 {
 		return nil, fmt.Errorf("fleet: no candidate fits %d qubits", circ.NumQubits())
 	}
-	dec.Snapshot = bestSnap
 	dec.Winner = dec.Scores[best]
 	return dec, nil
 }

@@ -389,15 +389,33 @@ func (q *Queue) cancelLocked(j *job, cause string) {
 	}
 }
 
-// List returns every retained job, newest first.
+// List returns every retained job, newest first. The order is total:
+// jobs admitted in the same clock tick tie-break on the queue's
+// admission sequence (later submission first), so repeated listings
+// never shuffle — Created alone left equal-timestamp neighbours in
+// map-iteration order, which flipped between calls.
 func (q *Queue) List() []Snapshot {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := make([]Snapshot, 0, len(q.jobs))
-	for _, j := range q.jobs {
-		out = append(out, j.snapshotLocked())
+	type row struct {
+		snap Snapshot
+		seq  int64
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Created.After(out[b].Created) })
+	rows := make([]row, 0, len(q.jobs))
+	//sabre:nondeterm-ok rows are fully sorted below
+	for _, j := range q.jobs {
+		rows = append(rows, row{snap: j.snapshotLocked(), seq: j.seq})
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if !rows[a].snap.Created.Equal(rows[b].snap.Created) {
+			return rows[a].snap.Created.After(rows[b].snap.Created)
+		}
+		return rows[a].seq > rows[b].seq
+	})
+	out := make([]Snapshot, len(rows))
+	for i, r := range rows {
+		out[i] = r.snap
+	}
 	return out
 }
 
@@ -415,6 +433,7 @@ func (q *Queue) Stats() Stats {
 		WebhooksDelivered: q.hooksOK,
 		WebhooksFailed:    q.hooksFailed,
 	}
+	//sabre:nondeterm-ok counter fold; order-insensitive
 	for _, j := range q.jobs {
 		switch j.state {
 		case StateQueued:
@@ -433,6 +452,7 @@ func (q *Queue) Loads() map[string]int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	out := make(map[string]int)
+	//sabre:nondeterm-ok per-device counter fold; order-insensitive
 	for _, j := range q.jobs {
 		if (j.state == StateQueued || j.state == StateRunning) && j.req.Job.Device != nil {
 			out[j.req.Job.Device.Name()]++
@@ -474,6 +494,7 @@ func (q *Queue) Close(ctx context.Context) error {
 	// Deadline: abort everything still outstanding, then wait for the
 	// (now fast) settle so no goroutine outlives Close.
 	q.mu.Lock()
+	//sabre:nondeterm-ok every job is cancelled; order is invisible
 	for _, j := range q.jobs {
 		q.cancelLocked(j, "cancelled by shutdown")
 	}
@@ -567,6 +588,7 @@ func (q *Queue) gc(now time.Time) int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	n := 0
+	//sabre:nondeterm-ok TTL filter deletes a fixed set; order is invisible
 	for id, j := range q.jobs {
 		if j.state.Terminal() && now.Sub(j.finished) >= q.cfg.TTL {
 			delete(q.jobs, id)

@@ -1,0 +1,43 @@
+package jobqueue
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestListStableOrderOnCreatedTies is the map-order regression: List
+// sorted by Created alone, so jobs admitted in the same clock tick
+// kept whatever order the q.jobs map iteration produced that call —
+// two consecutive GET /jobs could disagree. The admission sequence now
+// breaks ties (later submission first), making the order total.
+func TestListStableOrderOnCreatedTies(t *testing.T) {
+	q := &Queue{jobs: make(map[string]*job)}
+	now := time.Now()
+	const burst = 12
+	for i := 0; i < burst; i++ {
+		id := fmt.Sprintf("job-%02d", i)
+		q.jobs[id] = &job{id: id, seq: int64(i + 1), state: StateQueued, created: now}
+	}
+	// One genuinely older job: Created must still dominate the seq
+	// tie-break, so it lists last despite the largest seq.
+	q.jobs["job-old"] = &job{id: "job-old", seq: 99, state: StateQueued, created: now.Add(-time.Minute)}
+
+	want := make([]string, 0, burst+1)
+	for i := burst - 1; i >= 0; i-- {
+		want = append(want, fmt.Sprintf("job-%02d", i))
+	}
+	want = append(want, "job-old")
+
+	for round := 0; round < 8; round++ {
+		got := q.List()
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d snapshots, want %d", round, len(got), len(want))
+		}
+		for i, s := range got {
+			if s.ID != want[i] {
+				t.Fatalf("round %d: position %d is %s, want %s (listing order must not depend on map iteration)", round, i, s.ID, want[i])
+			}
+		}
+	}
+}

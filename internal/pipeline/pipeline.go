@@ -157,6 +157,7 @@ func (m *Manager) RunContext(ctx context.Context, pc *Ctx) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("pipeline: cancelled before pass %s: %w", p.Name(), err)
 		}
+		//sabre:nondeterm-ok wall-clock elapsed metric; never feeds routing decisions
 		start := time.Now()
 		if err := p.Run(pc); err != nil {
 			return fmt.Errorf("pipeline: pass %s: %w", p.Name(), err)

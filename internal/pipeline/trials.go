@@ -57,6 +57,7 @@ func (TrialRunner) Name() string { return "sabre" }
 // and inside each trial's SWAP loop at round granularity; a cancelled
 // run returns ctx.Err().
 func (tr TrialRunner) Route(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, opts core.Options) (*core.Result, error) {
+	//sabre:nondeterm-ok wall-clock elapsed metric; never feeds routing decisions
 	start := time.Now()
 	results, depths, err := tr.RunTrials(ctx, circ, dev, opts)
 	if err != nil {

@@ -43,6 +43,7 @@ func (AnnealRouter) Name() string { return "anneal" }
 
 // Route implements core.Router.
 func (r AnnealRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, opts core.Options) (*core.Result, error) {
+	//sabre:nondeterm-ok wall-clock elapsed metric; never feeds routing decisions
 	start := time.Now()
 	wide, dev, opts, err := widen(circ, dev, opts)
 	if err != nil {

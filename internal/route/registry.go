@@ -129,6 +129,7 @@ func Names() []string {
 
 func namesLocked() []string {
 	out := make([]string, 0, len(entries))
+	//sabre:nondeterm-ok keys collected then sorted below
 	for name := range entries {
 		out = append(out, name)
 	}

@@ -34,6 +34,7 @@ func (TokenSwapRouter) Name() string { return "tokenswap" }
 
 // Route implements core.Router.
 func (TokenSwapRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, opts core.Options) (*core.Result, error) {
+	//sabre:nondeterm-ok wall-clock elapsed metric; never feeds routing decisions
 	start := time.Now()
 	wide, dev, opts, err := widen(circ, dev, opts)
 	if err != nil {
