@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet lint race bench bench-smoke bench-json bench-guard sabred-smoke clean help
+.PHONY: check build test vet lint race bench bench-smoke bench-json bench-guard sabred-smoke crash-smoke clean help
 
 check: vet lint build race
 
@@ -78,6 +78,15 @@ bench-guard:
 sabred-smoke:
 	$(GO) run ./cmd/sabredsmoke $(if $(SMOKE_RACE),-race,)
 
+# Crash-recovery drill: boot sabred on a durable job log, SIGKILL it
+# with one job running and two queued, restart it on the same log
+# directory, and require every job to replay under its original ID
+# with byte-identical results — then absorb a scripted router panic
+# without losing the daemon. Always race-built: the kill/replay path
+# is exactly where a data race would hide.
+crash-smoke:
+	$(GO) run ./cmd/sabredsmoke -race -crash
+
 clean:
 	$(GO) clean ./...
 
@@ -94,4 +103,5 @@ help:
 	@echo "bench-json   write the perf baseline (BENCH_PR7.json)"
 	@echo "bench-guard  fail on perf regression vs the committed baseline"
 	@echo "sabred-smoke daemon end-to-end smoke (SMOKE_RACE=1 for -race)"
+	@echo "crash-smoke  SIGKILL + durable-log replay drill (always race-built)"
 	@echo "clean        go clean ./..."

@@ -108,7 +108,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	snap, err := s.queue.Submit(jobqueue.Request{Job: in.batchJob(), Webhook: in.webhook, Fleet: in.fleet})
+	snap, err := s.queue.Submit(jobqueue.Request{Job: in.batchJob(), Webhook: in.webhook, Fleet: in.fleet, DeviceSpec: in.devSpec})
 	if err != nil {
 		// A full backlog or a draining daemon is load, not client
 		// error: 503 tells well-behaved clients to back off and retry.

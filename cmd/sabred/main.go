@@ -99,6 +99,29 @@
 // the same code path as the synchronous response, so an async job is
 // byte-identical to POST /compile for the same request.
 //
+// Delivery stops early on a permanent 4xx (anything but 408/429): a
+// consumer that rejects the payload will keep rejecting it.
+//
+// # Durability & crash recovery
+//
+// With -job-log DIR the async queue writes every job lifecycle
+// transition to an append-only, CRC-checked log (internal/joblog) and
+// replays it on boot: jobs that were queued or running when the
+// process died (SIGKILL, OOM, power) re-enter the backlog in their
+// original admission order, keep their job IDs, and — compilation
+// being deterministic — produce byte-identical results. Recovery
+// counts appear under "queue"."recovery" in GET /stats. -fsync picks
+// the sync policy: "always" (default; a job is on disk before its ID
+// is returned), "interval" (bounded loss, amortized cost), "never".
+// A corrupt log (not the torn tail a crash normally leaves — that is
+// dropped silently) refuses to boot, naming the offending offset.
+//
+//	sabred -addr :8037 -job-log /var/lib/sabred/jobs -fsync always
+//
+// -fault-routes registers the scripted "panic" router for failure
+// drills: a job routed with it fails with the panic and stack while
+// the daemon keeps serving. Never enable it in production.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: in-flight HTTP
 // requests finish, accepted jobs run to completion (webhooks
 // included) within the -drain budget, then outstanding work is
@@ -133,7 +156,9 @@ import (
 	"repro/internal/batch"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/joblog"
 	"repro/internal/jobqueue"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
@@ -153,8 +178,19 @@ func main() {
 		queueDepth   = flag.Int("queue-depth", 1024, "async job backlog bound (submissions beyond it get 503)")
 		jobTTL       = flag.Duration("job-ttl", 15*time.Minute, "retention of finished async jobs for polling")
 		drainTimeout = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight work")
+		jobLogDir    = flag.String("job-log", "", "durable job-log directory: accepted async jobs survive a crash and replay on the next boot (empty = in-memory only)")
+		fsyncMode    = flag.String("fsync", "always", "job-log sync policy: always (every append reaches disk before the job is acknowledged), interval, never")
+		faultRoutes  = flag.Bool("fault-routes", false, "register the scripted fault routers (route \"panic\") for failure testing; never enable in production")
 	)
 	flag.Parse()
+
+	if *faultRoutes {
+		faults.RegisterPanicRouter()
+	}
+	fsyncPolicy, err := joblog.ParseFsync(*fsyncMode)
+	if err != nil {
+		log.Fatalf("sabred: %v", err)
+	}
 
 	if *trialWorkers <= 0 {
 		// A daemon serves sparse single-circuit requests: parallelise
@@ -164,11 +200,21 @@ func main() {
 	eng := batch.NewEngine(batch.Config{Workers: *workers, CacheEntries: *cache, BaseSeed: *seed, TrialWorkers: *trialWorkers, TrialPatience: *patience})
 	defer eng.Close()
 
-	srv := newServer(eng, jobqueue.Config{
+	srv, err := newServer(eng, jobqueue.Config{
 		Workers:    *jobWorkers,
 		QueueDepth: *queueDepth,
 		TTL:        *jobTTL,
+		Durable:    jobqueue.DurabilityConfig{Dir: *jobLogDir, Fsync: fsyncPolicy},
 	})
+	if err != nil {
+		// A corrupt job log names the offending byte offset here; we
+		// refuse to boot rather than silently drop acknowledged jobs.
+		log.Fatalf("sabred: job log: %v", err)
+	}
+	if st := srv.queue.Stats(); st.Recovery != nil && st.Recovery.Replayed > 0 {
+		log.Printf("sabred: job log replayed %d jobs (%d queued, %d running at crash, %d dropped)",
+			st.Recovery.Replayed, st.Recovery.Queued, st.Recovery.Running, st.Recovery.Dropped)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -239,13 +285,23 @@ type server struct {
 	devices map[string]*arch.Device
 }
 
-func newServer(eng *batch.Engine, qcfg jobqueue.Config) *server {
+func newServer(eng *batch.Engine, qcfg jobqueue.Config) (*server, error) {
 	s := &server{eng: eng, start: time.Now(), devices: make(map[string]*arch.Device), draining: make(chan struct{})}
 	// The webhook body is the exact jobResponse a poller would read —
 	// one schema for both delivery paths.
 	qcfg.Payload = func(snap jobqueue.Snapshot) any { return jobResponseOf(snap, true) }
-	s.queue = jobqueue.New(eng, qcfg)
-	return s
+	if qcfg.Durable.Dir != "" && qcfg.Durable.Device == nil {
+		// Replayed jobs resolve their device through the server's memo
+		// so they share calibratable device instances with live
+		// traffic (a POST /calibrations must reach replayed jobs too).
+		qcfg.Durable.Device = s.device
+	}
+	q, err := jobqueue.Open(eng, qcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.queue = q
+	return s, nil
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -370,11 +426,16 @@ type compileInput struct {
 	passes  []string
 	webhook string
 
+	// devSpec is the spec string dev was resolved from — what a
+	// durable job log persists (device display names do not re-parse).
+	devSpec string
+
 	// fleetDevs holds the resolved fleet candidates (empty = no fleet
 	// request); scheduleFleet turns them into a decision and rebinds
-	// dev to the winner.
-	fleetDevs []*arch.Device
-	fleet     *fleet.Decision
+	// dev (and devSpec, via fleetSpecs) to the winner.
+	fleetDevs  []*arch.Device
+	fleetSpecs []string
+	fleet      *fleet.Decision
 }
 
 // batchJob lifts the parsed input to the engine's job form. Every
@@ -410,6 +471,14 @@ func (s *server) scheduleFleet(in *compileInput) error {
 	}
 	in.dev = dec.Device
 	in.fleet = dec
+	// Rebind the persisted spec to the winner (candidates and specs
+	// are parallel slices from parseCompile).
+	for i, d := range in.fleetDevs {
+		if d == dec.Device {
+			in.devSpec = in.fleetSpecs[i]
+			break
+		}
+	}
 	return nil
 }
 
@@ -528,7 +597,7 @@ func (s *server) parseCompile(w http.ResponseWriter, r *http.Request) (*compileI
 	return &compileInput{
 		circ: circ, dev: dev, opts: opts,
 		trials: trials, route: routeName, passes: passes, webhook: webhook,
-		fleetDevs: fleetDevs,
+		devSpec: devName, fleetDevs: fleetDevs, fleetSpecs: fleetSpecs,
 	}, nil
 }
 

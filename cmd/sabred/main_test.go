@@ -20,7 +20,10 @@ func newTestServer(t *testing.T) (*httptest.Server, *server) {
 	t.Helper()
 	eng := batch.NewEngine(batch.Config{Workers: 2})
 	t.Cleanup(eng.Close)
-	srv := newServer(eng, jobqueue.Config{Workers: 2})
+	srv, err := newServer(eng, jobqueue.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()

@@ -11,7 +11,16 @@
 // clean graceful drain (exit 0). Any deviation exits non-zero, so CI
 // can run it as a step.
 //
-//	sabredsmoke [-race] [-timeout 120s]
+// With -crash it instead runs the crash-recovery drill: boot the
+// daemon on a durable job log, load it with one running and two
+// queued jobs, SIGKILL it mid-compile, restart it on the same log
+// directory, and require every job to replay under its original ID
+// and finish with output byte-identical to a fresh synchronous
+// compile. The restarted daemon then absorbs a scripted router panic
+// (job fails with the stack, daemon keeps serving) before the final
+// graceful drain.
+//
+//	sabredsmoke [-race] [-crash] [-timeout 120s]
 package main
 
 import (
@@ -37,8 +46,9 @@ import (
 )
 
 var (
-	raceFlag = flag.Bool("race", false, "build the daemon with -race")
-	timeout  = flag.Duration("timeout", 3*time.Minute, "overall smoke budget")
+	raceFlag  = flag.Bool("race", false, "build the daemon with -race")
+	crashFlag = flag.Bool("crash", false, "run the crash-recovery drill (SIGKILL + replay) instead of the standard lifecycle")
+	timeout   = flag.Duration("timeout", 3*time.Minute, "overall smoke budget")
 )
 
 func main() {
@@ -62,6 +72,12 @@ func main() {
 		fail("build sabred: %v\n%s", err, out)
 	}
 	step("built sabred (race=%v)", *raceFlag)
+
+	if *crashFlag {
+		crashSmoke(bin, deadline)
+		fmt.Printf("sabredsmoke: PASS (crash) in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	daemon := startDaemon(bin)
 	defer daemon.kill()
@@ -281,6 +297,169 @@ func main() {
 	fmt.Printf("sabredsmoke: PASS in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
+// crashSmoke is the -crash drill: durable log, SIGKILL mid-compile,
+// replay on restart, byte-identical results, panic isolation, drain.
+func crashSmoke(bin string, deadline time.Time) {
+	logDir, err := os.MkdirTemp("", "sabredsmoke-joblog")
+	if err != nil {
+		fail("mkdtemp: %v", err)
+	}
+	defer os.RemoveAll(logDir)
+
+	durableArgs := []string{
+		"-job-log", logDir, "-fsync", "always",
+		"-job-workers", "1", "-fault-routes",
+	}
+	daemon := startDaemon(bin, durableArgs...)
+	defer daemon.kill()
+	base := "http://" + daemon.addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// One heavy job to pin the single job worker, two quick ones to
+	// sit in the backlog behind it. Every request carries a distinct
+	// seed so the replayed results are three distinct circuits.
+	heavySrc := qasm.Format(workloads.RandomCircuit("crash-heavy", 20, 5000, 0.9, 1))
+	reqs := []map[string]any{
+		{"qasm": heavySrc, "device": "tokyo", "trials": 8, "options": map[string]any{"seed": 7}},
+		{"qasm": qasm.Format(workloads.QFT(7)), "device": "tokyo", "options": map[string]any{"seed": 11}},
+		{"qasm": qasm.Format(workloads.GHZ(8)), "device": "tokyo", "options": map[string]any{"seed": 13}},
+	}
+	ids := make([]string, len(reqs))
+	for i, req := range reqs {
+		resp, body := postJSON(client, base+"/jobs", req)
+		if resp.StatusCode != http.StatusAccepted {
+			daemon.fail("submit %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var jv jobView
+		mustUnmarshal(body, &jv, daemon)
+		ids[i] = jv.ID
+	}
+	step("submitted %d durable jobs", len(ids))
+
+	// Wait for the worker to pick up the heavy job so the SIGKILL
+	// provably lands mid-compile with a populated backlog.
+	for {
+		if time.Now().After(deadline) {
+			daemon.fail("queue never reached running=1 queued=2")
+		}
+		var st statsView
+		mustUnmarshal(getOK(client, base+"/stats"), &st, daemon)
+		if st.Queue.Running == 1 && st.Queue.Queued == 2 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	step("1 running + 2 queued; sending SIGKILL")
+
+	// SIGKILL: no drain, no goodbye. The job log is all that survives.
+	if err := daemon.cmd.Process.Kill(); err != nil {
+		daemon.fail("SIGKILL: %v", err)
+	}
+	<-daemon.waitCh
+
+	// Restart on the same log directory: all three jobs must replay
+	// under their original IDs.
+	daemon2 := startDaemon(bin, durableArgs...)
+	defer daemon2.kill()
+	base = "http://" + daemon2.addr
+
+	var st statsView
+	mustUnmarshal(getOK(client, base+"/stats"), &st, daemon2)
+	rec := st.Queue.Recovery
+	if rec == nil || rec.Replayed != 3 || rec.Queued != 2 || rec.Running != 1 || rec.Dropped != 0 {
+		daemon2.fail("recovery stats = %+v, want replayed=3 queued=2 running=1", rec)
+	}
+	if !strings.Contains(daemon2.logs(), "replayed 3 jobs") {
+		daemon2.fail("boot log missing replay line:\n%s", daemon2.logs())
+	}
+	step("restart replayed 3 jobs (2 queued, 1 running at crash)")
+
+	// Every replayed job finishes, and — compilation being
+	// deterministic — its result is byte-identical to a fresh
+	// synchronous compile of the same request.
+	for i, id := range ids {
+		var jv jobView
+		for {
+			if time.Now().After(deadline) {
+				daemon2.fail("replayed job %s stuck in %q", id, jv.State)
+			}
+			mustUnmarshal(getOK(client, base+"/jobs/"+id+"?wait=2s"), &jv, daemon2)
+			if terminal(jv.State) {
+				break
+			}
+		}
+		if jv.State != "done" || jv.Result == nil {
+			daemon2.fail("replayed job %s finished as %s (%s)", id, jv.State, jv.Error)
+		}
+		resp, body := postJSON(client, base+"/compile", reqs[i])
+		if resp.StatusCode != http.StatusOK {
+			daemon2.fail("POST /compile for %s: status %d: %s", id, resp.StatusCode, body)
+		}
+		var sync compileView
+		mustUnmarshal(body, &sync, daemon2)
+		if sync.QASM != jv.Result.QASM {
+			daemon2.fail("replayed job %s QASM differs from synchronous compile", id)
+		}
+	}
+	step("all replayed jobs done, byte-identical to POST /compile")
+
+	// Panic isolation: a job routed through the scripted fault router
+	// fails with the panic and its stack while the daemon keeps
+	// serving everyone else.
+	resp, body := postJSON(client, base+"/jobs", map[string]any{
+		"qasm": qasm.Format(workloads.GHZ(6)), "device": "tokyo", "route": "panic",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		daemon2.fail("panic submit: status %d: %s", resp.StatusCode, body)
+	}
+	var pj jobView
+	mustUnmarshal(body, &pj, daemon2)
+	for !terminal(pj.State) {
+		if time.Now().After(deadline) {
+			daemon2.fail("panic job stuck in %s", pj.State)
+		}
+		mustUnmarshal(getOK(client, base+"/jobs/"+pj.ID+"?wait=2s"), &pj, daemon2)
+	}
+	if pj.State != "failed" || !strings.Contains(pj.Error, "panic") || !strings.Contains(pj.Error, "goroutine") {
+		daemon2.fail("panic job: state=%s error=%q, want failed with a stack", pj.State, pj.Error)
+	}
+	if body := getOK(client, base+"/healthz"); !strings.Contains(string(body), "ok") {
+		daemon2.fail("daemon unhealthy after panic: %q", body)
+	}
+	if resp, _ := postJSON(client, base+"/compile", reqs[1]); resp.StatusCode != http.StatusOK {
+		daemon2.fail("compile after panic: status %d", resp.StatusCode)
+	}
+	step("router panic isolated (job failed with stack, daemon healthy)")
+
+	// Graceful drain on the survivor.
+	if err := daemon2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		daemon2.fail("signal: %v", err)
+	}
+	select {
+	case err := <-daemon2.waitCh:
+		if err != nil {
+			daemon2.fail("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(time.Until(deadline)):
+		daemon2.fail("daemon did not drain after SIGTERM")
+	}
+	step("graceful drain clean")
+}
+
+// statsView mirrors the /stats fields the crash drill asserts.
+type statsView struct {
+	Queue struct {
+		Queued   int `json:"queued"`
+		Running  int `json:"running"`
+		Recovery *struct {
+			Replayed int `json:"replayed"`
+			Queued   int `json:"queued"`
+			Running  int `json:"running"`
+			Dropped  int `json:"dropped"`
+		} `json:"recovery"`
+	} `json:"queue"`
+}
+
 // jobView mirrors the daemon's jobResponse wire form.
 type jobView struct {
 	ID     string       `json:"id"`
@@ -319,10 +498,12 @@ type daemon struct {
 var listenRe = regexp.MustCompile(`listening on (\S+)`)
 
 // startDaemon launches the built binary on an ephemeral port and
-// scrapes the bound address from its log.
-func startDaemon(bin string) *daemon {
+// scrapes the bound address from its log. Extra flags (the crash
+// drill's -job-log etc.) are appended to the baseline argument set.
+func startDaemon(bin string, extra ...string) *daemon {
 	d := &daemon{waitCh: make(chan error, 1)}
-	d.cmd = exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-drain", "30s")
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain", "30s"}, extra...)
+	d.cmd = exec.Command(bin, args...)
 	stderr, err := d.cmd.StderrPipe()
 	if err != nil {
 		fail("stderr pipe: %v", err)

@@ -46,6 +46,7 @@ var deterministicPkgs = []string{
 // stability even where routing determinism is not at stake.
 var orderedOutputPkgs = append([]string{
 	"repro/internal/jobqueue",
+	"repro/internal/joblog",
 	"repro/internal/fleet",
 	"repro/internal/arch",
 	"repro/internal/workloads",

@@ -16,7 +16,9 @@ package batch
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -501,10 +503,40 @@ func (e *Engine) process(t task) {
 	t.out.fill(o)
 }
 
+// PanicError is a panic recovered from a job's pipeline run: the
+// panic value plus the goroutine stack at the point of the panic. The
+// engine converts pipeline/router panics into this error instead of
+// letting one poisoned circuit kill the process — the job fails, the
+// worker (and every other job) keeps running. It is never cached, so
+// a subsequent identical job recompiles.
+type PanicError struct {
+	// Value is what was passed to panic().
+	Value any
+	// Stack is the formatted goroutine stack captured in the deferred
+	// recover.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("batch: pipeline panic: %v\n%s", e.Value, e.Stack)
+}
+
 // runPipeline builds and runs the job's pass pipeline: the routing
 // stage (the bounded trial runner by default, or any registry backend
-// the job names) plus the requested post-routing passes.
-func (e *Engine) runPipeline(ctx context.Context, job Job, opts core.Options) (*outcome, error) {
+// the job names) plus the requested post-routing passes. A panic
+// anywhere inside the pipeline — a router bug, a poisoned circuit —
+// is recovered into a PanicError: it fails this job only, never the
+// worker.
+func (e *Engine) runPipeline(ctx context.Context, job Job, opts core.Options) (o *outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			o, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return e.runPipelineNoRecover(ctx, job, opts)
+}
+
+func (e *Engine) runPipelineNoRecover(ctx context.Context, job Job, opts core.Options) (*outcome, error) {
 	rp := pipeline.RoutePass{Workers: e.cfg.TrialWorkers, Patience: e.cfg.TrialPatience}
 	if job.Route != "" && job.Route != "sabre" {
 		r, err := route.New(job.Route)

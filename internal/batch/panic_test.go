@@ -1,0 +1,51 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/faults"
+	"repro/internal/workloads"
+)
+
+// TestPipelinePanicBecomesError: a panic anywhere inside a job's
+// pipeline run is recovered into a typed PanicError carrying the
+// panicking goroutine's stack — the job fails, the engine (and its
+// worker pool) keeps compiling.
+func TestPipelinePanicBecomesError(t *testing.T) {
+	faults.RegisterPanicRouter()
+	eng := NewEngine(Config{Workers: 2})
+	defer eng.Close()
+
+	res := <-eng.SubmitContext(context.Background(), Job{
+		Circuit: workloads.GHZ(6), Device: arch.IBMQ20Tokyo(), Route: "panic",
+	})
+	var pe *PanicError
+	if !errors.As(res.Err, &pe) {
+		t.Fatalf("panicking job error = %v (%T), want *PanicError", res.Err, res.Err)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(pe.Error(), "goroutine") {
+		t.Fatalf("PanicError carries no stack: %v", pe)
+	}
+	if !strings.Contains(pe.Error(), "scripted router panic") {
+		t.Fatalf("PanicError lost the panic value: %v", pe)
+	}
+
+	// The pool survived: an ordinary job still compiles.
+	after := <-eng.SubmitContext(context.Background(), Job{
+		Circuit: workloads.GHZ(6), Device: arch.IBMQ20Tokyo(),
+	})
+	if after.Err != nil {
+		t.Fatalf("engine broken after panic: %v", after.Err)
+	}
+	// Panics, like errors, are never cached.
+	again := <-eng.SubmitContext(context.Background(), Job{
+		Circuit: workloads.GHZ(6), Device: arch.IBMQ20Tokyo(), Route: "panic",
+	})
+	if !errors.As(again.Err, &pe) {
+		t.Fatalf("second panicking job = %v, want *PanicError", again.Err)
+	}
+}

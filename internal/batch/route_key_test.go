@@ -60,7 +60,16 @@ func TestEngineRunsEveryRegisteredRouter(t *testing.T) {
 
 	dev := arch.IBMQ20Tokyo()
 	circ := workloads.QFT(5)
-	names := route.Names()
+	var names []string
+	for _, name := range route.Names() {
+		// The scripted fault router (registered by other tests in this
+		// package, and by sabred -fault-routes) panics by design; its
+		// isolation has its own test.
+		if name == "panic" {
+			continue
+		}
+		names = append(names, name)
+	}
 	jobs := make([]Job, len(names))
 	for i, name := range names {
 		jobs[i] = Job{Circuit: circ, Device: dev, Route: name, Tag: name}

@@ -1,0 +1,137 @@
+// Package faults is the repo's fault-injection toolkit: a scripted
+// injector that fails the Nth occurrence of an operation, a file
+// wrapper that feeds joblog with failing writes/fsyncs, a rename
+// breaker for torn compactions, a misbehaving webhook test server
+// (500s, timeouts, connection resets on a script), and a router that
+// panics mid-job. It exists so the durability and isolation claims in
+// internal/joblog, internal/jobqueue and cmd/sabred are proven against
+// actual failures, not assumed.
+//
+// Everything here is deterministic: a script says exactly which
+// operation fails, so a test that passes once passes always.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Op names an injectable operation.
+type Op string
+
+// The operations the injector scripts.
+const (
+	OpWrite  Op = "write"
+	OpSync   Op = "sync"
+	OpClose  Op = "close"
+	OpRename Op = "rename"
+)
+
+// ErrInjected is the failure the injector returns (wrapped with the
+// operation and its ordinal), so tests can errors.Is for it.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Injector counts operations and fails the scripted ones. The zero
+// value injects nothing; safe for concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	counts map[Op]int
+	failAt map[Op]map[int]bool // op -> 1-based ordinals that fail
+}
+
+// NewInjector returns an empty injector (all operations succeed until
+// scripted otherwise).
+func NewInjector() *Injector { return &Injector{} }
+
+// FailAt makes the nth (1-based) occurrence of op fail. Multiple
+// ordinals may be scripted per op.
+func (in *Injector) FailAt(op Op, n int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.failAt == nil {
+		in.failAt = make(map[Op]map[int]bool)
+	}
+	if in.failAt[op] == nil {
+		in.failAt[op] = make(map[int]bool)
+	}
+	in.failAt[op][n] = true
+	return in
+}
+
+// Count reports how many times op has been attempted.
+func (in *Injector) Count(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// check records one attempt of op and returns the injected error if
+// this ordinal is scripted to fail.
+func (in *Injector) check(op Op) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.counts == nil {
+		in.counts = make(map[Op]int)
+	}
+	in.counts[op]++
+	if in.failAt[op][in.counts[op]] {
+		return fmt.Errorf("%w: %s #%d", ErrInjected, op, in.counts[op])
+	}
+	return nil
+}
+
+// Rename returns an os.Rename-shaped function that consults the
+// injector before delegating to next — joblog's compaction rename
+// seam.
+func (in *Injector) Rename(next func(oldpath, newpath string) error) func(oldpath, newpath string) error {
+	return func(oldpath, newpath string) error {
+		if err := in.check(OpRename); err != nil {
+			return err
+		}
+		return next(oldpath, newpath)
+	}
+}
+
+// WriteSyncer is the file shape the wrapper intercepts — structurally
+// identical to joblog.File and satisfied by *os.File, so the wrapper
+// drops into joblog.Config.Wrap without an import edge.
+type WriteSyncer interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// File wraps a WriteSyncer, failing the scripted writes/syncs/closes.
+type File struct {
+	inner WriteSyncer
+	inj   *Injector
+}
+
+// NewFile wraps f with the injector's script.
+func NewFile(f WriteSyncer, inj *Injector) *File { return &File{inner: f, inj: inj} }
+
+// Write implements io.Writer; a scripted failure writes nothing.
+func (f *File) Write(p []byte) (int, error) {
+	if err := f.inj.check(OpWrite); err != nil {
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+// Sync implements WriteSyncer.
+func (f *File) Sync() error {
+	if err := f.inj.check(OpSync); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close implements WriteSyncer.
+func (f *File) Close() error {
+	if err := f.inj.check(OpClose); err != nil {
+		return err
+	}
+	return f.inner.Close()
+}

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sink is an in-memory WriteSyncer.
+type sink struct {
+	buf    bytes.Buffer
+	syncs  int
+	closed bool
+}
+
+func (s *sink) Write(p []byte) (int, error) { return s.buf.Write(p) }
+func (s *sink) Sync() error                 { s.syncs++; return nil }
+func (s *sink) Close() error                { s.closed = true; return nil }
+
+func TestInjectorOrdinals(t *testing.T) {
+	inj := NewInjector().FailAt(OpWrite, 2).FailAt(OpWrite, 4).FailAt(OpSync, 1)
+	s := &sink{}
+	f := NewFile(s, inj)
+	for i, wantErr := range []bool{false, true, false, true, false} {
+		_, err := f.Write([]byte("x"))
+		if wantErr != (err != nil) {
+			t.Fatalf("write #%d: err = %v, want failure=%v", i+1, err, wantErr)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("write #%d: %v is not ErrInjected", i+1, err)
+		}
+	}
+	if got := s.buf.String(); got != "xxx" {
+		t.Fatalf("inner saw %q, want xxx (failed writes must write nothing)", got)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync #1 = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync #2 = %v", err)
+	}
+	if s.syncs != 1 {
+		t.Fatalf("inner syncs = %d, want 1", s.syncs)
+	}
+	if n := inj.Count(OpWrite); n != 5 {
+		t.Fatalf("Count(write) = %d, want 5", n)
+	}
+	if err := f.Close(); err != nil || !s.closed {
+		t.Fatalf("close: err=%v closed=%v", err, s.closed)
+	}
+}
+
+func TestInjectorRename(t *testing.T) {
+	inj := NewInjector().FailAt(OpRename, 1)
+	var got [][2]string
+	rename := inj.Rename(func(o, n string) error {
+		got = append(got, [2]string{o, n})
+		return nil
+	})
+	if err := rename("a", "b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename #1 = %v, want ErrInjected", err)
+	}
+	if len(got) != 0 {
+		t.Fatal("failed rename reached the delegate")
+	}
+	if err := rename("a", "b"); err != nil {
+		t.Fatalf("rename #2 = %v", err)
+	}
+	if len(got) != 1 || got[0] != [2]string{"a", "b"} {
+		t.Fatalf("delegate saw %v", got)
+	}
+}
+
+func TestWebhookServerScript(t *testing.T) {
+	ws := NewWebhookServer(StepServerError, StepNotFound, StepOK)
+	defer ws.Close()
+
+	post := func() (*http.Response, error) {
+		return http.Post(ws.URL(), "application/json", strings.NewReader(`{"n":1}`))
+	}
+	wantStatus := []int{500, 404, 200, 200} // beyond the script: 200
+	for i, want := range wantStatus {
+		resp, err := post()
+		if err != nil {
+			t.Fatalf("attempt %d: %v", i+1, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("attempt %d: status %d, want %d", i+1, resp.StatusCode, want)
+		}
+	}
+	if ws.Attempts() != len(wantStatus) {
+		t.Fatalf("Attempts = %d, want %d", ws.Attempts(), len(wantStatus))
+	}
+	for i, d := range ws.Deliveries() {
+		if string(d.Body) != `{"n":1}` {
+			t.Fatalf("delivery %d body = %q", i, d.Body)
+		}
+	}
+}
+
+func TestWebhookServerReset(t *testing.T) {
+	ws := NewWebhookServer(StepReset, StepOK)
+	defer ws.Close()
+	_, err := http.Post(ws.URL(), "application/json", strings.NewReader("{}"))
+	if err == nil {
+		t.Fatal("reset step produced a response, want transport error")
+	}
+	resp, err := http.Post(ws.URL(), "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("attempt 2: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("attempt 2 status %d", resp.StatusCode)
+	}
+}
+
+func TestWebhookServerDelayTimesOut(t *testing.T) {
+	// Short delay: httptest.Close waits for the handler's sleep.
+	ws := NewWebhookServer(StepDelay(300*time.Millisecond, 200))
+	defer ws.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ws.URL(), strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("delayed response beat a 50ms client timeout")
+	}
+}

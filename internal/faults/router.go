@@ -1,0 +1,38 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/route"
+)
+
+// PanicRouter is a core.Router that panics partway through routing —
+// the poisoned-circuit stand-in that proves one bad job cannot take
+// the daemon down. The batch engine must recover it into a failed
+// job (batch.PanicError, stack recorded) while every other job keeps
+// compiling.
+type PanicRouter struct{}
+
+// Name implements core.Router.
+func (PanicRouter) Name() string { return "panic" }
+
+// Route implements core.Router by panicking.
+func (PanicRouter) Route(ctx context.Context, circ *circuit.Circuit, dev *arch.Device, opts core.Options) (*core.Result, error) {
+	panic(fmt.Sprintf("faults: scripted router panic (circuit %q, %d gates)", circ.Name(), circ.NumGates()))
+}
+
+var registerOnce sync.Once
+
+// RegisterPanicRouter registers PanicRouter as route:panic in the
+// global router registry. Idempotent. Only test drivers and sabred's
+// -fault-routes flag call this — production registries never carry it.
+func RegisterPanicRouter() {
+	registerOnce.Do(func() {
+		route.Register("panic", func() core.Router { return PanicRouter{} })
+	})
+}

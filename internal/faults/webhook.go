@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// WebhookStep is one scripted behavior of the misbehaving webhook
+// server — what the server does to the next delivery attempt.
+type WebhookStep struct {
+	// Status is the HTTP status to answer with (0 behaves as 200).
+	Status int
+	// Delay sleeps before answering — longer than the client's
+	// timeout, it manifests as a delivery timeout.
+	Delay time.Duration
+	// Reset hangs up the TCP connection without writing a response:
+	// the client sees a connection reset / unexpected EOF.
+	Reset bool
+}
+
+// Common steps.
+var (
+	// StepOK answers 200.
+	StepOK = WebhookStep{Status: http.StatusOK}
+	// StepServerError answers 500 — the retryable failure.
+	StepServerError = WebhookStep{Status: http.StatusInternalServerError}
+	// StepNotFound answers 404 — a permanent client error that must
+	// not be retried.
+	StepNotFound = WebhookStep{Status: http.StatusNotFound}
+	// StepTooMany answers 429 — the retryable client error.
+	StepTooMany = WebhookStep{Status: http.StatusTooManyRequests}
+	// StepReset drops the connection mid-request.
+	StepReset = WebhookStep{Reset: true}
+)
+
+// StepDelay answers status after sleeping d.
+func StepDelay(d time.Duration, status int) WebhookStep {
+	return WebhookStep{Status: status, Delay: d}
+}
+
+// Delivery records one request the webhook server received.
+type Delivery struct {
+	Body    []byte
+	Headers http.Header
+}
+
+// WebhookServer is an HTTP test server that misbehaves on a script:
+// attempt i gets script[i]'s treatment; attempts beyond the script
+// succeed with 200. It records every request body it managed to read,
+// including ones it then failed — exactly what a flaky real consumer
+// does.
+type WebhookServer struct {
+	srv    *httptest.Server
+	script []WebhookStep
+
+	mu         sync.Mutex
+	deliveries []Delivery
+}
+
+// NewWebhookServer starts the server with the given script. Close it
+// when done.
+func NewWebhookServer(script ...WebhookStep) *WebhookServer {
+	ws := &WebhookServer{script: script}
+	ws.srv = httptest.NewServer(http.HandlerFunc(ws.handle))
+	return ws
+}
+
+// URL is the server's base URL — the value under test hands to the
+// queue as the job's webhook.
+func (ws *WebhookServer) URL() string { return ws.srv.URL }
+
+// Close shuts the server down.
+func (ws *WebhookServer) Close() { ws.srv.Close() }
+
+// Deliveries returns a copy of every recorded request, in arrival
+// order.
+func (ws *WebhookServer) Deliveries() []Delivery {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return append([]Delivery(nil), ws.deliveries...)
+}
+
+// Attempts reports how many requests arrived.
+func (ws *WebhookServer) Attempts() int {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return len(ws.deliveries)
+}
+
+func (ws *WebhookServer) handle(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	ws.mu.Lock()
+	n := len(ws.deliveries)
+	ws.deliveries = append(ws.deliveries, Delivery{Body: body, Headers: r.Header.Clone()})
+	step := StepOK
+	if n < len(ws.script) {
+		step = ws.script[n]
+	}
+	ws.mu.Unlock()
+
+	if step.Delay > 0 {
+		time.Sleep(step.Delay)
+	}
+	if step.Reset {
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		// No hijack support: fall through to a 500, still a failure.
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	status := step.Status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	w.WriteHeader(status)
+}

@@ -1,0 +1,23 @@
+package joblog
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestCoreDoesNotImportJoblog pins the package doc's claim: durability
+// is wired at the job-lifecycle layer, never into the routing hot
+// path. internal/core (and everything under it) must not depend on
+// this package.
+func TestCoreDoesNotImportJoblog(t *testing.T) {
+	out, err := exec.Command("go", "list", "-deps", "repro/internal/core").CombinedOutput()
+	if err != nil {
+		t.Skipf("go list unavailable: %v (%s)", err, out)
+	}
+	for _, dep := range strings.Fields(string(out)) {
+		if strings.Contains(dep, "joblog") {
+			t.Fatalf("internal/core depends on %s — durability leaked onto the hot path", dep)
+		}
+	}
+}

@@ -1,0 +1,674 @@
+// Package joblog is the durability layer under the async job queue: an
+// append-only, CRC32C-checked, length-prefixed record log of job
+// lifecycle transitions. A sabred that crashes — SIGKILL, OOM, power —
+// replays the log on the next boot and resumes every job it had
+// accepted but not finished, so a worker's backlog survives its death
+// (the property that makes fleet-scale shard failover cheap).
+//
+// Durability costs nothing on the SWAP hot path by construction: the
+// log is written at lifecycle transitions only (accepted, started,
+// finished, cancelled — a handful of appends per job), never inside a
+// routing round. internal/core does not import this package, and a
+// regression test pins that.
+//
+// # On-disk format
+//
+// One file, "job.log", in the configured directory:
+//
+//	header:  8 bytes  "SBRJLOG\x01"
+//	frame:   u32 body length (big-endian)
+//	         u32 CRC32C of body (Castagnoli)
+//	         body
+//	body:    u8  record version (currently 1)
+//	         u8  kind (accepted/started/finished/cancelled)
+//	         u64 seq        — the queue's admission sequence
+//	         i64 unix nanos — transition wall-clock time
+//	         u16 len + job ID
+//	         u8  len + final state ("done"/"failed"; finished only)
+//	         u32 len + error message (finished only)
+//	         u32 len + payload (accepted only: the re-runnable job)
+//
+// # Failure semantics
+//
+// A torn tail — a final record cut short by a crash mid-write, or
+// whose CRC fails and which extends to end of file — is dropped and
+// the file truncated back to the last good record: losing the record
+// being written when the machine died is the expected cost of a crash,
+// not corruption. A CRC mismatch or malformed frame with valid data
+// after it is real corruption and Open fails with the byte offset in
+// the error, refusing to silently drop acknowledged work. A record
+// version above the one this build writes also fails Open by offset:
+// future versions may encode transitions this build would misreplay.
+//
+// # Compaction
+//
+// Finished jobs leave dead records behind. Once the live set is a
+// small fraction of the log (see Config), the owner rewrites the log
+// from the live records alone: Compact writes a fresh file beside the
+// log, fsyncs it, and renames it over the old one — atomic on POSIX,
+// so a crash at any point leaves either the old log or the new one,
+// never a mix.
+package joblog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is a lifecycle transition type.
+type Kind uint8
+
+// The four transitions a job's lifetime writes. Accepted carries the
+// re-runnable payload; Finished carries the terminal state and error.
+const (
+	KindAccepted  Kind = 1
+	KindStarted   Kind = 2
+	KindFinished  Kind = 3
+	KindCancelled Kind = 4
+)
+
+// String names the kind for errors and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindAccepted:
+		return "accepted"
+	case KindStarted:
+		return "started"
+	case KindFinished:
+		return "finished"
+	case KindCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one logged lifecycle transition.
+type Record struct {
+	Kind Kind
+	// Seq is the queue's admission sequence number — replay re-enters
+	// live jobs in Seq order, so the recovered backlog preserves
+	// admission order no matter how appends interleaved in the file.
+	Seq uint64
+	// Time is the transition's wall-clock time in Unix nanoseconds
+	// (informational; replay uses it to restore creation times).
+	Time int64
+	// ID is the job ID the record belongs to.
+	ID string
+	// State is the terminal state of a KindFinished record ("done" or
+	// "failed"); empty otherwise.
+	State string
+	// Err is the failure message of a KindFinished record.
+	Err string
+	// Payload is the re-runnable job encoding of a KindAccepted
+	// record (the queue's serialized request).
+	Payload []byte
+}
+
+// FsyncPolicy selects when appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs after every append: an acknowledged job is on
+	// disk before the caller sees its ID. The default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a background timer (Config.Interval):
+	// bounded data loss in exchange for amortized sync cost.
+	FsyncInterval
+	// FsyncNever never fsyncs: the OS flushes when it pleases. For
+	// tests and throwaway deployments.
+	FsyncNever
+)
+
+// String names the policy; it round-trips through ParseFsync.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("fsync(%d)", int(p))
+}
+
+// ParseFsync parses a policy name (always|interval|never) — the
+// daemon's -fsync flag vocabulary.
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("joblog: unknown fsync policy %q (always|interval|never)", s)
+}
+
+// File is the writable handle the log appends through. *os.File
+// implements it; tests substitute a fault-injecting wrapper
+// (internal/faults) to fail the Nth write or sync.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Config configures a Log; the zero value picks sensible defaults.
+type Config struct {
+	// Fsync selects the durability/throughput trade (default
+	// FsyncAlways).
+	Fsync FsyncPolicy
+
+	// Interval is the FsyncInterval timer period (default 100ms).
+	Interval time.Duration
+
+	// Wrap, when non-nil, wraps the log's file handle — the
+	// fault-injection seam. Production leaves it nil.
+	Wrap func(File) File
+
+	// Rename overrides the compaction rename (default os.Rename) —
+	// the fault-injection seam for torn compactions.
+	Rename func(oldpath, newpath string) error
+}
+
+// Stats is a snapshot of log counters.
+type Stats struct {
+	// Records currently in the file (live and dead).
+	Records int64 `json:"records"`
+	// Bytes is the current file size.
+	Bytes int64 `json:"bytes"`
+	// Appends since open (not reset by compaction).
+	Appends int64 `json:"appends"`
+	// Compactions since open.
+	Compactions int64 `json:"compactions"`
+	// SyncErrors counts failed background fsyncs (FsyncInterval only;
+	// FsyncAlways surfaces sync errors on Append directly).
+	SyncErrors int64 `json:"sync_errors,omitempty"`
+	// TornTail reports that Open dropped a truncated or corrupt final
+	// record — the expected residue of a crash mid-append.
+	TornTail bool `json:"torn_tail,omitempty"`
+}
+
+// Recovered is what Open found in an existing log.
+type Recovered struct {
+	// Records holds every intact record in file order.
+	Records []Record
+	// TornTail reports that a truncated/corrupt final record was
+	// dropped and the file truncated back to the last good frame.
+	TornTail bool
+	// TornBytes is how many trailing bytes the torn tail discarded.
+	TornBytes int64
+}
+
+const (
+	logFileName = "job.log"
+	tmpFileName = "job.log.compact"
+
+	recordVersion = 1
+	frameHeader   = 8 // u32 length + u32 crc
+
+	// maxRecordBytes bounds a single record. The daemon caps request
+	// bodies at 16 MB; double that leaves headroom for encoding
+	// overhead while keeping a corrupt length field from driving a
+	// giant allocation.
+	maxRecordBytes = 32 << 20
+)
+
+var magic = [8]byte{'S', 'B', 'R', 'J', 'L', 'O', 'G', 1}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports unreadable log data that is not a torn tail:
+// the log cannot be trusted and Open refuses to guess.
+type CorruptError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("joblog: corrupt record in %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Log is an open job log. Safe for concurrent use.
+type Log struct {
+	dir  string
+	path string
+	cfg  Config
+
+	mu      sync.Mutex
+	f       *os.File // the real file: truncate/rename/reopen
+	w       File     // write path, possibly fault-wrapped
+	size    int64
+	records int64
+	closed  bool
+
+	appends     atomic.Int64
+	compactions atomic.Int64
+	syncErrs    atomic.Int64
+	tornTail    bool
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open opens (creating if absent) the log in dir and replays it. The
+// returned Recovered holds every intact record; a torn tail is dropped
+// and reported, mid-file corruption or an unknown future record
+// version fails with the offending byte offset.
+func Open(dir string, cfg Config) (*Log, Recovered, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	if cfg.Rename == nil {
+		cfg.Rename = os.Rename
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Recovered{}, fmt.Errorf("joblog: %w", err)
+	}
+	// A leftover compaction temp means a crash mid-compact before the
+	// rename; the old log is still authoritative.
+	_ = os.Remove(filepath.Join(dir, tmpFileName))
+
+	path := filepath.Join(dir, logFileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Recovered{}, fmt.Errorf("joblog: %w", err)
+	}
+	l := &Log{dir: dir, path: path, cfg: cfg, f: f}
+	rec, err := l.replay()
+	if err != nil {
+		f.Close()
+		return nil, Recovered{}, err
+	}
+	l.w = l.wrap(f)
+	l.tornTail = rec.TornTail
+	if cfg.Fsync == FsyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, rec, nil
+}
+
+func (l *Log) wrap(f File) File {
+	if l.cfg.Wrap != nil {
+		return l.cfg.Wrap(f)
+	}
+	return f
+}
+
+// replay reads the whole file, validating frames. On success the file
+// offset is positioned at the end (after truncating any torn tail) and
+// l.size/l.records reflect the intact contents.
+func (l *Log) replay() (Recovered, error) {
+	info, err := l.f.Stat()
+	if err != nil {
+		return Recovered{}, fmt.Errorf("joblog: %w", err)
+	}
+	size := info.Size()
+
+	// Empty file: fresh log, write the header.
+	if size == 0 {
+		if _, err := l.f.Write(magic[:]); err != nil {
+			return Recovered{}, fmt.Errorf("joblog: write header: %w", err)
+		}
+		l.size = int64(len(magic))
+		return Recovered{}, nil
+	}
+	// A file shorter than the header is a crash during creation:
+	// nothing was ever acknowledged from it, start over.
+	if size < int64(len(magic)) {
+		if err := l.reset(); err != nil {
+			return Recovered{}, err
+		}
+		return Recovered{TornTail: true, TornBytes: size}, nil
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(l.f, hdr[:]); err != nil {
+		return Recovered{}, fmt.Errorf("joblog: read header: %w", err)
+	}
+	if hdr != magic {
+		return Recovered{}, &CorruptError{Path: l.path, Offset: 0, Reason: fmt.Sprintf("bad magic %q", hdr[:])}
+	}
+
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return Recovered{}, fmt.Errorf("joblog: read: %w", err)
+	}
+	var out Recovered
+	off := int64(len(magic)) // file offset of the frame being parsed
+	i := 0
+	for i < len(data) {
+		rest := len(data) - i
+		if rest < frameHeader {
+			// Crash mid-frame-header: torn tail.
+			break
+		}
+		length := binary.BigEndian.Uint32(data[i:])
+		sum := binary.BigEndian.Uint32(data[i+4:])
+		if int(length) > rest-frameHeader {
+			// The declared body overruns EOF: torn tail.
+			break
+		}
+		if length == 0 || length > maxRecordBytes {
+			return Recovered{}, &CorruptError{Path: l.path, Offset: off, Reason: fmt.Sprintf("implausible record length %d", length)}
+		}
+		body := data[i+frameHeader : i+frameHeader+int(length)]
+		if crc32.Checksum(body, castagnoli) != sum {
+			if i+frameHeader+int(length) == len(data) {
+				// The final record's CRC fails: a write the crash cut
+				// short. Drop it.
+				break
+			}
+			return Recovered{}, &CorruptError{Path: l.path, Offset: off, Reason: "CRC mismatch"}
+		}
+		rec, err := decodeRecord(body)
+		if err != nil {
+			// The body checksummed clean but does not parse — either a
+			// future record version or an encoder bug. Refuse to guess.
+			return Recovered{}, &CorruptError{Path: l.path, Offset: off, Reason: err.Error()}
+		}
+		out.Records = append(out.Records, rec)
+		i += frameHeader + int(length)
+		off += int64(frameHeader) + int64(length)
+	}
+	if i < len(data) {
+		out.TornTail = true
+		out.TornBytes = int64(len(data) - i)
+		if err := l.f.Truncate(off); err != nil {
+			return Recovered{}, fmt.Errorf("joblog: truncate torn tail: %w", err)
+		}
+		if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+			return Recovered{}, fmt.Errorf("joblog: %w", err)
+		}
+	}
+	l.size = off
+	l.records = int64(len(out.Records))
+	return out, nil
+}
+
+// reset truncates the file to a fresh header (crash-during-creation
+// recovery).
+func (l *Log) reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("joblog: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("joblog: %w", err)
+	}
+	if _, err := l.f.Write(magic[:]); err != nil {
+		return fmt.Errorf("joblog: write header: %w", err)
+	}
+	l.size = int64(len(magic))
+	return nil
+}
+
+// ErrClosed is reported by appends after Close.
+var ErrClosed = errors.New("joblog: log closed")
+
+// Append writes one record. Under FsyncAlways it returns only after
+// the record is on stable storage. A failed or short write is rolled
+// back (the file truncated to the last good frame) so a later append
+// cannot land after garbage and turn a transient write error into
+// permanent mid-file corruption.
+func (l *Log) Append(r Record) error {
+	frame := encodeFrame(r)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, err := l.w.Write(frame); err != nil {
+		// Best-effort rollback to the last good frame; if even that
+		// fails the next Open's torn-tail handling still recovers.
+		_ = l.f.Truncate(l.size)
+		_, _ = l.f.Seek(l.size, io.SeekStart)
+		return fmt.Errorf("joblog: append %s %s: %w", r.Kind, r.ID, err)
+	}
+	l.size += int64(len(frame))
+	l.records++
+	l.appends.Add(1)
+	if l.cfg.Fsync == FsyncAlways {
+		if err := l.w.Sync(); err != nil {
+			return fmt.Errorf("joblog: fsync after %s %s: %w", r.Kind, r.ID, err)
+		}
+	}
+	return nil
+}
+
+// Records returns the number of records currently in the file (live
+// and dead) — the compaction trigger input.
+func (l *Log) Records() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Stats returns a snapshot of the log counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	records, bytes := l.records, l.size
+	l.mu.Unlock()
+	return Stats{
+		Records:     records,
+		Bytes:       bytes,
+		Appends:     l.appends.Load(),
+		Compactions: l.compactions.Load(),
+		SyncErrors:  l.syncErrs.Load(),
+		TornTail:    l.tornTail,
+	}
+}
+
+// Compact atomically replaces the log's contents with exactly the
+// given records (the owner's live set): write a fresh file, fsync it,
+// rename it over the log, fsync the directory. On any failure the old
+// log is left untouched and remains authoritative.
+func (l *Log) Compact(live []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	tmpPath := filepath.Join(l.dir, tmpFileName)
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("joblog: compact: %w", err)
+	}
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpPath)
+	}
+	w := l.wrap(tmp)
+	size := int64(len(magic))
+	if _, err := w.Write(magic[:]); err != nil {
+		cleanup()
+		return fmt.Errorf("joblog: compact: write header: %w", err)
+	}
+	for _, r := range live {
+		frame := encodeFrame(r)
+		if _, err := w.Write(frame); err != nil {
+			cleanup()
+			return fmt.Errorf("joblog: compact: %w", err)
+		}
+		size += int64(len(frame))
+	}
+	if err := w.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("joblog: compact: fsync: %w", err)
+	}
+	if err := l.cfg.Rename(tmpPath, l.path); err != nil {
+		cleanup()
+		return fmt.Errorf("joblog: compact: rename: %w", err)
+	}
+	// The rename is the commit point: the tmp handle now IS the log
+	// file; keep writing through it and retire the old handle.
+	syncDir(l.dir)
+	l.f.Close()
+	l.f = tmp
+	l.w = w
+	l.size = size
+	l.records = int64(len(live))
+	l.compactions.Add(1)
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename survives a crash (best
+// effort: some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// syncLoop is the FsyncInterval background flusher.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	tick := time.NewTicker(l.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			l.mu.Lock()
+			if !l.closed {
+				if err := l.w.Sync(); err != nil {
+					l.syncErrs.Add(1)
+				}
+			}
+			l.mu.Unlock()
+		case <-l.stopSync:
+			return
+		}
+	}
+}
+
+// Close flushes and closes the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	if l.stopSync != nil {
+		close(l.stopSync)
+		<-l.syncDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var errSync error
+	if l.cfg.Fsync != FsyncNever {
+		errSync = l.w.Sync()
+	}
+	if err := l.w.Close(); err != nil && errSync == nil {
+		errSync = err
+	}
+	return errSync
+}
+
+// encodeFrame serializes a record with its length+CRC frame header.
+func encodeFrame(r Record) []byte {
+	bodyLen := 1 + 1 + 8 + 8 + 2 + len(r.ID) + 1 + len(r.State) + 4 + len(r.Err) + 4 + len(r.Payload)
+	b := make([]byte, frameHeader, frameHeader+bodyLen)
+	b = append(b, recordVersion, byte(r.Kind))
+	b = binary.BigEndian.AppendUint64(b, r.Seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Time))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.ID)))
+	b = append(b, r.ID...)
+	b = append(b, byte(len(r.State)))
+	b = append(b, r.State...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Err)))
+	b = append(b, r.Err...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Payload)))
+	b = append(b, r.Payload...)
+	body := b[frameHeader:]
+	binary.BigEndian.PutUint32(b[0:], uint32(len(body)))
+	binary.BigEndian.PutUint32(b[4:], crc32.Checksum(body, castagnoli))
+	return b
+}
+
+// decodeRecord parses a CRC-validated body. Errors here mean a future
+// record version or a malformed encoding — the caller wraps them with
+// the file offset.
+func decodeRecord(body []byte) (Record, error) {
+	var r Record
+	if len(body) < 18 {
+		return r, fmt.Errorf("record body too short (%d bytes)", len(body))
+	}
+	if v := body[0]; v != recordVersion {
+		return r, fmt.Errorf("unknown record version %d (this build writes %d)", v, recordVersion)
+	}
+	r.Kind = Kind(body[1])
+	if r.Kind < KindAccepted || r.Kind > KindCancelled {
+		return r, fmt.Errorf("unknown record kind %d", body[1])
+	}
+	r.Seq = binary.BigEndian.Uint64(body[2:])
+	r.Time = int64(binary.BigEndian.Uint64(body[10:]))
+	i := 18
+	take := func(n int, what string) ([]byte, error) {
+		if n < 0 || len(body)-i < n {
+			return nil, fmt.Errorf("truncated %s field", what)
+		}
+		out := body[i : i+n]
+		i += n
+		return out, nil
+	}
+	if len(body)-i < 2 {
+		return r, fmt.Errorf("truncated id length")
+	}
+	idLen := int(binary.BigEndian.Uint16(body[i:]))
+	i += 2
+	id, err := take(idLen, "id")
+	if err != nil {
+		return r, err
+	}
+	r.ID = string(id)
+	if len(body)-i < 1 {
+		return r, fmt.Errorf("truncated state length")
+	}
+	stateLen := int(body[i])
+	i++
+	state, err := take(stateLen, "state")
+	if err != nil {
+		return r, err
+	}
+	r.State = string(state)
+	if len(body)-i < 4 {
+		return r, fmt.Errorf("truncated error length")
+	}
+	errLen := int(binary.BigEndian.Uint32(body[i:]))
+	i += 4
+	msg, err := take(errLen, "error")
+	if err != nil {
+		return r, err
+	}
+	r.Err = string(msg)
+	if len(body)-i < 4 {
+		return r, fmt.Errorf("truncated payload length")
+	}
+	payLen := int(binary.BigEndian.Uint32(body[i:]))
+	i += 4
+	payload, err := take(payLen, "payload")
+	if err != nil {
+		return r, err
+	}
+	if payLen > 0 {
+		r.Payload = append([]byte(nil), payload...)
+	}
+	if i != len(body) {
+		return r, fmt.Errorf("%d trailing bytes after record", len(body)-i)
+	}
+	return r, nil
+}

@@ -1,0 +1,425 @@
+package joblog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Kind: KindAccepted, Seq: 1, Time: 1111, ID: "job-1", Payload: []byte(`{"qasm":"x"}`)},
+		{Kind: KindStarted, Seq: 1, Time: 2222, ID: "job-1"},
+		{Kind: KindAccepted, Seq: 2, Time: 3333, ID: "job-2", Payload: []byte(`{"qasm":"y"}`)},
+		{Kind: KindFinished, Seq: 1, Time: 4444, ID: "job-1", State: "failed", Err: "router exploded"},
+		{Kind: KindCancelled, Seq: 2, Time: 5555, ID: "job-2", Err: "cancelled by caller"},
+	}
+}
+
+func mustOpen(t *testing.T, dir string, cfg Config) (*Log, Recovered) {
+	t.Helper()
+	l, rec, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func appendAll(t *testing.T, l *Log, recs []Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append(%s %s): %v", r.Kind, r.ID, err)
+		}
+	}
+}
+
+func recordsEqual(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Kind != w.Kind || g.Seq != w.Seq || g.Time != w.Time ||
+			g.ID != w.ID || g.State != w.State || g.Err != w.Err ||
+			!bytes.Equal(g.Payload, w.Payload) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+func logPath(dir string) string { return filepath.Join(dir, logFileName) }
+
+func TestEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := mustOpen(t, dir, Config{})
+	if len(rec.Records) != 0 || rec.TornTail {
+		t.Fatalf("fresh log recovered %+v, want empty", rec)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Reopening the (header-only) file is still an empty, clean log.
+	l, rec = mustOpen(t, dir, Config{})
+	defer l.Close()
+	if len(rec.Records) != 0 || rec.TornTail {
+		t.Fatalf("reopened empty log recovered %+v, want empty", rec)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testRecords()
+	l, _ := mustOpen(t, dir, Config{})
+	appendAll(t, l, want)
+	if n := l.Records(); n != int64(len(want)) {
+		t.Fatalf("Records() = %d, want %d", n, len(want))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l, rec := mustOpen(t, dir, Config{})
+	defer l.Close()
+	recordsEqual(t, rec.Records, want)
+	if rec.TornTail {
+		t.Fatal("clean log reported a torn tail")
+	}
+	st := l.Stats()
+	if st.Records != int64(len(want)) || st.TornTail {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestTornTailTruncatedRecord(t *testing.T) {
+	dir := t.TempDir()
+	want := testRecords()
+	l, _ := mustOpen(t, dir, Config{})
+	appendAll(t, l, want)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Simulate a crash mid-append: half a frame of garbage at the tail.
+	f, err := os.OpenFile(logPath(dir), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{0, 0, 0, 99, 1, 2, 3} // declares 99 bytes, delivers 3
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, rec := mustOpen(t, dir, Config{})
+	if !rec.TornTail || rec.TornBytes != int64(len(torn)) {
+		t.Fatalf("TornTail=%v TornBytes=%d, want true/%d", rec.TornTail, rec.TornBytes, len(torn))
+	}
+	recordsEqual(t, rec.Records, want)
+	// The log is usable after recovery: append and reopen cleanly.
+	extra := Record{Kind: KindStarted, Seq: 2, Time: 6666, ID: "job-2"}
+	if err := l.Append(extra); err != nil {
+		t.Fatalf("Append after torn-tail recovery: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l, rec = mustOpen(t, dir, Config{})
+	defer l.Close()
+	recordsEqual(t, rec.Records, append(want, extra))
+	if rec.TornTail {
+		t.Fatal("second reopen still reports a torn tail")
+	}
+}
+
+func TestTornTailCorruptFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	want := testRecords()
+	l, _ := mustOpen(t, dir, Config{})
+	appendAll(t, l, want)
+	l.Close()
+	// Flip a byte inside the FINAL record's body: CRC fails on a frame
+	// that reaches EOF — indistinguishable from a cut-short write, so
+	// it must be dropped, not fatal.
+	data, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(logPath(dir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, rec := mustOpen(t, dir, Config{})
+	defer l.Close()
+	if !rec.TornTail {
+		t.Fatal("corrupt final record not reported as torn tail")
+	}
+	recordsEqual(t, rec.Records, want[:len(want)-1])
+}
+
+// frameEnd returns the file offset just past frame n (0-based) — i.e.
+// the offset of frame n+1 — by walking the frame headers.
+func frameEnd(t *testing.T, dir string, n int) int64 {
+	t.Helper()
+	data, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(len(magic))
+	for k := 0; k <= n; k++ {
+		length := binary.BigEndian.Uint32(data[off:])
+		off += int64(frameHeader) + int64(length)
+	}
+	return off
+}
+
+func TestCorruptionMidFileFailsWithOffset(t *testing.T) {
+	dir := t.TempDir()
+	want := testRecords()
+	l, _ := mustOpen(t, dir, Config{})
+	appendAll(t, l, want)
+	l.Close()
+	// Flip a byte inside record 1's body. Valid records follow, so this
+	// is real corruption: Open must refuse, naming record 1's offset.
+	rec1 := frameEnd(t, dir, 0)
+	f, err := os.OpenFile(logPath(dir), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xAA}, rec1+frameHeader+3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, _, err = Open(dir, Config{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Open = %v, want *CorruptError", err)
+	}
+	if ce.Offset != rec1 {
+		t.Fatalf("CorruptError.Offset = %d, want %d", ce.Offset, rec1)
+	}
+	if ce.Reason != "CRC mismatch" {
+		t.Fatalf("CorruptError.Reason = %q", ce.Reason)
+	}
+}
+
+func TestUnknownFutureRecordVersion(t *testing.T) {
+	dir := t.TempDir()
+	want := testRecords()[:2]
+	l, _ := mustOpen(t, dir, Config{})
+	appendAll(t, l, want)
+	l.Close()
+	// Craft a well-framed record from "the future": version 99, valid
+	// CRC. The bytes are intact — this is not a torn tail — but the
+	// build cannot know what it means, so Open must fail by offset.
+	future := encodeFrame(Record{Kind: KindAccepted, Seq: 9, Time: 7, ID: "job-9"})
+	body := future[frameHeader:]
+	body[0] = 99
+	binary.BigEndian.PutUint32(future[4:], crc32.Checksum(body, castagnoli))
+	off := frameEnd(t, dir, len(want)-1)
+	f, err := os.OpenFile(logPath(dir), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(future); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, _, err = Open(dir, Config{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Open = %v, want *CorruptError", err)
+	}
+	if ce.Offset != off {
+		t.Fatalf("CorruptError.Offset = %d, want %d", ce.Offset, off)
+	}
+}
+
+func TestFsyncFailureSurfacesOnAppend(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.NewInjector().FailAt(faults.OpSync, 1)
+	l, _ := mustOpen(t, dir, Config{
+		Fsync: FsyncAlways,
+		Wrap:  func(f File) File { return faults.NewFile(f, inj) },
+	})
+	defer l.Close()
+	err := l.Append(testRecords()[0])
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Append under failing fsync = %v, want ErrInjected", err)
+	}
+	// The write itself landed; the next append (sync #2) succeeds.
+	if err := l.Append(testRecords()[1]); err != nil {
+		t.Fatalf("Append after fsync recovery: %v", err)
+	}
+}
+
+func TestWriteFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.NewInjector().FailAt(faults.OpWrite, 1)
+	l, _ := mustOpen(t, dir, Config{
+		Fsync: FsyncNever,
+		Wrap:  func(f File) File { return faults.NewFile(f, inj) },
+	})
+	recs := testRecords()
+	if err := l.Append(recs[0]); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Append = %v, want ErrInjected", err)
+	}
+	// The failed append rolled back; the survivor is the only record.
+	if err := l.Append(recs[1]); err != nil {
+		t.Fatalf("Append after rollback: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l, rec := mustOpen(t, dir, Config{})
+	defer l.Close()
+	recordsEqual(t, rec.Records, recs[1:2])
+	if rec.TornTail {
+		t.Fatal("rollback left a torn tail")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Config{})
+	appendAll(t, l, testRecords())
+	live := []Record{
+		{Kind: KindAccepted, Seq: 2, Time: 3333, ID: "job-2", Payload: []byte(`{"qasm":"y"}`)},
+	}
+	if err := l.Compact(live); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n := l.Records(); n != 1 {
+		t.Fatalf("Records after compact = %d, want 1", n)
+	}
+	if st := l.Stats(); st.Compactions != 1 {
+		t.Fatalf("Compactions = %d, want 1", st.Compactions)
+	}
+	// The post-rename handle keeps working: appends land in the new
+	// file and survive a reopen alongside the compacted live set.
+	extra := Record{Kind: KindStarted, Seq: 2, Time: 9999, ID: "job-2"}
+	if err := l.Append(extra); err != nil {
+		t.Fatalf("Append after compact: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l, rec := mustOpen(t, dir, Config{})
+	defer l.Close()
+	recordsEqual(t, rec.Records, append(live, extra))
+}
+
+func TestCompactionRenameFailureKeepsOldLog(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.NewInjector().FailAt(faults.OpRename, 1)
+	l, _ := mustOpen(t, dir, Config{Rename: inj.Rename(os.Rename)})
+	want := testRecords()
+	appendAll(t, l, want)
+	if err := l.Compact(want[:1]); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Compact = %v, want ErrInjected", err)
+	}
+	// The failed compaction left no temp file and the old log is
+	// authoritative, still serving every record.
+	if _, err := os.Stat(filepath.Join(dir, tmpFileName)); !os.IsNotExist(err) {
+		t.Fatalf("compaction temp file survived a failed rename (stat err %v)", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l, rec := mustOpen(t, dir, Config{})
+	defer l.Close()
+	recordsEqual(t, rec.Records, want)
+}
+
+func TestLeftoverCompactionTempIsRemoved(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Config{})
+	appendAll(t, l, testRecords()[:1])
+	l.Close()
+	// A crash between writing the temp and the rename leaves the temp
+	// behind; the old log must stay authoritative on the next Open.
+	tmp := filepath.Join(dir, tmpFileName)
+	if err := os.WriteFile(tmp, []byte("half-written compaction"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec := mustOpen(t, dir, Config{})
+	defer l.Close()
+	recordsEqual(t, rec.Records, testRecords()[:1])
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("leftover temp not removed (stat err %v)", err)
+	}
+}
+
+func TestCrashDuringCreation(t *testing.T) {
+	dir := t.TempDir()
+	// A file shorter than the header means the process died while
+	// creating the log; nothing was ever acknowledged from it.
+	if err := os.WriteFile(logPath(dir), []byte{'S', 'B', 'R'}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec := mustOpen(t, dir, Config{})
+	defer l.Close()
+	if len(rec.Records) != 0 || !rec.TornTail || rec.TornBytes != 3 {
+		t.Fatalf("recovered %+v, want empty with 3 torn bytes", rec)
+	}
+	if err := l.Append(testRecords()[0]); err != nil {
+		t.Fatalf("Append after re-creation: %v", err)
+	}
+}
+
+func TestBadMagicIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(logPath(dir), []byte("NOTALOG!extra"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(dir, Config{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Offset != 0 {
+		t.Fatalf("Open = %v, want *CorruptError at offset 0", err)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Config{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRecords()[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"always", FsyncAlways, true},
+		{"", FsyncAlways, true},
+		{"interval", FsyncInterval, true},
+		{"never", FsyncNever, true},
+		{"sometimes", 0, false},
+	} {
+		got, err := ParseFsync(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Fatalf("ParseFsync(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.ok && got.String() != tc.in && tc.in != "" {
+			t.Fatalf("round-trip %q -> %q", tc.in, got)
+		}
+	}
+}

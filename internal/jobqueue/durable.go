@@ -1,0 +1,343 @@
+package jobqueue
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/batch"
+	"repro/internal/joblog"
+)
+
+// durable.go wires the queue to internal/joblog: every lifecycle
+// transition of every job is appended to an append-only log, and Open
+// replays the log on boot so a crash (SIGKILL, OOM, power loss) loses
+// no accepted work. Queued jobs re-enter the backlog in their original
+// admission order; jobs that were running when the process died are
+// re-queued from scratch — the engine recomputes them and, because
+// compilation is deterministic, the replayed result is byte-identical
+// to what the lost run would have produced.
+//
+// Transition appends happen under q.mu, inside the same critical
+// sections that mutate job state, so the log's record order agrees
+// with the state machine. Append failures on started/terminal
+// transitions are fail-open (counted in Stats.LogErrors, job
+// proceeds): losing a transition record means at worst re-running a
+// deterministic job after the next crash. The accepted record is the
+// exception — if it cannot be appended, Submit fails, because a job
+// the log never admitted would silently vanish on replay.
+
+// DurabilityConfig enables the job log. The zero value (empty Dir)
+// disables durability entirely — the queue behaves exactly as before.
+type DurabilityConfig struct {
+	// Dir is the log directory (created if missing). Empty disables
+	// the job log.
+	Dir string
+
+	// Fsync is the joblog sync policy (default FsyncAlways: every
+	// accepted job survives any crash).
+	Fsync joblog.FsyncPolicy
+
+	// FsyncInterval is the background sync period under FsyncInterval
+	// (default 100ms).
+	FsyncInterval time.Duration
+
+	// CompactMinRecords is the log size below which compaction never
+	// triggers (default 512 records).
+	CompactMinRecords int
+
+	// CompactFactor triggers compaction when the log holds more than
+	// CompactFactor times as many records as the live set needs
+	// (default 4).
+	CompactFactor int
+
+	// Device resolves a persisted device spec on replay (default
+	// arch.FromSpec). The daemon passes its memoized resolver so
+	// replayed jobs share calibratable device instances with live
+	// traffic.
+	Device func(spec string) (*arch.Device, error)
+
+	// Wrap and Rename are joblog test seams (fault injection); nil in
+	// production.
+	Wrap   func(joblog.File) joblog.File
+	Rename func(oldpath, newpath string) error
+}
+
+// RecoveryStats reports what boot-time replay found; surfaced in
+// Stats.Recovery (and the daemon's /stats) so operators can see that a
+// restart recovered work.
+type RecoveryStats struct {
+	// Replayed counts live jobs found in the log (Queued + Running +
+	// Dropped).
+	Replayed int `json:"replayed"`
+	// Queued counts jobs that were waiting at crash time and re-entered
+	// the backlog.
+	Queued int `json:"queued"`
+	// Running counts jobs that were on the engine at crash time; they
+	// are re-queued and recompute deterministically.
+	Running int `json:"running"`
+	// Dropped counts live records whose payload no longer decodes;
+	// they are retained as failed jobs instead of replayed.
+	Dropped int `json:"dropped,omitempty"`
+	// TornTail reports that the log ended in a truncated or corrupt
+	// final record (normal crash residue; the tail was discarded).
+	TornTail bool `json:"torn_tail,omitempty"`
+	// TornBytes is the size of the discarded tail.
+	TornBytes int64 `json:"torn_bytes,omitempty"`
+}
+
+// Open starts a queue like New and, when cfg.Durable.Dir is set,
+// opens (or creates) the job log there and replays it: live jobs from
+// the previous process re-enter the backlog in admission order before
+// any new submission is accepted. The error is non-nil only for
+// durable configurations — an unreadable log directory or mid-file
+// corruption (joblog.CorruptError, with the offending offset) refuses
+// to start rather than silently dropping accepted work.
+func Open(eng *batch.Engine, cfg Config) (*Queue, error) {
+	applyDefaults(&cfg)
+	hookCtx, hookCancel := context.WithCancel(context.Background())
+	q := &Queue{
+		cfg:        cfg,
+		eng:        eng,
+		jobs:       make(map[string]*job),
+		hookCtx:    hookCtx,
+		hookCancel: hookCancel,
+		gcStop:     make(chan struct{}),
+		gcDone:     make(chan struct{}),
+		now:        time.Now,
+	}
+	var replayed []*job
+	if cfg.Durable.Dir != "" {
+		q.device = cfg.Durable.Device
+		if q.device == nil {
+			q.device = arch.FromSpec
+		}
+		l, rec, err := joblog.Open(cfg.Durable.Dir, joblog.Config{
+			Fsync:    cfg.Durable.Fsync,
+			Interval: cfg.Durable.FsyncInterval,
+			Wrap:     cfg.Durable.Wrap,
+			Rename:   cfg.Durable.Rename,
+		})
+		if err != nil {
+			hookCancel()
+			return nil, err
+		}
+		q.log = l
+		rs := &RecoveryStats{TornTail: rec.TornTail, TornBytes: rec.TornBytes}
+		replayed = q.replay(rec.Records, rs)
+		q.recovery = rs
+	}
+	depth := cfg.QueueDepth
+	if len(replayed) > depth {
+		// The previous process admitted more than this one's configured
+		// depth; recovery must not drop accepted work, so the backlog
+		// stretches to fit.
+		depth = len(replayed)
+	}
+	q.pending = make(chan *job, depth)
+	for _, j := range replayed {
+		q.jobs[j.id] = j
+		q.pending <- j
+	}
+	q.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go q.worker()
+	}
+	go q.reaper()
+	return q, nil
+}
+
+// replay folds the recovered records into the set of jobs to
+// resurrect, in admission (sequence) order. A job is live when its
+// accepted record has no matching terminal record. Live records whose
+// payload no longer decodes are dropped: retained as failed jobs (so
+// pollers learn their fate) and re-terminated in the log (so the next
+// boot does not see them again).
+func (q *Queue) replay(records []joblog.Record, rs *RecoveryStats) []*job {
+	type entry struct {
+		acc     joblog.Record
+		running bool
+		live    bool
+	}
+	entries := make(map[string]*entry)
+	order := make([]string, 0, len(records))
+	var maxSeq uint64
+	for _, r := range records {
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+		switch r.Kind {
+		case joblog.KindAccepted:
+			if _, ok := entries[r.ID]; !ok {
+				entries[r.ID] = &entry{acc: r, live: true}
+				order = append(order, r.ID)
+			}
+		case joblog.KindStarted:
+			if e := entries[r.ID]; e != nil {
+				e.running = true
+			}
+		case joblog.KindFinished, joblog.KindCancelled:
+			if e := entries[r.ID]; e != nil {
+				e.live = false
+			}
+		}
+	}
+	q.seq = int64(maxSeq)
+	// Accepted records are appended (and compacted) in sequence order,
+	// so file order already is admission order; sort defensively so a
+	// hand-edited or merged log still replays deterministically.
+	sort.SliceStable(order, func(a, b int) bool {
+		return entries[order[a]].acc.Seq < entries[order[b]].acc.Seq
+	})
+	var out []*job
+	for _, id := range order {
+		e := entries[id]
+		if !e.live {
+			continue
+		}
+		rs.Replayed++
+		created := time.Unix(0, e.acc.Time)
+		req, err := decodeRequest(e.acc.Payload, q.device)
+		if err != nil {
+			rs.Dropped++
+			msg := fmt.Sprintf("replay: %v", err)
+			j := &job{
+				id:       id,
+				seq:      int64(e.acc.Seq),
+				state:    StateFailed,
+				created:  created,
+				finished: q.now(),
+				err:      msg,
+				done:     make(chan struct{}),
+			}
+			close(j.done)
+			q.jobs[id] = j
+			q.failedN++
+			// Terminate it in the log too, or the next boot re-drops it.
+			q.appendLocked(joblog.Record{
+				Kind: joblog.KindFinished, Seq: e.acc.Seq,
+				Time: j.finished.UnixNano(), ID: id,
+				State: string(StateFailed), Err: msg,
+			})
+			continue
+		}
+		j := &job{
+			id:      id,
+			seq:     int64(e.acc.Seq),
+			req:     req,
+			state:   StateQueued,
+			created: created,
+			done:    make(chan struct{}),
+			webhook: WebhookStatus{URL: req.Webhook},
+			payload: e.acc.Payload,
+		}
+		if e.running {
+			rs.Running++
+		} else {
+			rs.Queued++
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// appendLocked appends one transition record, fail-open: an append
+// error is counted (Stats.LogErrors) and the transition proceeds. The
+// caller holds q.mu. No-op on non-durable queues.
+func (q *Queue) appendLocked(r joblog.Record) {
+	if q.log == nil {
+		return
+	}
+	if err := q.log.Append(r); err != nil {
+		q.logErrs++
+	}
+}
+
+// acceptedRecord is the durable form of admission: it carries the
+// encoded request, so it alone can resurrect the job.
+func acceptedRecord(j *job) joblog.Record {
+	return joblog.Record{
+		Kind: joblog.KindAccepted, Seq: uint64(j.seq),
+		Time: j.created.UnixNano(), ID: j.id, Payload: j.payload,
+	}
+}
+
+func startedRecord(j *job) joblog.Record {
+	return joblog.Record{
+		Kind: joblog.KindStarted, Seq: uint64(j.seq),
+		Time: j.started.UnixNano(), ID: j.id,
+	}
+}
+
+// terminalRecord encodes the job's terminal transition; the caller
+// holds q.mu and the job is terminal.
+func terminalRecord(j *job) joblog.Record {
+	kind := joblog.KindFinished
+	if j.state == StateCancelled {
+		kind = joblog.KindCancelled
+	}
+	return joblog.Record{
+		Kind: kind, Seq: uint64(j.seq), Time: j.finished.UnixNano(),
+		ID: j.id, State: string(j.state), Err: j.err,
+	}
+}
+
+// maybeCompactLocked rewrites the log down to the live set once the
+// log carries CompactFactor times more records than the live set
+// needs (and at least CompactMinRecords). Runs under q.mu: by
+// construction the live set is a small fraction of the log when this
+// fires, so the rewrite is short. Compaction failure is fail-open —
+// the old log stays authoritative and the next terminal transition
+// retries.
+func (q *Queue) maybeCompactLocked() {
+	if q.log == nil {
+		return
+	}
+	total := q.log.Records()
+	if total < int64(q.cfg.Durable.CompactMinRecords) {
+		return
+	}
+	live := q.liveRecordsLocked()
+	if total < int64(q.cfg.Durable.CompactFactor)*int64(len(live)+1) {
+		return
+	}
+	if err := q.log.Compact(live); err != nil {
+		q.logErrs++
+	}
+}
+
+// liveRecordsLocked rebuilds the minimal record set that reproduces
+// the current non-terminal jobs, in admission order.
+func (q *Queue) liveRecordsLocked() []joblog.Record {
+	var live []*job
+	//sabre:nondeterm-ok collected set is fully sorted by seq below
+	for _, j := range q.jobs {
+		if !j.state.Terminal() && j.payload != nil {
+			live = append(live, j)
+		}
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].seq < live[b].seq })
+	recs := make([]joblog.Record, 0, 2*len(live))
+	for _, j := range live {
+		recs = append(recs, acceptedRecord(j))
+		if j.state == StateRunning {
+			recs = append(recs, startedRecord(j))
+		}
+	}
+	return recs
+}
+
+// closeLog closes the job log after the workers drained (no appends
+// can race it).
+func (q *Queue) closeLog() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.log == nil {
+		return
+	}
+	if err := q.log.Close(); err != nil {
+		q.logErrs++
+	}
+}

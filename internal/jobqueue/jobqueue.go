@@ -27,12 +27,15 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/batch"
 	"repro/internal/fleet"
+	"repro/internal/joblog"
 )
 
 // State is a job's lifecycle position.
@@ -67,6 +70,13 @@ type Request struct {
 	// the job reaches a terminal state, with bounded retries (see
 	// WebhookConfig).
 	Webhook string
+
+	// DeviceSpec names Job.Device in the shared device-spec vocabulary
+	// (arch.FromSpec). Durable queues require it: Job.Device.Name() is
+	// a display label that does not round-trip through FromSpec, so the
+	// spec is what the job log persists and what replay resolves.
+	// Ignored (may be empty) on non-durable queues.
+	DeviceSpec string
 
 	// Fleet, when non-nil, records the fleet-scheduling decision that
 	// chose Job.Device. The queue carries it through snapshots so
@@ -119,17 +129,38 @@ type Stats struct {
 
 	WebhooksDelivered int64 `json:"webhooks_delivered"`
 	WebhooksFailed    int64 `json:"webhooks_failed"` // retries exhausted
+
+	// Recovery reports what boot-time replay found. Non-nil whenever
+	// the queue has a job log (all-zero after a clean boot), nil on
+	// non-durable queues.
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
+
+	// Log is the job log's own counters; nil on non-durable queues.
+	Log *joblog.Stats `json:"log,omitempty"`
+
+	// LogErrors counts fail-open durability faults: transition appends
+	// or compactions that failed after the job was already admitted.
+	LogErrors int64 `json:"log_errors,omitempty"`
 }
 
 // WebhookConfig bounds completion-callback delivery.
 type WebhookConfig struct {
 	// MaxAttempts caps delivery tries per job (default 3). Anything
-	// but a 2xx response counts as a failed attempt.
+	// but a 2xx response counts as a failed attempt; 4xx responses
+	// other than 408 and 429 are permanent and settle delivery as
+	// failed on the first attempt — a consumer that rejects the
+	// payload will keep rejecting it.
 	MaxAttempts int
 
-	// Backoff is the delay before the second attempt, doubling per
-	// retry (default 250ms).
+	// Backoff is the base delay before the second attempt, doubling
+	// per retry up to MaxBackoff (default 250ms). The actual delay is
+	// jittered into [backoff/2, backoff) by a deterministic hash of
+	// (job ID, attempt), so a burst of completions does not hammer the
+	// consumer in lockstep while tests stay reproducible.
 	Backoff time.Duration
+
+	// MaxBackoff caps the exponential growth (default 30s).
+	MaxBackoff time.Duration
 
 	// Timeout bounds each POST (default 10s).
 	Timeout time.Duration
@@ -168,6 +199,11 @@ type Config struct {
 	// Nil selects the default payload: the snapshot's ID/state/error
 	// plus summary metrics.
 	Payload func(Snapshot) any
+
+	// Durable enables the crash-safe job log (see DurabilityConfig);
+	// the zero value keeps the queue purely in-memory. Durable queues
+	// must be constructed with Open, not New.
+	Durable DurabilityConfig
 }
 
 const (
@@ -196,6 +232,11 @@ type job struct {
 	err      string
 	result   *batch.Result
 	webhook  WebhookStatus
+
+	// payload is the encoded request as persisted in the job log's
+	// accepted record (nil on non-durable queues); compaction rewrites
+	// it verbatim.
+	payload []byte
 
 	// cancel aborts the running compilation (nil unless running);
 	// cancelRequested distinguishes a caller's cancel from an engine
@@ -232,13 +273,33 @@ type Queue struct {
 
 	now func() time.Time // injected by tests
 
+	// log is the durability log (nil = in-memory queue); recovery is
+	// what boot-time replay found; device resolves persisted device
+	// specs; logErrs counts fail-open durability faults (guarded by mu
+	// like the other counters).
+	log      *joblog.Log
+	recovery *RecoveryStats
+	device   func(spec string) (*arch.Device, error)
+	logErrs  int64
+
 	submitted, doneN, failedN, cancelledN, expiredN int64
 	hooksOK, hooksFailed                            int64
 }
 
 // New starts a queue draining onto eng. The engine is borrowed, not
-// owned: Close drains the queue but leaves eng running.
+// owned: Close drains the queue but leaves eng running. Durable
+// configurations (Config.Durable.Dir set) must use Open, which can
+// report log-open and replay failures; New panics on them.
 func New(eng *batch.Engine, cfg Config) *Queue {
+	q, err := Open(eng, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("jobqueue: New: %v (durable queues must use Open)", err))
+	}
+	return q
+}
+
+// applyDefaults fills the zero Config fields in place.
+func applyDefaults(cfg *Config) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -263,27 +324,18 @@ func New(eng *batch.Engine, cfg Config) *Queue {
 	if cfg.Webhook.Backoff <= 0 {
 		cfg.Webhook.Backoff = 250 * time.Millisecond
 	}
+	if cfg.Webhook.MaxBackoff <= 0 {
+		cfg.Webhook.MaxBackoff = 30 * time.Second
+	}
 	if cfg.Webhook.Timeout <= 0 {
 		cfg.Webhook.Timeout = 10 * time.Second
 	}
-	hookCtx, hookCancel := context.WithCancel(context.Background())
-	q := &Queue{
-		cfg:        cfg,
-		eng:        eng,
-		jobs:       make(map[string]*job),
-		pending:    make(chan *job, cfg.QueueDepth),
-		hookCtx:    hookCtx,
-		hookCancel: hookCancel,
-		gcStop:     make(chan struct{}),
-		gcDone:     make(chan struct{}),
-		now:        time.Now,
+	if cfg.Durable.CompactMinRecords <= 0 {
+		cfg.Durable.CompactMinRecords = 512
 	}
-	q.workers.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		go q.worker()
+	if cfg.Durable.CompactFactor <= 1 {
+		cfg.Durable.CompactFactor = 4
 	}
-	go q.reaper()
-	return q
 }
 
 // Submit registers a compilation and returns its job snapshot
@@ -308,10 +360,29 @@ func (q *Queue) Submit(req Request) (Snapshot, error) {
 		done:    make(chan struct{}),
 		webhook: WebhookStatus{URL: req.Webhook},
 	}
+	if q.log != nil {
+		payload, err := encodeRequest(req)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		j.payload = payload
+	}
 	select {
 	case q.pending <- j:
 	default:
 		return Snapshot{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, q.cfg.QueueDepth)
+	}
+	if q.log != nil {
+		// The accepted record is the one append that must not fail
+		// open: a job the log never admitted would silently vanish on
+		// replay. The backlog slot is already taken, so mark the job
+		// cancelled — the worker that picks it up skips it — and keep
+		// it out of the map (never visible, never delivered).
+		if err := q.log.Append(acceptedRecord(j)); err != nil {
+			q.logErrs++
+			j.state = StateCancelled
+			return Snapshot{}, fmt.Errorf("jobqueue: durable accept: %w", err)
+		}
 	}
 	q.jobs[j.id] = j
 	q.submitted++
@@ -432,6 +503,15 @@ func (q *Queue) Stats() Stats {
 		Held:              len(q.jobs),
 		WebhooksDelivered: q.hooksOK,
 		WebhooksFailed:    q.hooksFailed,
+		LogErrors:         q.logErrs,
+	}
+	if q.recovery != nil {
+		r := *q.recovery
+		st.Recovery = &r
+	}
+	if q.log != nil {
+		ls := q.log.Stats()
+		st.Log = &ls
 	}
 	//sabre:nondeterm-ok counter fold; order-insensitive
 	for _, j := range q.jobs {
@@ -488,6 +568,7 @@ func (q *Queue) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		q.closeLog()
 		return nil
 	case <-ctx.Done():
 	}
@@ -501,6 +582,7 @@ func (q *Queue) Close(ctx context.Context) error {
 	q.mu.Unlock()
 	q.hookCancel()
 	<-drained
+	q.closeLog()
 	return ctx.Err()
 }
 
@@ -524,10 +606,11 @@ func (q *Queue) run(j *job) {
 	j.state = StateRunning
 	j.started = q.now()
 	j.cancel = cancel
+	q.appendLocked(startedRecord(j))
 	q.mu.Unlock()
 	defer cancel()
 
-	res := <-q.eng.SubmitContext(ctx, j.req.Job)
+	res := q.execute(ctx, j)
 
 	q.mu.Lock()
 	j.cancel = nil
@@ -540,6 +623,21 @@ func (q *Queue) run(j *job) {
 		q.finishLocked(j, StateFailed, res.Err.Error(), nil)
 	}
 	q.mu.Unlock()
+}
+
+// execute hands the job to the engine behind a panic fence: the
+// engine already recovers pipeline panics into batch.PanicError, but
+// a panic anywhere else on the submission path (a poisoned option
+// set, a broken custom router constructor) must also fail just this
+// job — with the stack in the error — and never unwind the worker,
+// which would deadlock every job behind it in the backlog.
+func (q *Queue) execute(ctx context.Context, j *job) (res batch.Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = batch.Result{Err: &batch.PanicError{Value: r, Stack: debug.Stack()}}
+		}
+	}()
+	return <-q.eng.SubmitContext(ctx, j.req.Job)
 }
 
 // finishLocked performs the terminal transition: state, counters, the
@@ -561,6 +659,8 @@ func (q *Queue) finishLocked(j *job, s State, errMsg string, res *batch.Result) 
 		q.cancelledN++
 	}
 	close(j.done)
+	q.appendLocked(terminalRecord(j))
+	q.maybeCompactLocked()
 	if j.req.Webhook != "" {
 		q.hooks.Add(1)
 		go q.deliver(j, j.snapshotLocked())

@@ -2,14 +2,35 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/core"
 )
+
+// runTrialRecover runs one trial with a panic fence: a panicking trial
+// is recorded (first panic wins, with the panicking goroutine's stack)
+// and reported as a failed trial so the worker keeps draining the feed
+// — with every worker parked behind an unrecovered panic the feeder
+// would deadlock. RunTrials re-raises the captured panic once the pool
+// drains.
+func runTrialRecover(once *sync.Once, pv *atomic.Value, p *core.Prepared, ctx context.Context, trial int, scratch *core.Scratch) (res *core.Result, depth int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			once.Do(func() {
+				pv.Store(fmt.Sprintf("pipeline: trial %d panic: %v\n%s", trial, r, debug.Stack()))
+			})
+			res, depth, err = nil, 0, fmt.Errorf("pipeline: trial %d panicked", trial)
+		}
+	}()
+	return p.RunTrialCtx(ctx, trial, scratch)
+}
 
 // TrialRunner executes the paper's best-of-N protocol — N independent
 // routing trials, each a full reverse-traversal restart from a
@@ -100,6 +121,15 @@ func (tr TrialRunner) RunTrials(ctx context.Context, circ *circuit.Circuit, dev 
 
 	results := make([]*core.Result, n)
 	depths := make([]int, n)
+	// A panic in a trial worker must not unwind its goroutine — that
+	// would kill the whole process, not just this job. The first panic
+	// is captured (with the panicking goroutine's stack) and re-raised
+	// on the caller's goroutine after the pool drains, where the batch
+	// engine's recover turns it into a failed job.
+	var (
+		panicOnce sync.Once
+		panicVal  atomic.Value
+	)
 	trials := make(chan int)
 	// completions is buffered to n so workers never block reporting;
 	// the feeder drains it opportunistically to learn the early-exit
@@ -123,7 +153,7 @@ func (tr TrialRunner) RunTrials(ctx context.Context, circ *circuit.Circuit, dev 
 				// results slot is nil, and the prefix watcher walking
 				// a "completed" nil entry would dereference it. The
 				// feeder still terminates via its ctx.Done case.
-				res, depth, err := p.RunTrialCtx(ctx, trial, scratch)
+				res, depth, err := runTrialRecover(&panicOnce, &panicVal, p, ctx, trial, scratch)
 				if err != nil {
 					continue
 				}
@@ -166,6 +196,14 @@ feed:
 	}
 	close(trials)
 	wg.Wait()
+	if pv := panicVal.Load(); pv != nil {
+		// Re-raise the captured trial panic on this goroutine: the
+		// batch engine's recover converts it into a failed job while
+		// the daemon keeps serving. Re-panicking (rather than
+		// returning an error) keeps panic semantics for direct
+		// library callers, with the original stack in the value.
+		panic(pv)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}

@@ -491,6 +491,19 @@ type (
 	JobQueueStats = jobqueue.Stats
 	// JobWebhookConfig bounds webhook delivery retries.
 	JobWebhookConfig = jobqueue.WebhookConfig
+	// JobDurability configures the crash-safe job log: set Dir (and a
+	// fsync policy) in JobQueueConfig.Durable and open the queue with
+	// OpenJobQueue — accepted jobs then survive a process crash and
+	// replay on the next boot. Durable submissions must carry
+	// JobRequest.DeviceSpec.
+	JobDurability = jobqueue.DurabilityConfig
+	// JobRecoveryStats reports what a durable queue replayed at boot
+	// (JobQueueStats.Recovery).
+	JobRecoveryStats = jobqueue.RecoveryStats
+	// PanicError is the typed failure a job gets when its pipeline
+	// panics: the panic value plus the panicking goroutine's stack.
+	// The worker pool survives; only the job fails.
+	PanicError = batch.PanicError
 )
 
 // Job lifecycle states: queued → running → done | failed | cancelled.
@@ -515,6 +528,15 @@ var (
 // NewJobQueue starts an async job queue draining onto eng. The engine
 // is borrowed: closing the queue leaves it running.
 func NewJobQueue(eng *Engine, cfg JobQueueConfig) *JobQueue { return jobqueue.New(eng, cfg) }
+
+// OpenJobQueue starts a job queue like NewJobQueue but surfaces the
+// durable job log's boot errors instead of panicking: with
+// cfg.Durable.Dir set it replays the log (re-queueing every job that
+// was queued or running at the crash) and refuses to open on
+// mid-file corruption. Recovery counts land in Stats().Recovery.
+func OpenJobQueue(eng *Engine, cfg JobQueueConfig) (*JobQueue, error) {
+	return jobqueue.Open(eng, cfg)
+}
 
 // AsyncEngine couples a batch engine with an async job queue — the
 // in-process form of cmd/sabred's v2 API. Synchronous calls go
