@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet lint race bench bench-smoke bench-json bench-guard sabred-smoke crash-smoke clean help
+.PHONY: check build test vet lint race bench bench-smoke bench-json bench-guard sabred-smoke crash-smoke stream-smoke clean help
 
 check: vet lint build race
 
@@ -54,10 +54,12 @@ bench-smoke:
 
 # Perf-trajectory snapshot: workload × router ns/op, allocs/op and
 # added gates, plus the score_round microbenchmark rows (one per
-# scoring engine), written as JSON so future PRs have a baseline to
-# beat. Compare against the committed BENCH_PR7.json.
+# scoring engine) and the stream_throughput streaming rows (gates/sec
+# and bytes/gate for the windowed path and its materialized oracle),
+# written as JSON so future PRs have a baseline to beat. Compare
+# against the committed BENCH_PR10.json.
 bench-json:
-	$(GO) run ./cmd/benchtab -json BENCH_PR7.json
+	$(GO) run ./cmd/benchtab -json BENCH_PR10.json
 
 # CI perf-regression gate: re-measure the committed baseline and fail
 # on ns/op regression (>25% on baseline routers, >15% on the strict
@@ -68,7 +70,7 @@ bench-json:
 # the big circuits doesn't flake it.
 BENCH_GUARD_NAMES ?=
 bench-guard:
-	$(GO) run ./cmd/benchtab -compare BENCH_PR7.json -tolerance 25 -sabre-tolerance 15 -names '$(BENCH_GUARD_NAMES)'
+	$(GO) run ./cmd/benchtab -compare BENCH_PR10.json -tolerance 25 -sabre-tolerance 15 -names '$(BENCH_GUARD_NAMES)'
 
 # End-to-end daemon smoke: build sabred, boot it, submit an async job,
 # long-poll to completion, assert the verify pass succeeded and the
@@ -87,6 +89,17 @@ sabred-smoke:
 crash-smoke:
 	$(GO) run ./cmd/sabredsmoke -race -crash
 
+# Streaming-compilation smoke: stream a million-gate QASM trace
+# through POST /compile?stream=1 (bounded memory end to end), assert
+# the trailer accounting and run-to-run byte determinism, hold the
+# windowed arm byte-identical to the materialized oracle, and deliver
+# the same compilation as a /jobs?stream=1 per-chunk webhook job.
+# STREAM_FIXTURE=path reuses a pre-generated trace (CI caches
+# `genbench -stream-gates 1000000 -stream-only` output); empty
+# generates one on the fly (~1s). SMOKE_RACE=1 race-builds the daemon.
+stream-smoke:
+	$(GO) run ./cmd/sabredsmoke $(if $(SMOKE_RACE),-race,) -stream $(if $(STREAM_FIXTURE),-stream-fixture $(STREAM_FIXTURE),)
+
 clean:
 	$(GO) clean ./...
 
@@ -100,8 +113,10 @@ help:
 	@echo "race         go test -race ./..."
 	@echo "bench        batch-compile benchmark, 2 rounds"
 	@echo "bench-smoke  end-to-end routing smoke incl. the zero-alloc guard"
-	@echo "bench-json   write the perf baseline (BENCH_PR7.json)"
+	@echo "bench-json   write the perf baseline (BENCH_PR10.json)"
 	@echo "bench-guard  fail on perf regression vs the committed baseline"
 	@echo "sabred-smoke daemon end-to-end smoke (SMOKE_RACE=1 for -race)"
 	@echo "crash-smoke  SIGKILL + durable-log replay drill (always race-built)"
+	@echo "stream-smoke million-gate chunked /compile + webhook-chunk job smoke"
+	@echo "             (STREAM_FIXTURE=f reuses a cached trace, SMOKE_RACE=1 for -race)"
 	@echo "clean        go clean ./..."

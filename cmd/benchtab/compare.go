@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"testing"
 
@@ -146,10 +147,14 @@ func zeroAllocRouter(name string) bool {
 // strictRow reports whether a baseline row gets the hot-path
 // treatment: the tighter -sabre-tolerance on ns/op and the strict
 // no-allocation-growth gate. That is every sabre-backed compilation
-// row plus every score_round row (zero-alloc by construction; any
-// alloc there is a hot-loop leak regardless of engine).
+// row, every score_round row (zero-alloc by construction; any alloc
+// there is a hot-loop leak regardless of engine), and every
+// stream_throughput row — the streaming hot loop is alloc-free on a
+// warm Scratch, so allocation growth there is a leak too.
 func strictRow(b benchRow) bool {
-	return b.Workload == scoreRoundWorkload || zeroAllocRouter(b.Router)
+	return b.Workload == scoreRoundWorkload ||
+		b.Workload == streamThroughputWorkload ||
+		zeroAllocRouter(b.Router)
 }
 
 // runCompare is the CI perf-regression gate: re-measure every row of
@@ -158,7 +163,8 @@ func strictRow(b benchRow) bool {
 //
 //   - ns/op above baseline by more than `tolerance` percent — or by
 //     more than the tighter `sabreTol` percent on the strict rows
-//     (sabre-backed compilations and the score_round microbenchmark);
+//     (sabre-backed compilations, the score_round microbenchmark, and
+//     the stream_throughput streaming rows);
 //   - any allocs/op growth on those same strict rows;
 //   - any added-gates drift (routing is deterministic: a changed
 //     g_add means the algorithm's output changed, not just its speed).
@@ -198,15 +204,20 @@ func runCompare(file string, tolerance, sabreTol float64, names string) {
 
 	failures := 0
 	rows := 0
+	matched := map[string]bool{}
 	for _, b := range base.Rows {
 		if len(keep) > 0 && !keep[b.Workload] {
 			continue
 		}
+		matched[b.Workload] = true
 		rows++
 		var now benchRow
-		if b.Workload == scoreRoundWorkload {
+		switch {
+		case b.Workload == scoreRoundWorkload:
 			now = measureScoreRound(b.Router)
-		} else {
+		case b.Workload == streamThroughputWorkload:
+			now = measureStreamThroughput(b.Router, cfg.Device)
+		default:
 			bench, ok := workloads.ByName(b.Workload)
 			if !ok {
 				fmt.Printf("%-16s %-17s baseline workload no longer exists\n", b.Workload, b.Router)
@@ -238,6 +249,21 @@ func runCompare(file string, tolerance, sabreTol float64, names string) {
 		}
 		fmt.Printf("%-16s %-17s %13d %13d %+7.1f %9d %9d  %s\n",
 			b.Workload, b.Router, b.NsPerOp, now.NsPerOp, deltaPct, b.AllocsPerOp, now.AllocsPerOp, verdict)
+	}
+	// A requested name with no baseline row is a misconfigured gate,
+	// not a passing one: name each absentee instead of silently
+	// shrinking the row set (or, with every name absent, failing with
+	// a message that identifies none of them).
+	var missing []string
+	for name := range keep {
+		if !matched[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fatal(fmt.Errorf("baseline %s has no rows for requested workload(s): %s",
+			file, strings.Join(missing, ", ")))
 	}
 	if rows == 0 {
 		fatal(fmt.Errorf("no baseline rows matched -names %q", names))

@@ -11,7 +11,7 @@
 //	                              router: ns/op, allocs/op, g_add)
 //	benchtab -async               async job queue end to end: submit,
 //	                              long-poll, webhook, cancel, drain
-//	benchtab -compare BENCH_PR7.json -tolerance 25 -sabre-tolerance 15
+//	benchtab -compare BENCH_PR10.json -tolerance 25 -sabre-tolerance 15
 //	                              CI perf gate: re-measure the baseline
 //	                              rows and exit 1 on ns/op regression
 //	                              (the tighter -sabre-tolerance applies
@@ -396,6 +396,10 @@ type benchRow struct {
 	Depth       int     `json:"depth"`
 	TrialsRun   int     `json:"trials_run"`
 	AvgCands    float64 `json:"avg_candidates"`
+	// Streaming throughput columns, set only on the stream_throughput
+	// pseudo-workload rows.
+	GatesPerSec  float64 `json:"gates_per_sec,omitempty"`
+	BytesPerGate float64 `json:"bytes_per_gate,omitempty"`
 }
 
 // benchSnapshot is the file layout of BENCH_*.json: enough environment
@@ -417,7 +421,10 @@ type benchSnapshot struct {
 // "score_round" pseudo-workload row per scoring engine — the isolated
 // SWAP-selection round of core.ScoreRoundProbe, the same fixture
 // BenchmarkScoreRound uses — so the hot path is gated at microbenchmark
-// granularity, not only through whole-compilation rows.
+// granularity, not only through whole-compilation rows; and one
+// "stream_throughput" row per streaming path (windowed and the
+// materialized oracle), carrying the gates/sec and bytes/gate axes of
+// the streaming compiler.
 func runBenchJSON(file string, benches []workloads.Benchmark, dev *arch.Device, opts core.Options, routers []string) {
 	snap := benchSnapshot{
 		Device:    dev.Name(),
@@ -442,6 +449,12 @@ func runBenchJSON(file string, benches []workloads.Benchmark, dev *arch.Device, 
 		snap.Rows = append(snap.Rows, row)
 		fmt.Printf("%-16s %-17s %12d ns/op %8d allocs/op %7d g_add\n",
 			row.Workload, row.Router, row.NsPerOp, row.AllocsPerOp, row.AddedGates)
+	}
+	for _, rname := range streamThroughputRouters {
+		row := measureStreamThroughput(rname, dev)
+		snap.Rows = append(snap.Rows, row)
+		fmt.Printf("%-16s %-17s %12d ns/op %8d allocs/op %7d g_add %11.0f gates/s\n",
+			row.Workload, row.Router, row.NsPerOp, row.AllocsPerOp, row.AddedGates, row.GatesPerSec)
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

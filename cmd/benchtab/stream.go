@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// streamThroughputWorkload is the pseudo-workload name of the
+// streaming-compilation rows: not a Table II circuit but a fixed
+// seeded synthetic trace routed end to end through the windowed
+// streaming router, so the snapshot carries a gates/sec throughput
+// axis next to the whole-compilation and score_round rows.
+const streamThroughputWorkload = "stream_throughput"
+
+// streamThroughputGates sizes the synthetic trace. Big enough that
+// steady-state throughput dominates setup, small enough that three
+// samples stay in benchmark-seconds territory.
+const streamThroughputGates = 20000
+
+// streamThroughputRouters are the "routers" of the stream_throughput
+// rows: the windowed slot-arena path and its materialized-DAG oracle,
+// so the gate tracks both the production path and the reference it is
+// held byte-identical to.
+var streamThroughputRouters = []string{"stream", "stream-materialized"}
+
+// streamThroughputCircuit builds the fixed trace; same seed every
+// run, so g_add drift on these rows means the streaming algorithm's
+// output changed.
+func streamThroughputCircuit(dev *arch.Device) *circuit.Circuit {
+	n := 18
+	if q := dev.NumQubits(); q < n {
+		n = q
+	}
+	return workloads.RandomCircuit(streamThroughputWorkload, n, streamThroughputGates, 0.55, 7)
+}
+
+// countStreamSink discards routed gates, counting them — the rows
+// measure routing throughput, not serialization.
+type countStreamSink struct{ n int64 }
+
+func (s *countStreamSink) Emit(g []circuit.Gate) error {
+	s.n += int64(len(g))
+	return nil
+}
+
+// measureStreamThroughput benchmarks one full streaming compilation
+// of the fixed trace (best of measureSamples runs) and derives the
+// throughput columns: gates/sec from ns/op over the known gate count,
+// bytes/gate from allocated bytes. The windowed row reuses one warm
+// Scratch across iterations, exactly like a long-lived worker.
+func measureStreamThroughput(rname string, dev *arch.Device) benchRow {
+	circ := streamThroughputCircuit(dev)
+	opts := core.DefaultOptions()
+	sopts := core.DefaultStreamOptions()
+	row := benchRow{Workload: streamThroughputWorkload, Router: rname, Gori: circ.NumGates()}
+
+	route := func(s *core.Scratch) (*core.StreamResult, error) {
+		sink := &countStreamSink{}
+		switch rname {
+		case "stream":
+			return core.RouteStream(context.Background(), core.NewCircuitSource(circ), dev, opts, sopts, sink, s)
+		case "stream-materialized":
+			return core.RouteStreamMaterialized(context.Background(), circ, dev, opts, sopts, sink)
+		}
+		return nil, fmt.Errorf("unknown stream_throughput router %q", rname)
+	}
+
+	scratch := core.NewScratch()
+	// Warm route: arena growth and device memo costs land here, and
+	// the deterministic result columns come from it.
+	res, err := route(scratch)
+	if err != nil {
+		fatal(fmt.Errorf("%s/%s: %w", streamThroughputWorkload, rname, err))
+	}
+	row.AddedGates = res.Stats.AddedGates
+
+	row.NsPerOp, row.AllocsPerOp, row.BytesPerOp = sampleMin(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			if _, err := route(scratch); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	})
+	row.GatesPerSec = float64(streamThroughputGates) * 1e9 / float64(row.NsPerOp)
+	row.BytesPerGate = float64(row.BytesPerOp) / float64(streamThroughputGates)
+	return row
+}

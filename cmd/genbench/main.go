@@ -5,9 +5,18 @@
 //
 //	genbench -dir bench_qasm
 //	genbench -dir bench_qasm -extras
+//
+// -stream-gates N additionally writes stream_<N>.qasm, a seeded
+// random trace generated and serialized incrementally (bounded
+// memory at any N) — the fixture for the streaming-compilation smoke
+// and CI's cached million-gate trace. -stream-only skips the Table II
+// suite so a fixture-only run stays cheap:
+//
+//	genbench -dir .stream-fixture -stream-gates 1000000 -stream-only
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +29,17 @@ import (
 
 func main() {
 	var (
-		dir    = flag.String("dir", "bench_qasm", "output directory")
-		extras = flag.Bool("extras", false, "also export GHZ/QAOA/Grover workloads")
+		dir          = flag.String("dir", "bench_qasm", "output directory")
+		extras       = flag.Bool("extras", false, "also export GHZ/QAOA/Grover workloads")
+		streamGates  = flag.Int("stream-gates", 0, "also write stream_<N>.qasm: a seeded random trace of N gates, generated incrementally (any N fits in memory)")
+		streamQubits = flag.Int("stream-qubits", 20, "qubit count of the -stream-gates fixture")
+		streamSeed   = flag.Int64("stream-seed", 7, "PRNG seed of the -stream-gates fixture")
+		streamOnly   = flag.Bool("stream-only", false, "write only the -stream-gates fixture, skipping the benchmark suite")
 	)
 	flag.Parse()
+	if *streamOnly && *streamGates <= 0 {
+		fatal(fmt.Errorf("-stream-only needs -stream-gates"))
+	}
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		fatal(err)
@@ -45,13 +61,33 @@ func main() {
 		count++
 	}
 
-	for _, b := range workloads.All() {
-		emit(b.Build())
+	if !*streamOnly {
+		for _, b := range workloads.All() {
+			emit(b.Build())
+		}
+		if *extras {
+			emit(workloads.GHZ(16))
+			emit(workloads.QAOAMaxCut(14, 2, 0.4, 1))
+			emit(workloads.Grover(5, 2))
+		}
 	}
-	if *extras {
-		emit(workloads.GHZ(16))
-		emit(workloads.QAOAMaxCut(14, 2, 0.4, 1))
-		emit(workloads.Grover(5, 2))
+	if *streamGates > 0 {
+		path := filepath.Join(*dir, fmt.Sprintf("stream_%d.qasm", *streamGates))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriterSize(f, 1<<20)
+		if err := workloads.WriteRandomQASM(bw, *streamQubits, *streamGates, 0.55, *streamSeed); err != nil {
+			fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		count++
 	}
 	fmt.Printf("wrote %d QASM files to %s\n", count, *dir)
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/jobqueue"
 )
 
@@ -40,6 +41,12 @@ type jobResponse struct {
 	Webhook  *jobqueue.WebhookStatus `json:"webhook,omitempty"`
 	Fleet    *fleetJSON              `json:"fleet,omitempty"`
 	Result   *compileResponse        `json:"result,omitempty"`
+
+	// Streaming jobs only: chunks delivered so far and the routing
+	// summary of a completed stream (the program itself went out
+	// through the per-chunk webhook deliveries).
+	Chunks int               `json:"chunks,omitempty"`
+	Stream *core.StreamStats `json:"stream,omitempty"`
 }
 
 // jobResponseOf renders a queue snapshot. A done job embeds the
@@ -70,6 +77,11 @@ func jobResponseOf(snap jobqueue.Snapshot, full bool) jobResponse {
 		out.Webhook = &wh
 	}
 	out.Fleet = fleetJSONOf(snap.Request.Fleet)
+	out.Chunks = snap.Chunks
+	if snap.StreamResult != nil {
+		st := snap.StreamResult.Stats
+		out.Stream = &st
+	}
 	if snap.State == jobqueue.StateDone && snap.Result != nil {
 		in := &compileInput{circ: snap.Request.Job.Circuit, dev: snap.Request.Job.Device, fleet: snap.Request.Fleet}
 		var cr compileResponse
@@ -99,6 +111,13 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 // the webhook field/param) and parks the compilation on the queue:
 // 202 Accepted with the queued jobResponse and a Location header.
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if mode, err := streamMode(r); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	} else if mode != "" {
+		s.handleJobSubmitStream(w, r)
+		return
+	}
 	in, err := s.parseCompile(w, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)

@@ -102,6 +102,36 @@
 // Delivery stops early on a permanent 4xx (anything but 408/429): a
 // consumer that rejects the payload will keep rejecting it.
 //
+// # Streaming API
+//
+// Million-gate traces should not be materialized on either side of
+// the wire; ?stream=1 selects the windowed streaming compiler:
+//
+//	POST /compile?stream=1&device=tokyo[&chunk=1024&lookahead=256&window=4096]
+//	    Body: raw OpenQASM 2.0 of any length (no body cap, no JSON
+//	    envelope). The routed program streams back incrementally as
+//	    text/plain; routing statistics (X-Sabre-Swaps, X-Sabre-Gates-In,
+//	    X-Sabre-Gates-Out, X-Sabre-Chunks, X-Sabre-Max-Window,
+//	    X-Sabre-Gates-Per-Sec, X-Sabre-Bridges) arrive as HTTP trailers.
+//	    A response without trailers is torn — the compile failed after
+//	    bytes were committed. Client disconnect before the first byte
+//	    maps to 499. stream=materialized routes the same request through
+//	    the whole-circuit oracle (identical bytes, for differential
+//	    testing).
+//	POST /jobs?stream=1&device=tokyo&webhook=URL
+//	    Async form; the webhook is mandatory because the routed program
+//	    leaves through it. Each chunk is POSTed as text/plain with
+//	    X-Sabre-Job and X-Sabre-Chunk (0-based order) headers; the
+//	    concatenation of chunk bodies in X-Sabre-Chunk order is one
+//	    complete OpenQASM 2.0 program. Chunks are delivered once, in
+//	    order, and never retried — a rejected chunk fails the job. The
+//	    terminal webhook payload and the GET /jobs/{id} view carry
+//	    "chunks" (the delivery count) and a "stream" block (gates
+//	    in/out, swaps, high-water window, gates/sec) alongside the
+//	    usual state fields. Durable queues (-job-log)
+//	    refuse streaming jobs: a half-delivered stream has no replayable
+//	    representation.
+//
 // # Durability & crash recovery
 //
 // With -job-log DIR the async queue writes every job lifecycle
@@ -656,6 +686,13 @@ func buildCompileSummary(in *compileInput, res *batch.Result) compileResponse {
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if mode, err := streamMode(r); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	} else if mode != "" {
+		s.handleCompileStream(w, r, mode)
 		return
 	}
 	in, err := s.parseCompile(w, r)

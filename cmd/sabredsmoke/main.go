@@ -20,12 +20,22 @@
 // (job fails with the stack, daemon keeps serving) before the final
 // graceful drain.
 //
-//	sabredsmoke [-race] [-crash] [-timeout 120s]
+// With -stream it runs the streaming smoke instead: stream a
+// million-gate QASM trace (generated on the fly, or -stream-fixture
+// for CI's cached copy) through POST /compile?stream=1 without ever
+// materializing the circuit, check the trailer accounting and that a
+// second identical stream is byte-identical, hold the windowed arm
+// equal to the materialized oracle, and run the same compilation as a
+// /jobs?stream=1 webhook job whose reassembled chunks match the
+// synchronous bytes.
+//
+//	sabredsmoke [-race] [-crash | -stream [-stream-fixture f | -stream-gates N]] [-timeout 120s]
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +46,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -46,9 +58,12 @@ import (
 )
 
 var (
-	raceFlag  = flag.Bool("race", false, "build the daemon with -race")
-	crashFlag = flag.Bool("crash", false, "run the crash-recovery drill (SIGKILL + replay) instead of the standard lifecycle")
-	timeout   = flag.Duration("timeout", 3*time.Minute, "overall smoke budget")
+	raceFlag      = flag.Bool("race", false, "build the daemon with -race")
+	crashFlag     = flag.Bool("crash", false, "run the crash-recovery drill (SIGKILL + replay) instead of the standard lifecycle")
+	streamFlag    = flag.Bool("stream", false, "run the streaming smoke (chunked /compile + per-chunk webhook job) instead of the standard lifecycle")
+	streamFixture = flag.String("stream-fixture", "", "-stream: path to a pre-generated QASM trace (e.g. genbench -stream-gates output); empty generates a temporary one")
+	streamGates   = flag.Int("stream-gates", 1000000, "-stream: gate count of the generated fixture when -stream-fixture is empty")
+	timeout       = flag.Duration("timeout", 3*time.Minute, "overall smoke budget")
 )
 
 func main() {
@@ -76,6 +91,11 @@ func main() {
 	if *crashFlag {
 		crashSmoke(bin, deadline)
 		fmt.Printf("sabredsmoke: PASS (crash) in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *streamFlag {
+		streamSmoke(bin, deadline, tmp, *streamFixture, *streamGates)
+		fmt.Printf("sabredsmoke: PASS (stream) in %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 
@@ -444,6 +464,272 @@ func crashSmoke(bin string, deadline time.Time) {
 		daemon2.fail("daemon did not drain after SIGTERM")
 	}
 	step("graceful drain clean")
+}
+
+// streamSmoke is the -stream phase: boot the daemon and drive the
+// streaming API end to end — stream a large generated trace through
+// POST /compile?stream=1 (trailer accounting, determinism across two
+// runs), hold the windowed arm byte-identical to the materialized
+// oracle on a smaller trace, and deliver the same compilation as a
+// per-chunk webhook job whose reassembled chunks match the
+// synchronous bytes. It boots its own daemon because the standard
+// lifecycle asserts exact job counts.
+func streamSmoke(bin string, deadline time.Time, tmp, fixture string, gates int) {
+	daemon := startDaemon(bin)
+	defer daemon.kill()
+	base := "http://" + daemon.addr
+	// No client timeout: a million-gate stream under -race outlives any
+	// fixed per-request budget; the overall deadline still bounds us.
+	client := &http.Client{}
+
+	if fixture == "" {
+		fixture = filepath.Join(tmp, fmt.Sprintf("stream_%d.qasm", gates))
+		f, err := os.Create(fixture)
+		if err != nil {
+			daemon.fail("fixture create: %v", err)
+		}
+		bw := bufio.NewWriterSize(f, 1<<20)
+		if err := workloads.WriteRandomQASM(bw, 20, gates, 0.55, 7); err != nil {
+			daemon.fail("fixture generate: %v", err)
+		}
+		if err := bw.Flush(); err != nil {
+			daemon.fail("fixture flush: %v", err)
+		}
+		f.Close()
+		step("generated %d-gate fixture (%s)", gates, fixture)
+	}
+	wantGates, err := countGateLines(fixture)
+	if err != nil {
+		daemon.fail("fixture scan: %v", err)
+	}
+	step("fixture %s: %d gates", filepath.Base(fixture), wantGates)
+
+	// streamOnce streams the fixture through the given mode, discards
+	// the body through a hash, and returns (sha256, trailers).
+	streamOnce := func(mode string) (string, http.Header) {
+		f, err := os.Open(fixture)
+		if err != nil {
+			daemon.fail("open fixture: %v", err)
+		}
+		defer f.Close()
+		req, err := http.NewRequest(http.MethodPost, base+"/compile?stream="+mode+"&device=tokyo", bufio.NewReaderSize(f, 1<<20))
+		if err != nil {
+			daemon.fail("stream request: %v", err)
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		resp, err := client.Do(req)
+		if err != nil {
+			daemon.fail("stream %s: %v", mode, err)
+		}
+		defer resp.Body.Close()
+		h := sha256.New()
+		n, err := io.Copy(h, resp.Body)
+		if err != nil {
+			daemon.fail("stream %s: read: %v", mode, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			daemon.fail("stream %s: status %d", mode, resp.StatusCode)
+		}
+		if n == 0 {
+			daemon.fail("stream %s: empty body", mode)
+		}
+		return fmt.Sprintf("%x", h.Sum(nil)), resp.Trailer
+	}
+
+	sum1, tr := streamOnce("1")
+	gatesIn := trailerInt(daemon, tr, "X-Sabre-Gates-In")
+	gatesOut := trailerInt(daemon, tr, "X-Sabre-Gates-Out")
+	chunks := trailerInt(daemon, tr, "X-Sabre-Chunks")
+	if gatesIn != wantGates {
+		daemon.fail("gates-in trailer %d, fixture has %d", gatesIn, wantGates)
+	}
+	if gatesOut < gatesIn || chunks < 1 {
+		daemon.fail("trailers: gates-out %d (in %d), chunks %d", gatesOut, gatesIn, chunks)
+	}
+	if tr.Get("X-Sabre-Gates-Per-Sec") == "" {
+		daemon.fail("gates/sec trailer missing")
+	}
+	step("windowed stream: %d gates in, %d out, %d chunks, %s gates/s",
+		gatesIn, gatesOut, chunks, tr.Get("X-Sabre-Gates-Per-Sec"))
+
+	// Determinism: a second identical stream yields identical bytes.
+	sum2, _ := streamOnce("1")
+	if sum1 != sum2 {
+		daemon.fail("two identical windowed streams differ (%s vs %s)", sum1, sum2)
+	}
+	step("windowed stream deterministic across runs")
+
+	// Byte parity vs the materialized oracle over HTTP. The oracle arm
+	// buffers the whole body, so parity runs on the full fixture only
+	// while it fits the daemon's body cap; otherwise CI would need a
+	// second small fixture for no extra coverage.
+	if fi, err := os.Stat(fixture); err == nil && fi.Size() < 16<<20 {
+		msum, _ := streamOnce("materialized")
+		if msum != sum1 {
+			daemon.fail("windowed stream differs from materialized oracle")
+		}
+		step("windowed bytes == materialized oracle bytes")
+	} else {
+		step("fixture over the materialized body cap; skipping HTTP parity arm")
+	}
+
+	// Per-chunk webhook job: the reassembled chunks must be the same
+	// program the synchronous endpoint streamed.
+	sink := newChunkSink()
+	sinkLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		daemon.fail("webhook listen: %v", err)
+	}
+	defer sinkLn.Close()
+	go func() { _ = http.Serve(sinkLn, sink) }()
+
+	small := filepath.Join(tmp, "stream_small.qasm")
+	sf, err := os.Create(small)
+	if err != nil {
+		daemon.fail("small fixture: %v", err)
+	}
+	if err := workloads.WriteRandomQASM(sf, 18, 30000, 0.55, 11); err != nil {
+		daemon.fail("small fixture: %v", err)
+	}
+	sf.Close()
+	body, err := os.ReadFile(small)
+	if err != nil {
+		daemon.fail("small fixture read: %v", err)
+	}
+
+	jurl := base + "/jobs?stream=1&device=tokyo&webhook=http://" + sinkLn.Addr().String()
+	resp, err := client.Post(jurl, "text/plain", bytes.NewReader(body))
+	if err != nil {
+		daemon.fail("stream job submit: %v", err)
+	}
+	jb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		daemon.fail("stream job submit status %d: %s", resp.StatusCode, jb)
+	}
+	var job jobView
+	mustUnmarshal(jb, &job, daemon)
+	for !terminal(job.State) {
+		if time.Now().After(deadline) {
+			daemon.fail("stream job %s stuck in %s", job.ID, job.State)
+		}
+		mustUnmarshal(getOK(client, base+"/jobs/"+job.ID+"?wait=2s"), &job, daemon)
+	}
+	if job.State != "done" {
+		daemon.fail("stream job finished as %s (%s)", job.State, job.Error)
+	}
+
+	sresp, err := client.Post(base+"/compile?stream=1&device=tokyo", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		daemon.fail("sync stream: %v", err)
+	}
+	sbytes, err := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if err != nil || sresp.StatusCode != http.StatusOK {
+		daemon.fail("sync stream: status %d err %v", sresp.StatusCode, err)
+	}
+	got := sink.concat()
+	if !bytes.Equal(got, sbytes) {
+		daemon.fail("webhook chunks (%d bytes) differ from synchronous stream (%d bytes)", len(got), len(sbytes))
+	}
+	if sink.count() < 2 {
+		daemon.fail("expected multiple webhook chunks, got %d", sink.count())
+	}
+	step("webhook job delivered %d chunks, reassembly byte-identical to /compile?stream=1", sink.count())
+
+	// Graceful drain.
+	if err := daemon.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		daemon.fail("signal: %v", err)
+	}
+	select {
+	case err := <-daemon.waitCh:
+		if err != nil {
+			daemon.fail("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(time.Until(deadline)):
+		daemon.fail("daemon did not drain after SIGTERM")
+	}
+	step("graceful drain clean")
+}
+
+// countGateLines counts the gate statements of a StreamWriter-shaped
+// fixture: one statement per line, minus the four header lines.
+func countGateLines(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	lines := 0
+	br := bufio.NewReaderSize(f, 1<<20)
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(chunk) > 0 && chunk[len(chunk)-1] == '\n' {
+			lines++
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil && err != bufio.ErrBufferFull {
+			return 0, err
+		}
+	}
+	return lines - 4, nil
+}
+
+// trailerInt reads one integer HTTP trailer, failing the smoke if it
+// is absent or malformed.
+func trailerInt(d *daemon, tr http.Header, name string) int {
+	v := tr.Get(name)
+	if v == "" {
+		d.fail("trailer %s missing (got %v)", name, tr)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		d.fail("trailer %s = %q: %v", name, v, err)
+	}
+	return n
+}
+
+// chunkSink collects X-Sabre-Chunk webhook deliveries.
+type chunkSink struct {
+	mu     sync.Mutex
+	chunks map[int][]byte
+}
+
+func newChunkSink() *chunkSink { return &chunkSink{chunks: map[int][]byte{}} }
+
+func (c *chunkSink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	if h := r.Header.Get("X-Sabre-Chunk"); h != "" {
+		if n, err := strconv.Atoi(h); err == nil {
+			c.mu.Lock()
+			c.chunks[n] = append([]byte(nil), body...)
+			c.mu.Unlock()
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *chunkSink) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.chunks)
+}
+
+func (c *chunkSink) concat() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]int, 0, len(c.chunks))
+	for id := range c.chunks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out bytes.Buffer
+	for _, id := range ids {
+		out.Write(c.chunks[id])
+	}
+	return out.Bytes()
 }
 
 // statsView mirrors the /stats fields the crash drill asserts.

@@ -156,6 +156,7 @@ type Stats struct {
 	Hits     int64 // jobs served from the result cache
 	Shared   int64 // jobs that joined an identical in-flight compile
 	Errors   int64 // jobs that failed
+	Streams  int64 // streaming compilations served (CompileStream)
 	Cached   int   // entries currently in the cache
 }
 
@@ -230,6 +231,7 @@ type Engine struct {
 	hits     atomic.Int64
 	shared   atomic.Int64
 	errs     atomic.Int64
+	streams  atomic.Int64
 }
 
 type task struct {
@@ -294,6 +296,7 @@ func (e *Engine) Stats() Stats {
 		Hits:     e.hits.Load(),
 		Shared:   e.shared.Load(),
 		Errors:   e.errs.Load(),
+		Streams:  e.streams.Load(),
 		Cached:   e.cache.len(),
 	}
 }

@@ -1,0 +1,150 @@
+package batch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/qasm"
+	"repro/internal/workloads"
+)
+
+type collectStreamSink struct{ gates []circuit.Gate }
+
+func (s *collectStreamSink) Emit(chunk []circuit.Gate) error {
+	s.gates = append(s.gates, chunk...)
+	return nil
+}
+
+func TestCompileStreamMatchesMaterialized(t *testing.T) {
+	eng := NewEngine(Config{Workers: 2})
+	defer eng.Close()
+	dev := arch.IBMQ20Tokyo()
+	circ := workloads.RandomCircuit("batch-stream", 16, 4000, 0.55, 3)
+
+	opts := core.DefaultOptions()
+	var want collectStreamSink
+	ref, err := core.RouteStreamMaterialized(context.Background(), circ, dev,
+		opts, core.StreamOptions{}, &want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got collectStreamSink
+	res, err := eng.CompileStream(context.Background(), StreamJob{
+		Source:  core.NewCircuitSource(circ),
+		Device:  dev,
+		Options: opts,
+	}, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.gates) != len(want.gates) {
+		t.Fatalf("engine stream emitted %d gates, oracle %d", len(got.gates), len(want.gates))
+	}
+	for i := range got.gates {
+		a, b := got.gates[i], want.gates[i]
+		if a.Kind != b.Kind || a.Q0 != b.Q0 || a.Q1 != b.Q1 {
+			t.Fatalf("gate %d differs: %v vs %v", i, a, b)
+		}
+	}
+	if res.Stats.SwapCount != ref.Stats.SwapCount || res.Stats.GatesOut != ref.Stats.GatesOut {
+		t.Fatalf("stats differ: %+v vs %+v", res.Stats, ref.Stats)
+	}
+	if s := eng.Stats(); s.Streams != 1 {
+		t.Fatalf("Streams counter = %d, want 1", s.Streams)
+	}
+}
+
+// TestCompileQASMStreamBytesToBytes drives the full text transport:
+// QASM in, routed QASM out, chunk callbacks observed, output parses
+// and is hardware compliant.
+func TestCompileQASMStreamBytesToBytes(t *testing.T) {
+	eng := NewEngine(Config{Workers: 1})
+	defer eng.Close()
+	dev := arch.IBMQ20Tokyo()
+	circ := workloads.RandomCircuit("batch-qasm-stream", 12, 600, 0.5, 9)
+	var src bytes.Buffer
+	if err := qasm.Write(&src, circ); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	var chunkCalls int
+	var lastEmitted int64
+	res, err := eng.CompileQASMStream(context.Background(), strings.NewReader(src.String()),
+		StreamJob{Device: dev, Stream: core.StreamOptions{ChunkGates: 128}}, &out,
+		func(emitted int64) error {
+			chunkCalls++
+			if emitted <= lastEmitted {
+				t.Fatalf("chunk callback emitted count not increasing: %d then %d", lastEmitted, emitted)
+			}
+			lastEmitted = emitted
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunkCalls < 2 {
+		t.Fatalf("expected multiple chunk callbacks, got %d", chunkCalls)
+	}
+	if lastEmitted != res.Stats.GatesOut {
+		t.Fatalf("final callback saw %d gates, stats say %d", lastEmitted, res.Stats.GatesOut)
+	}
+	routed, err := qasm.Parse(out.String())
+	if err != nil {
+		t.Fatalf("streamed output does not parse: %v", err)
+	}
+	if routed.NumQubits() != dev.NumQubits() {
+		t.Fatalf("streamed output width %d, want device width %d", routed.NumQubits(), dev.NumQubits())
+	}
+	for i, g := range routed.Gates() {
+		if g.TwoQubit() && !dev.Connected(g.Q0, g.Q1) {
+			t.Fatalf("gate %d (%v %d,%d) on uncoupled qubits", i, g.Kind, g.Q0, g.Q1)
+		}
+	}
+}
+
+func TestCompileQASMStreamChunkCallbackAborts(t *testing.T) {
+	eng := NewEngine(Config{Workers: 1})
+	defer eng.Close()
+	dev := arch.IBMQ20Tokyo()
+	circ := workloads.RandomCircuit("batch-abort", 12, 2000, 0.5, 5)
+	var src bytes.Buffer
+	if err := qasm.Write(&src, circ); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("subscriber gone")
+	var out bytes.Buffer
+	_, err := eng.CompileQASMStream(context.Background(), &src,
+		StreamJob{Device: dev, Stream: core.StreamOptions{ChunkGates: 64}}, &out,
+		func(int64) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("chunk callback error not propagated: %v", err)
+	}
+}
+
+func TestCompileStreamValidation(t *testing.T) {
+	eng := NewEngine(Config{Workers: 1})
+	dev := arch.IBMQ20Tokyo()
+	if _, err := eng.CompileStream(context.Background(), StreamJob{Device: dev}, &collectStreamSink{}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := eng.CompileStream(context.Background(), StreamJob{
+		Source: core.NewCircuitSource(circuit.New(2)),
+	}, &collectStreamSink{}); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	eng.Close()
+	if _, err := eng.CompileStream(context.Background(), StreamJob{
+		Source: core.NewCircuitSource(circuit.New(2)),
+		Device: dev,
+	}, &collectStreamSink{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed engine: %v", err)
+	}
+}

@@ -82,6 +82,121 @@ type Scratch struct {
 	extCnt  []int32
 	extOff  []int32 // len n+1
 	extPhys []int32
+
+	// stream owns the streaming router's window state (RouteStream).
+	// It replaces every gate-indexed buffer above with slot-arena
+	// variants sized by the live window, so a streaming traversal's
+	// memory is O(device + window) however long the gate stream runs.
+	stream streamScratch
+}
+
+// streamScratch is the streaming router's reusable state: the handle
+// stacks of the drain loop, the compact per-round scoring view, and
+// the slot arena that stands in for the materialized DAG.
+//
+// The arena is a free-list slot store, not a FIFO ring: a slot is
+// recycled the moment its gate retires, so long-lived blocked gates
+// never pin the slots of the pass-through traffic admitted after them
+// (a position-indexed ring would — its span is unbounded on streams
+// that execute out of admission order). Per-qubit dependency chains
+// replace the DAG: chainTail remembers the last gate admitted on each
+// wire, and a tail whose slot was since recycled is detected by
+// comparing the remembered gid against the slot's current one
+// (slotGid is set to -1 on free and to a fresh, strictly increasing
+// gid on reuse, so a stale tail can never alias a live slot).
+type streamScratch struct {
+	// Drain-loop state, holding slot handles (ring path) or gate
+	// indices (materialized oracle path).
+	front []int64
+	ready []int64 // LIFO stack, same discipline as router.drain
+	ext   []int64 // extended set of the current round
+	bfsQ  []int64 // lookahead BFS queue
+
+	// cq2 is the per-round compact qubit-pair table the embedded
+	// scoring round reads instead of the PassRunner's gate-indexed
+	// q2: entry i is the i-th front gate, entries after the front are
+	// the extended set, in BFS order.
+	cq2 []int32
+
+	// Slot arena, all indexed by slot id; slotQ2 and slotSucc hold two
+	// entries per slot. slotSucc[2s] is the slot depending on s
+	// through s's Q0 wire (-1 none), slotSucc[2s+1] through Q1.
+	slotGate  []circuit.Gate
+	slotGid   []int64 // admission gid, -1 = slot free
+	slotQ2    []int32
+	slotInDeg []int32
+	slotSucc  []int32
+	slotMark  []int32 // BFS visited stamps vs slotEpoch
+	slotEpoch int32
+	free      []int32 // free slot ids, popped from the tail
+
+	// Per-qubit dependency chain tails (device-sized).
+	chainTailSlot []int32
+	chainTailGid  []int64
+}
+
+// resetStream readies the streaming state for one traversal on an
+// n-qubit device: chain tails cleared, every arena slot freed, drain
+// stacks truncated. Arena capacity is kept — a warm Scratch replays a
+// new stream without touching the allocator.
+func (z *streamScratch) resetStream(n int) {
+	if cap(z.chainTailSlot) < n {
+		z.chainTailSlot = make([]int32, n)
+		z.chainTailGid = make([]int64, n)
+	}
+	z.chainTailSlot = z.chainTailSlot[:n]
+	z.chainTailGid = z.chainTailGid[:n]
+	for i := range z.chainTailSlot {
+		z.chainTailSlot[i] = -1
+		z.chainTailGid[i] = -1
+	}
+	z.front = z.front[:0]
+	z.ready = z.ready[:0]
+	z.ext = z.ext[:0]
+	z.bfsQ = z.bfsQ[:0]
+	z.free = z.free[:0]
+	for i := len(z.slotGid) - 1; i >= 0; i-- {
+		z.slotGate[i] = circuit.Gate{}
+		z.slotGid[i] = -1
+		z.free = append(z.free, int32(i))
+	}
+	for i := range z.slotMark {
+		z.slotMark[i] = 0
+	}
+	z.slotEpoch = 0
+}
+
+// growArena grows the slot arena to hold target slots, pushing the new
+// slot ids onto the free list highest-first so the lowest index is
+// recycled next (keeps the hot window cache-compact). Slot ids are
+// stable across growth: the arrays only ever extend.
+func (z *streamScratch) growArena(target int) {
+	old := len(z.slotGid)
+	if target <= old {
+		return
+	}
+	slotGate := make([]circuit.Gate, target)
+	copy(slotGate, z.slotGate)
+	z.slotGate = slotGate
+	slotGid := make([]int64, target)
+	copy(slotGid, z.slotGid)
+	z.slotGid = slotGid
+	slotQ2 := make([]int32, 2*target)
+	copy(slotQ2, z.slotQ2)
+	z.slotQ2 = slotQ2
+	slotInDeg := make([]int32, target)
+	copy(slotInDeg, z.slotInDeg)
+	z.slotInDeg = slotInDeg
+	slotSucc := make([]int32, 2*target)
+	copy(slotSucc, z.slotSucc)
+	z.slotSucc = slotSucc
+	slotMark := make([]int32, target)
+	copy(slotMark, z.slotMark)
+	z.slotMark = slotMark
+	for i := target - 1; i >= old; i-- {
+		z.slotGid[i] = -1
+		z.free = append(z.free, int32(i))
+	}
 }
 
 // NewScratch returns an empty scratch. Buffers grow to the sizes of

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+// sameGate is structural gate equality (the comparison Circuit.Equal
+// performs per element).
+func sameGate(a, b circuit.Gate) bool {
+	if a.Kind != b.Kind || a.Q0 != b.Q0 || a.Q1 != b.Q1 || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectSink accumulates emitted chunks (copying, per the sink
+// contract) and can run a callback after each chunk.
+type collectSink struct {
+	gates   []circuit.Gate
+	chunks  int
+	onChunk func(chunk int) error
+}
+
+func (c *collectSink) Emit(gates []circuit.Gate) error {
+	c.chunks++
+	c.gates = append(c.gates, gates...)
+	if c.onChunk != nil {
+		return c.onChunk(c.chunks)
+	}
+	return nil
+}
+
+// randomStreamCircuit builds a deterministic mixed circuit: two-qubit
+// CNOTs, single-qubit rotations riding the dependency chains, and a
+// sprinkle of measurements — the gate population the streaming parser
+// feeds the router.
+func randomStreamCircuit(t *testing.T, n, gates int, seed int64) *circuit.Circuit {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	for c.NumGates() < gates {
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			c.Append(circuit.G1(circuit.KindH, rng.Intn(n)))
+		case 3:
+			c.Append(circuit.G1(circuit.KindRZ, rng.Intn(n), rng.Float64()))
+		case 4:
+			c.Append(circuit.Gate{Kind: circuit.KindMeasure, Q0: rng.Intn(n), Q1: rng.Intn(n)})
+		default:
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			c.Append(circuit.CX(a, b))
+		}
+	}
+	return c
+}
+
+func assertStreamParity(t *testing.T, label string, circ *circuit.Circuit, dev *arch.Device, opts Options, sopts StreamOptions) (*StreamResult, []circuit.Gate) {
+	t.Helper()
+	ring := &collectSink{}
+	rres, err := RouteStream(context.Background(), NewCircuitSource(circ), dev, opts, sopts, ring, nil)
+	if err != nil {
+		t.Fatalf("%s: RouteStream: %v", label, err)
+	}
+	flat := &collectSink{}
+	fres, err := RouteStreamMaterialized(context.Background(), circ, dev, opts, sopts, flat)
+	if err != nil {
+		t.Fatalf("%s: RouteStreamMaterialized: %v", label, err)
+	}
+	if len(ring.gates) != len(flat.gates) {
+		t.Fatalf("%s: windowed path emitted %d gates, materialized %d", label, len(ring.gates), len(flat.gates))
+	}
+	for i := range ring.gates {
+		if !sameGate(ring.gates[i], flat.gates[i]) {
+			t.Fatalf("%s: outputs diverge at gate %d: %v vs %v", label, i, ring.gates[i], flat.gates[i])
+		}
+	}
+	for q := range rres.InitialLayout {
+		if rres.InitialLayout[q] != fres.InitialLayout[q] || rres.FinalLayout[q] != fres.FinalLayout[q] {
+			t.Fatalf("%s: layouts diverge at qubit %d", label, q)
+		}
+	}
+	if rres.Stats.SwapCount != fres.Stats.SwapCount || rres.Stats.BridgeCount != fres.Stats.BridgeCount ||
+		rres.Stats.SwapRounds != fres.Stats.SwapRounds || rres.Stats.ForcedRoutes != fres.Stats.ForcedRoutes ||
+		rres.Stats.GatesIn != fres.Stats.GatesIn || rres.Stats.GatesOut != fres.Stats.GatesOut {
+		t.Fatalf("%s: stats diverge: windowed %+v vs materialized %+v", label, rres.Stats, fres.Stats)
+	}
+	if rres.Stats.GatesIn != int64(circ.NumGates()) {
+		t.Fatalf("%s: admitted %d gates, circuit has %d", label, rres.Stats.GatesIn, circ.NumGates())
+	}
+	return rres, ring.gates
+}
+
+// TestStreamParityWindowedVsMaterialized is the core determinism
+// claim: the windowed slot-arena path and the materialized-DAG oracle
+// emit byte-identical streams across circuit shapes, seeds, options,
+// and window tunings.
+func TestStreamParityWindowedVsMaterialized(t *testing.T) {
+	tokyo := arch.IBMQ20Tokyo()
+	for _, tc := range []struct {
+		name  string
+		gates int
+		seed  int64
+		opts  Options
+		sopts StreamOptions
+	}{
+		{name: "small", gates: 200, seed: 1, opts: Options{Seed: 1}},
+		{name: "medium", gates: 5000, seed: 2, opts: Options{Seed: 7}},
+		{name: "bridge", gates: 3000, seed: 3, opts: Options{Seed: 3, UseBridge: true}},
+		{name: "basic-heuristic", gates: 2000, seed: 4, opts: Options{Seed: 4, Heuristic: HeuristicBasic}},
+		{name: "lookahead-heuristic", gates: 2000, seed: 5, opts: Options{Seed: 5, Heuristic: HeuristicLookahead}},
+		{name: "tiny-window", gates: 3000, seed: 6, opts: Options{Seed: 6}, sopts: StreamOptions{Window: 2}},
+		{name: "tiny-chunks", gates: 3000, seed: 7, opts: Options{Seed: 7}, sopts: StreamOptions{ChunkGates: 3}},
+		{name: "short-lookahead", gates: 3000, seed: 8, opts: Options{Seed: 8}, sopts: StreamOptions{Lookahead: 5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			circ := randomStreamCircuit(t, tokyo.NumQubits(), tc.gates, tc.seed)
+			assertStreamParity(t, tc.name, circ, tokyo, tc.opts, tc.sopts)
+		})
+	}
+}
+
+// TestStreamParityWithNoise covers the float-weighted distance path.
+func TestStreamParityWithNoise(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	noise := arch.UniformNoise(0.01)
+	circ := randomStreamCircuit(t, dev.NumQubits(), 2000, 11)
+	assertStreamParity(t, "noise", circ, dev, Options{Seed: 11, Noise: noise}, StreamOptions{})
+}
+
+// TestStreamOutputInvariants: tuning knobs that must not change the
+// routed stream (Window is a capacity hint, ChunkGates a flush
+// granularity) don't, and the knob that legitimately does (Lookahead)
+// is exercised by the parity suite at several values.
+func TestStreamOutputInvariants(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	circ := randomStreamCircuit(t, dev.NumQubits(), 4000, 21)
+	opts := Options{Seed: 21}
+	var ref []circuit.Gate
+	for i, sopts := range []StreamOptions{
+		{},
+		{Window: 1},
+		{Window: 1 << 16},
+		{ChunkGates: 1},
+		{ChunkGates: 1 << 20},
+	} {
+		sink := &collectSink{}
+		if _, err := RouteStream(context.Background(), NewCircuitSource(circ), dev, opts, sopts, sink, nil); err != nil {
+			t.Fatalf("sopts %+v: %v", sopts, err)
+		}
+		if i == 0 {
+			ref = append([]circuit.Gate(nil), sink.gates...)
+			continue
+		}
+		if len(sink.gates) != len(ref) {
+			t.Fatalf("sopts %+v: %d gates vs reference %d", sopts, len(sink.gates), len(ref))
+		}
+		for j := range ref {
+			if !sameGate(sink.gates[j], ref[j]) {
+				t.Fatalf("sopts %+v: output diverges at gate %d", sopts, j)
+			}
+		}
+	}
+}
+
+// TestStreamScratchReuse: a warm per-worker Scratch replays different
+// streams back to back and still matches a cold run.
+func TestStreamScratchReuse(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	s := NewScratch()
+	for seed := int64(1); seed <= 3; seed++ {
+		circ := randomStreamCircuit(t, dev.NumQubits(), 1500, seed)
+		warm := &collectSink{}
+		if _, err := RouteStream(context.Background(), NewCircuitSource(circ), dev, Options{Seed: seed}, StreamOptions{}, warm, s); err != nil {
+			t.Fatalf("warm seed %d: %v", seed, err)
+		}
+		cold := &collectSink{}
+		if _, err := RouteStream(context.Background(), NewCircuitSource(circ), dev, Options{Seed: seed}, StreamOptions{}, cold, nil); err != nil {
+			t.Fatalf("cold seed %d: %v", seed, err)
+		}
+		if len(warm.gates) != len(cold.gates) {
+			t.Fatalf("seed %d: warm scratch emitted %d gates, cold %d", seed, len(warm.gates), len(cold.gates))
+		}
+		for i := range cold.gates {
+			if !sameGate(warm.gates[i], cold.gates[i]) {
+				t.Fatalf("seed %d: warm/cold outputs diverge at gate %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestStreamArenaWraparound drives a Window-2 arena through thousands
+// of admissions so every slot is freed and recycled many times over,
+// and cross-checks the recycling bookkeeping against the materialized
+// oracle (which has no arena at all).
+func TestStreamArenaWraparound(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	circ := randomStreamCircuit(t, dev.NumQubits(), 6000, 31)
+	res, _ := assertStreamParity(t, "wraparound", circ, dev, Options{Seed: 31}, StreamOptions{Window: 2, Lookahead: 64})
+	if res.Stats.MaxWindow > 64+dev.NumQubits() {
+		t.Fatalf("live window %d exceeds lookahead+front bound", res.Stats.MaxWindow)
+	}
+}
+
+// TestStreamWindowBoundaryStall: a two-qubit gate parked at maximal
+// distance while a long single-qubit chain on its own wires floods the
+// stream. The chained gates depend on the blocked gate, so nothing
+// drains; refill must stall at the Lookahead bound (not admit the
+// whole stream), and the router must resolve the stall by swapping the
+// pair together. This is the dependency-spans-window-boundary case.
+func TestStreamWindowBoundaryStall(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	n := dev.NumQubits()
+	c := circuit.New(n)
+	c.Append(circuit.CX(0, n-1))
+	for i := 0; i < 5000; i++ {
+		c.Append(circuit.G1(circuit.KindH, 0))
+		c.Append(circuit.G1(circuit.KindH, n-1))
+	}
+	c.Append(circuit.CX(0, n-1))
+	sopts := StreamOptions{Lookahead: 16}
+	res, gates := assertStreamParity(t, "boundary-stall", c, dev, Options{Seed: 5}, sopts)
+	if res.Stats.MaxWindow > 16+n {
+		t.Fatalf("stalled window grew to %d slots; lookahead bound is 16", res.Stats.MaxWindow)
+	}
+	if res.Stats.GatesOut != int64(len(gates)) || len(gates) < c.NumGates() {
+		t.Fatalf("emitted %d gates for a %d-gate circuit", len(gates), c.NumGates())
+	}
+}
+
+// TestStreamCancellation cancels the context from inside the sink
+// after the first chunk: RouteStream must return ctx.Err(), keep the
+// already-delivered chunks untouched, and drop the partial tail.
+func TestStreamCancellation(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	circ := randomStreamCircuit(t, dev.NumQubits(), 20000, 41)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &collectSink{onChunk: func(chunk int) error {
+		if chunk == 1 {
+			cancel()
+		}
+		return nil
+	}}
+	res, err := RouteStream(ctx, NewCircuitSource(circ), dev, Options{Seed: 41}, StreamOptions{ChunkGates: 64}, sink, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream returned (%v, %v); want context.Canceled", res, err)
+	}
+	if sink.chunks == 0 || len(sink.gates) >= circ.NumGates() {
+		t.Fatalf("partial emission wrong: %d chunks, %d gates of %d", sink.chunks, len(sink.gates), circ.NumGates())
+	}
+}
+
+// TestStreamSinkError: a failing sink aborts the stream with its
+// error.
+func TestStreamSinkError(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	circ := randomStreamCircuit(t, dev.NumQubits(), 20000, 43)
+	boom := errors.New("downstream full")
+	sink := &collectSink{onChunk: func(chunk int) error {
+		if chunk >= 3 {
+			return boom
+		}
+		return nil
+	}}
+	if _, err := RouteStream(context.Background(), NewCircuitSource(circ), dev, Options{Seed: 43}, StreamOptions{ChunkGates: 64}, sink, nil); !errors.Is(err, boom) {
+		t.Fatalf("sink error not propagated: %v", err)
+	}
+}
+
+// TestStreamRejectsBadGates: out-of-range qubits fail with a named
+// error, not a panic deep in the router.
+func TestStreamRejectsBadGates(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	n := dev.NumQubits()
+	for _, bad := range []circuit.Gate{
+		{Kind: circuit.KindCX, Q0: 0, Q1: n},
+		{Kind: circuit.KindCX, Q0: -1, Q1: 1},
+		{Kind: circuit.KindCX, Q0: 3, Q1: 3},
+		{Kind: circuit.KindH, Q0: n + 5, Q1: -1},
+	} {
+		c := circuit.New(n) // empty; feed the bad gate straight from a source
+		src := &stubSource{gates: []circuit.Gate{bad}}
+		if _, err := RouteStream(context.Background(), src, dev, Options{Seed: 1}, StreamOptions{}, &collectSink{}, nil); err == nil {
+			t.Fatalf("gate %+v admitted without error", bad)
+		}
+		_ = c
+	}
+}
+
+type stubSource struct {
+	gates []circuit.Gate
+	i     int
+}
+
+func (s *stubSource) Next() (circuit.Gate, bool, error) {
+	if s.i >= len(s.gates) {
+		return circuit.Gate{}, false, nil
+	}
+	g := s.gates[s.i]
+	s.i++
+	return g, true, nil
+}
+
+// nnStreamSource synthesizes an endless-ish deterministic stream of
+// mostly coupled-edge CNOTs (pass-through traffic) with a periodic
+// random long-range CNOT to force SWAP rounds — cheap enough to run a
+// million gates through under the race detector.
+type nnStreamSource struct {
+	edges     []arch.Edge
+	n         int
+	rng       *rand.Rand
+	remaining int
+}
+
+func (s *nnStreamSource) Next() (circuit.Gate, bool, error) {
+	if s.remaining <= 0 {
+		return circuit.Gate{}, false, nil
+	}
+	s.remaining--
+	if s.remaining%64 == 0 {
+		for {
+			a, b := s.rng.Intn(s.n), s.rng.Intn(s.n)
+			if a != b {
+				return circuit.CX(a, b), true, nil
+			}
+		}
+	}
+	e := s.edges[s.rng.Intn(len(s.edges))]
+	return circuit.CX(e.A, e.B), true, nil
+}
+
+// TestStreamMemoryFlatAcross10x is the O(device + window) claim,
+// measured: the same synthetic stream at 100k and 1M gates must end
+// with the identical live-window high-water mark and arena footprint —
+// memory does not grow with stream length.
+func TestStreamMemoryFlatAcross10x(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	run := func(gates int) *StreamResult {
+		src := &nnStreamSource{edges: dev.Edges(), n: dev.NumQubits(), rng: rand.New(rand.NewSource(9)), remaining: gates}
+		res, err := RouteStream(context.Background(), src, dev, Options{Seed: 9}, StreamOptions{}, discardSink{}, nil)
+		if err != nil {
+			t.Fatalf("%d gates: %v", gates, err)
+		}
+		if res.Stats.GatesOut < int64(gates) {
+			t.Fatalf("%d gates in, only %d out", gates, res.Stats.GatesOut)
+		}
+		return res
+	}
+	small := run(100_000)
+	big := run(1_000_000)
+	// The high-water mark is a max statistic over different stream
+	// tails, so it may wiggle by a slot or two — but it must not scale
+	// with length. A length-proportional window would differ by ~9e5
+	// slots here; assert flat within a constant.
+	if big.Stats.MaxWindow > small.Stats.MaxWindow+8 {
+		t.Fatalf("live-window high-water grew with stream length: %d at 100k vs %d at 1M gates",
+			small.Stats.MaxWindow, big.Stats.MaxWindow)
+	}
+	if big.Stats.WindowBytes > small.Stats.WindowBytes+1024 {
+		t.Fatalf("arena footprint grew with stream length: %d B at 100k vs %d B at 1M gates",
+			small.Stats.WindowBytes, big.Stats.WindowBytes)
+	}
+	lookahead := DefaultStreamOptions().Lookahead
+	if max := lookahead + dev.NumQubits(); big.Stats.MaxWindow > max {
+		t.Fatalf("live window %d exceeds the lookahead+front bound %d", big.Stats.MaxWindow, max)
+	}
+	if big.Stats.MaxWindow <= 0 || big.Stats.WindowBytes <= 0 {
+		t.Fatalf("instrumentation missing: %+v", big.Stats)
+	}
+}
+
+// TestStreamStepZeroAllocs is the runtime half of the hotalloc
+// contract for the streaming loop: once warm, a full streaming step —
+// drain, admission, refill, scoring round, chunk flush — performs zero
+// heap allocations. The probe's source cycles forever, so every branch
+// of the loop keeps executing across the measured runs.
+func TestStreamStepZeroAllocs(t *testing.T) {
+	p := NewStreamProbe()
+	if allocs := testing.AllocsPerRun(2000, func() {
+		p.Step()
+	}); allocs != 0 {
+		t.Fatalf("streaming step allocates %.1f times per iteration; want 0", allocs)
+	}
+}
+
+func BenchmarkStreamStep(b *testing.B) {
+	p := NewStreamProbe()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}

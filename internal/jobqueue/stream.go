@@ -1,0 +1,134 @@
+package jobqueue
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+)
+
+// StreamSpec marks a Request as a streaming compilation: the QASM
+// source is routed through the windowed streaming router and the
+// routed program is pushed to the job's webhook chunk by chunk as
+// gates retire, instead of materializing a Result at the end. The
+// concatenation of all chunk bodies, in X-Sabre-Chunk order, is one
+// complete OpenQASM 2.0 program (the first chunk carries the
+// header). Streaming jobs require a webhook — the output leaves
+// through it — and are rejected by durable queues: a half-delivered
+// stream has no replayable representation in the job log.
+type StreamSpec struct {
+	// QASM is the gate-stream source text.
+	QASM string
+
+	// Options tunes the streaming window and chunk granularity; the
+	// zero value selects core.DefaultStreamOptions.
+	Options core.StreamOptions
+}
+
+// Errors reported for streaming submissions.
+var (
+	errStreamNeedsWebhook = errors.New("jobqueue: streaming jobs require a webhook (chunks are delivered through it)")
+	errStreamDurable      = errors.New("jobqueue: durable queues do not accept streaming jobs")
+)
+
+// SubmitStream registers a streaming compilation: the request's
+// StreamSpec is routed chunk-by-chunk once a worker picks it up, each
+// routed chunk is POSTed to req.Webhook immediately (X-Sabre-Chunk
+// numbers them from 0), and the usual terminal webhook delivery
+// follows with the stream statistics. The snapshot's StreamResult and
+// Chunks fields report progress; Result stays nil for stream jobs.
+func (q *Queue) SubmitStream(req Request, spec StreamSpec) (Snapshot, error) {
+	if req.Job.Device == nil {
+		return Snapshot{}, errors.New("jobqueue: streaming job needs a non-nil Device")
+	}
+	if req.Webhook == "" {
+		return Snapshot{}, errStreamNeedsWebhook
+	}
+	req.Stream = &spec
+	return q.Submit(req)
+}
+
+// executeStream runs one streaming job end to end: incremental parse,
+// windowed routing, per-chunk webhook delivery. A chunk POST failure
+// aborts the stream — the consumer is gone, so finishing the route
+// would discard the output anyway. The panic fence mirrors execute:
+// a poisoned stream fails this job only, never the worker.
+func (q *Queue) executeStream(ctx context.Context, j *job) (res *core.StreamResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &batch.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	spec := j.req.Stream
+	client := q.cfg.Webhook.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var buf bytes.Buffer
+	chunk := 0
+	onChunk := func(int64) error {
+		if err := q.postChunk(ctx, client, j.req.Webhook, buf.Bytes(), j.id, chunk); err != nil {
+			return err
+		}
+		buf.Reset()
+		chunk++
+		q.mu.Lock()
+		j.chunks = chunk
+		q.mu.Unlock()
+		return nil
+	}
+	res, err = q.eng.CompileQASMStream(ctx, strings.NewReader(spec.QASM), batch.StreamJob{
+		Device:  j.req.Job.Device,
+		Options: j.req.Job.Options,
+		Stream:  spec.Options,
+		Tag:     j.req.Job.Tag,
+	}, &buf, onChunk)
+	if err != nil {
+		return nil, err
+	}
+	// A gate-free program never fires Emit, leaving the header bytes
+	// unsent; deliver them so the chunk concatenation is always a
+	// complete program.
+	if buf.Len() > 0 {
+		if err := q.postChunk(ctx, client, j.req.Webhook, buf.Bytes(), j.id, chunk); err != nil {
+			return nil, err
+		}
+		chunk++
+		q.mu.Lock()
+		j.chunks = chunk
+		q.mu.Unlock()
+	}
+	return res, nil
+}
+
+// postChunk delivers one routed-QASM chunk. Chunks are not retried:
+// they are ordered, so a failed delivery cannot be papered over by a
+// later attempt without reordering the stream — the job fails
+// instead, and the terminal webhook (which does retry) reports it.
+func (q *Queue) postChunk(ctx context.Context, client *http.Client, url string, body []byte, id string, chunk int) error {
+	ctx, cancel := context.WithTimeout(ctx, q.cfg.Webhook.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	req.Header.Set("X-Sabre-Job", id)
+	req.Header.Set("X-Sabre-Chunk", strconv.Itoa(chunk))
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("jobqueue: chunk %d delivery: %w", chunk, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("jobqueue: chunk %d delivery: status %s", chunk, resp.Status)
+	}
+	return nil
+}

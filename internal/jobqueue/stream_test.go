@@ -1,0 +1,262 @@
+package jobqueue
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/qasm"
+	"repro/internal/workloads"
+)
+
+// chunkCollector is a webhook endpoint that records streamed QASM
+// chunks and the terminal JSON delivery.
+type chunkCollector struct {
+	mu       sync.Mutex
+	chunks   map[int][]byte
+	terminal []byte
+	fail     bool // reject chunk POSTs with 500
+}
+
+func (c *chunkCollector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h := r.Header.Get("X-Sabre-Chunk"); h != "" {
+		if c.fail {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		n, _ := strconv.Atoi(h)
+		if c.chunks == nil {
+			c.chunks = make(map[int][]byte)
+		}
+		c.chunks[n] = append([]byte(nil), body...)
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	c.terminal = append([]byte(nil), body...)
+	w.WriteHeader(http.StatusOK)
+}
+
+// concat joins the recorded chunks in X-Sabre-Chunk order.
+func (c *chunkCollector) concat() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]int, 0, len(c.chunks))
+	for id := range c.chunks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out bytes.Buffer
+	for _, id := range ids {
+		out.Write(c.chunks[id])
+	}
+	return out.Bytes()
+}
+
+func streamFixture(t *testing.T) (dev *arch.Device, src string) {
+	t.Helper()
+	dev = arch.IBMQ20Tokyo()
+	circ := workloads.RandomCircuit("jobq-stream", 14, 1200, 0.55, 17)
+	var buf bytes.Buffer
+	if err := qasm.Write(&buf, circ); err != nil {
+		t.Fatal(err)
+	}
+	return dev, buf.String()
+}
+
+// TestSubmitStreamDeliversChunkedProgram: the concatenated webhook
+// chunks must be byte-identical to the synchronous streaming path's
+// output, and the terminal delivery must carry the chunk count.
+func TestSubmitStreamDeliversChunkedProgram(t *testing.T) {
+	dev, src := streamFixture(t)
+	eng := batch.NewEngine(batch.Config{Workers: 2})
+	defer eng.Close()
+
+	col := &chunkCollector{}
+	srv := httptest.NewServer(col)
+	defer srv.Close()
+
+	q := New(eng, Config{Workers: 1})
+	defer q.Close(context.Background())
+
+	opts := core.DefaultOptions()
+	sopts := core.StreamOptions{ChunkGates: 256}
+	snap, err := q.SubmitStream(Request{
+		Job:     batch.Job{Device: dev, Options: opts},
+		Webhook: srv.URL,
+	}, StreamSpec{QASM: src, Options: sopts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err = q.Wait(context.Background(), snap.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateDone {
+		t.Fatalf("stream job state %s (err %q)", snap.State, snap.Err)
+	}
+	if snap.StreamResult == nil || snap.StreamResult.Stats.GatesOut == 0 {
+		t.Fatalf("missing stream result: %+v", snap.StreamResult)
+	}
+	if snap.Chunks < 2 {
+		t.Fatalf("expected multiple chunks, got %d", snap.Chunks)
+	}
+
+	// Synchronous oracle: same engine API, same options.
+	var want bytes.Buffer
+	_, err = eng.CompileQASMStream(context.Background(), bytes.NewReader([]byte(src)),
+		batch.StreamJob{Device: dev, Options: opts, Stream: sopts}, &want, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := col.concat()
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("webhook chunk concatenation differs from synchronous stream (%d vs %d bytes)", len(got), want.Len())
+	}
+	if _, err := qasm.Parse(string(got)); err != nil {
+		t.Fatalf("chunk concatenation does not parse: %v", err)
+	}
+
+	// Terminal delivery arrives async; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		col.mu.Lock()
+		terminal := col.terminal
+		col.mu.Unlock()
+		if terminal != nil {
+			var p map[string]any
+			if err := json.Unmarshal(terminal, &p); err != nil {
+				t.Fatalf("terminal payload: %v", err)
+			}
+			if p["state"] != string(StateDone) {
+				t.Fatalf("terminal payload state %v", p["state"])
+			}
+			if int(p["chunks"].(float64)) != snap.Chunks {
+				t.Fatalf("terminal payload chunks %v, want %d", p["chunks"], snap.Chunks)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("terminal webhook never delivered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSubmitStreamChunkFailureFailsJob: a consumer rejecting a chunk
+// aborts the stream and fails the job — chunks are ordered and never
+// retried.
+func TestSubmitStreamChunkFailureFailsJob(t *testing.T) {
+	dev, src := streamFixture(t)
+	eng := batch.NewEngine(batch.Config{Workers: 1})
+	defer eng.Close()
+	col := &chunkCollector{fail: true}
+	srv := httptest.NewServer(col)
+	defer srv.Close()
+	q := New(eng, Config{Workers: 1})
+	defer q.Close(context.Background())
+
+	snap, err := q.SubmitStream(Request{
+		Job:     batch.Job{Device: dev},
+		Webhook: srv.URL,
+	}, StreamSpec{QASM: src, Options: core.StreamOptions{ChunkGates: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err = q.Wait(context.Background(), snap.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateFailed {
+		t.Fatalf("job state %s, want failed", snap.State)
+	}
+}
+
+func TestSubmitStreamValidation(t *testing.T) {
+	dev, src := streamFixture(t)
+	eng := batch.NewEngine(batch.Config{Workers: 1})
+	defer eng.Close()
+	q := New(eng, Config{Workers: 1})
+	defer q.Close(context.Background())
+
+	if _, err := q.SubmitStream(Request{Job: batch.Job{Device: dev}}, StreamSpec{QASM: src}); !errors.Is(err, errStreamNeedsWebhook) {
+		t.Fatalf("webhook-less stream accepted: %v", err)
+	}
+	if _, err := q.SubmitStream(Request{Webhook: "http://x"}, StreamSpec{QASM: src}); err == nil {
+		t.Fatal("device-less stream accepted")
+	}
+}
+
+func TestSubmitStreamRejectedByDurableQueue(t *testing.T) {
+	dev, src := streamFixture(t)
+	eng := batch.NewEngine(batch.Config{Workers: 1})
+	defer eng.Close()
+	q, err := Open(eng, Config{Workers: 1, Durable: DurabilityConfig{Dir: t.TempDir()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close(context.Background())
+	_, err = q.SubmitStream(Request{
+		Job:     batch.Job{Device: dev},
+		Webhook: "http://localhost:1/hook",
+	}, StreamSpec{QASM: src})
+	if !errors.Is(err, errStreamDurable) {
+		t.Fatalf("durable queue accepted a stream job: %v", err)
+	}
+}
+
+// TestSubmitStreamCancellation cancels the job mid-stream: already
+// delivered chunks stay delivered, the job settles as cancelled.
+func TestSubmitStreamCancellation(t *testing.T) {
+	dev, src := streamFixture(t)
+	eng := batch.NewEngine(batch.Config{Workers: 1})
+	defer eng.Close()
+
+	q := New(eng, Config{Workers: 1})
+	defer q.Close(context.Background())
+
+	idCh := make(chan string, 1)
+	var once sync.Once
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		if r.Header.Get("X-Sabre-Chunk") == "0" {
+			// First chunk landed: block this delivery until the job ID
+			// is known, cancel the job, then acknowledge — by the time
+			// the stream resumes, its context is dead.
+			once.Do(func() { q.Cancel(<-idCh) })
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	snap, err := q.SubmitStream(Request{
+		Job:     batch.Job{Device: dev},
+		Webhook: srv.URL,
+	}, StreamSpec{QASM: src, Options: core.StreamOptions{ChunkGates: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idCh <- snap.ID
+
+	snap, err = q.Wait(context.Background(), snap.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateCancelled {
+		t.Fatalf("job state %s, want cancelled (err %q)", snap.State, snap.Err)
+	}
+}

@@ -1,0 +1,69 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+type countSink struct{ gates int }
+
+func (c *countSink) Emit(chunk []circuit.Gate) error {
+	c.gates += len(chunk)
+	return nil
+}
+
+// TestVerifySinkPassesCompliantStream routes a real workload through
+// the streaming router with the verify sink in the chain: every chunk
+// must clear the coupling check and arrive at the inner sink intact.
+func TestVerifySinkPassesCompliantStream(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	circ := workloads.RandomCircuit("verify-sink", 14, 1500, 0.6, 21)
+	inner := &countSink{}
+	res, err := core.RouteStream(context.Background(), core.NewCircuitSource(circ), dev,
+		core.DefaultOptions(), core.StreamOptions{}, NewVerifySink(inner, dev), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(inner.gates) != res.Stats.GatesOut {
+		t.Fatalf("inner sink saw %d gates, stats say %d", inner.gates, res.Stats.GatesOut)
+	}
+}
+
+// TestVerifySinkCatchesViolation feeds a hand-built non-compliant
+// chunk straight into the sink: the error must name the offending
+// absolute gate position and the inner sink must not receive the bad
+// chunk.
+func TestVerifySinkCatchesViolation(t *testing.T) {
+	dev := arch.Line(4) // couples only (0,1),(1,2),(2,3)
+	inner := &countSink{}
+	sink := NewVerifySink(inner, dev)
+	if err := sink.Emit([]circuit.Gate{circuit.CX(0, 1), circuit.G1(circuit.KindH, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	err := sink.Emit([]circuit.Gate{circuit.G1(circuit.KindH, 0), circuit.CX(0, 3)})
+	if err == nil {
+		t.Fatal("uncoupled CX passed the verify sink")
+	}
+	if !strings.Contains(err.Error(), "gate 3") {
+		t.Fatalf("error does not name absolute gate position: %v", err)
+	}
+	if inner.gates != 2 {
+		t.Fatalf("inner sink received %d gates, want only the compliant chunk's 2", inner.gates)
+	}
+}
+
+// TestVerifySinkCatchesUncoupledSwap: SWAPs decompose to CNOTs on the
+// same pair, so an uncoupled SWAP is a violation too.
+func TestVerifySinkCatchesUncoupledSwap(t *testing.T) {
+	dev := arch.Line(4)
+	sink := NewVerifySink(&countSink{}, dev)
+	if err := sink.Emit([]circuit.Gate{circuit.Swap(0, 2)}); err == nil {
+		t.Fatal("uncoupled SWAP passed the verify sink")
+	}
+}

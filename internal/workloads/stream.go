@@ -1,0 +1,55 @@
+package workloads
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/qasm"
+)
+
+// streamGenChunk is the gate-buffer size WriteRandomQASM reuses
+// between flushes; it bounds the generator's memory regardless of the
+// requested trace length.
+const streamGenChunk = 4096
+
+// WriteRandomQASM streams a seeded random OpenQASM 2.0 program to w
+// without ever materializing the circuit: gates are generated and
+// serialized in fixed-size chunks, so a hundred-million-gate trace
+// costs the same memory as a hundred-gate one. The gate sequence is
+// exactly RandomCircuit's for the same (n, gates, cxFrac, seed) —
+// same RNG, same distribution — making small instances directly
+// comparable against the in-memory generator in tests. This is the
+// fixture generator behind `genbench -stream-gates` and the streaming
+// daemon smoke.
+func WriteRandomQASM(w io.Writer, n, gates int, cxFrac float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	sw := qasm.NewStreamWriter(w, n)
+	singles := []circuit.Kind{
+		circuit.KindH, circuit.KindX, circuit.KindT,
+		circuit.KindTdg, circuit.KindS, circuit.KindSdg,
+	}
+	buf := make([]circuit.Gate, 0, streamGenChunk)
+	for i := 0; i < gates; i++ {
+		if n >= 2 && rng.Float64() < cxFrac {
+			a := rng.Intn(n)
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			buf = append(buf, circuit.CX(a, b))
+		} else {
+			buf = append(buf, circuit.G1(singles[rng.Intn(len(singles))], rng.Intn(n)))
+		}
+		if len(buf) == streamGenChunk {
+			if err := sw.WriteGates(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if err := sw.WriteGates(buf); err != nil {
+		return err
+	}
+	return sw.Flush()
+}

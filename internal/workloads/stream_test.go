@@ -1,0 +1,37 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/qasm"
+)
+
+// TestWriteRandomQASMMatchesRandomCircuit: the streaming fixture
+// generator must produce the exact gate sequence of the in-memory
+// RandomCircuit for the same parameters — same RNG draw order, chunk
+// boundaries invisible.
+func TestWriteRandomQASMMatchesRandomCircuit(t *testing.T) {
+	const n, gates, frac, seed = 9, 9000, 0.5, 42 // spans multiple chunks
+	var buf bytes.Buffer
+	if err := WriteRandomQASM(&buf, n, gates, frac, seed); err != nil {
+		t.Fatal(err)
+	}
+	got, err := qasm.Parse(buf.String())
+	if err != nil {
+		t.Fatalf("generated QASM does not parse: %v", err)
+	}
+	want := RandomCircuit("oracle", n, gates, frac, seed)
+	if got.NumQubits() != n {
+		t.Fatalf("width %d, want %d", got.NumQubits(), n)
+	}
+	gg, wg := got.Gates(), want.Gates()
+	if len(gg) != len(wg) {
+		t.Fatalf("%d gates, want %d", len(gg), len(wg))
+	}
+	for i := range gg {
+		if gg[i].Kind != wg[i].Kind || gg[i].Q0 != wg[i].Q0 || gg[i].Q1 != wg[i].Q1 {
+			t.Fatalf("gate %d: %+v != %+v", i, gg[i], wg[i])
+		}
+	}
+}

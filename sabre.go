@@ -357,6 +357,68 @@ func IdentityLayout(n int) Layout { return mapping.Identity(n) }
 // RandomLayout returns a uniformly random layout.
 func RandomLayout(n int, rng *rand.Rand) Layout { return mapping.Random(n, rng) }
 
+// --- Streaming compilation ---
+
+type (
+	// StreamOptions sizes the streaming window, lookahead, and output
+	// chunking; zero values take the defaults.
+	StreamOptions = core.StreamOptions
+	// StreamStats is the accounting block of a streamed compilation,
+	// including the gates/sec throughput axis.
+	StreamStats = core.StreamStats
+	// StreamResult carries the layouts and stats of a streamed route.
+	StreamResult = core.StreamResult
+	// GateSource feeds gates to the streaming router one at a time.
+	GateSource = core.GateSource
+	// StreamSink receives routed gates chunk by chunk. The slice is
+	// reused between calls — copy anything retained.
+	StreamSink = core.StreamSink
+	// StreamJob describes one streaming compilation for the batch
+	// engine (Engine.CompileStream / Engine.CompileQASMStream).
+	StreamJob = batch.StreamJob
+	// StreamSpec is the streaming payload of an async job
+	// (JobQueue.SubmitStream); chunks leave through the job's webhook.
+	StreamSpec = jobqueue.StreamSpec
+	// GateScanner parses OpenQASM 2.0 incrementally off a reader; it
+	// satisfies GateSource without ever materializing the circuit.
+	GateScanner = qasm.GateScanner
+	// QASMStreamWriter serializes routed chunks back to OpenQASM 2.0.
+	QASMStreamWriter = qasm.StreamWriter
+)
+
+// DefaultStreamOptions returns the streaming defaults: a 4096-slot
+// window, 256 gates of lookahead, 1024-gate output chunks.
+func DefaultStreamOptions() StreamOptions { return core.DefaultStreamOptions() }
+
+// CompileStream routes an arbitrarily long gate stream onto dev in
+// O(device + window) memory, emitting routed gates through sink as
+// they retire. Semantics are the pinned streaming traversal (single
+// trial, seeded initial layout); the output is deterministic and
+// byte-identical to the materialized path on the same input. See
+// core.RouteStream for the full contract.
+func CompileStream(ctx context.Context, src GateSource, dev *Device, opts Options, sopts StreamOptions, sink StreamSink) (*StreamResult, error) {
+	return core.RouteStream(ctx, src, dev, opts, sopts, sink, nil)
+}
+
+// NewCircuitSource adapts an in-memory circuit to a GateSource.
+func NewCircuitSource(c *Circuit) GateSource { return core.NewCircuitSource(c) }
+
+// NewGateScanner parses OpenQASM 2.0 from r one statement at a time.
+func NewGateScanner(r io.Reader) *GateScanner { return qasm.NewGateScanner(r) }
+
+// NewQASMStreamWriter writes a streamed program to w: header up
+// front, then gates as chunks arrive.
+func NewQASMStreamWriter(w io.Writer, numQubits int) *QASMStreamWriter {
+	return qasm.NewStreamWriter(w, numQubits)
+}
+
+// NewVerifySink wraps a sink with on-the-fly hardware-compliance
+// checking: any routed gate on an uncoupled physical pair aborts the
+// stream with a positioned error.
+func NewVerifySink(inner StreamSink, dev *Device) StreamSink {
+	return pipeline.NewVerifySink(inner, dev)
+}
+
 // --- Pass pipeline ---
 
 // Pipeline types, re-exported by alias.
